@@ -1,0 +1,50 @@
+//! Tape-based reverse-mode automatic differentiation over [`cae_tensor`].
+//!
+//! The training of every neural model in the reproduction — the CAE basic
+//! models, the recurrent and feed-forward baselines and the variational
+//! models — runs through this engine.
+//!
+//! # Design
+//!
+//! * A [`Tape`] is an append-only arena of nodes. Each forward operation
+//!   appends a node holding its output [`Tensor`](cae_tensor::Tensor) and an
+//!   [`Op`] describing how it was produced, then hands back a [`Var`]
+//!   (a `Copy` index into the tape).
+//! * [`Tape::backward`] walks the arena in reverse, dispatching on the `Op`
+//!   enum to propagate gradients — no closures, no `Rc`/`RefCell` graphs.
+//! * Model parameters live outside the tape in a [`ParamStore`]. Injecting a
+//!   parameter into a tape ([`Tape::param`]) records its [`ParamId`], so
+//!   after `backward` the accumulated gradients can be flushed back with
+//!   [`Tape::accumulate_param_grads`] and consumed by an optimizer.
+//!
+//! A tape is built fresh for every training step (or reused via
+//! [`Tape::clear`], which keeps allocations), which makes control flow in
+//! models — loops over RNN steps, per-layer attention — ordinary Rust.
+//!
+//! # Example
+//!
+//! ```
+//! use cae_autograd::{ParamStore, Tape};
+//! use cae_tensor::Tensor;
+//!
+//! let mut store = ParamStore::new();
+//! let w = store.register("w", Tensor::from_vec(vec![2.0], &[1, 1]));
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.constant(Tensor::from_vec(vec![3.0], &[1, 1]));
+//! let wv = tape.param(&store, w);
+//! let y = tape.matmul(x, wv);
+//! let loss = tape.mse_loss(y, &Tensor::from_vec(vec![10.0], &[1, 1]));
+//!
+//! tape.backward(loss);
+//! tape.accumulate_param_grads(&mut store);
+//! // d/dw mean((3w - 10)^2) = 2 * (3w - 10) * 3 = -24 at w = 2
+//! assert!((store.grad(w).data()[0] + 24.0).abs() < 1e-4);
+//! ```
+
+mod backward;
+mod params;
+mod tape;
+
+pub use params::{transfer_fraction, ParamId, ParamStore};
+pub use tape::{Op, Tape, Var};

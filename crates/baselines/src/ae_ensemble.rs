@@ -1,0 +1,268 @@
+//! Autoencoder ensemble (Chen et al., SDM 2017).
+//!
+//! "An ensemble that consists of feed forward autoencoders with 20% of the
+//! connections randomly removed" (paper Section 4.1.2). The members are
+//! plain feed-forward autoencoders over *individual observations* — by
+//! design they capture no temporal dependencies (Table 1) — diversified
+//! implicitly by random connection masks and independent initialization.
+//! Scores are median per-observation reconstruction errors.
+
+use crate::util::gather_observations;
+use cae_autograd::{ParamId, ParamStore, Tape, Var};
+use cae_data::{scoring::median_scores, Detector, Scaler, TimeSeries};
+use cae_tensor::{par, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// AE-Ensemble hyperparameters.
+#[derive(Clone, Debug)]
+pub struct AeEnsembleConfig {
+    /// Number of autoencoders (matches the paper's 8-member setups).
+    pub num_models: usize,
+    /// Fraction of connections removed per member (paper: 0.2).
+    pub drop_fraction: f64,
+    /// Hidden width; `None` ⇒ `max(4, D/2)`.
+    pub hidden: Option<usize>,
+    /// Bottleneck width; `None` ⇒ `max(2, D/4)`.
+    pub bottleneck: Option<usize>,
+    /// Training epochs per member.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AeEnsembleConfig {
+    fn default() -> Self {
+        AeEnsembleConfig {
+            num_models: 8,
+            drop_fraction: 0.2,
+            hidden: None,
+            bottleneck: None,
+            epochs: 20,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            seed: 42,
+        }
+    }
+}
+
+/// One masked dense layer: `y = tanh((W ⊙ mask)ᵀ x + b)` (identity on the
+/// output layer).
+struct MaskedLayer {
+    weight: ParamId,
+    bias: ParamId,
+    mask: Tensor,
+    tanh: bool,
+}
+
+impl MaskedLayer {
+    fn new(
+        store: &mut ParamStore,
+        name: &str,
+        inp: usize,
+        out: usize,
+        drop: f64,
+        tanh: bool,
+        rng: &mut StdRng,
+    ) -> Self {
+        let weight = store.register(
+            format!("{name}.w"),
+            Tensor::xavier_uniform(&[inp, out], inp, out, rng),
+        );
+        let bias = store.register(format!("{name}.b"), Tensor::zeros(&[out]));
+        let mask = Tensor::bernoulli_mask(&[inp, out], 1.0 - drop, rng);
+        MaskedLayer { weight, bias, mask, tanh }
+    }
+
+    fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let w = tape.param(store, self.weight);
+        let masked = tape.mul_const(w, &self.mask);
+        let b = tape.param(store, self.bias);
+        let y = tape.matmul(x, masked);
+        let y = tape.add_bias_last(y, b);
+        if self.tanh {
+            tape.tanh(y)
+        } else {
+            y
+        }
+    }
+}
+
+/// One feed-forward autoencoder member: D → h → z → h → D.
+struct Member {
+    layers: Vec<MaskedLayer>,
+    store: ParamStore,
+}
+
+impl Member {
+    fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let mut h = x;
+        for layer in &self.layers {
+            h = layer.forward(tape, &self.store, h);
+        }
+        h
+    }
+
+    /// Per-observation squared reconstruction errors for a `(B, D)` batch.
+    fn errors(&self, batch: &Tensor) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let x = tape.constant(batch.clone());
+        let recon = self.forward(&mut tape, x);
+        tape.value(recon).sub(batch).row_sq_norms()
+    }
+}
+
+/// The AE-Ensemble baseline.
+pub struct AeEnsemble {
+    cfg: AeEnsembleConfig,
+    scaler: Option<Scaler>,
+    members: Vec<Member>,
+}
+
+impl AeEnsemble {
+    /// An ensemble with the given configuration.
+    pub fn new(cfg: AeEnsembleConfig) -> Self {
+        AeEnsemble { cfg, scaler: None, members: Vec::new() }
+    }
+
+    /// An ensemble with the paper's configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(AeEnsembleConfig::default())
+    }
+}
+
+impl Detector for AeEnsemble {
+    fn name(&self) -> &str {
+        "AE-Ensemble"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) {
+        assert!(!train.is_empty(), "cannot fit on an empty series");
+        self.scaler = Some(Scaler::fit(train));
+        let scaled = self.scaler.as_ref().expect("just set").transform(train);
+        let d = scaled.dim();
+        let hidden = self.cfg.hidden.unwrap_or_else(|| (d / 2).max(4));
+        let bottleneck = self.cfg.bottleneck.unwrap_or_else(|| (d / 4).max(2));
+
+        let mut seed_rng = StdRng::seed_from_u64(self.cfg.seed);
+        let seeds: Vec<u64> = (0..self.cfg.num_models).map(|_| seed_rng.gen()).collect();
+
+        // Members train independently — implicit diversity only — so the
+        // loop parallelizes across members.
+        self.members = par::map_indexed(self.cfg.num_models, |m| {
+            let mut rng = StdRng::seed_from_u64(seeds[m]);
+            let mut store = ParamStore::new();
+            let drop = self.cfg.drop_fraction;
+            let layers = vec![
+                MaskedLayer::new(&mut store, "enc1", d, hidden, drop, true, &mut rng),
+                MaskedLayer::new(&mut store, "enc2", hidden, bottleneck, drop, true, &mut rng),
+                MaskedLayer::new(&mut store, "dec1", bottleneck, hidden, drop, true, &mut rng),
+                MaskedLayer::new(&mut store, "dec2", hidden, d, drop, false, &mut rng),
+            ];
+            let mut member = Member { layers, store };
+
+            use cae_nn::{Adam, Optimizer};
+            let mut opt = Adam::new(&member.store, self.cfg.learning_rate);
+            let mut order: Vec<usize> = (0..scaled.len()).collect();
+            for _ in 0..self.cfg.epochs {
+                order.shuffle(&mut rng);
+                for chunk in order.chunks(self.cfg.batch_size) {
+                    let batch = gather_observations(&scaled, chunk);
+                    let mut tape = Tape::new();
+                    let x = tape.constant(batch.clone());
+                    let recon = member.forward(&mut tape, x);
+                    let loss = tape.mse_loss(recon, &batch);
+                    tape.backward(loss);
+                    tape.accumulate_param_grads(&mut member.store);
+                    opt.step(&mut member.store);
+                }
+            }
+            member
+        });
+    }
+
+    fn score(&self, test: &TimeSeries) -> Vec<f32> {
+        assert!(!self.members.is_empty(), "score() before fit()");
+        let scaled = self.scaler.as_ref().expect("fitted").transform(test);
+        let all: Vec<usize> = (0..scaled.len()).collect();
+        let batch = gather_observations(&scaled, &all);
+        let per_model: Vec<Vec<f32>> =
+            par::map_indexed(self.members.len(), |m| self.members[m].errors(&batch));
+        median_scores(&per_model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> AeEnsembleConfig {
+        AeEnsembleConfig { num_models: 3, epochs: 15, ..AeEnsembleConfig::default() }
+    }
+
+    fn correlated_series(n: usize, seed: u64) -> TimeSeries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = TimeSeries::empty(4);
+        for _ in 0..n {
+            let base: f32 = rng.gen_range(-1.0..1.0);
+            s.push(&[base, base * 0.5, -base, base + rng.gen_range(-0.1..0.1)]);
+        }
+        s
+    }
+
+    #[test]
+    fn breaks_correlation_scores_high() {
+        let train = correlated_series(400, 1);
+        let mut test = correlated_series(60, 2);
+        // An observation violating the learned inter-dimension structure.
+        test.push(&[1.0, -2.0, 1.0, -3.0]);
+        let mut ae = AeEnsemble::new(small_cfg());
+        ae.fit(&train);
+        let scores = ae.score(&test);
+        let outlier = scores[60];
+        let mean: f32 = scores[..60].iter().sum::<f32>() / 60.0;
+        assert!(outlier > 2.0 * mean, "outlier {outlier} vs inlier mean {mean}");
+    }
+
+    #[test]
+    fn member_masks_differ() {
+        let train = correlated_series(100, 3);
+        let mut ae = AeEnsemble::new(small_cfg());
+        ae.fit(&train);
+        let m0 = &ae.members[0].layers[0].mask;
+        let m1 = &ae.members[1].layers[0].mask;
+        assert_ne!(m0.data(), m1.data(), "members share the same mask");
+    }
+
+    #[test]
+    fn drop_fraction_respected() {
+        let train = correlated_series(100, 4);
+        let mut ae = AeEnsemble::new(AeEnsembleConfig {
+            num_models: 1,
+            drop_fraction: 0.2,
+            epochs: 1,
+            ..AeEnsembleConfig::default()
+        });
+        ae.fit(&train);
+        let mask = &ae.members[0].layers[0].mask;
+        let kept = mask.sum() / mask.len() as f32;
+        assert!((kept - 0.8).abs() < 0.2, "keep rate {kept}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let train = correlated_series(150, 5);
+        let test = correlated_series(30, 6);
+        let run = || {
+            let mut ae = AeEnsemble::new(small_cfg());
+            ae.fit(&train);
+            ae.score(&test)
+        };
+        assert_eq!(run(), run());
+    }
+}

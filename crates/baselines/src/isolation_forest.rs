@@ -1,0 +1,239 @@
+//! Isolation Forest (Liu, Ting & Zhou, ICDM 2008).
+//!
+//! "An ensemble of randomized clustering trees that isolates outliers in
+//! sparse clusters. We use 100 base estimators" (paper Section 4.1.2).
+//! Each tree recursively splits a subsample on a random feature at a random
+//! cut; anomalous points isolate in few splits, so short average path
+//! lengths mean high outlier scores: `s(x) = 2^(−E[h(x)] / c(n))`.
+
+use crate::util::gather_observations;
+use cae_data::{Detector, Scaler, TimeSeries};
+use cae_tensor::par;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Isolation Forest hyperparameters.
+#[derive(Clone, Debug)]
+pub struct IsolationForestConfig {
+    /// Number of trees (paper: 100).
+    pub num_trees: usize,
+    /// Subsample size per tree (standard: 256).
+    pub subsample: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IsolationForestConfig {
+    fn default() -> Self {
+        IsolationForestConfig { num_trees: 100, subsample: 256, seed: 42 }
+    }
+}
+
+enum Node {
+    /// Internal split: feature index, cut value, children.
+    Split { feature: usize, cut: f32, left: Box<Node>, right: Box<Node> },
+    /// Leaf holding the number of training points that reached it.
+    Leaf { size: usize },
+}
+
+impl Node {
+    /// Path length of `x` through the tree, with the standard adjustment
+    /// `c(size)` added at non-singleton leaves.
+    fn path_length(&self, x: &[f32], depth: f64) -> f64 {
+        match self {
+            Node::Leaf { size } => depth + average_path_length(*size),
+            Node::Split { feature, cut, left, right } => {
+                if x[*feature] < *cut {
+                    left.path_length(x, depth + 1.0)
+                } else {
+                    right.path_length(x, depth + 1.0)
+                }
+            }
+        }
+    }
+}
+
+/// `c(n)`: the average unsuccessful-search path length of a BST with `n`
+/// points, used to normalize path lengths.
+fn average_path_length(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    2.0 * ((n - 1.0).ln() + 0.577_215_664_901_532_9) - 2.0 * (n - 1.0) / n
+}
+
+fn build_tree(points: &mut [Vec<f32>], depth: usize, max_depth: usize, rng: &mut StdRng) -> Node {
+    if points.len() <= 1 || depth >= max_depth {
+        return Node::Leaf { size: points.len() };
+    }
+    let dim = points[0].len();
+    // Try a few random features to find one with spread.
+    for _ in 0..dim.min(8) {
+        let feature = rng.gen_range(0..dim);
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for p in points.iter() {
+            lo = lo.min(p[feature]);
+            hi = hi.max(p[feature]);
+        }
+        if hi > lo {
+            let cut = rng.gen_range(lo..hi);
+            let split = itertools_partition(points, |p| p[feature] < cut);
+            let (l, r) = points.split_at_mut(split);
+            return Node::Split {
+                feature,
+                cut,
+                left: Box::new(build_tree(l, depth + 1, max_depth, rng)),
+                right: Box::new(build_tree(r, depth + 1, max_depth, rng)),
+            };
+        }
+    }
+    Node::Leaf { size: points.len() }
+}
+
+/// In-place stable-enough partition; returns the split index.
+fn itertools_partition<T>(items: &mut [T], pred: impl Fn(&T) -> bool) -> usize {
+    let mut split = 0;
+    for i in 0..items.len() {
+        if pred(&items[i]) {
+            items.swap(split, i);
+            split += 1;
+        }
+    }
+    split
+}
+
+/// The ISF baseline: per-observation isolation scoring.
+pub struct IsolationForest {
+    cfg: IsolationForestConfig,
+    scaler: Option<Scaler>,
+    trees: Vec<Node>,
+    subsample: usize,
+}
+
+impl IsolationForest {
+    /// A forest with the given configuration.
+    pub fn new(cfg: IsolationForestConfig) -> Self {
+        IsolationForest { cfg, scaler: None, trees: Vec::new(), subsample: 0 }
+    }
+
+    /// A forest with the paper's configuration (100 trees).
+    pub fn with_defaults() -> Self {
+        Self::new(IsolationForestConfig::default())
+    }
+}
+
+impl Detector for IsolationForest {
+    fn name(&self) -> &str {
+        "ISF"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) {
+        assert!(!train.is_empty(), "cannot fit on an empty series");
+        self.scaler = Some(Scaler::fit(train));
+        let scaled = self.scaler.as_ref().expect("just set").transform(train);
+        let n = scaled.len();
+        self.subsample = self.cfg.subsample.min(n);
+        let max_depth = (self.subsample as f64).log2().ceil() as usize + 1;
+
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let seeds: Vec<u64> = (0..self.cfg.num_trees).map(|_| rng.gen()).collect();
+        self.trees = par::map_indexed(self.cfg.num_trees, |t| {
+            let mut tree_rng = StdRng::seed_from_u64(seeds[t]);
+            let mut sample: Vec<Vec<f32>> = (0..self.subsample)
+                .map(|_| scaled.observation(tree_rng.gen_range(0..n)).to_vec())
+                .collect();
+            build_tree(&mut sample, 0, max_depth, &mut tree_rng)
+        });
+    }
+
+    fn score(&self, test: &TimeSeries) -> Vec<f32> {
+        assert!(!self.trees.is_empty(), "score() before fit()");
+        let scaled = self.scaler.as_ref().expect("fitted").transform(test);
+        let c = average_path_length(self.subsample);
+        let all = gather_observations(&scaled, &(0..scaled.len()).collect::<Vec<_>>());
+        let d = scaled.dim();
+        (0..scaled.len())
+            .map(|t| {
+                let x = &all.data()[t * d..(t + 1) * d];
+                let mean_path: f64 = self
+                    .trees
+                    .iter()
+                    .map(|tree| tree.path_length(x, 0.0))
+                    .sum::<f64>()
+                    / self.trees.len() as f64;
+                (2.0f64.powf(-mean_path / c.max(1e-9))) as f32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gaussian_cluster_with_outlier() -> (TimeSeries, TimeSeries) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut train = TimeSeries::empty(2);
+        for _ in 0..300 {
+            train.push(&[rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
+        }
+        let mut test = TimeSeries::empty(2);
+        for _ in 0..50 {
+            test.push(&[rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
+        }
+        test.push(&[30.0, -30.0]); // far outlier at index 50
+        (train, test)
+    }
+
+    #[test]
+    fn outlier_scores_highest() {
+        let (train, test) = gaussian_cluster_with_outlier();
+        let mut isf = IsolationForest::with_defaults();
+        isf.fit(&train);
+        let scores = isf.score(&test);
+        let (argmax, _) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_eq!(argmax, 50, "outlier not ranked first: {scores:?}");
+    }
+
+    #[test]
+    fn scores_in_unit_range() {
+        let (train, test) = gaussian_cluster_with_outlier();
+        let mut isf = IsolationForest::new(IsolationForestConfig {
+            num_trees: 20,
+            subsample: 64,
+            seed: 3,
+        });
+        isf.fit(&train);
+        let scores = isf.score(&test);
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (train, test) = gaussian_cluster_with_outlier();
+        let run = |seed| {
+            let mut isf = IsolationForest::new(IsolationForestConfig {
+                num_trees: 10,
+                subsample: 64,
+                seed,
+            });
+            isf.fit(&train);
+            isf.score(&test)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn average_path_length_grows_logarithmically() {
+        assert_eq!(average_path_length(1), 0.0);
+        assert!(average_path_length(256) > average_path_length(16));
+        assert!(average_path_length(256) < 2.0 * (256f64).ln());
+    }
+}

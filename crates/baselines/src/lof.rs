@@ -1,0 +1,226 @@
+//! Local Outlier Factor (Breunig et al., SIGMOD 2000).
+//!
+//! "A density clustering based method that detects outliers according to
+//! local deviations from neighbors. The number of neighbors is 20 and we
+//! use Euclidean distance" (paper Section 4.1.2).
+//!
+//! Run in the fit/score protocol as *novelty-style* LOF: neighborhoods and
+//! local reachability densities are computed on the training observations;
+//! a test point's LOF compares its density against its training neighbors'.
+//! Training data larger than `max_reference` observations is subsampled
+//! uniformly to bound the O(n²) neighbor search.
+
+use crate::util::sq_dist;
+use cae_data::{Detector, Scaler, TimeSeries};
+use cae_tensor::par;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// LOF hyperparameters.
+#[derive(Clone, Debug)]
+pub struct LofConfig {
+    /// Neighborhood size `k` (paper: 20).
+    pub k: usize,
+    /// Maximum number of training observations kept as the reference set.
+    pub max_reference: usize,
+    /// RNG seed for reference subsampling.
+    pub seed: u64,
+}
+
+impl Default for LofConfig {
+    fn default() -> Self {
+        LofConfig { k: 20, max_reference: 2000, seed: 42 }
+    }
+}
+
+/// The LOF baseline.
+pub struct LocalOutlierFactor {
+    cfg: LofConfig,
+    scaler: Option<Scaler>,
+    /// Reference points, row-major `(n × d)`.
+    reference: Vec<f32>,
+    dim: usize,
+    /// Local reachability density of each reference point.
+    lrd: Vec<f64>,
+    /// k-distance of each reference point.
+    k_dist: Vec<f64>,
+}
+
+impl LocalOutlierFactor {
+    /// LOF with the given configuration.
+    pub fn new(cfg: LofConfig) -> Self {
+        LocalOutlierFactor {
+            cfg,
+            scaler: None,
+            reference: Vec::new(),
+            dim: 0,
+            lrd: Vec::new(),
+            k_dist: Vec::new(),
+        }
+    }
+
+    /// LOF with the paper's configuration (k = 20).
+    pub fn with_defaults() -> Self {
+        Self::new(LofConfig::default())
+    }
+
+    fn point(&self, i: usize) -> &[f32] {
+        &self.reference[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The `k` nearest reference points to `x` (excluding `exclude` if
+    /// given), as (distance, index) pairs sorted ascending.
+    fn knn(&self, x: &[f32], exclude: Option<usize>) -> Vec<(f64, usize)> {
+        let n = self.reference.len() / self.dim;
+        let mut dists: Vec<(f64, usize)> = (0..n)
+            .filter(|&i| Some(i) != exclude)
+            .map(|i| (sq_dist(x, self.point(i)) as f64, i))
+            .collect();
+        let k = self.cfg.k.min(dists.len());
+        dists.select_nth_unstable_by(k.saturating_sub(1), |a, b| {
+            a.0.partial_cmp(&b.0).expect("distances must not be NaN")
+        });
+        dists.truncate(k);
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances must not be NaN"));
+        for d in &mut dists {
+            d.0 = d.0.sqrt();
+        }
+        dists
+    }
+
+    fn lrd_of(&self, neighbors: &[(f64, usize)]) -> f64 {
+        // reach-dist(x, o) = max(k-dist(o), d(x, o))
+        let sum: f64 = neighbors
+            .iter()
+            .map(|&(d, o)| d.max(self.k_dist[o]))
+            .sum();
+        if sum <= 0.0 {
+            // Coincident points: infinite density, use a large finite cap.
+            1e12
+        } else {
+            neighbors.len() as f64 / sum
+        }
+    }
+}
+
+impl Detector for LocalOutlierFactor {
+    fn name(&self) -> &str {
+        "LOF"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) {
+        assert!(train.len() > self.cfg.k, "LOF needs more than k training points");
+        self.scaler = Some(Scaler::fit(train));
+        let scaled = self.scaler.as_ref().expect("just set").transform(train);
+        self.dim = scaled.dim();
+
+        // Reference subsample.
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let n = scaled.len();
+        let keep: Vec<usize> = if n <= self.cfg.max_reference {
+            (0..n).collect()
+        } else {
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..self.cfg.max_reference {
+                let j = rng.gen_range(i..n);
+                idx.swap(i, j);
+            }
+            idx.truncate(self.cfg.max_reference);
+            idx.sort_unstable();
+            idx
+        };
+        self.reference = keep
+            .iter()
+            .flat_map(|&t| scaled.observation(t).iter().copied())
+            .collect();
+        let m = keep.len();
+
+        // k-distance of every reference point.
+        let k_dist: Vec<f64> = par::map_indexed(m, |i| {
+            let nb = self.knn(self.point(i), Some(i));
+            nb.last().map(|&(d, _)| d).unwrap_or(0.0)
+        });
+        self.k_dist = k_dist;
+
+        // Local reachability density of every reference point.
+        let lrd: Vec<f64> = par::map_indexed(m, |i| {
+            let nb = self.knn(self.point(i), Some(i));
+            self.lrd_of(&nb)
+        });
+        self.lrd = lrd;
+    }
+
+    fn score(&self, test: &TimeSeries) -> Vec<f32> {
+        assert!(!self.reference.is_empty(), "score() before fit()");
+        let scaled = self.scaler.as_ref().expect("fitted").transform(test);
+        assert_eq!(scaled.dim(), self.dim, "test dim mismatch");
+        par::map_indexed(scaled.len(), |t| {
+            let x = scaled.observation(t);
+            let nb = self.knn(x, None);
+            let lrd_x = self.lrd_of(&nb);
+            let mean_neighbor_lrd: f64 =
+                nb.iter().map(|&(_, o)| self.lrd[o]).sum::<f64>() / nb.len().max(1) as f64;
+            (mean_neighbor_lrd / lrd_x.max(1e-12)) as f32
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize, seed: u64) -> TimeSeries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = TimeSeries::empty(2);
+        for _ in 0..n {
+            s.push(&[rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
+        }
+        s
+    }
+
+    #[test]
+    fn isolated_point_has_high_lof() {
+        let train = cluster(200, 1);
+        let mut test = cluster(30, 2);
+        test.push(&[15.0, 15.0]);
+        let mut lof = LocalOutlierFactor::with_defaults();
+        lof.fit(&train);
+        let scores = lof.score(&test);
+        let outlier = scores[30];
+        let max_inlier = scores[..30].iter().copied().fold(f32::MIN, f32::max);
+        assert!(outlier > 2.0 * max_inlier, "outlier {outlier} vs max inlier {max_inlier}");
+    }
+
+    #[test]
+    fn inliers_score_near_one() {
+        let train = cluster(300, 3);
+        let test = cluster(40, 4);
+        let mut lof = LocalOutlierFactor::with_defaults();
+        lof.fit(&train);
+        let scores = lof.score(&test);
+        let mean: f32 = scores.iter().sum::<f32>() / scores.len() as f32;
+        assert!((0.5..2.0).contains(&mean), "mean inlier LOF {mean}");
+    }
+
+    #[test]
+    fn subsampling_caps_reference_set() {
+        let train = cluster(500, 5);
+        let mut lof = LocalOutlierFactor::new(LofConfig { k: 5, max_reference: 100, seed: 6 });
+        lof.fit(&train);
+        assert_eq!(lof.reference.len() / 2, 100);
+        let scores = lof.score(&cluster(20, 7));
+        assert_eq!(scores.len(), 20);
+    }
+
+    #[test]
+    fn deterministic() {
+        let train = cluster(150, 8);
+        let test = cluster(20, 9);
+        let run = || {
+            let mut lof = LocalOutlierFactor::with_defaults();
+            lof.fit(&train);
+            lof.score(&test)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,149 @@
+//! Moving Average Smoothing (MAS).
+//!
+//! "A method where the values that deviate from a moving average window
+//! are likely to be considered as outliers" (paper Section 4.1.2). The
+//! outlier score of `s_t` is its squared distance from the trailing mean of
+//! the previous `m` observations, summed over dimensions, on z-scored data.
+
+use cae_data::{Detector, Scaler, TimeSeries};
+
+/// MAS hyperparameters.
+#[derive(Clone, Debug)]
+pub struct MovingAverageConfig {
+    /// Trailing window length.
+    pub window: usize,
+}
+
+impl Default for MovingAverageConfig {
+    fn default() -> Self {
+        MovingAverageConfig { window: 10 }
+    }
+}
+
+/// The MAS baseline.
+pub struct MovingAverage {
+    cfg: MovingAverageConfig,
+    scaler: Option<Scaler>,
+}
+
+impl MovingAverage {
+    /// MAS with the given configuration.
+    pub fn new(cfg: MovingAverageConfig) -> Self {
+        MovingAverage { cfg, scaler: None }
+    }
+
+    /// MAS with the default trailing window of 10.
+    pub fn with_defaults() -> Self {
+        Self::new(MovingAverageConfig::default())
+    }
+}
+
+impl Detector for MovingAverage {
+    fn name(&self) -> &str {
+        "MAS"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) {
+        // The only "training" is estimating the scaler on the train split.
+        self.scaler = Some(Scaler::fit(train));
+    }
+
+    fn score(&self, test: &TimeSeries) -> Vec<f32> {
+        let scaler = self.scaler.as_ref().expect("score() before fit()");
+        let scaled = scaler.transform(test);
+        let d = scaled.dim();
+        let m = self.cfg.window;
+        let mut scores = Vec::with_capacity(scaled.len());
+        // Running sums of the trailing window per dimension.
+        let mut sums = vec![0.0f64; d];
+        for t in 0..scaled.len() {
+            let window_len = t.min(m);
+            if window_len == 0 {
+                scores.push(0.0); // no history for the first observation
+            } else {
+                let obs = scaled.observation(t);
+                let score: f64 = obs
+                    .iter()
+                    .zip(sums.iter())
+                    .map(|(&x, &s)| {
+                        let mean = s / window_len as f64;
+                        let diff = x as f64 - mean;
+                        diff * diff
+                    })
+                    .sum();
+                scores.push(score as f32);
+            }
+            // Slide the window: add s_t, drop s_{t−m}.
+            for (s, &x) in sums.iter_mut().zip(scaled.observation(t)) {
+                *s += x as f64;
+            }
+            if t >= m {
+                for (s, &x) in sums.iter_mut().zip(scaled.observation(t - m)) {
+                    *s -= x as f64;
+                }
+            }
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spike_deviates_from_trailing_mean() {
+        let train = TimeSeries::univariate(vec![1.0; 50]);
+        let mut values = vec![1.0f32; 40];
+        values[30] = 9.0;
+        let test = TimeSeries::univariate(values);
+        let mut mas = MovingAverage::with_defaults();
+        mas.fit(&train);
+        let scores = mas.score(&test);
+        let argmax = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 30);
+    }
+
+    #[test]
+    fn constant_series_scores_zero() {
+        let train = TimeSeries::univariate((0..50).map(|t| t as f32).collect());
+        let test = TimeSeries::univariate(vec![3.0; 20]);
+        let mut mas = MovingAverage::with_defaults();
+        mas.fit(&train);
+        let scores = mas.score(&test);
+        assert!(scores.iter().all(|&s| s.abs() < 1e-9));
+    }
+
+    #[test]
+    fn window_slides_correctly() {
+        // After a level shift, scores should decay back toward zero once
+        // the window fills with the new level.
+        let train = TimeSeries::univariate((0..100).map(|t| (t % 7) as f32).collect());
+        let mut values = vec![0.0f32; 15];
+        values.extend(vec![5.0f32; 25]);
+        let test = TimeSeries::univariate(values);
+        let mut mas = MovingAverage::new(MovingAverageConfig { window: 5 });
+        mas.fit(&train);
+        let scores = mas.score(&test);
+        // Shift point spikes…
+        assert!(scores[15] > 1.0);
+        // …and 10 steps later the window has adapted.
+        assert!(scores[30] < scores[15] / 10.0);
+    }
+
+    #[test]
+    fn multivariate_scores_sum_dimensions() {
+        let train = TimeSeries::new(vec![0.0, 10.0, 1.0, 11.0, 0.0, 10.0, 1.0, 11.0], 2);
+        let test = TimeSeries::new(vec![0.5, 10.5, 0.5, 10.5, 9.0, 30.0], 2);
+        let mut mas = MovingAverage::with_defaults();
+        mas.fit(&train);
+        let scores = mas.score(&test);
+        assert_eq!(scores.len(), 3);
+        assert!(scores[2] > scores[1]);
+    }
+}

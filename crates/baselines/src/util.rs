@@ -1,0 +1,60 @@
+//! Shared helpers for the baseline detectors.
+
+use cae_data::TimeSeries;
+use cae_tensor::Tensor;
+
+/// Copies the windows starting at `starts` into a `(B, w, D)` batch tensor.
+pub fn gather_windows(series: &TimeSeries, starts: &[usize], w: usize) -> Tensor {
+    let d = series.dim();
+    let mut data = vec![0.0f32; starts.len() * w * d];
+    for (row, &s) in starts.iter().enumerate() {
+        let src = &series.data()[s * d..(s + w) * d];
+        data[row * w * d..(row + 1) * w * d].copy_from_slice(src);
+    }
+    Tensor::from_vec(data, &[starts.len(), w, d])
+}
+
+/// Copies the observations at `indices` into a `(B, D)` batch tensor.
+pub fn gather_observations(series: &TimeSeries, indices: &[usize]) -> Tensor {
+    let d = series.dim();
+    let mut data = vec![0.0f32; indices.len() * d];
+    for (row, &t) in indices.iter().enumerate() {
+        data[row * d..(row + 1) * d].copy_from_slice(series.observation(t));
+    }
+    Tensor::from_vec(data, &[indices.len(), d])
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+#[inline]
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_windows_copies_rows() {
+        let s = TimeSeries::new((0..12).map(|x| x as f32).collect(), 2);
+        let batch = gather_windows(&s, &[0, 2], 3);
+        assert_eq!(batch.dims(), &[2, 3, 2]);
+        assert_eq!(&batch.data()[..6], &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(&batch.data()[6..], &[4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn gather_observations_copies_points() {
+        let s = TimeSeries::new((0..8).map(|x| x as f32).collect(), 2);
+        let batch = gather_observations(&s, &[3, 0]);
+        assert_eq!(batch.dims(), &[2, 2]);
+        assert_eq!(batch.data(), &[6.0, 7.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sq_dist_known() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(sq_dist(&[1.0], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the ensemble-level primitives: median
+//! aggregation (Eq. 15), the window→series protocol (Figure 10) and the
+//! diversity metric (Eq. 9–10).
+
+use cae_core::diversity::{ensemble_diversity, pairwise_diversity};
+use cae_data::scoring::{median_scores, series_scores_from_window_errors};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_scores(models: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..models)
+        .map(|_| (0..len).map(|_| rng.gen_range(0.0f32..10.0)).collect())
+        .collect()
+}
+
+fn bench_median_aggregation(c: &mut Criterion) {
+    let per_model = random_scores(8, 10_000, 1);
+    c.bench_function("median_scores_8x10k", |bench| {
+        bench.iter(|| black_box(median_scores(black_box(&per_model))))
+    });
+}
+
+fn bench_window_protocol(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let w = 16;
+    let n_win = 10_000;
+    let errors: Vec<f32> = (0..n_win * w).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+    c.bench_function("window_protocol_10k_windows", |bench| {
+        bench.iter(|| black_box(series_scores_from_window_errors(black_box(&errors), n_win, w)))
+    });
+}
+
+fn bench_diversity_metric(c: &mut Criterion) {
+    let outputs = random_scores(8, 50_000, 3);
+    c.bench_function("pairwise_diversity_50k", |bench| {
+        bench.iter(|| black_box(pairwise_diversity(black_box(&outputs[0]), &outputs[1])))
+    });
+    c.bench_function("ensemble_diversity_8x50k", |bench| {
+        bench.iter(|| black_box(ensemble_diversity(black_box(&outputs))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_median_aggregation,
+    bench_window_protocol,
+    bench_diversity_metric
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmark behind **Table 8**: per-window online
+//! inference latency of a single CAE versus the CAE-Ensemble.
+
+use cae_core::{CaeConfig, CaeEnsemble, EnsembleConfig, StreamingDetector};
+use cae_data::{Detector, TimeSeries};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn train_series(dim: usize, len: usize) -> TimeSeries {
+    let mut s = TimeSeries::empty(dim);
+    let mut obs = vec![0.0f32; dim];
+    for t in 0..len {
+        for (d, o) in obs.iter_mut().enumerate() {
+            *o = ((t as f32) * 0.3 + d as f32 * 0.7).sin();
+        }
+        s.push(&obs);
+    }
+    s
+}
+
+fn fitted(dim: usize, members: usize) -> CaeEnsemble {
+    let mc = CaeConfig::new(dim).embed_dim(24).window(16).layers(2);
+    let ec = EnsembleConfig::new()
+        .num_models(members)
+        .epochs_per_model(2)
+        .train_stride(8)
+        .seed(7);
+    let mut ens = CaeEnsemble::new(mc, ec);
+    ens.fit(&train_series(dim, 600));
+    ens
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    for (label, members) in [("cae_single", 1usize), ("cae_ensemble_5", 5)] {
+        let ens = fitted(8, members);
+        let series = train_series(8, 256);
+        c.bench_function(&format!("per_window_inference_{label}"), |bench| {
+            let mut stream = StreamingDetector::new(&ens);
+            for t in 0..16 {
+                stream.push(series.observation(t));
+            }
+            let mut t = 16usize;
+            bench.iter(|| {
+                let s = stream.push(black_box(series.observation(t % 256)));
+                t += 1;
+                black_box(s)
+            });
+        });
+    }
+}
+
+fn bench_batch_scoring(c: &mut Criterion) {
+    let ens = fitted(8, 5);
+    let series = train_series(8, 256);
+    c.bench_function("batch_score_256_obs", |bench| {
+        bench.iter(|| black_box(ens.score(black_box(&series))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(10))
+        .warm_up_time(std::time::Duration::from_secs(2));
+    targets = bench_streaming, bench_batch_scoring
+}
+criterion_main!(benches);

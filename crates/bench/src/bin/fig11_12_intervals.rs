@@ -1,0 +1,90 @@
+//! Reproduces **Figures 11–12** (qualitative): interval-labelled ground
+//! truth versus point-wise outlier scores on an ECG-like subset.
+//!
+//! The paper's recall analysis: ground-truth labels mark whole anomalous
+//! *intervals*, but only a few observations inside each interval deviate
+//! strongly. CAE-Ensemble assigns very high scores to exactly those peaks,
+//! which produces high precision but depressed recall.
+//!
+//! This binary prints (a) an ASCII strip of one labelled interval with the
+//! scores, and (b) the fraction of each interval's observations whose
+//! score exceeds the best-F1 threshold — quantifying "only a few points in
+//! the interval spike".
+//!
+//! ```text
+//! cargo run --release -p cae-bench --bin fig11_12_intervals -- --scale quick
+//! ```
+
+use cae_bench::{init_parallelism, load_dataset, parse_scale, print_table, RunProfile};
+use cae_data::{DatasetKind, Detector};
+use cae_metrics::best_f1;
+
+fn main() {
+    init_parallelism();
+    let scale = parse_scale();
+    let profile = RunProfile::new(scale);
+    println!("Figures 11–12 reproduction — scale {scale:?}");
+
+    let ds = load_dataset(DatasetKind::Ecg, scale);
+    let mut model = profile.cae_ensemble(ds.train.dim());
+    model.fit(&ds.train);
+    let scores = model.score(&ds.test);
+    let threshold = best_f1(&scores, &ds.test_labels).threshold;
+
+    // Collect labelled intervals.
+    let mut intervals: Vec<(usize, usize)> = Vec::new();
+    let mut start = None;
+    for (t, &l) in ds.test_labels.iter().enumerate() {
+        match (l, start) {
+            (true, None) => start = Some(t),
+            (false, Some(s)) => {
+                intervals.push((s, t));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        intervals.push((s, ds.test_labels.len()));
+    }
+
+    // (a) ASCII strip around the first interval.
+    if let Some(&(s, e)) = intervals.first() {
+        let lo = s.saturating_sub(10);
+        let hi = (e + 10).min(scores.len());
+        let max_score = scores[lo..hi].iter().copied().fold(f32::MIN, f32::max).max(1e-9);
+        println!("\nFirst labelled interval [{s}, {e}) — score strip (█ ∝ score, * = labelled):");
+        for t in lo..hi {
+            let bar_len = ((scores[t] / max_score) * 50.0).round() as usize;
+            println!(
+                "t={t:5} {}{} {:8.3} {}",
+                if ds.test_labels[t] { "*" } else { " " },
+                if scores[t] > threshold { ">" } else { " " },
+                scores[t],
+                "█".repeat(bar_len)
+            );
+        }
+    }
+
+    // (b) Per-interval coverage at the best-F1 threshold.
+    let mut rows = Vec::new();
+    for &(s, e) in intervals.iter().take(12) {
+        let above = scores[s..e].iter().filter(|&&v| v > threshold).count();
+        rows.push(vec![
+            format!("[{s}, {e})"),
+            (e - s).to_string(),
+            above.to_string(),
+            format!("{:.0}%", 100.0 * above as f64 / (e - s) as f64),
+        ]);
+    }
+    print_table(
+        "Figure 12 — points above threshold inside labelled intervals",
+        &["interval", "labelled points", "above threshold", "coverage"],
+        &rows,
+    );
+    println!(
+        "Shape to check: coverage well below 100% in most intervals — detected\n\
+         peaks align with the true deviations, explaining high precision with\n\
+         depressed recall under interval-granular labels."
+    );
+}

@@ -1,0 +1,72 @@
+//! Reproduces **Figure 15**: window-size selection on the ECG- and
+//! SMAP-like datasets — candidates `w = 2^k` ordered by validation
+//! reconstruction error with PR/ROC overlays and the median pick marked.
+//!
+//! ```text
+//! cargo run --release -p cae-bench --bin fig15_window -- --scale quick
+//! ```
+
+use cae_bench::{fmt4, init_parallelism, load_dataset, parse_scale, print_table, RunProfile};
+use cae_core::CaeEnsemble;
+use cae_data::{DatasetKind, Detector, Scale};
+use cae_metrics::{pr_auc, roc_auc};
+
+fn main() {
+    init_parallelism();
+    let scale = parse_scale();
+    let profile = RunProfile::new(scale);
+    println!("Figure 15 reproduction — scale {scale:?}");
+
+    let windows: Vec<usize> = match scale {
+        Scale::Quick => vec![4, 8, 16, 32, 64],
+        Scale::Full => vec![4, 8, 16, 32, 64, 128, 256],
+    };
+
+    for kind in [DatasetKind::Ecg, DatasetKind::Smap] {
+        let ds = load_dataset(kind, scale);
+        let val_len = (ds.train.len() as f64 * 0.3).round() as usize;
+        let (tr, va) = ds.train.split_at(ds.train.len() - val_len);
+
+        let mut results: Vec<(usize, f64, f64, f64)> = windows
+            .iter()
+            .map(|&w| {
+                let mut ens = CaeEnsemble::new(
+                    profile.cae_config(ds.train.dim()).window(w),
+                    profile.ensemble_config(),
+                );
+                ens.fit(&tr);
+                let scores = ens.score(&va);
+                let recon =
+                    scores.iter().map(|&s| s as f64).sum::<f64>() / scores.len().max(1) as f64;
+                let test_scores = ens.score(&ds.test);
+                (
+                    w,
+                    recon,
+                    pr_auc(&test_scores, &ds.test_labels),
+                    roc_auc(&test_scores, &ds.test_labels),
+                )
+            })
+            .collect();
+
+        results.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+        let median_idx = (results.len() - 1) / 2;
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, recon, pr, roc))| {
+                vec![
+                    format!("w={w}"),
+                    format!("{recon:.5}"),
+                    fmt4(pr),
+                    fmt4(roc),
+                    if i == median_idx { "<- median pick".to_string() } else { String::new() },
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 15 — window size sweep, {}", kind.name()),
+            &["candidate", "recon error", "PR", "ROC", ""],
+            &rows,
+        );
+    }
+}

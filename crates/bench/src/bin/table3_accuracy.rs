@@ -1,0 +1,49 @@
+//! Reproduces **Table 3**: accuracy (Precision, Recall, F1, PR, ROC at the
+//! best-F1 threshold) of all twelve detectors on the ECG-, SMD- and
+//! MSL-like datasets.
+//!
+//! ```text
+//! cargo run --release -p cae-bench --bin table3_accuracy -- --scale quick
+//! ```
+
+use cae_bench::{evaluate, fmt4, fmt_secs, init_parallelism, load_dataset, parse_scale, print_table, RunProfile};
+use cae_data::DatasetKind;
+
+fn main() {
+    init_parallelism();
+    let scale = parse_scale();
+    let profile = RunProfile::new(scale);
+    println!("Table 3 reproduction — scale {scale:?}, profile {profile:?}");
+
+    for kind in [DatasetKind::Ecg, DatasetKind::Smd, DatasetKind::Msl] {
+        let ds = load_dataset(kind, scale);
+        println!(
+            "\n[{}] train {}×{}D, test {}×{}D, outlier ratio {:.2}%",
+            kind.name(),
+            ds.train.len(),
+            ds.train.dim(),
+            ds.test.len(),
+            ds.test.dim(),
+            100.0 * ds.outlier_ratio()
+        );
+        let mut rows = Vec::new();
+        for mut detector in profile.all_detectors(ds.train.dim()) {
+            let (report, fit, score) = evaluate(detector.as_mut(), &ds);
+            rows.push(vec![
+                detector.name().to_string(),
+                fmt4(report.precision),
+                fmt4(report.recall),
+                fmt4(report.f1),
+                fmt4(report.pr_auc),
+                fmt4(report.roc_auc),
+                fmt_secs(fit),
+                fmt_secs(score),
+            ]);
+        }
+        print_table(
+            &format!("Table 3 — {}", kind.name()),
+            &["Model", "Precision", "Recall", "F1", "PR", "ROC", "fit(s)", "score(s)"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Reproduces **Table 4**: accuracy on the SMAP- and WADI-like datasets
+//! plus the **Overall** average over all five datasets (the overall
+//! section re-runs ECG/SMD/MSL as well).
+//!
+//! ```text
+//! cargo run --release -p cae-bench --bin table4_accuracy -- --scale quick
+//! ```
+
+use cae_bench::{evaluate, fmt4, init_parallelism, load_dataset, parse_scale, print_table, RunProfile};
+use cae_data::DatasetKind;
+use cae_metrics::EvalReport;
+
+fn main() {
+    init_parallelism();
+    let scale = parse_scale();
+    let profile = RunProfile::new(scale);
+    println!("Table 4 reproduction — scale {scale:?}, profile {profile:?}");
+
+    // Per-model running sums over all five datasets for the Overall block.
+    let mut model_names: Vec<String> = Vec::new();
+    let mut sums: Vec<EvalReport> = Vec::new();
+    let mut dataset_count = 0usize;
+
+    for kind in DatasetKind::all() {
+        let ds = load_dataset(kind, scale);
+        let in_table = matches!(kind, DatasetKind::Smap | DatasetKind::Wadi);
+        if in_table {
+            println!(
+                "\n[{}] train {}×{}D, test {}×{}D, outlier ratio {:.2}%",
+                kind.name(),
+                ds.train.len(),
+                ds.train.dim(),
+                ds.test.len(),
+                ds.test.dim(),
+                100.0 * ds.outlier_ratio()
+            );
+        } else {
+            println!("\n[{}] (running for the Overall average)", kind.name());
+        }
+
+        let mut rows = Vec::new();
+        for (i, mut detector) in profile.all_detectors(ds.train.dim()).into_iter().enumerate() {
+            let (report, _, _) = evaluate(detector.as_mut(), &ds);
+            if dataset_count == 0 {
+                model_names.push(detector.name().to_string());
+                sums.push(report);
+            } else {
+                sums[i].precision += report.precision;
+                sums[i].recall += report.recall;
+                sums[i].f1 += report.f1;
+                sums[i].pr_auc += report.pr_auc;
+                sums[i].roc_auc += report.roc_auc;
+            }
+            if in_table {
+                rows.push(vec![
+                    detector.name().to_string(),
+                    fmt4(report.precision),
+                    fmt4(report.recall),
+                    fmt4(report.f1),
+                    fmt4(report.pr_auc),
+                    fmt4(report.roc_auc),
+                ]);
+            }
+        }
+        if in_table {
+            print_table(
+                &format!("Table 4 — {}", kind.name()),
+                &["Model", "Precision", "Recall", "F1", "PR", "ROC"],
+                &rows,
+            );
+        }
+        dataset_count += 1;
+    }
+
+    let n = dataset_count as f64;
+    let rows: Vec<Vec<String>> = model_names
+        .iter()
+        .zip(sums.iter())
+        .map(|(name, s)| {
+            vec![
+                name.clone(),
+                fmt4(s.precision / n),
+                fmt4(s.recall / n),
+                fmt4(s.f1 / n),
+                fmt4(s.pr_auc / n),
+                fmt4(s.roc_auc / n),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 4 — Overall (mean over the five datasets)",
+        &["Model", "Precision", "Recall", "F1", "PR", "ROC"],
+        &rows,
+    );
+}

@@ -1,0 +1,466 @@
+//! The diversity-driven ensemble trainer — paper Algorithm 1 / Section 3.2.
+
+use crate::config::{CaeConfig, EnsembleConfig};
+use crate::diversity;
+use crate::model::Cae;
+use crate::score::{median_scores, series_scores_from_window_errors};
+use cae_autograd::{transfer_fraction, ParamStore, Tape};
+use cae_data::{num_windows, Detector, Scaler, TimeSeries};
+use cae_nn::{Adam, Optimizer};
+use cae_tensor::{par, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Batch size used for inference/scoring passes (no gradients, so larger
+/// than the training batch).
+const INFERENCE_BATCH: usize = 64;
+
+/// The CAE-Ensemble detector.
+///
+/// Basic models are generated **sequentially**: model `m+1` starts from a
+/// random fraction `β` of model `m`'s parameters (Figure 9) and is trained
+/// with the diversity-driven objective `J − λK` (Eq. 13), where `K`
+/// measures the distance to the running ensemble output `F(X)` (Eq. 8).
+/// Final outlier scores are per-observation **medians** across members
+/// (Eq. 15), assembled per the window protocol of Figure 10.
+pub struct CaeEnsemble {
+    model_cfg: CaeConfig,
+    cfg: EnsembleConfig,
+    scaler: Option<Scaler>,
+    members: Vec<(Cae, ParamStore)>,
+    /// Training loss trace: (model index, epoch, mean J, mean K).
+    loss_trace: Vec<(usize, usize, f32, f32)>,
+}
+
+impl CaeEnsemble {
+    /// A detector with the given architecture and training configuration.
+    pub fn new(model_cfg: CaeConfig, cfg: EnsembleConfig) -> Self {
+        CaeEnsemble { model_cfg, cfg, scaler: None, members: Vec::new(), loss_trace: Vec::new() }
+    }
+
+    /// The architecture configuration.
+    pub fn model_config(&self) -> &CaeConfig {
+        &self.model_cfg
+    }
+
+    /// The training configuration.
+    pub fn ensemble_config(&self) -> &EnsembleConfig {
+        &self.cfg
+    }
+
+    /// Number of trained basic models (0 before [`Detector::fit`]).
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Training loss trace: one `(model, epoch, mean J, mean K)` entry per
+    /// epoch, for diagnostics and the training-dynamics experiments.
+    pub fn loss_trace(&self) -> &[(usize, usize, f32, f32)] {
+        &self.loss_trace
+    }
+
+    /// The scaler fit during training, if re-scaling is enabled.
+    pub fn scaler(&self) -> Option<&Scaler> {
+        self.scaler.as_ref()
+    }
+
+    /// Trained members with their parameter stores (crate-internal; the
+    /// streaming scorer runs them window-by-window).
+    pub(crate) fn members_internal(&self) -> &[(Cae, ParamStore)] {
+        &self.members
+    }
+
+    fn scale(&self, series: &TimeSeries) -> TimeSeries {
+        match &self.scaler {
+            Some(s) => s.transform(series),
+            None => series.clone(),
+        }
+    }
+
+    /// Copies the windows starting at `starts` into a `(B, w, D)` batch.
+    fn gather_windows(series: &TimeSeries, starts: &[usize], w: usize) -> Tensor {
+        let d = series.dim();
+        let mut data = vec![0.0f32; starts.len() * w * d];
+        for (row, &s) in starts.iter().enumerate() {
+            let src = &series.data()[s * d..(s + w) * d];
+            data[row * w * d..(row + 1) * w * d].copy_from_slice(src);
+        }
+        Tensor::from_vec(data, &[starts.len(), w, d])
+    }
+
+    /// Reconstruction of every listed window under one member, flattened
+    /// `(num_starts × w × recon_dim)` row-major.
+    fn reconstruct_all(
+        model: &Cae,
+        store: &ParamStore,
+        series: &TimeSeries,
+        starts: &[usize],
+    ) -> Vec<f32> {
+        let w = model.config().window;
+        let rd = model.config().recon_dim();
+        let mut out = Vec::with_capacity(starts.len() * w * rd);
+        for chunk in starts.chunks(INFERENCE_BATCH) {
+            let batch = Self::gather_windows(series, chunk, w);
+            let mut tape = Tape::new();
+            let fwd = model.forward(&mut tape, store, &batch);
+            out.extend_from_slice(tape.value(fwd.recon).data());
+        }
+        out
+    }
+
+    /// Ensemble diversity DIV_F (Eq. 10) measured on the windows of
+    /// `series` — the quantity of the paper's Table 6.
+    ///
+    /// Eq. 9 compares members' *outputs*, which is only meaningful when
+    /// members reconstruct a shared space. With the default
+    /// [`ReconstructionTarget::Embedded`](crate::ReconstructionTarget)
+    /// each member owns its embedding, so inter-member distances are
+    /// inflated by arbitrary coordinate differences; measure diversity on
+    /// ensembles configured with `ReconstructionTarget::Raw` (as the
+    /// Table 6 harness does).
+    pub fn diversity_value(&self, series: &TimeSeries) -> f64 {
+        assert!(!self.members.is_empty(), "diversity_value before fit()");
+        let scaled = self.scale(series);
+        let w = self.model_cfg.window;
+        assert!(scaled.len() >= w, "series shorter than one window");
+        let starts: Vec<usize> = (0..num_windows(scaled.len(), w)).collect();
+        let outputs: Vec<Vec<f32>> = par::map_indexed(self.members.len(), |m| {
+            let (model, store) = &self.members[m];
+            Self::reconstruct_all(model, store, &scaled, &starts)
+        });
+        diversity::ensemble_diversity(&outputs)
+    }
+
+    /// Per-member outlier score series for `test` (before the median
+    /// aggregation). Exposed for the ablation and diversity experiments.
+    pub fn member_scores(&self, test: &TimeSeries) -> Vec<Vec<f32>> {
+        assert!(!self.members.is_empty(), "member_scores before fit()");
+        let scaled = self.scale(test);
+        let w = self.model_cfg.window;
+        assert!(
+            scaled.len() >= w,
+            "test series ({} observations) shorter than one window ({w})",
+            scaled.len()
+        );
+        let n_win = num_windows(scaled.len(), w);
+        par::map_indexed(self.members.len(), |m| {
+            let (model, store) = &self.members[m];
+            let mut errors = Vec::with_capacity(n_win * w);
+            let starts: Vec<usize> = (0..n_win).collect();
+            for chunk in starts.chunks(INFERENCE_BATCH) {
+                let batch = Self::gather_windows(&scaled, chunk, w);
+                errors.extend(model.window_errors(store, &batch));
+            }
+            series_scores_from_window_errors(&errors, n_win, w)
+        })
+    }
+
+    /// Scores the observations of `test` with the first `m` members only —
+    /// used by the Figure 16 experiment (accuracy vs. ensemble size).
+    pub fn score_with_first_members(&self, test: &TimeSeries, m: usize) -> Vec<f32> {
+        let all = self.member_scores(test);
+        assert!(m >= 1 && m <= all.len(), "invalid member count {m}");
+        median_scores(&all[..m])
+    }
+}
+
+impl Detector for CaeEnsemble {
+    fn name(&self) -> &str {
+        "CAE-Ensemble"
+    }
+
+    /// Algorithm 1: pre-process, then generate and train the `M` basic
+    /// models sequentially with parameter transfer and the
+    /// diversity-driven objective.
+    fn fit(&mut self, train: &TimeSeries) {
+        assert_eq!(
+            train.dim(),
+            self.model_cfg.dim,
+            "training series dim {} != configured {}",
+            train.dim(),
+            self.model_cfg.dim
+        );
+        let w = self.model_cfg.window;
+        assert!(
+            train.len() >= w + 1,
+            "training series ({} observations) shorter than window + 1 ({})",
+            train.len(),
+            w + 1
+        );
+
+        // Pre-processing: re-scale, then split into windows (Section 3).
+        self.scaler = if self.cfg.rescale { Some(Scaler::fit(train)) } else { None };
+        let scaled = self.scale(train);
+
+        let starts: Vec<usize> =
+            (0..=scaled.len() - w).step_by(self.cfg.train_stride).collect();
+        let n_win = starts.len();
+        let rd = self.model_cfg.recon_dim();
+
+        // Running ensemble output F(X) (Eq. 8) over all training windows,
+        // used as the diversity target for subsequent members.
+        let mut mean_recon = vec![0.0f32; n_win * w * rd];
+
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut members: Vec<(Cae, ParamStore)> = Vec::with_capacity(self.cfg.num_models);
+        self.loss_trace.clear();
+
+        for m in 0..self.cfg.num_models {
+            let mut store = ParamStore::new();
+            let model = Cae::new(self.model_cfg.clone(), &mut store, &mut rng);
+            let diverse = self.cfg.diversity_driven && m > 0;
+            if diverse {
+                let (_, prev_store) = members.last().expect("m > 0 implies a previous member");
+                transfer_fraction(prev_store, &mut store, self.cfg.beta, &mut rng);
+            }
+            let mut opt = Adam::new(&store, self.cfg.learning_rate);
+            let mut order: Vec<usize> = (0..n_win).collect();
+            let mut prev_epoch_j = f32::INFINITY;
+
+            for epoch in 0..self.cfg.epochs_per_model {
+                order.shuffle(&mut rng);
+                let (mut j_sum, mut k_sum, mut batches) = (0.0f32, 0.0f32, 0usize);
+                for chunk in order.chunks(self.cfg.batch_size) {
+                    let batch_starts: Vec<usize> = chunk.iter().map(|&i| starts[i]).collect();
+                    let batch = Self::gather_windows(&scaled, &batch_starts, w);
+
+                    let mut tape = Tape::new();
+                    // Denoising training: corrupt the network input, keep
+                    // the reconstruction target clean (see
+                    // `EnsembleConfig::denoise_std`).
+                    let (out, target) = if self.cfg.denoise_std > 0.0 {
+                        let noise = Tensor::rand_normal(
+                            batch.dims(),
+                            0.0,
+                            self.cfg.denoise_std,
+                            &mut rng,
+                        );
+                        let noisy = batch.add(&noise);
+                        let out = model.forward(&mut tape, &store, &noisy);
+                        let target = model.clean_target_tensor(&mut tape, &store, &batch);
+                        (out, target)
+                    } else {
+                        let out = model.forward(&mut tape, &store, &batch);
+                        let target = model.target_tensor(&tape, &out, &batch);
+                        (out, target)
+                    };
+                    let j = tape.mse_loss(out.recon, &target);
+                    let j_val = tape.value(j).item();
+
+                    let mut k_val = 0.0f32;
+                    let loss = if diverse {
+                        // F(X) for this batch, from the running-mean cache.
+                        let mut f = vec![0.0f32; chunk.len() * w * rd];
+                        for (row, &i) in chunk.iter().enumerate() {
+                            f[row * w * rd..(row + 1) * w * rd]
+                                .copy_from_slice(&mean_recon[i * w * rd..(i + 1) * w * rd]);
+                        }
+                        let f = Tensor::from_vec(f, &[chunk.len(), w, rd]);
+                        let k = tape.mse_loss(out.recon, &f);
+                        k_val = tape.value(k).item();
+                        // Stability guard: the raw objective J − λK is
+                        // unbounded below (scaling all activations by α
+                        // multiplies both terms by α², so once λK > J the
+                        // model can diverge by inflating its outputs). The
+                        // effective weight is clamped per batch so the
+                        // reward never exceeds a λ-dependent share of J:
+                        // λ/(λ+4) saturates toward 1, so larger λ yields
+                        // stronger diversity pressure (the Figure 14
+                        // sweep), while accuracy always dominates the
+                        // objective.
+                        let lambda_eff = if k_val > 0.0 {
+                            let saturation = self.cfg.lambda / (self.cfg.lambda + 4.0);
+                            let bound = saturation * self.cfg.diversity_cap * j_val.max(1e-6)
+                                / k_val;
+                            self.cfg.lambda.min(bound)
+                        } else {
+                            self.cfg.lambda
+                        };
+                        let neg_k = tape.mul_scalar(k, -lambda_eff);
+                        tape.add(j, neg_k)
+                    } else {
+                        j
+                    };
+
+                    tape.backward(loss);
+                    tape.accumulate_param_grads(&mut store);
+                    store.clip_grad_norm(self.cfg.grad_clip);
+                    opt.step(&mut store);
+
+                    j_sum += j_val;
+                    k_sum += k_val;
+                    batches += 1;
+                }
+                let b = batches.max(1) as f32;
+                let epoch_j = j_sum / b;
+                self.loss_trace.push((m, epoch, epoch_j, k_sum / b));
+
+                // Early stopping: warm-started members plateau quickly
+                // (see `EnsembleConfig::early_stop_rel_tol`).
+                if self.cfg.early_stop_rel_tol > 0.0
+                    && epoch > 0
+                    && prev_epoch_j - epoch_j < self.cfg.early_stop_rel_tol * prev_epoch_j
+                {
+                    break;
+                }
+                prev_epoch_j = epoch_j;
+            }
+
+            // Fold this member's reconstructions into the running mean
+            // F ← (m·F + f_m) / (m+1).
+            let recon = Self::reconstruct_all(&model, &store, &scaled, &starts);
+            let inv = 1.0 / (m + 1) as f32;
+            for (mean, &r) in mean_recon.iter_mut().zip(recon.iter()) {
+                *mean += (r - *mean) * inv;
+            }
+
+            members.push((model, store));
+        }
+
+        self.members = members;
+    }
+
+    /// Median outlier scores (Eq. 15) per test observation.
+    fn score(&self, test: &TimeSeries) -> Vec<f32> {
+        assert!(!self.members.is_empty(), "score() before fit()");
+        median_scores(&self.member_scores(test))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReconstructionTarget;
+
+    fn sine_series(len: usize, dim: usize) -> TimeSeries {
+        let mut s = TimeSeries::empty(dim);
+        let mut obs = vec![0.0f32; dim];
+        for t in 0..len {
+            for (d, o) in obs.iter_mut().enumerate() {
+                *o = ((t as f32) * 0.35 + d as f32).sin();
+            }
+            s.push(&obs);
+        }
+        s
+    }
+
+    fn tiny_configs(dim: usize) -> (CaeConfig, EnsembleConfig) {
+        (
+            CaeConfig::new(dim).embed_dim(8).window(8).layers(1),
+            EnsembleConfig::new()
+                .num_models(3)
+                .epochs_per_model(2)
+                .batch_size(16)
+                .train_stride(2)
+                .seed(17),
+        )
+    }
+
+    #[test]
+    fn fit_then_score_produces_per_observation_scores() {
+        let series = sine_series(200, 2);
+        let (mc, ec) = tiny_configs(2);
+        let mut ens = CaeEnsemble::new(mc, ec);
+        ens.fit(&series);
+        assert_eq!(ens.num_members(), 3);
+        let scores = ens.score(&series);
+        assert_eq!(scores.len(), 200);
+        assert!(scores.iter().all(|s| s.is_finite() && *s >= 0.0));
+    }
+
+    #[test]
+    fn spike_scores_higher_than_normal() {
+        let train = sine_series(300, 1);
+        let mut test = sine_series(200, 1);
+        // Strong spike at t = 100.
+        test.data_mut()[100] += 8.0;
+        let (mc, mut ec) = tiny_configs(1);
+        ec = ec.num_models(2).epochs_per_model(4);
+        let mut ens = CaeEnsemble::new(mc, ec);
+        ens.fit(&train);
+        let scores = ens.score(&test);
+        let spike = scores[100];
+        let normal_mean: f32 =
+            scores.iter().enumerate().filter(|&(t, _)| t != 100).map(|(_, &s)| s).sum::<f32>()
+                / 199.0;
+        assert!(
+            spike > 3.0 * normal_mean,
+            "spike score {spike} not above normal mean {normal_mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let series = sine_series(150, 1);
+        let (mc, ec) = tiny_configs(1);
+        let run = || {
+            let mut ens = CaeEnsemble::new(mc.clone(), ec.clone());
+            ens.fit(&series);
+            ens.score(&series)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn diversity_driven_ensembles_are_more_diverse() {
+        let series = sine_series(250, 1);
+        let (mc, ec) = tiny_configs(1);
+        // Raw target: Eq. 9 distances need a shared output space.
+        let mc = mc.target(ReconstructionTarget::Raw);
+        let mut diverse = CaeEnsemble::new(mc.clone(), ec.clone().lambda(4.0));
+        diverse.fit(&series);
+        let mut independent = CaeEnsemble::new(mc, ec.diversity_driven(false));
+        independent.fit(&series);
+        let d_div = diverse.diversity_value(&series);
+        let i_div = independent.diversity_value(&series);
+        assert!(
+            d_div > i_div,
+            "diversity-driven {d_div:.4} not above independent {i_div:.4}"
+        );
+    }
+
+    #[test]
+    fn member_scores_align_with_median() {
+        let series = sine_series(120, 1);
+        let (mc, ec) = tiny_configs(1);
+        let mut ens = CaeEnsemble::new(mc, ec);
+        ens.fit(&series);
+        let per = ens.member_scores(&series);
+        assert_eq!(per.len(), 3);
+        let median = ens.score(&series);
+        let manual = crate::score::median_scores(&per);
+        assert_eq!(median, manual);
+        let partial = ens.score_with_first_members(&series, 2);
+        assert_eq!(partial.len(), 120);
+    }
+
+    #[test]
+    fn raw_target_mode_works() {
+        let series = sine_series(150, 2);
+        let (mc, ec) = tiny_configs(2);
+        let mut ens = CaeEnsemble::new(mc.target(ReconstructionTarget::Raw), ec);
+        ens.fit(&series);
+        let scores = ens.score(&series);
+        assert_eq!(scores.len(), 150);
+    }
+
+    #[test]
+    fn loss_trace_records_every_epoch() {
+        let series = sine_series(150, 1);
+        let (mc, ec) = tiny_configs(1);
+        let mut ens = CaeEnsemble::new(mc, ec);
+        ens.fit(&series);
+        assert_eq!(ens.loss_trace().len(), 3 * 2);
+        // First model trains without the diversity term.
+        assert_eq!(ens.loss_trace()[0].3, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn score_requires_fit() {
+        let (mc, ec) = tiny_configs(1);
+        let ens = CaeEnsemble::new(mc, ec);
+        ens.score(&sine_series(50, 1));
+    }
+}

@@ -1,0 +1,266 @@
+//! Fully unsupervised hyperparameter selection — paper Section 3.3 /
+//! Algorithm 2.
+//!
+//! The strategy: split the (unlabeled) training series into train and
+//! validation parts, run a random search over `(w, β, λ)`, and pick the
+//! combination whose validation **reconstruction error is the median** of
+//! all trials — not the minimum, because the minimum tends to overfit the
+//! training series (including its outliers) and blurs the inlier/outlier
+//! separation. Then refine one hyperparameter at a time, holding the other
+//! two at their defaults, again selecting the arg-median.
+
+use crate::config::{CaeConfig, EnsembleConfig};
+use crate::CaeEnsemble;
+use cae_data::{Detector, TimeSeries};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Search ranges for the three hyperparameters of Section 3.3.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HyperRanges {
+    /// Window-size candidates (paper: `w = 2^k, k ∈ [2, 8]`).
+    pub windows: Vec<usize>,
+    /// Transfer-fraction candidates (paper: `β = i/10, i ∈ [1, 9]`).
+    pub betas: Vec<f64>,
+    /// Diversity-weight candidates (paper: `λ = 2^j, j ∈ [0, 6]`).
+    pub lambdas: Vec<f32>,
+    /// Number of random-search trials for the default-finding phase.
+    pub random_trials: usize,
+}
+
+impl Default for HyperRanges {
+    fn default() -> Self {
+        HyperRanges {
+            windows: (2..=8).map(|k| 1usize << k).collect(),
+            betas: (1..=9).map(|i| i as f64 / 10.0).collect(),
+            lambdas: (0..=6).map(|j| (1u32 << j) as f32).collect(),
+            random_trials: 7,
+        }
+    }
+}
+
+impl HyperRanges {
+    /// A reduced grid for quick runs and tests.
+    pub fn quick() -> Self {
+        HyperRanges {
+            windows: vec![8, 16, 32],
+            betas: vec![0.2, 0.5, 0.8],
+            lambdas: vec![1.0, 4.0, 16.0],
+            random_trials: 3,
+        }
+    }
+}
+
+/// One evaluated hyperparameter combination.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// Window size of this trial.
+    pub window: usize,
+    /// Transfer fraction β of this trial.
+    pub beta: f64,
+    /// Diversity weight λ of this trial.
+    pub lambda: f32,
+    /// Mean reconstruction error on the validation split.
+    pub recon_error: f64,
+}
+
+/// The outcome of Algorithm 2.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HyperSelection {
+    /// Selected window size `w_opt`.
+    pub window: usize,
+    /// Selected transfer fraction `β_opt`.
+    pub beta: f64,
+    /// Selected diversity weight `λ_opt`.
+    pub lambda: f32,
+    /// The random-search trials of the default-finding phase.
+    pub random_trials: Vec<TrialRecord>,
+    /// The per-window sweep (β, λ fixed at defaults).
+    pub window_sweep: Vec<TrialRecord>,
+    /// The per-β sweep (w, λ fixed at defaults).
+    pub beta_sweep: Vec<TrialRecord>,
+    /// The per-λ sweep (w, β fixed at defaults).
+    pub lambda_sweep: Vec<TrialRecord>,
+}
+
+/// Mean reconstruction error of a freshly trained ensemble on the
+/// validation split — the unsupervised quality score of Section 3.3.
+pub fn validation_recon_error(
+    train: &TimeSeries,
+    validation: &TimeSeries,
+    model_cfg: &CaeConfig,
+    ens_cfg: &EnsembleConfig,
+) -> f64 {
+    let mut ens = CaeEnsemble::new(model_cfg.clone(), ens_cfg.clone());
+    ens.fit(train);
+    let scores = ens.score(validation);
+    scores.iter().map(|&s| s as f64).sum::<f64>() / scores.len().max(1) as f64
+}
+
+/// Index of the median element under the `key` ordering (lower middle for
+/// even counts, so the result is always an actual trial).
+fn arg_median(trials: &[TrialRecord]) -> usize {
+    assert!(!trials.is_empty(), "arg_median of no trials");
+    let mut idx: Vec<usize> = (0..trials.len()).collect();
+    idx.sort_by(|&a, &b| {
+        trials[a]
+            .recon_error
+            .partial_cmp(&trials[b].recon_error)
+            .expect("recon errors must not be NaN")
+    });
+    idx[(trials.len() - 1) / 2]
+}
+
+/// Runs Algorithm 2 on an unlabeled training series.
+///
+/// `model_cfg` and `ens_cfg` provide everything *except* `(w, β, λ)`,
+/// which the search overrides; keep `num_models`/`epochs_per_model` small —
+/// the search trains one ensemble per trial.
+pub fn select_hyperparameters(
+    train: &TimeSeries,
+    model_cfg: &CaeConfig,
+    ens_cfg: &EnsembleConfig,
+    ranges: &HyperRanges,
+    seed: u64,
+) -> HyperSelection {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Line 2: unlabeled train/validation split (the paper reserves 30%).
+    let (tr, va) = {
+        let val_len = (train.len() as f64 * 0.3).round() as usize;
+        train.split_at(train.len() - val_len)
+    };
+
+    let evaluate = |window: usize, beta: f64, lambda: f32| -> TrialRecord {
+        let mc = model_cfg.clone().window(window);
+        let ec = ens_cfg.clone().beta(beta).lambda(lambda);
+        let recon_error = validation_recon_error(&tr, &va, &mc, &ec);
+        TrialRecord { window, beta, lambda, recon_error }
+    };
+
+    // Lines 3–6: random search for the default combination.
+    let mut random_trials = Vec::with_capacity(ranges.random_trials);
+    let mut seen = std::collections::HashSet::new();
+    while random_trials.len() < ranges.random_trials {
+        let w = *ranges.windows.choose(&mut rng).expect("window range empty");
+        let b = *ranges.betas.choose(&mut rng).expect("beta range empty");
+        let l = *ranges.lambdas.choose(&mut rng).expect("lambda range empty");
+        if !seen.insert((w, b.to_bits(), l.to_bits()))
+            && seen.len() < ranges.windows.len() * ranges.betas.len() * ranges.lambdas.len()
+        {
+            continue; // resample duplicates while the grid has unseen points
+        }
+        random_trials.push(evaluate(w, b, l));
+        let _: f64 = rng.gen(); // decorrelate successive trials
+    }
+    let default = random_trials[arg_median(&random_trials)];
+
+    // Lines 7–9: one-dimensional arg-median sweeps around the defaults.
+    let window_sweep: Vec<TrialRecord> = ranges
+        .windows
+        .iter()
+        .map(|&w| evaluate(w, default.beta, default.lambda))
+        .collect();
+    let w_opt = window_sweep[arg_median(&window_sweep)].window;
+
+    let beta_sweep: Vec<TrialRecord> = ranges
+        .betas
+        .iter()
+        .map(|&b| evaluate(default.window, b, default.lambda))
+        .collect();
+    let beta_opt = beta_sweep[arg_median(&beta_sweep)].beta;
+
+    let lambda_sweep: Vec<TrialRecord> = ranges
+        .lambdas
+        .iter()
+        .map(|&l| evaluate(default.window, default.beta, l))
+        .collect();
+    let lambda_opt = lambda_sweep[arg_median(&lambda_sweep)].lambda;
+
+    HyperSelection {
+        window: w_opt,
+        beta: beta_opt,
+        lambda: lambda_opt,
+        random_trials,
+        window_sweep,
+        beta_sweep,
+        lambda_sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_series(len: usize) -> TimeSeries {
+        TimeSeries::univariate((0..len).map(|t| (t as f32 * 0.3).sin()).collect())
+    }
+
+    fn tiny() -> (CaeConfig, EnsembleConfig) {
+        (
+            CaeConfig::new(1).embed_dim(6).layers(1),
+            EnsembleConfig::new()
+                .num_models(2)
+                .epochs_per_model(1)
+                .batch_size(16)
+                .train_stride(4)
+                .seed(5),
+        )
+    }
+
+    #[test]
+    fn arg_median_picks_middle() {
+        let mk = |e: f64| TrialRecord { window: 8, beta: 0.5, lambda: 1.0, recon_error: e };
+        let trials = vec![mk(5.0), mk(1.0), mk(3.0)];
+        assert_eq!(arg_median(&trials), 2); // 3.0 is the median
+        let trials4 = vec![mk(4.0), mk(1.0), mk(3.0), mk(2.0)];
+        assert_eq!(trials4[arg_median(&trials4)].recon_error, 2.0); // lower middle
+    }
+
+    #[test]
+    fn selection_returns_values_from_ranges() {
+        let series = sine_series(220);
+        let (mc, ec) = tiny();
+        let ranges = HyperRanges {
+            windows: vec![8, 16],
+            betas: vec![0.3, 0.6],
+            lambdas: vec![1.0, 2.0],
+            random_trials: 2,
+        };
+        let sel = select_hyperparameters(&series, &mc, &ec, &ranges, 3);
+        assert!(ranges.windows.contains(&sel.window));
+        assert!(ranges.betas.contains(&sel.beta));
+        assert!(ranges.lambdas.contains(&sel.lambda));
+        assert_eq!(sel.random_trials.len(), 2);
+        assert_eq!(sel.window_sweep.len(), 2);
+        assert_eq!(sel.beta_sweep.len(), 2);
+        assert_eq!(sel.lambda_sweep.len(), 2);
+        assert!(sel.random_trials.iter().all(|t| t.recon_error.is_finite()));
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let series = sine_series(200);
+        let (mc, ec) = tiny();
+        let ranges = HyperRanges {
+            windows: vec![8],
+            betas: vec![0.5],
+            lambdas: vec![1.0],
+            random_trials: 1,
+        };
+        let a = select_hyperparameters(&series, &mc, &ec, &ranges, 11);
+        let b = select_hyperparameters(&series, &mc, &ec, &ranges, 11);
+        assert_eq!(a.window, b.window);
+        assert_eq!(a.random_trials[0].recon_error, b.random_trials[0].recon_error);
+    }
+
+    #[test]
+    fn validation_error_is_positive_and_finite() {
+        let series = sine_series(200);
+        let (mc, ec) = tiny();
+        let (tr, va) = series.split_at(140);
+        let e = validation_recon_error(&tr, &va, &mc.window(8), &ec);
+        assert!(e.is_finite() && e >= 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Online (streaming) outlier scoring — the setting of the paper's
+//! Section 4.2.7 / Table 8.
+//!
+//! "In a streaming setting, we aim at returning an outlier score whenever
+//! we receive a new observation. To do so, we create a window with the
+//! observation and its previous w−1 observations" — training happens
+//! offline; the online phase only runs the already-learned ensemble
+//! forward on one window.
+
+use crate::CaeEnsemble;
+use cae_data::TimeSeries;
+use cae_tensor::Tensor;
+use std::collections::VecDeque;
+
+/// Wraps a trained [`CaeEnsemble`] with a ring buffer of the last `w`
+/// observations for per-observation scoring.
+pub struct StreamingDetector<'a> {
+    ensemble: &'a CaeEnsemble,
+    buffer: VecDeque<Vec<f32>>,
+}
+
+impl<'a> StreamingDetector<'a> {
+    /// A streaming scorer over a **fitted** ensemble.
+    pub fn new(ensemble: &'a CaeEnsemble) -> Self {
+        assert!(ensemble.num_members() > 0, "StreamingDetector requires a fitted ensemble");
+        StreamingDetector { ensemble, buffer: VecDeque::new() }
+    }
+
+    /// Window size `w` of the underlying model.
+    pub fn window(&self) -> usize {
+        self.ensemble.model_config().window
+    }
+
+    /// Number of observations buffered so far (saturates at `w`).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Feeds one observation; returns its outlier score once `w`
+    /// observations have been seen (`None` during the warm-up).
+    ///
+    /// The score is the ensemble-median reconstruction error of the **last**
+    /// position of the window ending at this observation — the same
+    /// protocol the batch scorer applies to non-initial windows
+    /// (Figure 10).
+    pub fn push(&mut self, observation: &[f32]) -> Option<f32> {
+        let dim = self.ensemble.model_config().dim;
+        assert_eq!(observation.len(), dim, "observation dim {} != model dim {dim}", observation.len());
+        let w = self.window();
+        if self.buffer.len() == w {
+            self.buffer.pop_front();
+        }
+        self.buffer.push_back(observation.to_vec());
+        if self.buffer.len() < w {
+            return None;
+        }
+
+        // Assemble the current window as a 1-window series and scale it
+        // with the training scaler.
+        let mut series = TimeSeries::empty(dim);
+        for obs in &self.buffer {
+            series.push(obs);
+        }
+        let scaled = match self.ensemble.scaler() {
+            Some(s) => s.transform(&series),
+            None => series,
+        };
+        let batch = Tensor::from_vec(scaled.data().to_vec(), &[1, w, dim]);
+
+        // Median across members of the last position's error.
+        let mut last_errors: Vec<f32> = self
+            .ensemble
+            .members_internal()
+            .iter()
+            .map(|(model, store)| {
+                let errors = model.window_errors(store, &batch);
+                errors[w - 1]
+            })
+            .collect();
+        Some(crate::score::median(&mut last_errors))
+    }
+
+    /// Clears the warm-up buffer (e.g. after a stream gap).
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CaeConfig, EnsembleConfig};
+    use cae_data::Detector;
+
+    fn fitted_ensemble() -> CaeEnsemble {
+        let series = TimeSeries::univariate((0..200).map(|t| (t as f32 * 0.3).sin()).collect());
+        let mc = CaeConfig::new(1).embed_dim(8).window(8).layers(1);
+        let ec = EnsembleConfig::new()
+            .num_models(2)
+            .epochs_per_model(2)
+            .batch_size(16)
+            .train_stride(2)
+            .seed(23);
+        let mut ens = CaeEnsemble::new(mc, ec);
+        ens.fit(&series);
+        ens
+    }
+
+    #[test]
+    fn warm_up_returns_none_then_scores() {
+        let ens = fitted_ensemble();
+        let mut stream = StreamingDetector::new(&ens);
+        for t in 0..7 {
+            assert!(stream.push(&[(t as f32 * 0.3).sin()]).is_none(), "t={t}");
+        }
+        let s = stream.push(&[(7.0f32 * 0.3).sin()]);
+        assert!(s.is_some());
+        assert!(s.unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn streaming_matches_batch_scores() {
+        let ens = fitted_ensemble();
+        let test = TimeSeries::univariate((0..60).map(|t| (t as f32 * 0.3).sin()).collect());
+        let batch_scores = ens.score(&test);
+
+        let mut stream = StreamingDetector::new(&ens);
+        let mut online = Vec::new();
+        for t in 0..test.len() {
+            if let Some(s) = stream.push(test.observation(t)) {
+                online.push((t, s));
+            }
+        }
+        // Streaming scores start at t = w−1 and must equal the batch
+        // scores at the same positions (batch t < w−1 come from the first
+        // window's interior, which streaming does not emit).
+        for &(t, s) in &online {
+            assert!(
+                (s - batch_scores[t]).abs() < 1e-4,
+                "mismatch at t={t}: streaming {s} vs batch {}",
+                batch_scores[t]
+            );
+        }
+        assert_eq!(online.len(), test.len() - (ens.model_config().window - 1));
+    }
+
+    #[test]
+    fn reset_restarts_warm_up() {
+        let ens = fitted_ensemble();
+        let mut stream = StreamingDetector::new(&ens);
+        for t in 0..10 {
+            stream.push(&[t as f32]);
+        }
+        stream.reset();
+        assert_eq!(stream.buffered(), 0);
+        assert!(stream.push(&[0.0]).is_none());
+    }
+}

@@ -1,0 +1,121 @@
+//! Minimal CSV I/O so detectors can run on user-provided data.
+//!
+//! Format: one observation per line, dimensions comma-separated, optional
+//! final column `label` (0/1) when reading labeled test data. No external
+//! CSV dependency — the format here is strictly numeric.
+
+use crate::TimeSeries;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes a series as comma-separated rows.
+pub fn write_series(path: &Path, series: &TimeSeries) -> std::io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for t in 0..series.len() {
+        let obs = series.observation(t);
+        let mut first = true;
+        for v in obs {
+            if !first {
+                write!(out, ",")?;
+            }
+            write!(out, "{v}")?;
+            first = false;
+        }
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+/// Reads a series of `dim` comma-separated columns per row.
+pub fn read_series(path: &Path, dim: usize) -> std::io::Result<TimeSeries> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut series = TimeSeries::empty(dim);
+    let mut row = Vec::with_capacity(dim);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        row.clear();
+        for field in trimmed.split(',') {
+            let v: f32 = field.trim().parse().map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {}: bad number {field:?}: {e}", lineno + 1),
+                )
+            })?;
+            row.push(v);
+        }
+        if row.len() != dim {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: expected {dim} columns, found {}", lineno + 1, row.len()),
+            ));
+        }
+        series.push(&row);
+    }
+    Ok(series)
+}
+
+/// Reads a labeled series: `dim` value columns followed by a 0/1 label
+/// column. Returns the series and per-observation labels.
+pub fn read_labeled(path: &Path, dim: usize) -> std::io::Result<(TimeSeries, Vec<bool>)> {
+    let with_label = read_series(path, dim + 1)?;
+    let mut series = TimeSeries::empty(dim);
+    let mut labels = Vec::with_capacity(with_label.len());
+    for t in 0..with_label.len() {
+        let row = with_label.observation(t);
+        series.push(&row[..dim]);
+        labels.push(row[dim] != 0.0);
+    }
+    Ok((series, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cae_data_csv_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_series() {
+        let path = tmp("roundtrip");
+        let series = TimeSeries::new(vec![1.5, -2.0, 0.0, 3.25], 2);
+        write_series(&path, &series).unwrap();
+        let back = read_series(&path, 2).unwrap();
+        assert_eq!(back, series);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn labeled_read() {
+        let path = tmp("labeled");
+        std::fs::write(&path, "1.0,2.0,0\n3.0,4.0,1\n").unwrap();
+        let (series, labels) = read_labeled(&path, 2).unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(labels, vec![false, true]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_column_count_is_error() {
+        let path = tmp("bad");
+        std::fs::write(&path, "1.0,2.0\n3.0\n").unwrap();
+        assert!(read_series(&path, 2).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_number_is_error() {
+        let path = tmp("nan");
+        std::fs::write(&path, "1.0,abc\n").unwrap();
+        assert!(read_series(&path, 2).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,138 @@
+//! MSL-like generator: 55-dimensional Mars-rover telemetry.
+//!
+//! Mirrors the Mars Science Laboratory dataset: a small set of continuous
+//! sensor channels plus many one-hot/step-valued command channels
+//! (telegraph signals). Anomalies are command-sequence faults — flicker
+//! storms on command channels and transient excursions on the sensor
+//! channels — at the paper's 9.17% outlier ratio.
+
+use super::synth::{intervals_to_labels, normal, plan_intervals, Harmonics, Telegraph};
+use super::Scale;
+use crate::{Dataset, TimeSeries};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 55;
+const CONTINUOUS: usize = 6;
+const RATIO: f64 = 0.0917;
+
+struct Rover {
+    sensors: Vec<Harmonics>,
+    commands: Vec<Telegraph>,
+}
+
+impl Rover {
+    fn new(rng: &mut StdRng) -> Self {
+        let sensors = (0..CONTINUOUS)
+            .map(|_| Harmonics::random(3, 50.0, 500.0, rng))
+            .collect();
+        let commands = (0..DIM - CONTINUOUS)
+            .map(|_| {
+                let levels = vec![0.0, 1.0];
+                Telegraph::new(levels, rng.gen_range(0.002..0.02), rng)
+            })
+            .collect();
+        Rover { sensors, commands }
+    }
+
+    fn step(&mut self, t: usize, rng: &mut StdRng, out: &mut Vec<f32>) {
+        out.clear();
+        for h in &self.sensors {
+            out.push(h.at(t) + 0.05 * normal(rng));
+        }
+        for c in &mut self.commands {
+            out.push(c.step(rng));
+        }
+    }
+}
+
+/// Generates the MSL-like dataset.
+pub fn generate(scale: Scale, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x351);
+    let train_len = scale.len(3000);
+    let test_len = scale.len(2500);
+
+    let mut rover = Rover::new(&mut rng);
+    let mut obs = Vec::with_capacity(DIM);
+    let mut train = TimeSeries::empty(DIM);
+    for t in 0..train_len {
+        rover.step(t, &mut rng, &mut obs);
+        train.push(&obs);
+    }
+    let mut test = TimeSeries::empty(DIM);
+    for t in 0..test_len {
+        rover.step(train_len + t, &mut rng, &mut obs);
+        test.push(&obs);
+    }
+
+    let intervals = plan_intervals(test_len, RATIO, 30, 120, &mut rng);
+    for iv in &intervals {
+        let kind = rng.gen_range(0..3u8);
+        let sensor = rng.gen_range(0..CONTINUOUS);
+        let commands: Vec<usize> =
+            (CONTINUOUS..DIM).filter(|_| rng.gen_bool(0.2)).collect();
+        for t in iv.start..iv.end.min(test_len) {
+            let rel = t - iv.start;
+            match kind {
+                // Transient excursion on one sensor channel (ramp up/down).
+                0 => {
+                    let peak = (iv.len() / 2).max(1);
+                    let shape = 1.0 - ((rel as f32 - peak as f32) / peak as f32).abs();
+                    test.data_mut()[t * DIM + sensor] += 3.0 * shape.max(0.0);
+                }
+                // Command flicker storm: affected channels toggle rapidly.
+                1 => {
+                    for &d in &commands {
+                        test.data_mut()[t * DIM + d] = (rel % 2) as f32;
+                    }
+                }
+                // Simultaneous activation: an unusual joint command state.
+                _ => {
+                    for &d in &commands {
+                        test.data_mut()[t * DIM + d] = 1.0;
+                    }
+                }
+            }
+        }
+    }
+
+    Dataset {
+        name: "MSL-like".into(),
+        train,
+        test,
+        test_labels: intervals_to_labels(test_len, &intervals),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_channels_are_binary() {
+        let ds = generate(Scale::Quick, 21);
+        for t in (0..ds.train.len()).step_by(7) {
+            for d in CONTINUOUS..DIM {
+                let v = ds.train.observation(t)[d];
+                assert!(v == 0.0 || v == 1.0, "channel {d} at {t}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn sensor_channels_are_continuous() {
+        let ds = generate(Scale::Quick, 22);
+        // Continuous channels should take many distinct values.
+        let mut distinct = std::collections::HashSet::new();
+        for t in 0..200 {
+            distinct.insert(ds.train.observation(t)[0].to_bits());
+        }
+        assert!(distinct.len() > 150);
+    }
+
+    #[test]
+    fn ratio_close_to_paper() {
+        let ds = generate(Scale::Quick, 23);
+        assert!((ds.outlier_ratio() - RATIO).abs() < 0.03);
+    }
+}

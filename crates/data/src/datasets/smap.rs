@@ -1,0 +1,139 @@
+//! SMAP-like generator: 25-dimensional soil-moisture satellite telemetry.
+//!
+//! Mirrors the Soil Moisture Active Passive dataset: slowly varying
+//! seasonal channels with occasional regime steps, a few near-constant
+//! housekeeping channels, and anomalies that are long intervals — dropouts
+//! to a constant, point spikes and noise bursts — at the paper's high
+//! 12.27% outlier ratio.
+
+use super::synth::{intervals_to_labels, normal, plan_intervals, Harmonics};
+use super::Scale;
+use crate::{Dataset, TimeSeries};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 25;
+const SEASONAL: usize = 18;
+const RATIO: f64 = 0.1227;
+
+struct Satellite {
+    seasonal: Vec<Harmonics>,
+    house_levels: Vec<f32>,
+}
+
+impl Satellite {
+    fn new(rng: &mut StdRng) -> Self {
+        let seasonal = (0..SEASONAL)
+            .map(|_| Harmonics::random(2, 150.0, 800.0, rng))
+            .collect();
+        let house_levels = (0..DIM - SEASONAL).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Satellite { seasonal, house_levels }
+    }
+
+    fn step(&self, t: usize, rng: &mut StdRng, out: &mut Vec<f32>) {
+        out.clear();
+        for h in &self.seasonal {
+            out.push(h.at(t) + 0.04 * normal(rng));
+        }
+        for &level in &self.house_levels {
+            out.push(level + 0.01 * normal(rng));
+        }
+    }
+}
+
+/// Generates the SMAP-like dataset.
+pub fn generate(scale: Scale, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5A4);
+    let train_len = scale.len(3000);
+    let test_len = scale.len(2500);
+
+    let sat = Satellite::new(&mut rng);
+    let mut obs = Vec::with_capacity(DIM);
+    let mut train = TimeSeries::empty(DIM);
+    for t in 0..train_len {
+        sat.step(t, &mut rng, &mut obs);
+        train.push(&obs);
+    }
+    let mut test = TimeSeries::empty(DIM);
+    for t in 0..test_len {
+        sat.step(train_len + t, &mut rng, &mut obs);
+        test.push(&obs);
+    }
+
+    // High outlier ratio → long labelled intervals.
+    let intervals = plan_intervals(test_len, RATIO, 40, 150, &mut rng);
+    for iv in &intervals {
+        let kind = rng.gen_range(0..3u8);
+        let affected: Vec<usize> = (0..SEASONAL).filter(|_| rng.gen_bool(0.25)).collect();
+        for t in iv.start..iv.end.min(test_len) {
+            match kind {
+                // Telemetry dropout: affected channels freeze at a constant.
+                0 => {
+                    for &d in &affected {
+                        test.data_mut()[t * DIM + d] = -1.2;
+                    }
+                }
+                // Spike train.
+                1 => {
+                    if (t - iv.start) % 7 == 0 {
+                        for &d in &affected {
+                            test.data_mut()[t * DIM + d] += 1.8;
+                        }
+                    }
+                }
+                // Noise burst: variance blows up.
+                _ => {
+                    for &d in &affected {
+                        test.data_mut()[t * DIM + d] += 0.5 * normal(&mut rng);
+                    }
+                }
+            }
+        }
+    }
+
+    Dataset {
+        name: "SMAP-like".into(),
+        train,
+        test,
+        test_labels: intervals_to_labels(test_len, &intervals),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn housekeeping_channels_are_stable() {
+        let ds = generate(Scale::Quick, 31);
+        for d in SEASONAL..DIM {
+            let vals: Vec<f32> = (0..ds.train.len()).map(|t| ds.train.observation(t)[d]).collect();
+            let mean = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(var < 0.01, "housekeeping channel {d} variance {var}");
+        }
+    }
+
+    #[test]
+    fn high_outlier_ratio() {
+        let ds = generate(Scale::Quick, 32);
+        assert!(ds.outlier_ratio() > 0.08, "ratio {}", ds.outlier_ratio());
+    }
+
+    #[test]
+    fn dropouts_produce_constant_runs_in_labels() {
+        let ds = generate(Scale::Quick, 33);
+        // At least one labelled run of length >= 40 exists.
+        let mut run = 0usize;
+        let mut max_run = 0usize;
+        for &l in &ds.test_labels {
+            if l {
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(max_run >= 40, "longest labelled run {max_run}");
+    }
+}

@@ -1,0 +1,231 @@
+//! Shared signal-synthesis and anomaly-injection building blocks.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A labelled anomalous interval `[start, end)` in a test series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// First labelled observation.
+    pub start: usize,
+    /// One past the last labelled observation.
+    pub end: usize,
+}
+
+impl Interval {
+    /// Interval length.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the interval is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Plans non-overlapping anomaly intervals over a series of length `len`
+/// whose total labelled mass approximates `ratio * len`, with interval
+/// lengths drawn from `[min_len, max_len]`.
+///
+/// A gap of at least `min_len` separates consecutive intervals so anomalies
+/// remain distinct events, mirroring the labelled incident intervals of the
+/// real datasets.
+pub fn plan_intervals(
+    len: usize,
+    ratio: f64,
+    min_len: usize,
+    max_len: usize,
+    rng: &mut StdRng,
+) -> Vec<Interval> {
+    assert!(min_len >= 1 && max_len >= min_len, "bad interval length bounds");
+    let budget = (ratio * len as f64).round() as usize;
+    let mut intervals = Vec::new();
+    let mut used = 0usize;
+    let mut attempts = 0usize;
+    // Occupancy bitmap including the separation margin.
+    let mut occupied = vec![false; len];
+    while used < budget && attempts < 10_000 {
+        attempts += 1;
+        let remaining = budget - used;
+        let ilen = rng.gen_range(min_len..=max_len).min(remaining.max(min_len));
+        if ilen >= len {
+            break;
+        }
+        let start = rng.gen_range(0..len - ilen);
+        let margin_start = start.saturating_sub(min_len);
+        let margin_end = (start + ilen + min_len).min(len);
+        if occupied[margin_start..margin_end].iter().any(|&o| o) {
+            continue;
+        }
+        for slot in &mut occupied[margin_start..margin_end] {
+            *slot = true;
+        }
+        intervals.push(Interval { start, end: start + ilen });
+        used += ilen;
+    }
+    intervals.sort_by_key(|iv| iv.start);
+    intervals
+}
+
+/// Converts planned intervals into per-observation boolean labels.
+pub fn intervals_to_labels(len: usize, intervals: &[Interval]) -> Vec<bool> {
+    let mut labels = vec![false; len];
+    for iv in intervals {
+        for slot in &mut labels[iv.start..iv.end.min(len)] {
+            *slot = true;
+        }
+    }
+    labels
+}
+
+/// A sum of sinusoids with random phases — the periodic backbone of the
+/// server/satellite/water signals.
+#[derive(Clone, Debug)]
+pub struct Harmonics {
+    components: Vec<(f64, f64, f64)>, // (amplitude, period, phase)
+}
+
+impl Harmonics {
+    /// `n` random harmonics with periods sampled from `[min_p, max_p]` and
+    /// amplitudes from `[0.3, 1.0]`.
+    pub fn random(n: usize, min_p: f64, max_p: f64, rng: &mut StdRng) -> Self {
+        let components = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0.3..1.0),
+                    rng.gen_range(min_p..max_p),
+                    rng.gen_range(0.0..std::f64::consts::TAU),
+                )
+            })
+            .collect();
+        Harmonics { components }
+    }
+
+    /// Signal value at time `t`.
+    pub fn at(&self, t: usize) -> f32 {
+        self.components
+            .iter()
+            .map(|&(a, p, ph)| a * ((t as f64) * std::f64::consts::TAU / p + ph).sin())
+            .sum::<f64>() as f32
+    }
+}
+
+/// First-order autoregressive noise `x_t = ρ·x_{t−1} + σ·ε_t` — slow
+/// stochastic drift shared across correlated channels.
+#[derive(Clone, Debug)]
+pub struct Ar1 {
+    rho: f32,
+    sigma: f32,
+    state: f32,
+}
+
+impl Ar1 {
+    /// New process with persistence `rho` and innovation scale `sigma`.
+    pub fn new(rho: f32, sigma: f32) -> Self {
+        assert!((0.0..1.0).contains(&rho), "AR(1) rho must be in [0, 1)");
+        Ar1 { rho, sigma, state: 0.0 }
+    }
+
+    /// Advances one step and returns the new state.
+    pub fn step(&mut self, rng: &mut StdRng) -> f32 {
+        self.state = self.rho * self.state + self.sigma * normal(rng);
+        self.state
+    }
+}
+
+/// One standard-normal draw via Box–Muller.
+pub fn normal(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+}
+
+/// A random telegraph signal: holds a level, switches to a new random level
+/// after geometrically-distributed dwell times. Models command/actuator
+/// channels in the telemetry datasets.
+#[derive(Clone, Debug)]
+pub struct Telegraph {
+    levels: Vec<f32>,
+    switch_prob: f64,
+    current: usize,
+}
+
+impl Telegraph {
+    /// New telegraph over the given levels, switching each step with
+    /// probability `switch_prob`.
+    pub fn new(levels: Vec<f32>, switch_prob: f64, rng: &mut StdRng) -> Self {
+        assert!(!levels.is_empty(), "telegraph needs at least one level");
+        let current = rng.gen_range(0..levels.len());
+        Telegraph { levels, switch_prob, current }
+    }
+
+    /// Advances one step and returns the current level.
+    pub fn step(&mut self, rng: &mut StdRng) -> f32 {
+        if rng.gen_bool(self.switch_prob) {
+            self.current = rng.gen_range(0..self.levels.len());
+        }
+        self.levels[self.current]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn intervals_hit_target_ratio() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let len = 10_000;
+        let ivs = plan_intervals(len, 0.05, 20, 60, &mut rng);
+        let total: usize = ivs.iter().map(Interval::len).sum();
+        let ratio = total as f64 / len as f64;
+        assert!((ratio - 0.05).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn intervals_do_not_overlap() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let ivs = plan_intervals(5000, 0.1, 10, 50, &mut rng);
+        for pair in ivs.windows(2) {
+            assert!(pair[0].end <= pair[1].start, "{:?} overlaps {:?}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn labels_match_intervals() {
+        let ivs = vec![Interval { start: 2, end: 4 }, Interval { start: 7, end: 8 }];
+        let labels = intervals_to_labels(10, &ivs);
+        let expected = [false, false, true, true, false, false, false, true, false, false];
+        assert_eq!(labels, expected);
+    }
+
+    #[test]
+    fn harmonics_are_bounded() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let h = Harmonics::random(3, 10.0, 100.0, &mut rng);
+        for t in 0..1000 {
+            assert!(h.at(t).abs() <= 3.0);
+        }
+    }
+
+    #[test]
+    fn ar1_is_mean_reverting() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut ar = Ar1::new(0.9, 0.1);
+        let vals: Vec<f32> = (0..5000).map(|_| ar.step(&mut rng)).collect();
+        let mean = vals.iter().sum::<f32>() / vals.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn telegraph_emits_only_levels() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut tg = Telegraph::new(vec![0.0, 1.0, 5.0], 0.1, &mut rng);
+        for _ in 0..500 {
+            let v = tg.step(&mut rng);
+            assert!(v == 0.0 || v == 1.0 || v == 5.0);
+        }
+    }
+}

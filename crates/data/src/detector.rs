@@ -1,0 +1,23 @@
+//! The common detector interface shared by CAE-Ensemble and every baseline.
+
+use crate::TimeSeries;
+
+/// An unsupervised time series outlier detector.
+///
+/// The contract mirrors the paper's protocol: `fit` sees the raw training
+/// series only (no labels anywhere); `score` maps a test series to one
+/// outlier score per observation, where **higher means more anomalous**.
+/// Thresholding and evaluation are the caller's concern (`cae-metrics`).
+pub trait Detector {
+    /// Human-readable model name as it appears in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// Trains on the raw (unscaled, unlabeled) training series.
+    fn fit(&mut self, train: &TimeSeries);
+
+    /// Produces one outlier score per observation of `test`.
+    ///
+    /// Must be called after [`Detector::fit`]; implementations panic
+    /// otherwise.
+    fn score(&self, test: &TimeSeries) -> Vec<f32>;
+}

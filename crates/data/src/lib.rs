@@ -1,0 +1,30 @@
+//! Time series containers, pre-processing and evaluation datasets.
+//!
+//! This crate provides the data layer of the reproduction:
+//!
+//! * [`TimeSeries`] — a multivariate series laid out time-major, so every
+//!   sliding window is one contiguous slice;
+//! * [`Scaler`] — z-score normalization fit on the training split only
+//!   (the paper's pre-processing, Section 3);
+//! * [`windows`] — sliding windows of size `w` with stride 1;
+//! * [`Dataset`] — a named train/test pair with test-time ground-truth
+//!   labels (used exclusively for evaluation, never for training);
+//! * [`datasets`] — seeded synthetic generators standing in for the five
+//!   real-world datasets of the paper's evaluation (ECG, SMD, MSL, SMAP,
+//!   WADI). See `DESIGN.md` §2 for the substitution rationale.
+//! * [`csv`] — plain-text I/O so users can run the detectors on their own
+//!   data.
+
+pub mod csv;
+pub mod datasets;
+mod detector;
+mod scaler;
+pub mod scoring;
+mod series;
+mod window;
+
+pub use datasets::{DatasetKind, Scale};
+pub use detector::Detector;
+pub use scaler::Scaler;
+pub use series::{Dataset, TimeSeries};
+pub use window::{num_windows, window, windows, WindowIter};

@@ -1,0 +1,155 @@
+//! Z-score normalization (the paper's re-scaling pre-processing step).
+
+use crate::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension standardization `z = (x − μ) / σ`, with `μ` and `σ`
+/// estimated **on the training series only** ("where μ is the mean and σ is
+/// the standard deviation of the observations in the training time series",
+/// Section 3). Prevents magnitude differences between dimensions from
+/// weighting the reconstruction error unevenly.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Scaler {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Scaler {
+    /// Estimates mean and standard deviation per dimension.
+    ///
+    /// Dimensions with (near-)zero variance get σ = 1 so constant channels
+    /// pass through centered but unscaled instead of dividing by zero.
+    pub fn fit(train: &TimeSeries) -> Self {
+        let d = train.dim();
+        let n = train.len().max(1) as f64;
+        let mut mean = vec![0.0f64; d];
+        for t in 0..train.len() {
+            for (m, &x) in mean.iter_mut().zip(train.observation(t)) {
+                *m += x as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f64; d];
+        for t in 0..train.len() {
+            for ((v, &m), &x) in var.iter_mut().zip(mean.iter()).zip(train.observation(t)) {
+                let diff = x as f64 - m;
+                *v += diff * diff;
+            }
+        }
+        let std = var
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt();
+                if s < 1e-8 {
+                    1.0
+                } else {
+                    s as f32
+                }
+            })
+            .collect();
+        Scaler { mean: mean.into_iter().map(|m| m as f32).collect(), std }
+    }
+
+    /// Dimensionality the scaler was fit on.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Per-dimension means.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Per-dimension standard deviations (1.0 for constant channels).
+    pub fn std(&self) -> &[f32] {
+        &self.std
+    }
+
+    /// Applies the transformation to a series of matching dimensionality.
+    pub fn transform(&self, series: &TimeSeries) -> TimeSeries {
+        assert_eq!(series.dim(), self.dim(), "scaler dimension mismatch");
+        let d = self.dim();
+        let data = series
+            .data()
+            .chunks_exact(d)
+            .flat_map(|obs| {
+                obs.iter()
+                    .zip(self.mean.iter().zip(self.std.iter()))
+                    .map(|(&x, (&m, &s))| (x - m) / s)
+                    .collect::<Vec<f32>>()
+            })
+            .collect();
+        TimeSeries::new(data, d)
+    }
+
+    /// Inverts the transformation (`x = z·σ + μ`).
+    pub fn inverse_transform(&self, series: &TimeSeries) -> TimeSeries {
+        assert_eq!(series.dim(), self.dim(), "scaler dimension mismatch");
+        let d = self.dim();
+        let data = series
+            .data()
+            .chunks_exact(d)
+            .flat_map(|obs| {
+                obs.iter()
+                    .zip(self.mean.iter().zip(self.std.iter()))
+                    .map(|(&z, (&m, &s))| z * s + m)
+                    .collect::<Vec<f32>>()
+            })
+            .collect();
+        TimeSeries::new(data, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_standardizes_training_data() {
+        let train = TimeSeries::new(vec![1.0, 100.0, 2.0, 200.0, 3.0, 300.0], 2);
+        let scaler = Scaler::fit(&train);
+        let z = scaler.transform(&train);
+        // each dimension has mean 0
+        for d in 0..2 {
+            let mean: f32 = (0..3).map(|t| z.observation(t)[d]).sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-6, "dimension {d} mean {mean}");
+        }
+        // dimension variances are 1 (population std)
+        for d in 0..2 {
+            let var: f32 = (0..3).map(|t| z.observation(t)[d].powi(2)).sum::<f32>() / 3.0;
+            assert!((var - 1.0).abs() < 1e-4, "dimension {d} variance {var}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let train = TimeSeries::new(vec![5.0, -3.0, 7.0, -1.0, 9.0, 1.0], 2);
+        let scaler = Scaler::fit(&train);
+        let back = scaler.inverse_transform(&scaler.transform(&train));
+        for (a, b) in back.data().iter().zip(train.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn constant_channel_is_centered_not_scaled() {
+        let train = TimeSeries::new(vec![4.0, 1.0, 4.0, 2.0, 4.0, 3.0], 2);
+        let scaler = Scaler::fit(&train);
+        assert_eq!(scaler.std()[0], 1.0);
+        let z = scaler.transform(&train);
+        assert_eq!(z.observation(0)[0], 0.0);
+        assert!(z.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fit_on_train_applies_to_test() {
+        let train = TimeSeries::univariate(vec![0.0, 2.0]);
+        let test = TimeSeries::univariate(vec![4.0]);
+        let scaler = Scaler::fit(&train);
+        // mean 1, std 1 → 4 maps to 3
+        let z = scaler.transform(&test);
+        assert!((z.data()[0] - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,105 @@
+//! Score-assembly utilities shared by all window-based detectors.
+//!
+//! Two conventions come from the paper and are used by CAE-Ensemble and
+//! every windowed baseline alike:
+//!
+//! * **window → series mapping** (Figure 10): the first window contributes
+//!   the scores of all its positions; every later window contributes only
+//!   its last position, so each observation receives exactly one score.
+//! * **median aggregation** (Eq. 15): ensembles combine members'
+//!   per-observation scores with the median, which suppresses members that
+//!   overfit.
+
+/// Median of a slice (mean of the two middle elements for even lengths).
+pub fn median(values: &mut [f32]) -> f32 {
+    assert!(!values.is_empty(), "median of empty slice");
+    values.sort_by(|a, b| a.partial_cmp(b).expect("scores must not be NaN"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        0.5 * (values[n / 2 - 1] + values[n / 2])
+    }
+}
+
+/// Per-observation median across `M` per-model score series of equal
+/// length: `out[t] = median(scores[0][t], …, scores[M−1][t])`.
+pub fn median_scores(per_model: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!per_model.is_empty(), "median_scores needs at least one model");
+    let len = per_model[0].len();
+    assert!(
+        per_model.iter().all(|s| s.len() == len),
+        "per-model score series have different lengths"
+    );
+    let mut column = vec![0.0f32; per_model.len()];
+    (0..len)
+        .map(|t| {
+            for (slot, series) in column.iter_mut().zip(per_model.iter()) {
+                *slot = series[t];
+            }
+            median(&mut column)
+        })
+        .collect()
+}
+
+/// Converts per-window, per-position errors into one score per series
+/// observation (Figure 10 protocol). `window_errors` is `(num_windows × w)`
+/// row-major; the series length is `num_windows + w − 1`.
+pub fn series_scores_from_window_errors(
+    window_errors: &[f32],
+    num_windows: usize,
+    w: usize,
+) -> Vec<f32> {
+    assert_eq!(
+        window_errors.len(),
+        num_windows * w,
+        "window error buffer has wrong size"
+    );
+    assert!(num_windows >= 1, "need at least one window");
+    let len = num_windows + w - 1;
+    let mut scores = vec![0.0f32; len];
+    scores[..w].copy_from_slice(&window_errors[..w]);
+    for i in 1..num_windows {
+        scores[i + w - 1] = window_errors[i * w + (w - 1)];
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut [5.0]), 5.0);
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        assert_eq!(median(&mut [1.0, 1.0, 1000.0]), 1.0);
+    }
+
+    #[test]
+    fn median_scores_per_position() {
+        let per_model =
+            vec![vec![1.0, 10.0, 3.0], vec![2.0, 20.0, 1.0], vec![3.0, 30.0, 2.0]];
+        assert_eq!(median_scores(&per_model), vec![2.0, 20.0, 2.0]);
+    }
+
+    #[test]
+    fn window_protocol_first_window_full_then_last_only() {
+        let errors: Vec<f32> = (0..3)
+            .flat_map(|i| (0..4).map(move |j| (i * 10 + j) as f32))
+            .collect();
+        let scores = series_scores_from_window_errors(&errors, 3, 4);
+        assert_eq!(scores, vec![0.0, 1.0, 2.0, 3.0, 13.0, 23.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different lengths")]
+    fn median_scores_rejects_ragged_input() {
+        median_scores(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

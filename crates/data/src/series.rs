@@ -1,0 +1,235 @@
+//! Multivariate time series containers.
+
+use serde::{Deserialize, Serialize};
+
+/// A multivariate time series `T = ⟨s₁, …, s_C⟩` with `s_t ∈ ℝ^D`,
+/// stored time-major (`data[t*D + d]`), so any window of consecutive
+/// observations is one contiguous slice.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    data: Vec<f32>,
+    dim: usize,
+}
+
+impl TimeSeries {
+    /// Builds a series from a flat time-major buffer.
+    ///
+    /// Panics if `data.len()` is not a multiple of `dim` or `dim == 0`.
+    pub fn new(data: Vec<f32>, dim: usize) -> Self {
+        assert!(dim > 0, "time series dimension must be positive");
+        assert_eq!(
+            data.len() % dim,
+            0,
+            "data length {} is not a multiple of dimension {dim}",
+            data.len()
+        );
+        TimeSeries { data, dim }
+    }
+
+    /// An empty series of the given dimensionality.
+    pub fn empty(dim: usize) -> Self {
+        TimeSeries::new(Vec::new(), dim)
+    }
+
+    /// Builds a univariate series.
+    pub fn univariate(values: Vec<f32>) -> Self {
+        TimeSeries::new(values, 1)
+    }
+
+    /// Number of observations `C`.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the series has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality `D` of each observation.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The observation vector at time `t`.
+    pub fn observation(&self, t: usize) -> &[f32] {
+        &self.data[t * self.dim..(t + 1) * self.dim]
+    }
+
+    /// The flat time-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Appends one observation. Panics if its length differs from `dim`.
+    pub fn push(&mut self, observation: &[f32]) {
+        assert_eq!(
+            observation.len(),
+            self.dim,
+            "observation length {} != dimension {}",
+            observation.len(),
+            self.dim
+        );
+        self.data.extend_from_slice(observation);
+    }
+
+    /// The contiguous sub-series of observations `[start, end)`.
+    pub fn slice(&self, start: usize, end: usize) -> TimeSeries {
+        assert!(start <= end && end <= self.len(), "slice [{start}, {end}) out of range");
+        TimeSeries::new(self.data[start * self.dim..end * self.dim].to_vec(), self.dim)
+    }
+
+    /// Splits into a head of `at` observations and the remaining tail.
+    pub fn split_at(&self, at: usize) -> (TimeSeries, TimeSeries) {
+        (self.slice(0, at), self.slice(at, self.len()))
+    }
+
+    /// Keeps every `step`-th observation (the paper down-samples WADI
+    /// "every ten timestamps, given its extensive size", Section 4.1.1).
+    pub fn downsample(&self, step: usize) -> TimeSeries {
+        assert!(step > 0, "downsample step must be positive");
+        let mut out = TimeSeries::empty(self.dim);
+        for t in (0..self.len()).step_by(step) {
+            out.push(self.observation(t));
+        }
+        out
+    }
+}
+
+/// A named benchmark dataset: training series (no labels used), test series
+/// and per-observation ground-truth outlier labels for the test series.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dataset name (e.g. `"ecg-like"`).
+    pub name: String,
+    /// Training split; labels are never attached to it.
+    pub train: TimeSeries,
+    /// Test split scored by the detectors.
+    pub test: TimeSeries,
+    /// Ground-truth outlier flags, one per test observation. Used only to
+    /// compute evaluation metrics.
+    pub test_labels: Vec<bool>,
+}
+
+impl Dataset {
+    /// Validates internal consistency (label count matches test length,
+    /// equal dimensionality across splits).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.train.dim() != self.test.dim() {
+            return Err(format!(
+                "dimension mismatch: train {} vs test {}",
+                self.train.dim(),
+                self.test.dim()
+            ));
+        }
+        if self.test.len() != self.test_labels.len() {
+            return Err(format!(
+                "label count {} != test length {}",
+                self.test_labels.len(),
+                self.test.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Fraction of test observations labeled as outliers.
+    pub fn outlier_ratio(&self) -> f64 {
+        if self.test_labels.is_empty() {
+            return 0.0;
+        }
+        self.test_labels.iter().filter(|&&b| b).count() as f64 / self.test_labels.len() as f64
+    }
+
+    /// Splits the training series into train/validation parts, reserving
+    /// the final `fraction` for validation (the paper reserves 30%,
+    /// Section 4.1.1). Neither part carries labels.
+    pub fn train_val_split(&self, fraction: f64) -> (TimeSeries, TimeSeries) {
+        assert!((0.0..1.0).contains(&fraction), "validation fraction {fraction} outside [0,1)");
+        let val_len = (self.train.len() as f64 * fraction).round() as usize;
+        let at = self.train.len() - val_len;
+        self.train.split_at(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        TimeSeries::new((0..12).map(|x| x as f32).collect(), 3)
+    }
+
+    #[test]
+    fn layout_is_time_major() {
+        let s = series();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.dim(), 3);
+        assert_eq!(s.observation(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(s.observation(3), &[9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut s = TimeSeries::empty(2);
+        s.push(&[1.0, 2.0]);
+        s.push(&[3.0, 4.0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.observation(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "observation length")]
+    fn push_rejects_wrong_width() {
+        TimeSeries::empty(2).push(&[1.0]);
+    }
+
+    #[test]
+    fn slice_and_split() {
+        let s = series();
+        let mid = s.slice(1, 3);
+        assert_eq!(mid.len(), 2);
+        assert_eq!(mid.observation(0), &[3.0, 4.0, 5.0]);
+        let (head, tail) = s.split_at(1);
+        assert_eq!(head.len(), 1);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail.observation(0), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn downsample_keeps_every_step() {
+        let s = TimeSeries::univariate((0..10).map(|x| x as f32).collect());
+        let d = s.downsample(3);
+        assert_eq!(d.data(), &[0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn dataset_validation() {
+        let ds = Dataset {
+            name: "t".into(),
+            train: TimeSeries::univariate(vec![0.0; 10]),
+            test: TimeSeries::univariate(vec![0.0; 4]),
+            test_labels: vec![false, true, false, true],
+        };
+        assert!(ds.validate().is_ok());
+        assert_eq!(ds.outlier_ratio(), 0.5);
+        let (tr, va) = ds.train_val_split(0.3);
+        assert_eq!(tr.len(), 7);
+        assert_eq!(va.len(), 3);
+    }
+
+    #[test]
+    fn dataset_validation_catches_mismatches() {
+        let ds = Dataset {
+            name: "t".into(),
+            train: TimeSeries::univariate(vec![0.0; 4]),
+            test: TimeSeries::new(vec![0.0; 4], 2),
+            test_labels: vec![false; 2],
+        };
+        assert!(ds.validate().is_err());
+    }
+}

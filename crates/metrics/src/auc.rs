@@ -1,0 +1,144 @@
+//! Area-under-curve metrics integrating over all thresholds.
+
+/// Area under the ROC curve via the rank statistic (Mann–Whitney U), with
+/// average ranks for tied scores.
+///
+/// Returns 0.5 when either class is empty (no ranking information).
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("scores must not be NaN"));
+
+    // Sum the (average) ranks of the positive examples.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < order.len() {
+        // Group of tied scores [i, j).
+        let mut j = i + 1;
+        while j < order.len() && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + 1 + j) as f64 / 2.0; // mean of ranks i+1..=j
+        for &idx in &order[i..j] {
+            if labels[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j;
+    }
+
+    let u = rank_sum_pos - (pos * (pos + 1)) as f64 / 2.0;
+    u / (pos as f64 * neg as f64)
+}
+
+/// Area under the precision-recall curve (average precision): the sum of
+/// precision·Δrecall over descending score thresholds, with tied scores
+/// processed as one group.
+///
+/// Returns 0 when there are no positive labels.
+pub fn pr_auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let pos = labels.iter().filter(|&&l| l).count();
+    if pos == 0 || scores.is_empty() {
+        return 0.0;
+    }
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores must not be NaN"));
+
+    let mut ap = 0.0f64;
+    let mut tp = 0usize;
+    let mut seen = 0usize;
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut j = i + 1;
+        while j < order.len() && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        let group_tp = order[i..j].iter().filter(|&&idx| labels[idx]).count();
+        tp += group_tp;
+        seen += j - i;
+        if group_tp > 0 {
+            let precision = tp as f64 / seen as f64;
+            let delta_recall = group_tp as f64 / pos as f64;
+            ap += precision * delta_recall;
+        }
+        i = j;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking() {
+        let scores = [0.9, 0.8, 0.3, 0.2, 0.1];
+        let labels = [true, true, false, false, false];
+        assert_eq!(roc_auc(&scores, &labels), 1.0);
+        assert_eq!(pr_auc(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_ranking() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert_eq!(roc_auc(&scores, &labels), 0.0);
+        // AP of worst ranking: positives at ranks 3 and 4 → (1/3 + 2/4)/2
+        let expected = (1.0 / 3.0 + 2.0 / 4.0) / 2.0;
+        assert!((pr_auc(&scores, &labels) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_like_ranking_is_half() {
+        // Alternating labels with strictly increasing scores.
+        let scores: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let labels: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let auc = roc_auc(&scores, &labels);
+        assert!((auc - 0.5).abs() < 0.02, "auc {auc}");
+    }
+
+    #[test]
+    fn ties_get_average_rank() {
+        // All scores equal → AUC must be exactly 0.5.
+        let scores = [1.0f32; 6];
+        let labels = [true, false, true, false, true, false];
+        assert_eq!(roc_auc(&scores, &labels), 0.5);
+        // AP with all tied = prevalence.
+        assert!((pr_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_label_sets() {
+        let scores = [0.1, 0.5, 0.9];
+        assert_eq!(roc_auc(&scores, &[false, false, false]), 0.5);
+        assert_eq!(roc_auc(&scores, &[true, true, true]), 0.5);
+        assert_eq!(pr_auc(&scores, &[false, false, false]), 0.0);
+    }
+
+    #[test]
+    fn pr_auc_equals_prevalence_for_constant_scores() {
+        let scores = [2.0f32; 10];
+        let labels: Vec<bool> = (0..10).map(|i| i < 3).collect();
+        assert!((pr_auc(&scores, &labels) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_small_case() {
+        // scores desc: 0.8(+), 0.6(−), 0.4(+), 0.2(−)
+        let scores = [0.8, 0.6, 0.4, 0.2];
+        let labels = [true, false, true, false];
+        // ROC: positives ranked 1st and 3rd of 4 → AUC = 3/4
+        assert!((roc_auc(&scores, &labels) - 0.75).abs() < 1e-12);
+        // AP = 1/2·(1/1) + 1/2·(2/3)
+        let expected = 0.5 * 1.0 + 0.5 * (2.0 / 3.0);
+        assert!((pr_auc(&scores, &labels) - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,96 @@
+//! Evaluation metrics for unsupervised outlier detection (paper §4.1.3).
+//!
+//! Two families, exactly as the paper evaluates:
+//!
+//! * **All-threshold metrics** — [`roc_auc`] and [`pr_auc`] integrate over
+//!   every possible outlier-score threshold; used when no domain knowledge
+//!   for picking a threshold exists.
+//! * **Specific-threshold metrics** — [`precision_recall_f1`] at a chosen
+//!   threshold; [`best_f1`] sweeps all thresholds and reports the best
+//!   achievable F1 with its precision/recall (the protocol of Tables 3–4);
+//!   [`top_k_threshold`] converts prior knowledge of the outlier *ratio*
+//!   into a threshold (the protocol of Figure 13).
+//!
+//! Scores are `f32` outlier scores (higher = more anomalous); labels are
+//! `bool` ground truth (true = outlier).
+
+mod auc;
+mod point_adjust;
+mod threshold;
+
+pub use auc::{pr_auc, roc_auc};
+pub use point_adjust::{adjust_predictions, best_point_adjusted_f1, point_adjusted_prf};
+pub use threshold::{
+    best_f1, confusion_counts, precision_recall_f1, top_k_threshold, Confusion, PrecisionRecallF1,
+};
+
+use serde::{Deserialize, Serialize};
+
+/// One row of the paper's accuracy tables: threshold metrics at the best-F1
+/// threshold plus the two all-threshold metrics.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Precision at the best-F1 threshold.
+    pub precision: f64,
+    /// Recall at the best-F1 threshold.
+    pub recall: f64,
+    /// Best achievable F1 over all thresholds.
+    pub f1: f64,
+    /// Area under the precision-recall curve (average precision).
+    pub pr_auc: f64,
+    /// Area under the ROC curve.
+    pub roc_auc: f64,
+}
+
+impl EvalReport {
+    /// Computes the full report for a score/label set.
+    pub fn compute(scores: &[f32], labels: &[bool]) -> EvalReport {
+        let prf = best_f1(scores, labels);
+        EvalReport {
+            precision: prf.precision,
+            recall: prf.recall,
+            f1: prf.f1,
+            pr_auc: pr_auc(scores, labels),
+            roc_auc: roc_auc(scores, labels),
+        }
+    }
+}
+
+impl std::fmt::Display for EvalReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P {:.4}  R {:.4}  F1 {:.4}  PR {:.4}  ROC {:.4}",
+            self.precision, self.recall, self.f1, self.pr_auc, self.roc_auc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_on_perfect_detector() {
+        let scores = [0.1, 0.2, 0.9, 0.8, 0.1];
+        let labels = [false, false, true, true, false];
+        let r = EvalReport::compute(&scores, &labels);
+        assert_eq!(r.f1, 1.0);
+        assert_eq!(r.pr_auc, 1.0);
+        assert_eq!(r.roc_auc, 1.0);
+    }
+
+    #[test]
+    fn display_formats_all_five() {
+        let r = EvalReport {
+            precision: 0.5,
+            recall: 0.25,
+            f1: 1.0 / 3.0,
+            pr_auc: 0.4,
+            roc_auc: 0.6,
+        };
+        let s = format!("{r}");
+        assert!(s.contains("P 0.5000"));
+        assert!(s.contains("ROC 0.6000"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Threshold-dependent metrics: confusion counts, precision/recall/F1,
+//! best-F1 search and top-K% thresholding.
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion-matrix counts at a threshold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Outliers predicted as outliers.
+    pub tp: usize,
+    /// Inliers predicted as inliers.
+    pub tn: usize,
+    /// Inliers predicted as outliers.
+    pub fp: usize,
+    /// Outliers predicted as inliers.
+    pub fn_: usize,
+}
+
+/// Precision, recall and F1 at one threshold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionRecallF1 {
+    /// TP / (TP + FP); 0 when nothing is predicted positive.
+    pub precision: f64,
+    /// TP / (TP + FN); 0 when there are no positives.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub f1: f64,
+    /// The threshold that produced these values.
+    pub threshold: f32,
+}
+
+/// Counts the confusion matrix for `score > threshold ⇒ outlier`.
+pub fn confusion_counts(scores: &[f32], labels: &[bool], threshold: f32) -> Confusion {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let mut c = Confusion::default();
+    for (&s, &l) in scores.iter().zip(labels.iter()) {
+        match (s > threshold, l) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, true) => c.fn_ += 1,
+            (false, false) => c.tn += 1,
+        }
+    }
+    c
+}
+
+fn prf_from_confusion(c: Confusion, threshold: f32) -> PrecisionRecallF1 {
+    let precision = if c.tp + c.fp == 0 { 0.0 } else { c.tp as f64 / (c.tp + c.fp) as f64 };
+    let recall = if c.tp + c.fn_ == 0 { 0.0 } else { c.tp as f64 / (c.tp + c.fn_) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PrecisionRecallF1 { precision, recall, f1, threshold }
+}
+
+/// Precision/recall/F1 for `score > threshold ⇒ outlier`.
+pub fn precision_recall_f1(scores: &[f32], labels: &[bool], threshold: f32) -> PrecisionRecallF1 {
+    prf_from_confusion(confusion_counts(scores, labels, threshold), threshold)
+}
+
+/// Sweeps every distinct score as a candidate threshold and returns the
+/// metrics at the threshold achieving the highest F1 — the "best possible
+/// threshold" protocol the paper uses for Tables 3–4 (following [46, 47]).
+pub fn best_f1(scores: &[f32], labels: &[bool]) -> PrecisionRecallF1 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let pos_total = labels.iter().filter(|&&l| l).count();
+    if scores.is_empty() || pos_total == 0 {
+        return PrecisionRecallF1::default();
+    }
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores must not be NaN"));
+
+    // Walk thresholds from high to low; predicting positive everything seen
+    // so far. Threshold = midpoint below the current score group.
+    let mut best = PrecisionRecallF1::default();
+    let mut tp = 0usize;
+    let mut seen = 0usize;
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut j = i + 1;
+        while j < order.len() && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        tp += order[i..j].iter().filter(|&&idx| labels[idx]).count();
+        seen += j - i;
+        let precision = tp as f64 / seen as f64;
+        let recall = tp as f64 / pos_total as f64;
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        if f1 > best.f1 {
+            // Threshold just below this group's score admits the group; if
+            // every score is admitted, −∞ is the exact threshold.
+            let group_score = scores[order[i]];
+            let threshold = if j < order.len() {
+                let next = scores[order[j]];
+                let mid = (group_score + next) / 2.0;
+                // Guard against midpoints rounding up to the group score
+                // when the two values are adjacent floats.
+                if mid < group_score { mid } else { next }
+            } else {
+                f32::NEG_INFINITY
+            };
+            best = PrecisionRecallF1 { precision, recall, f1, threshold };
+        }
+        i = j;
+    }
+    best
+}
+
+/// The threshold selecting the top `k_percent`% highest scores as outliers
+/// (the protocol of Figure 13: "select the top K percentage of the largest
+/// outlier scores as the threshold").
+///
+/// Returns a threshold `t` such that `score > t` holds for (approximately,
+/// exactly up to ties) `k_percent`% of the scores.
+pub fn top_k_threshold(scores: &[f32], k_percent: f64) -> f32 {
+    assert!(!scores.is_empty(), "top_k_threshold on empty scores");
+    assert!((0.0..=100.0).contains(&k_percent), "k_percent {k_percent} outside [0, 100]");
+    let mut sorted: Vec<f32> = scores.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("scores must not be NaN"));
+    let k = ((k_percent / 100.0) * scores.len() as f64).round() as usize;
+    if k == 0 {
+        return sorted[0]; // nothing above the maximum
+    }
+    if k >= sorted.len() {
+        return f32::NEG_INFINITY;
+    }
+    // Midpoint between the k-th and (k+1)-th largest keeps exactly k above
+    // when scores are distinct.
+    (sorted[k - 1] + sorted[k]) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCORES: [f32; 6] = [0.9, 0.8, 0.7, 0.3, 0.2, 0.1];
+    const LABELS: [bool; 6] = [true, true, false, true, false, false];
+
+    #[test]
+    fn confusion_at_midpoint() {
+        let c = confusion_counts(&SCORES, &LABELS, 0.5);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, fn_: 1, tn: 2 });
+    }
+
+    #[test]
+    fn prf_known_values() {
+        let m = precision_recall_f1(&SCORES, &LABELS, 0.5);
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_f1_finds_optimum() {
+        let m = best_f1(&SCORES, &LABELS);
+        // Best threshold admits top 4: tp=3, fp=1 → P=0.75, R=1, F1≈0.857
+        assert!((m.f1 - 6.0 / 7.0).abs() < 1e-9, "f1 {}", m.f1);
+        // Verify the returned threshold reproduces the claimed metrics.
+        let check = precision_recall_f1(&SCORES, &LABELS, m.threshold);
+        assert_eq!(check.f1, m.f1);
+    }
+
+    #[test]
+    fn best_f1_perfect_when_separable() {
+        let scores = [0.9, 0.8, 0.1, 0.05];
+        let labels = [true, true, false, false];
+        assert_eq!(best_f1(&scores, &labels).f1, 1.0);
+    }
+
+    #[test]
+    fn best_f1_empty_or_no_positives() {
+        assert_eq!(best_f1(&[], &[]).f1, 0.0);
+        assert_eq!(best_f1(&[1.0, 2.0], &[false, false]).f1, 0.0);
+    }
+
+    #[test]
+    fn top_k_selects_expected_count() {
+        let scores: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let t = top_k_threshold(&scores, 10.0);
+        let flagged = scores.iter().filter(|&&s| s > t).count();
+        assert_eq!(flagged, 10);
+    }
+
+    #[test]
+    fn top_k_extremes() {
+        let scores = [1.0, 2.0, 3.0];
+        let t0 = top_k_threshold(&scores, 0.0);
+        assert_eq!(scores.iter().filter(|&&s| s > t0).count(), 0);
+        let t100 = top_k_threshold(&scores, 100.0);
+        assert_eq!(scores.iter().filter(|&&s| s > t100).count(), 3);
+    }
+
+    #[test]
+    fn threshold_semantics_strictly_greater() {
+        let scores = [1.0, 1.0, 2.0];
+        let labels = [false, false, true];
+        let c = confusion_counts(&scores, &labels, 1.0);
+        assert_eq!(c.tp, 1);
+        assert_eq!(c.fp, 0);
+    }
+}

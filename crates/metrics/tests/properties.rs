@@ -1,0 +1,105 @@
+//! Property-based tests of metric invariants.
+
+use cae_metrics::{best_f1, pr_auc, precision_recall_f1, roc_auc, top_k_threshold};
+use proptest::prelude::*;
+
+/// Scores and labels of equal length, with at least one of each class.
+fn scored_labels() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
+    (4usize..64).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-100.0f32..100.0, n),
+            proptest::collection::vec(any::<bool>(), n),
+        )
+            .prop_filter("need both classes", |(_, labels)| {
+                labels.iter().any(|&l| l) && labels.iter().any(|&l| !l)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn aucs_are_in_unit_interval((scores, labels) in scored_labels()) {
+        let roc = roc_auc(&scores, &labels);
+        let pr = pr_auc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&roc), "roc {roc}");
+        prop_assert!((0.0..=1.0).contains(&pr), "pr {pr}");
+    }
+
+    #[test]
+    fn roc_auc_flips_under_score_negation((scores, labels) in scored_labels()) {
+        let auc = roc_auc(&scores, &labels);
+        let neg: Vec<f32> = scores.iter().map(|s| -s).collect();
+        let flipped = roc_auc(&neg, &labels);
+        prop_assert!((auc + flipped - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roc_auc_invariant_to_monotone_transform((scores, labels) in scored_labels()) {
+        let auc = roc_auc(&scores, &labels);
+        let squashed: Vec<f32> = scores.iter().map(|s| (s / 50.0).tanh()).collect();
+        let auc2 = roc_auc(&squashed, &labels);
+        prop_assert!((auc - auc2).abs() < 1e-6, "{auc} vs {auc2}");
+    }
+
+    #[test]
+    fn perfect_scores_give_perfect_metrics(labels in proptest::collection::vec(any::<bool>(), 4..64)
+        .prop_filter("need both classes", |l| l.iter().any(|&x| x) && l.iter().any(|&x| !x)))
+    {
+        // Score = label: a perfectly separating detector.
+        let scores: Vec<f32> = labels.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
+        prop_assert_eq!(roc_auc(&scores, &labels), 1.0);
+        prop_assert!((pr_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+        prop_assert_eq!(best_f1(&scores, &labels).f1, 1.0);
+    }
+
+    #[test]
+    fn best_f1_dominates_every_threshold((scores, labels) in scored_labels()) {
+        let best = best_f1(&scores, &labels);
+        for &t in &scores {
+            let at = precision_recall_f1(&scores, &labels, t);
+            prop_assert!(best.f1 >= at.f1 - 1e-9, "best {} < at-threshold {}", best.f1, at.f1);
+        }
+        // And the claimed threshold must reproduce the claimed F1.
+        let check = precision_recall_f1(&scores, &labels, best.threshold);
+        prop_assert!((check.f1 - best.f1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recall_monotone_in_threshold((scores, labels) in scored_labels()) {
+        let mut ts: Vec<f32> = scores.clone();
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last_recall = f64::INFINITY;
+        for &t in &ts {
+            let m = precision_recall_f1(&scores, &labels, t);
+            prop_assert!(m.recall <= last_recall + 1e-12);
+            last_recall = m.recall;
+        }
+    }
+
+    #[test]
+    fn top_k_flags_expected_fraction(scores in proptest::collection::vec(-1000.0f32..1000.0, 10..200),
+                                     k in 0.0f64..100.0) {
+        // Deduplicate-free expectation only holds for distinct scores; use
+        // index perturbation to break ties deterministically.
+        let distinct: Vec<f32> = scores.iter().enumerate()
+            .map(|(i, &s)| s + i as f32 * 1e-3).collect();
+        let t = top_k_threshold(&distinct, k);
+        let flagged = distinct.iter().filter(|&&s| s > t).count();
+        let expected = ((k / 100.0) * distinct.len() as f64).round() as usize;
+        prop_assert!(flagged == expected.min(distinct.len()),
+            "flagged {flagged}, expected {expected}");
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean((scores, labels) in scored_labels(), t in -100.0f32..100.0) {
+        let m = precision_recall_f1(&scores, &labels, t);
+        if m.precision + m.recall > 0.0 {
+            let harmonic = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+            prop_assert!((m.f1 - harmonic).abs() < 1e-12);
+        } else {
+            prop_assert_eq!(m.f1, 0.0);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Non-linear activation functions.
+//!
+//! All activations are elementwise except [`Tensor::softmax_last`], which
+//! normalizes over the last axis (used by the attention scores, Eq. 7 of the
+//! paper).
+
+use crate::Tensor;
+
+/// Numerically stable logistic sigmoid of a scalar.
+#[inline]
+pub(crate) fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Tensor {
+    /// Elementwise logistic sigmoid `1 / (1 + e^{-x})`.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(sigmoid_scalar)
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Elementwise rectified linear unit `max(0, x)`.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Elementwise leaky ReLU with slope `alpha` for negative inputs.
+    pub fn leaky_relu(&self, alpha: f32) -> Tensor {
+        self.map(|x| if x >= 0.0 { x } else { alpha * x })
+    }
+
+    /// Softmax over the **last** axis, numerically stabilized by
+    /// subtracting each row's maximum before exponentiation.
+    ///
+    /// Every length-`N` row of the output sums to 1.
+    pub fn softmax_last(&self) -> Tensor {
+        let n = *self.dims().last().expect("softmax_last on rank-0 tensor");
+        assert!(n > 0, "softmax_last over empty axis");
+        let mut out = self.clone();
+        for row in out.data_mut().chunks_exact_mut(n) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            let inv = 1.0 / sum;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{assert_close, Tensor};
+
+    #[test]
+    fn sigmoid_known_values() {
+        let x = Tensor::from_vec(vec![0.0, 100.0, -100.0], &[3]);
+        let y = x.sigmoid();
+        assert_close(y.data(), &[0.5, 1.0, 0.0], 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_for_large_inputs() {
+        let x = Tensor::from_vec(vec![1e4, -1e4], &[2]);
+        let y = x.sigmoid();
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn tanh_and_relu() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_close(x.tanh().data(), &[(-1.0f32).tanh(), 0.0, 2.0f32.tanh()], 1e-6);
+        assert_eq!(x.relu().data(), &[0.0, 0.0, 2.0]);
+        assert_close(x.leaky_relu(0.1).data(), &[-0.1, 0.0, 2.0], 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let y = x.softmax_last();
+        for row in y.data().chunks_exact(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "row sums to {s}");
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let y = x.softmax_last();
+        let z = x.add_scalar(100.0).softmax_last();
+        assert_close(y.data(), z.data(), 1e-6);
+    }
+
+    #[test]
+    fn softmax_handles_extreme_values() {
+        let x = Tensor::from_vec(vec![1000.0, 0.0, -1000.0], &[1, 3]);
+        let y = x.softmax_last();
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        assert_close(&[y.data()[0]], &[1.0], 1e-5);
+    }
+
+    #[test]
+    fn softmax_uniform_input_gives_uniform_output() {
+        let x = Tensor::full(&[2, 4], 3.7);
+        let y = x.softmax_last();
+        assert_close(y.data(), &[0.25; 8], 1e-6);
+    }
+}

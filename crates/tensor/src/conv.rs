@@ -1,0 +1,335 @@
+//! 1-D convolution kernels with *same* and *causal* padding.
+//!
+//! Layout convention: inputs and outputs are `(B, C, L)` — batch, channels,
+//! time — and kernels are `(C_out, C_in, K)`. Output length always equals
+//! input length (the paper pads every layer so encoder/decoder states stay
+//! length-`w`, Section 3.1.2–3.1.3).
+//!
+//! * [`Padding::Same`] pads `(K-1)/2` zeros on the left and the remainder on
+//!   the right — used by the encoder, which may look at the whole window.
+//! * [`Padding::Causal`] pads all `K-1` zeros on the left, so the output at
+//!   time `t` depends only on inputs at times `≤ t` — used by the decoder
+//!   ("observations only to be seen in the future cannot be utilized",
+//!   Section 3.1.3).
+//!
+//! Besides the forward kernel this module exposes the two adjoint kernels
+//! (`conv1d_input_grad`, `conv1d_kernel_grad`) that the autograd engine
+//! dispatches to. All three reduce to shifted axpy/dot loops over contiguous
+//! time rows, which vectorize well and parallelize over `(batch, channel)`
+//! rows.
+
+use crate::par;
+use crate::Tensor;
+
+/// Zero-padding scheme of a 1-D convolution. See the module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Padding {
+    /// `(K-1)/2` zeros before, `K-1-(K-1)/2` after: output `t` sees a
+    /// centered window.
+    Same,
+    /// `K-1` zeros before: output `t` sees only inputs `≤ t`.
+    Causal,
+}
+
+impl Padding {
+    /// Number of zeros inserted before the first observation for kernel
+    /// size `k`.
+    #[inline]
+    pub fn left(self, k: usize) -> usize {
+        match self {
+            Padding::Same => (k - 1) / 2,
+            Padding::Causal => k - 1,
+        }
+    }
+}
+
+/// `dst[t] += scale * src[t + shift]` for every `t` where both indices are
+/// in range. `shift` may be negative.
+#[inline]
+fn shifted_axpy(dst: &mut [f32], src: &[f32], shift: isize, scale: f32) {
+    // Valid t range: 0 <= t < dst.len() and 0 <= t + shift < src.len().
+    let dst_range = if shift >= 0 {
+        let s = shift as usize;
+        if s >= src.len() {
+            return;
+        }
+        0..dst.len().min(src.len() - s)
+    } else {
+        let s = (-shift) as usize;
+        if s >= dst.len() {
+            return;
+        }
+        s..dst.len().min(src.len() + s)
+    };
+    if dst_range.is_empty() {
+        return;
+    }
+    let n = dst_range.len();
+    let src_start = (dst_range.start as isize + shift) as usize;
+    let d = &mut dst[dst_range.start..dst_range.start + n];
+    let s = &src[src_start..src_start + n];
+    for (dv, &sv) in d.iter_mut().zip(s.iter()) {
+        *dv += scale * sv;
+    }
+}
+
+/// `Σ_t a[t] * b[t + shift]` over every `t` where both indices are in range.
+#[inline]
+fn shifted_dot(a: &[f32], b: &[f32], shift: isize) -> f32 {
+    let (a_start, b_start) = if shift >= 0 {
+        (0usize, shift as usize)
+    } else {
+        ((-shift) as usize, 0usize)
+    };
+    if b_start >= b.len() || a_start >= a.len() {
+        return 0.0;
+    }
+    let n = (a.len() - a_start).min(b.len() - b_start);
+    a[a_start..a_start + n]
+        .iter()
+        .zip(b[b_start..b_start + n].iter())
+        .map(|(&x, &y)| x * y)
+        .sum()
+}
+
+impl Tensor {
+    /// 1-D convolution: input `(B, C_in, L)`, kernel `(C_out, C_in, K)` →
+    /// output `(B, C_out, L)`.
+    pub fn conv1d(&self, kernel: &Tensor, padding: Padding) -> Tensor {
+        assert_eq!(self.rank(), 3, "conv1d input must be rank 3 (B, C, L)");
+        assert_eq!(kernel.rank(), 3, "conv1d kernel must be rank 3 (Cout, Cin, K)");
+        let (b, cin, l) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (cout, cin2, k) = (kernel.dims()[0], kernel.dims()[1], kernel.dims()[2]);
+        assert_eq!(cin, cin2, "conv1d channel mismatch: input {cin}, kernel {cin2}");
+        assert!(k >= 1, "conv1d kernel size must be >= 1");
+        let pl = padding.left(k) as isize;
+
+        let mut out = vec![0.0f32; b * cout * l];
+        let x = self.data();
+        let w = kernel.data();
+        par::for_each_chunk(&mut out, l, |row, out_row| {
+            let bi = row / cout;
+            let co = row % cout;
+            for ci in 0..cin {
+                let x_row = &x[(bi * cin + ci) * l..(bi * cin + ci + 1) * l];
+                let w_row = &w[(co * cin + ci) * k..(co * cin + ci + 1) * k];
+                for (j, &kv) in w_row.iter().enumerate() {
+                    if kv != 0.0 {
+                        shifted_axpy(out_row, x_row, j as isize - pl, kv);
+                    }
+                }
+            }
+        });
+        Tensor::from_vec(out, &[b, cout, l])
+    }
+
+    /// Gradient of [`Tensor::conv1d`] with respect to its **input**.
+    ///
+    /// `grad_out` is `(B, C_out, L)`; the result matches the input shape
+    /// `(B, C_in, L)`.
+    pub fn conv1d_input_grad(grad_out: &Tensor, kernel: &Tensor, padding: Padding) -> Tensor {
+        assert_eq!(grad_out.rank(), 3, "grad_out must be rank 3");
+        assert_eq!(kernel.rank(), 3, "kernel must be rank 3");
+        let (b, cout, l) = (grad_out.dims()[0], grad_out.dims()[1], grad_out.dims()[2]);
+        let (cout2, cin, k) = (kernel.dims()[0], kernel.dims()[1], kernel.dims()[2]);
+        assert_eq!(cout, cout2, "conv1d_input_grad channel mismatch");
+        let pl = padding.left(k) as isize;
+
+        let mut gx = vec![0.0f32; b * cin * l];
+        let g = grad_out.data();
+        let w = kernel.data();
+        par::for_each_chunk(&mut gx, l, |row, gx_row| {
+            let bi = row / cin;
+            let ci = row % cin;
+            for co in 0..cout {
+                let g_row = &g[(bi * cout + co) * l..(bi * cout + co + 1) * l];
+                let w_row = &w[(co * cin + ci) * k..(co * cin + ci + 1) * k];
+                // x[s] contributed to out[t] with t = s - j + pl, so
+                // gx[s] += K[j] * gout[s + pl - j].
+                for (j, &kv) in w_row.iter().enumerate() {
+                    if kv != 0.0 {
+                        shifted_axpy(gx_row, g_row, pl - j as isize, kv);
+                    }
+                }
+            }
+        });
+        Tensor::from_vec(gx, &[b, cin, l])
+    }
+
+    /// Gradient of [`Tensor::conv1d`] with respect to its **kernel**.
+    ///
+    /// `input` is `(B, C_in, L)`, `grad_out` is `(B, C_out, L)`; the result
+    /// matches the kernel shape `(C_out, C_in, K)`.
+    pub fn conv1d_kernel_grad(
+        input: &Tensor,
+        grad_out: &Tensor,
+        k: usize,
+        padding: Padding,
+    ) -> Tensor {
+        assert_eq!(input.rank(), 3, "input must be rank 3");
+        assert_eq!(grad_out.rank(), 3, "grad_out must be rank 3");
+        let (b, cin, l) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+        let (b2, cout, l2) = (grad_out.dims()[0], grad_out.dims()[1], grad_out.dims()[2]);
+        assert_eq!(b, b2, "conv1d_kernel_grad batch mismatch");
+        assert_eq!(l, l2, "conv1d_kernel_grad length mismatch");
+        let pl = padding.left(k) as isize;
+
+        let mut gw = vec![0.0f32; cout * cin * k];
+        let x = input.data();
+        let g = grad_out.data();
+        par::for_each_chunk(&mut gw, k, |row, gw_row| {
+            let co = row / cin;
+            let ci = row % cin;
+            for bi in 0..b {
+                let x_row = &x[(bi * cin + ci) * l..(bi * cin + ci + 1) * l];
+                let g_row = &g[(bi * cout + co) * l..(bi * cout + co + 1) * l];
+                for (j, gw_v) in gw_row.iter_mut().enumerate() {
+                    // gK[j] = Σ_t gout[t] * x[t + j - pl]
+                    *gw_v += shifted_dot(g_row, x_row, j as isize - pl);
+                }
+            }
+        });
+        Tensor::from_vec(gw, &[cout, cin, k])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    /// Textbook reference convolution used to validate the optimized kernels.
+    fn conv1d_reference(x: &Tensor, w: &Tensor, padding: Padding) -> Tensor {
+        let (b, cin, l) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        let (cout, _, k) = (w.dims()[0], w.dims()[1], w.dims()[2]);
+        let pl = padding.left(k) as isize;
+        let mut out = Tensor::zeros(&[b, cout, l]);
+        for bi in 0..b {
+            for co in 0..cout {
+                for t in 0..l {
+                    let mut acc = 0.0;
+                    for ci in 0..cin {
+                        for j in 0..k {
+                            let s = t as isize + j as isize - pl;
+                            if s >= 0 && (s as usize) < l {
+                                acc += w.at(&[co, ci, j]) * x.at(&[bi, ci, s as usize]);
+                            }
+                        }
+                    }
+                    out.set(&[bi, co, t], acc);
+                }
+            }
+        }
+        out
+    }
+
+    fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+        // Small deterministic pseudo-random fill (LCG), enough for kernels.
+        let n: usize = dims.iter().product();
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let data = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0
+            })
+            .collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    #[test]
+    fn delta_kernel_is_identity_same() {
+        // Kernel [0, 1, 0] with Same padding reproduces the input.
+        let x = rand_tensor(&[1, 1, 7], 3);
+        let w = Tensor::from_vec(vec![0.0, 1.0, 0.0], &[1, 1, 3]);
+        let y = x.conv1d(&w, Padding::Same);
+        assert_close(y.data(), x.data(), 1e-6);
+    }
+
+    #[test]
+    fn shift_kernel_shifts_right() {
+        // Kernel [1, 0, 0] with Same padding (pl=1) gives y[t] = x[t-1].
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 4]);
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0], &[1, 1, 3]);
+        let y = x.conv1d(&w, Padding::Same);
+        assert_eq!(y.data(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn causal_uses_only_past() {
+        // With causal padding and kernel summing all taps, output at t
+        // equals the sum of the last K observations up to t.
+        let x = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0, 1.0], &[1, 1, 5]);
+        let w = Tensor::ones(&[1, 1, 3]);
+        let y = x.conv1d(&w, Padding::Causal);
+        assert_eq!(y.data(), &[1.0, 2.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn matches_reference_same() {
+        let x = rand_tensor(&[2, 3, 11], 7);
+        let w = rand_tensor(&[4, 3, 5], 9);
+        let fast = x.conv1d(&w, Padding::Same);
+        let slow = conv1d_reference(&x, &w, Padding::Same);
+        assert_close(fast.data(), slow.data(), 1e-5);
+    }
+
+    #[test]
+    fn matches_reference_causal() {
+        let x = rand_tensor(&[2, 2, 9], 17);
+        let w = rand_tensor(&[3, 2, 3], 23);
+        let fast = x.conv1d(&w, Padding::Causal);
+        let slow = conv1d_reference(&x, &w, Padding::Causal);
+        assert_close(fast.data(), slow.data(), 1e-5);
+    }
+
+    #[test]
+    fn multichannel_sums_channels() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 10.0, 20.0], &[1, 2, 2]);
+        let w = Tensor::from_vec(vec![1.0, 1.0], &[1, 2, 1]); // K=1 sums channels
+        let y = x.conv1d(&w, Padding::Same);
+        assert_eq!(y.data(), &[11.0, 22.0]);
+    }
+
+    /// Checks the adjoint identity ⟨conv(x), g⟩ = ⟨x, conv_input_grad(g)⟩,
+    /// which must hold for the gradient kernels to be correct adjoints.
+    #[test]
+    fn input_grad_is_adjoint() {
+        for padding in [Padding::Same, Padding::Causal] {
+            let x = rand_tensor(&[2, 3, 8], 31);
+            let w = rand_tensor(&[4, 3, 3], 37);
+            let g = rand_tensor(&[2, 4, 8], 41);
+            let y = x.conv1d(&w, padding);
+            let gx = Tensor::conv1d_input_grad(&g, &w, padding);
+            let lhs: f32 = y.data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+            let rhs: f32 = x.data().iter().zip(gx.data()).map(|(a, b)| a * b).sum();
+            assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs} ({padding:?})");
+        }
+    }
+
+    /// Finite-difference check of the kernel gradient on a scalar loss
+    /// L = Σ conv(x, w).
+    #[test]
+    fn kernel_grad_matches_finite_difference() {
+        for padding in [Padding::Same, Padding::Causal] {
+            let x = rand_tensor(&[1, 2, 6], 43);
+            let mut w = rand_tensor(&[2, 2, 3], 47);
+            let gout = Tensor::ones(&[1, 2, 6]);
+            let gw = Tensor::conv1d_kernel_grad(&x, &gout, 3, padding);
+            let eps = 1e-3;
+            for idx in 0..w.len() {
+                let orig = w.data()[idx];
+                w.data_mut()[idx] = orig + eps;
+                let up: f32 = x.conv1d(&w, padding).data().iter().sum();
+                w.data_mut()[idx] = orig - eps;
+                let down: f32 = x.conv1d(&w, padding).data().iter().sum();
+                w.data_mut()[idx] = orig;
+                let fd = (up - down) / (2.0 * eps);
+                assert!(
+                    (fd - gw.data()[idx]).abs() < 1e-2,
+                    "kernel grad mismatch at {idx}: fd {fd} vs {} ({padding:?})",
+                    gw.data()[idx]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Dense `f32` tensor algebra for the CAE-Ensemble reproduction.
+//!
+//! This crate is the numeric substrate underneath the autograd engine and the
+//! neural models. It provides a row-major, contiguous [`Tensor`] plus the
+//! kernels the paper's models need:
+//!
+//! * elementwise arithmetic and activations,
+//! * 2-D and batched 3-D matrix multiplication,
+//! * 1-D convolution with *same* and *causal* padding ([`Padding`]),
+//! * reductions and axis utilities,
+//! * seeded random initialization,
+//! * optional thread-level parallelism over batches ([`par`]).
+//!
+//! Shape mismatches are programming errors and panic with a descriptive
+//! message, mirroring the convention of mainstream array libraries.
+//!
+//! # Example
+//!
+//! ```
+//! use cae_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+mod activate;
+mod conv;
+mod init;
+mod matmul;
+pub mod par;
+mod reduce;
+mod shape;
+mod tensor;
+
+pub use conv::Padding;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Absolute tolerance used by the test-suites of the numeric crates.
+pub const TEST_EPS: f32 = 1e-4;
+
+/// Asserts two slices are elementwise close within `tol`.
+///
+/// Intended for tests across the workspace; panics with the first
+/// offending index on failure.
+pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            (x - y).abs() <= tol,
+            "values differ at index {i}: {x} vs {y} (tol {tol})"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Matrix multiplication kernels.
+//!
+//! The 2-D kernel uses the cache-friendly `ikj` loop order with slice
+//! iteration in the inner loop so the compiler can elide bounds checks and
+//! vectorize. The batched kernel applies the 2-D kernel per batch element
+//! and optionally fans batches out across threads (see [`crate::par`]).
+
+use crate::par;
+use crate::Tensor;
+
+impl Tensor {
+    /// 2-D matrix product: `(M, K) · (K, N) → (M, N)`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2, got {}", self.rank());
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank 2, got {}", other.rank());
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        matmul_into(self.data(), other.data(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// 2-D product with the left operand transposed: `Aᵀ · B`, where
+    /// `A: (K, M)`, `B: (K, N)`, producing `(M, N)`.
+    ///
+    /// Equivalent to `self.transpose().matmul(other)` without materializing
+    /// the transpose.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_tn lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul_tn rhs must be rank 2");
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul_tn inner dims differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        // out[i][j] = Σ_p A[p][i] * B[p][j]: accumulate row p of B scaled by A[p][i].
+        for p in 0..k {
+            let arow = &self.data()[p * m..(p + 1) * m];
+            let brow = &other.data()[p * n..(p + 1) * n];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// 2-D product with the right operand transposed: `A · Bᵀ`, where
+    /// `A: (M, K)`, `B: (N, K)`, producing `(M, N)`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_nt lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul_nt rhs must be rank 2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul_nt inner dims differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &self.data()[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &other.data()[j * k..(j + 1) * k];
+                *o = dot(arow, brow);
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Batched 3-D matrix product: `(B, M, K) · (B, K, N) → (B, M, N)`.
+    ///
+    /// Batches are processed in parallel when the global parallelism level
+    /// (see [`par::set_threads`]) is greater than one.
+    pub fn bmm(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm lhs must be rank 3, got {}", self.rank());
+        assert_eq!(other.rank(), 3, "bmm rhs must be rank 3, got {}", other.rank());
+        let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, k2, n) = (other.dims()[0], other.dims()[1], other.dims()[2]);
+        assert_eq!(b, b2, "bmm batch dims differ: {b} vs {b2}");
+        assert_eq!(k, k2, "bmm inner dims differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; b * m * n];
+        {
+            let lhs = self.data();
+            let rhs = other.data();
+            par::for_each_chunk(&mut out, m * n, |bi, chunk| {
+                let a = &lhs[bi * m * k..(bi + 1) * m * k];
+                let bdat = &rhs[bi * k * n..(bi + 1) * k * n];
+                matmul_into(a, bdat, chunk, m, k, n);
+            });
+        }
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Batched product with the right operand transposed:
+    /// `(B, M, K) · (B, N, K)ᵀ → (B, M, N)`.
+    ///
+    /// This is the attention-score kernel `Z · Eᵀ` (paper Eq. 7) without
+    /// materializing the transpose.
+    pub fn bmm_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm_nt lhs must be rank 3");
+        assert_eq!(other.rank(), 3, "bmm_nt rhs must be rank 3");
+        let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, n, k2) = (other.dims()[0], other.dims()[1], other.dims()[2]);
+        assert_eq!(b, b2, "bmm_nt batch dims differ: {b} vs {b2}");
+        assert_eq!(k, k2, "bmm_nt inner dims differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; b * m * n];
+        {
+            let lhs = self.data();
+            let rhs = other.data();
+            par::for_each_chunk(&mut out, m * n, |bi, chunk| {
+                let a = &lhs[bi * m * k..(bi + 1) * m * k];
+                let bdat = &rhs[bi * n * k..(bi + 1) * n * k];
+                for i in 0..m {
+                    let arow = &a[i * k..(i + 1) * k];
+                    let orow = &mut chunk[i * n..(i + 1) * n];
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        *o = dot(arow, &bdat[j * k..(j + 1) * k]);
+                    }
+                }
+            });
+        }
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Batched product with the left operand transposed:
+    /// `(B, K, M)ᵀ · (B, K, N) → (B, M, N)`.
+    pub fn bmm_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm_tn lhs must be rank 3");
+        assert_eq!(other.rank(), 3, "bmm_tn rhs must be rank 3");
+        let (b, k, m) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, k2, n) = (other.dims()[0], other.dims()[1], other.dims()[2]);
+        assert_eq!(b, b2, "bmm_tn batch dims differ: {b} vs {b2}");
+        assert_eq!(k, k2, "bmm_tn inner dims differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; b * m * n];
+        {
+            let lhs = self.data();
+            let rhs = other.data();
+            par::for_each_chunk(&mut out, m * n, |bi, chunk| {
+                let a = &lhs[bi * k * m..(bi + 1) * k * m];
+                let bdat = &rhs[bi * k * n..(bi + 1) * k * n];
+                for p in 0..k {
+                    let arow = &a[p * m..(p + 1) * m];
+                    let brow = &bdat[p * n..(p + 1) * n];
+                    for (i, &av) in arow.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let orow = &mut chunk[i * n..(i + 1) * n];
+                        for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            });
+        }
+        Tensor::from_vec(out, &[b, m, n])
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// `out += A · B` into a zeroed buffer, `A: (m, k)`, `B: (k, n)`.
+///
+/// `ikj` order: the inner loop walks rows of `B` and `out` contiguously.
+fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{assert_close, Tensor};
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]);
+        assert_eq!(a.matmul(&Tensor::eye(4)).data(), a.data());
+        assert_eq!(Tensor::eye(3).matmul(&a).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![3.0, 1.0, 2.0, 1.0, 1.0, 0.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[5.0, 1.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32 - 2.0).collect(), &[3, 2]);
+        let b = Tensor::from_vec((0..12).map(|x| x as f32 * 0.5).collect(), &[3, 4]);
+        let via_t = a.transpose().matmul(&b);
+        let direct = a.matmul_tn(&b);
+        assert_close(direct.data(), via_t.data(), 1e-6);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|x| (x as f32).sin()).collect(), &[4, 3]);
+        let via_t = a.matmul(&b.transpose());
+        let direct = a.matmul_nt(&b);
+        assert_close(direct.data(), via_t.data(), 1e-6);
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::from_vec((0..24).map(|x| x as f32 * 0.1).collect(), &[2, 3, 4]);
+        let b = Tensor::from_vec((0..40).map(|x| (x as f32 * 0.2).cos()).collect(), &[2, 4, 5]);
+        let c = a.bmm(&b);
+        assert_eq!(c.dims(), &[2, 3, 5]);
+        for bi in 0..2 {
+            let a2 = Tensor::from_vec(a.data()[bi * 12..(bi + 1) * 12].to_vec(), &[3, 4]);
+            let b2 = Tensor::from_vec(b.data()[bi * 20..(bi + 1) * 20].to_vec(), &[4, 5]);
+            let expect = a2.matmul(&b2);
+            assert_close(&c.data()[bi * 15..(bi + 1) * 15], expect.data(), 1e-5);
+        }
+    }
+
+    #[test]
+    fn bmm_nt_matches_transpose_composition() {
+        let a = Tensor::from_vec((0..24).map(|x| x as f32 * 0.3).collect(), &[2, 3, 4]);
+        let b = Tensor::from_vec((0..40).map(|x| x as f32 * -0.1).collect(), &[2, 5, 4]);
+        let direct = a.bmm_nt(&b);
+        let via_t = a.bmm(&b.transpose12());
+        assert_close(direct.data(), via_t.data(), 1e-5);
+    }
+
+    #[test]
+    fn bmm_tn_matches_transpose_composition() {
+        let a = Tensor::from_vec((0..24).map(|x| x as f32 * 0.3 - 1.0).collect(), &[2, 4, 3]);
+        let b = Tensor::from_vec((0..40).map(|x| x as f32 * 0.05).collect(), &[2, 4, 5]);
+        let direct = a.bmm_tn(&b);
+        let via_t = a.transpose12().bmm(&b);
+        assert_close(direct.data(), via_t.data(), 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_panics_on_dim_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        a.matmul(&b);
+    }
+}

@@ -1,0 +1,163 @@
+//! Thread-level batch parallelism.
+//!
+//! The paper's efficiency claim for convolutional autoencoders rests on the
+//! fact that convolutions parallelize across time steps and batch elements
+//! while RNN steps cannot. On CPU we realize that parallelism with
+//! `crossbeam` scoped threads over batch chunks.
+//!
+//! The thread count is a process-wide setting ([`set_threads`]); the default
+//! of 1 keeps all kernels deterministic and overhead-free for the small
+//! tensors used in tests. Benchmarks and the training harness raise it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the number of worker threads used by batched kernels.
+///
+/// Values are clamped to `1..=256`. Thread count 1 means fully sequential
+/// execution (the default).
+pub fn set_threads(n: usize) {
+    THREADS.store(n.clamp(1, 256), Ordering::Relaxed);
+}
+
+/// Current worker-thread setting.
+pub fn threads() -> usize {
+    THREADS.load(Ordering::Relaxed)
+}
+
+/// Convenience: set threads to the machine's available parallelism.
+pub fn use_all_cores() {
+    let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    set_threads(n);
+}
+
+/// Minimum output size (elements) before a kernel fans out to threads.
+///
+/// Scoped threads are spawned per call; for the small tensors of a single
+/// training batch the spawn/join cost dwarfs the arithmetic, so kernels
+/// below this threshold always run sequentially.
+pub const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Runs `f(batch_index, chunk)` for every `chunk_len`-sized chunk of `out`,
+/// in parallel when more than one thread is configured **and** the total
+/// work exceeds [`PAR_THRESHOLD`].
+///
+/// `out.len()` must be a multiple of `chunk_len`. The closure receives
+/// disjoint output chunks, so no synchronization is needed.
+pub fn for_each_chunk<F>(out: &mut [f32], chunk_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if chunk_len == 0 || out.is_empty() {
+        return;
+    }
+    assert_eq!(
+        out.len() % chunk_len,
+        0,
+        "output length {} is not a multiple of chunk length {chunk_len}",
+        out.len()
+    );
+    let batches = out.len() / chunk_len;
+    let workers = threads().min(batches);
+    if workers <= 1 || out.len() < PAR_THRESHOLD {
+        for (bi, chunk) in out.chunks_exact_mut(chunk_len).enumerate() {
+            f(bi, chunk);
+        }
+        return;
+    }
+    // Split the batch range into `workers` contiguous spans of chunks.
+    let per = batches.div_ceil(workers);
+    crossbeam::scope(|scope| {
+        for (w, span) in out.chunks_mut(per * chunk_len).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (j, chunk) in span.chunks_exact_mut(chunk_len).enumerate() {
+                    f(w * per + j, chunk);
+                }
+            });
+        }
+    })
+    .expect("batch worker thread panicked");
+}
+
+/// Runs `f(i)` for every `i in 0..n` in parallel, collecting results in order.
+///
+/// Used for coarse-grained parallelism (e.g. training independent ensemble
+/// members or isolation-forest trees).
+pub fn map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let per = n.div_ceil(workers);
+    crossbeam::scope(|scope| {
+        for (w, span) in slots.chunks_mut(per).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (j, slot) in span.iter_mut().enumerate() {
+                    *slot = Some(f(w * per + j));
+                }
+            });
+        }
+    })
+    .expect("map worker thread panicked");
+    slots.into_iter().map(|s| s.expect("worker did not fill slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_chunks_cover_all() {
+        set_threads(1);
+        let mut out = vec![0.0f32; 12];
+        for_each_chunk(&mut out, 3, |bi, chunk| {
+            for c in chunk.iter_mut() {
+                *c = bi as f32;
+            }
+        });
+        assert_eq!(out, vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let work = |bi: usize, chunk: &mut [f32]| {
+            for (j, c) in chunk.iter_mut().enumerate() {
+                *c = (bi * 31 + j) as f32;
+            }
+        };
+        // Large enough to clear PAR_THRESHOLD so the threaded path runs.
+        let n = 2 * PAR_THRESHOLD;
+        set_threads(1);
+        let mut seq = vec![0.0f32; n];
+        for_each_chunk(&mut seq, n / 16, work);
+        set_threads(4);
+        let mut par = vec![0.0f32; n];
+        for_each_chunk(&mut par, n / 16, work);
+        set_threads(1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn map_indexed_in_order() {
+        set_threads(3);
+        let v = map_indexed(10, |i| i * i);
+        set_threads(1);
+        assert_eq!(v, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn empty_work_is_ok() {
+        let mut out: Vec<f32> = vec![];
+        for_each_chunk(&mut out, 4, |_, _| panic!("must not be called"));
+        let v: Vec<u8> = map_indexed(0, |_| 1u8);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of tensor algebra identities.
+
+use cae_tensor::{Padding, Tensor};
+use proptest::prelude::*;
+
+/// Strategy producing a tensor of the given shape with bounded values.
+fn tensor_strategy(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    proptest::collection::vec(-10.0f32..10.0, n)
+        .prop_map(move |data| Tensor::from_vec(data, &dims))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(
+        (a, b) in (1usize..5, 1usize..5).prop_flat_map(|(m, n)| {
+            (tensor_strategy(vec![m, n]), tensor_strategy(vec![m, n]))
+        })
+    ) {
+        let lhs = a.add(&b);
+        let rhs = b.add(&a);
+        cae_tensor::assert_close(lhs.data(), rhs.data(), 1e-5);
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips(
+        (a, b) in (1usize..5, 1usize..5).prop_flat_map(|(m, n)| {
+            (tensor_strategy(vec![m, n]), tensor_strategy(vec![m, n]))
+        })
+    ) {
+        let roundtrip = a.sub(&b).add(&b);
+        cae_tensor::assert_close(roundtrip.data(), a.data(), 1e-4);
+    }
+
+    #[test]
+    fn matmul_identity_left_and_right(
+        a in (1usize..6, 1usize..6).prop_flat_map(|(m, n)| tensor_strategy(vec![m, n]))
+    ) {
+        let m = a.dims()[0];
+        let n = a.dims()[1];
+        cae_tensor::assert_close(Tensor::eye(m).matmul(&a).data(), a.data(), 1e-5);
+        cae_tensor::assert_close(a.matmul(&Tensor::eye(n)).data(), a.data(), 1e-5);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        (a, b, c) in (1usize..4, 1usize..4, 1usize..4).prop_flat_map(|(m, k, n)| {
+            (
+                tensor_strategy(vec![m, k]),
+                tensor_strategy(vec![k, n]),
+                tensor_strategy(vec![k, n]),
+            )
+        })
+    ) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        cae_tensor::assert_close(lhs.data(), rhs.data(), 1e-2);
+    }
+
+    #[test]
+    fn transpose_is_involution(
+        a in (1usize..6, 1usize..6).prop_flat_map(|(m, n)| tensor_strategy(vec![m, n]))
+    ) {
+        let tt = a.transpose().transpose();
+        prop_assert_eq!(tt.data(), a.data());
+    }
+
+    #[test]
+    fn transpose12_is_involution(
+        a in (1usize..4, 1usize..5, 1usize..5)
+            .prop_flat_map(|(b, m, n)| tensor_strategy(vec![b, m, n]))
+    ) {
+        let tt = a.transpose12().transpose12();
+        prop_assert_eq!(tt.data(), a.data());
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(
+        a in (1usize..5, 1usize..6).prop_flat_map(|(m, n)| tensor_strategy(vec![m, n]))
+    ) {
+        let y = a.softmax_last();
+        let n = a.dims()[1];
+        for row in y.data().chunks_exact(n) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row sum {}", sum);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0001).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn conv_delta_kernel_is_identity(
+        a in (1usize..3, 1usize..3, 3usize..10)
+            .prop_flat_map(|(b, c, l)| tensor_strategy(vec![b, c, l]))
+    ) {
+        // A per-channel delta kernel (identity mapping) with Same padding.
+        let c = a.dims()[1];
+        let mut w = Tensor::zeros(&[c, c, 3]);
+        for ci in 0..c {
+            w.set(&[ci, ci, 1], 1.0);
+        }
+        let y = a.conv1d(&w, Padding::Same);
+        cae_tensor::assert_close(y.data(), a.data(), 1e-5);
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(
+        (a, b) in (1usize..3, 1usize..3, 4usize..9).prop_flat_map(|(bs, c, l)| {
+            (tensor_strategy(vec![bs, c, l]), tensor_strategy(vec![bs, c, l]))
+        })
+    ) {
+        let c = a.dims()[1];
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(99);
+        let w = Tensor::rand_uniform(&[2, c, 3], -1.0, 1.0, &mut rng);
+        let lhs = a.add(&b).conv1d(&w, Padding::Causal);
+        let rhs = a.conv1d(&w, Padding::Causal).add(&b.conv1d(&w, Padding::Causal));
+        cae_tensor::assert_close(lhs.data(), rhs.data(), 1e-2);
+    }
+
+    #[test]
+    fn mse_is_nonnegative_and_zero_on_self(
+        a in (1usize..5, 1usize..5).prop_flat_map(|(m, n)| tensor_strategy(vec![m, n]))
+    ) {
+        prop_assert!(a.mse(&a).abs() < 1e-9);
+        let shifted = a.add_scalar(1.0);
+        let m = a.mse(&shifted);
+        prop_assert!((m - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn row_sq_norms_match_total(
+        a in (1usize..5, 1usize..5).prop_flat_map(|(m, n)| tensor_strategy(vec![m, n]))
+    ) {
+        let per_row: f32 = a.row_sq_norms().iter().sum();
+        prop_assert!((per_row - a.sq_norm()).abs() < 1e-2 * (1.0 + a.sq_norm()));
+    }
+}

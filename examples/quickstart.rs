@@ -1,0 +1,62 @@
+//! Quickstart: train a CAE-Ensemble on a synthetic periodic signal and
+//! flag injected anomalies.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cae_ensemble_repro::prelude::*;
+
+fn main() {
+    // 1. A clean training series: two superimposed sinusoids.
+    let train = TimeSeries::univariate(
+        (0..2000)
+            .map(|t| (t as f32 * 0.2).sin() + 0.4 * (t as f32 * 0.05).sin())
+            .collect(),
+    );
+
+    // 2. A test series with three kinds of injected outliers.
+    let mut values: Vec<f32> = (0..800)
+        .map(|t| (t as f32 * 0.2).sin() + 0.4 * (t as f32 * 0.05).sin())
+        .collect();
+    values[200] += 5.0; // point spike
+    for v in values.iter_mut().take(420).skip(400) {
+        *v += 2.0; // level shift interval
+    }
+    for (i, v) in values.iter_mut().take(620).skip(600).enumerate() {
+        *v = if i % 2 == 0 { 3.0 } else { -3.0 }; // oscillation fault
+    }
+    let test = TimeSeries::univariate(values);
+    let mut labels = vec![false; 800];
+    labels[200] = true;
+    labels[400..420].fill(true);
+    labels[600..620].fill(true);
+
+    // 3. Configure and train the detector (Section 3 of the paper).
+    let model_cfg = CaeConfig::new(1).embed_dim(16).window(16).layers(2);
+    let ens_cfg = EnsembleConfig::new()
+        .num_models(4)
+        .epochs_per_model(5)
+        .lambda(2.0) // diversity weight λ (Eq. 13)
+        .beta(0.5) // parameter-transfer fraction β (Fig. 9)
+        .seed(7);
+    let mut detector = CaeEnsemble::new(model_cfg, ens_cfg);
+
+    println!("training CAE-Ensemble (4 basic models)…");
+    detector.fit(&train);
+
+    // 4. Score and evaluate.
+    let scores = detector.score(&test);
+    let report = EvalReport::compute(&scores, &labels);
+    println!("evaluation: {report}");
+
+    // 5. Show the top-scoring timestamps.
+    let mut ranked: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+    println!("top-10 flagged timestamps (truth in brackets):");
+    for &(t, s) in ranked.iter().take(10) {
+        println!("  t = {t:4}  score = {s:8.3}  [{}]", if labels[t] { "outlier" } else { "normal" });
+    }
+    assert!(report.roc_auc > 0.8, "detector failed to separate the anomalies");
+    println!("done — ROC AUC {:.3}", report.roc_auc);
+}

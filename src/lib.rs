@@ -1,0 +1,32 @@
+//! # CAE-Ensemble reproduction
+//!
+//! Umbrella crate for the from-scratch Rust reproduction of
+//! *"Unsupervised Time Series Outlier Detection with Diversity-Driven
+//! Convolutional Ensembles"* (Campos et al., PVLDB 2022).
+//!
+//! This crate re-exports the public API of the workspace so downstream
+//! users can depend on a single crate:
+//!
+//! * [`core`] — the CAE-Ensemble detector (the paper's contribution);
+//! * [`baselines`] — the eleven comparison methods of the evaluation;
+//! * [`data`] — time series containers, pre-processing, synthetic datasets;
+//! * [`metrics`] — PR/ROC AUC and F1 evaluation suites;
+//! * [`nn`] / [`autograd`] / [`tensor`] — the neural substrate.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the
+//! paper-to-code map.
+
+pub use cae_autograd as autograd;
+pub use cae_baselines as baselines;
+pub use cae_core as core;
+pub use cae_data as data;
+pub use cae_metrics as metrics;
+pub use cae_nn as nn;
+pub use cae_tensor as tensor;
+
+/// Convenience prelude importing the types most programs need.
+pub mod prelude {
+    pub use cae_core::{CaeConfig, CaeEnsemble, EnsembleConfig, StreamingDetector};
+    pub use cae_data::{Dataset, DatasetKind, Detector, Scale, Scaler, TimeSeries};
+    pub use cae_metrics::EvalReport;
+}

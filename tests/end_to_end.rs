@@ -1,0 +1,148 @@
+//! End-to-end integration tests spanning all workspace crates: dataset
+//! generation → pre-processing → training → scoring → evaluation.
+
+use cae_ensemble_repro::prelude::*;
+
+/// Small-but-real configuration used across the integration tests.
+fn quick_detector(dim: usize) -> CaeEnsemble {
+    CaeEnsemble::new(
+        CaeConfig::new(dim).embed_dim(12).window(12).layers(1),
+        EnsembleConfig::new()
+            .num_models(3)
+            .epochs_per_model(3)
+            .batch_size(32)
+            .train_stride(8)
+            .seed(1234),
+    )
+}
+
+#[test]
+fn fit_score_evaluate_on_ecg_like() {
+    let ds = DatasetKind::Ecg.generate(Scale::Quick, 99);
+    // ECG anomalies are morphology changes within the normal value range;
+    // the detector needs a window covering most of a beat and a deeper
+    // stack than the minimal smoke configuration.
+    let mut det = CaeEnsemble::new(
+        CaeConfig::new(ds.train.dim()).embed_dim(24).window(16).layers(2),
+        EnsembleConfig::new()
+            .num_models(4)
+            .epochs_per_model(4)
+            .batch_size(32)
+            .train_stride(6)
+            .seed(1234),
+    );
+    det.fit(&ds.train);
+    let scores = det.score(&ds.test);
+    assert_eq!(scores.len(), ds.test.len());
+    let report = EvalReport::compute(&scores, &ds.test_labels);
+    // The detector must beat random ranking on this easy synthetic set.
+    assert!(
+        report.roc_auc > 0.6,
+        "ROC AUC {:.3} is not better than random",
+        report.roc_auc
+    );
+    assert!(report.pr_auc > ds.outlier_ratio(), "PR AUC below prevalence");
+}
+
+#[test]
+fn every_dataset_flows_through_the_pipeline() {
+    for kind in DatasetKind::all() {
+        let ds = kind.generate(Scale::Quick, 6);
+        // Keep the heavier datasets quick: slice the training series.
+        let train = ds.train.slice(0, ds.train.len().min(800));
+        let test = ds.test.slice(0, ds.test.len().min(400));
+        let labels = &ds.test_labels[..test.len()];
+
+        let mut det = quick_detector(train.dim());
+        det.fit(&train);
+        let scores = det.score(&test);
+        assert_eq!(scores.len(), test.len(), "{}", kind.name());
+        assert!(
+            scores.iter().all(|s| s.is_finite() && *s >= 0.0),
+            "{}: non-finite scores",
+            kind.name()
+        );
+        let report = EvalReport::compute(&scores, labels);
+        assert!(report.roc_auc.is_finite(), "{}", kind.name());
+    }
+}
+
+#[test]
+fn scores_rank_injected_outliers_above_normals() {
+    let ds = DatasetKind::Smd.generate(Scale::Quick, 7);
+    let train = ds.train.slice(0, 1500);
+    let mut det = quick_detector(train.dim());
+    det.fit(&train);
+    let scores = det.score(&ds.test);
+
+    let mean = |want: bool| -> f64 {
+        let (mut sum, mut count) = (0.0f64, 0usize);
+        for (s, &l) in scores.iter().zip(&ds.test_labels) {
+            if l == want {
+                sum += *s as f64;
+                count += 1;
+            }
+        }
+        sum / count.max(1) as f64
+    };
+    let outlier_mean = mean(true);
+    let inlier_mean = mean(false);
+    assert!(
+        outlier_mean > inlier_mean,
+        "labelled outliers ({outlier_mean:.4}) do not score above inliers ({inlier_mean:.4})"
+    );
+}
+
+#[test]
+fn ensemble_reproducibility_across_processes_worth_of_state() {
+    // Same seed ⇒ identical members, scores and diversity value.
+    let ds = DatasetKind::Ecg.generate(Scale::Quick, 8);
+    let train = ds.train.slice(0, 800);
+    let test = ds.test.slice(0, 300);
+
+    let run = || {
+        let mut det = quick_detector(train.dim());
+        det.fit(&train);
+        (det.score(&test), det.diversity_value(&test))
+    };
+    let (s1, d1) = run();
+    let (s2, d2) = run();
+    assert_eq!(s1, s2);
+    assert_eq!(d1, d2);
+}
+
+#[test]
+fn streaming_agrees_with_batch_on_real_dataset() {
+    let ds = DatasetKind::Ecg.generate(Scale::Quick, 9);
+    let train = ds.train.slice(0, 800);
+    let test = ds.test.slice(0, 120);
+
+    let mut det = quick_detector(train.dim());
+    det.fit(&train);
+    let batch = det.score(&test);
+
+    let mut stream = StreamingDetector::new(&det);
+    let w = det.model_config().window;
+    for t in 0..test.len() {
+        if let Some(s) = stream.push(test.observation(t)) {
+            assert!(
+                (s - batch[t]).abs() < 1e-3,
+                "streaming/batch mismatch at t={t}: {s} vs {}",
+                batch[t]
+            );
+        } else {
+            assert!(t < w - 1, "warm-up longer than w−1");
+        }
+    }
+}
+
+#[test]
+fn scaler_round_trips_through_umbrella_crate() {
+    let ds = DatasetKind::Smap.generate(Scale::Quick, 10);
+    let scaler = Scaler::fit(&ds.train);
+    let z = scaler.transform(&ds.train);
+    let back = scaler.inverse_transform(&z);
+    for (a, b) in back.data().iter().zip(ds.train.data()).take(4096) {
+        assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Integration tests pinning the paper's *qualitative claims* — the shapes
+//! the reproduction must preserve even though absolute numbers differ from
+//! the original GPU/real-data setup.
+
+use cae_ensemble_repro::prelude::*;
+
+fn base_configs(dim: usize) -> (CaeConfig, EnsembleConfig) {
+    (
+        CaeConfig::new(dim).embed_dim(12).window(12).layers(1),
+        EnsembleConfig::new()
+            .num_models(4)
+            .epochs_per_model(3)
+            .batch_size(32)
+            .train_stride(6)
+            .seed(77),
+    )
+}
+
+/// Section 3.2 / Table 6: diversity-driven training yields a more diverse
+/// ensemble than independent training.
+#[test]
+fn claim_diversity_driven_training_increases_div_f() {
+    let ds = DatasetKind::Ecg.generate(Scale::Quick, 30);
+    let train = ds.train.slice(0, 1000);
+    let test = ds.test.slice(0, 400);
+    let (mc, ec) = base_configs(train.dim());
+    // Raw reconstruction target: Eq. 9 distances need a shared output
+    // space (see `CaeEnsemble::diversity_value`).
+    let mc = mc.target(cae_ensemble_repro::core::ReconstructionTarget::Raw);
+
+    let mut diverse = CaeEnsemble::new(mc.clone(), ec.clone().lambda(4.0));
+    diverse.fit(&train);
+    let mut independent = CaeEnsemble::new(mc, ec.diversity_driven(false));
+    independent.fit(&train);
+
+    let d = diverse.diversity_value(&test);
+    let i = independent.diversity_value(&test);
+    assert!(d > i, "diversity-driven DIV_F {d:.4} not above independent {i:.4}");
+}
+
+/// Section 3.2.1 / Table 7: parameter transfer means later members start
+/// partially trained — their first-epoch reconstruction loss is lower than
+/// the first member's first-epoch loss.
+#[test]
+fn claim_parameter_transfer_warm_starts_members() {
+    let ds = DatasetKind::Ecg.generate(Scale::Quick, 31);
+    let train = ds.train.slice(0, 1000);
+    let (mc, ec) = base_configs(train.dim());
+    let mut ens = CaeEnsemble::new(mc, ec.beta(0.9));
+    ens.fit(&train);
+
+    let trace = ens.loss_trace();
+    let first_epoch_loss = |model: usize| -> f32 {
+        trace
+            .iter()
+            .find(|&&(m, e, _, _)| m == model && e == 0)
+            .map(|&(_, _, j, _)| j)
+            .expect("trace records every epoch")
+    };
+    let fresh = first_epoch_loss(0);
+    let transferred = first_epoch_loss(1);
+    assert!(
+        transferred < fresh,
+        "transferred member starts at J = {transferred:.4}, fresh at {fresh:.4}"
+    );
+}
+
+/// Eq. 15: the median aggregation is robust — corrupting one member's
+/// scores barely moves the ensemble scores.
+#[test]
+fn claim_median_aggregation_is_robust_to_one_bad_member() {
+    let ds = DatasetKind::Ecg.generate(Scale::Quick, 32);
+    let train = ds.train.slice(0, 800);
+    let test = ds.test.slice(0, 300);
+    let (mc, ec) = base_configs(train.dim());
+    let mut ens = CaeEnsemble::new(mc, ec.num_models(5));
+    ens.fit(&train);
+
+    let mut per_member = ens.member_scores(&test);
+    let clean = cae_ensemble_repro::data::scoring::median_scores(&per_member);
+    // Corrupt one member with huge errors (an overfit/diverged model).
+    for s in per_member[0].iter_mut() {
+        *s += 1e6;
+    }
+    let corrupted = cae_ensemble_repro::data::scoring::median_scores(&per_member);
+    let max_shift = clean
+        .iter()
+        .zip(corrupted.iter())
+        .map(|(&a, &b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    // The median over 5 members ignores a single corrupted series wherever
+    // it was not already the middle element; the shift stays bounded by
+    // the spread of the healthy members, not the 1e6 corruption.
+    assert!(
+        max_shift < 1e3,
+        "median moved by {max_shift} under single-member corruption"
+    );
+}
+
+/// Figure 16: more basic models do not hurt — accuracy with M members is
+/// at least close to accuracy with 1 member, typically better.
+#[test]
+fn claim_more_members_do_not_degrade_accuracy() {
+    let ds = DatasetKind::Ecg.generate(Scale::Quick, 33);
+    let train = ds.train.slice(0, 1000);
+    let (mc, ec) = base_configs(train.dim());
+    let mut ens = CaeEnsemble::new(mc, ec.num_models(6));
+    ens.fit(&train);
+
+    let auc_with = |m: usize| {
+        let scores = ens.score_with_first_members(&ds.test, m);
+        cae_ensemble_repro::metrics::roc_auc(&scores, &ds.test_labels)
+    };
+    let single = auc_with(1);
+    let full = auc_with(6);
+    assert!(
+        full > single - 0.05,
+        "ensemble ROC {full:.3} collapsed versus single-member {single:.3}"
+    );
+}
+
+/// Section 4.2.7 / Table 8: the online phase is fast — scoring one window
+/// is orders of magnitude cheaper than training.
+#[test]
+fn claim_online_scoring_is_cheap() {
+    let ds = DatasetKind::Ecg.generate(Scale::Quick, 34);
+    let train = ds.train.slice(0, 800);
+    let (mc, ec) = base_configs(train.dim());
+    let mut ens = CaeEnsemble::new(mc, ec);
+    let t0 = std::time::Instant::now();
+    ens.fit(&train);
+    let fit_time = t0.elapsed();
+
+    let mut stream = StreamingDetector::new(&ens);
+    for t in 0..12 {
+        stream.push(ds.test.observation(t));
+    }
+    let t1 = std::time::Instant::now();
+    let n = 100;
+    for t in 12..12 + n {
+        stream.push(ds.test.observation(t));
+    }
+    let per_window = t1.elapsed() / n as u32;
+    assert!(
+        per_window.as_secs_f64() * 200.0 < fit_time.as_secs_f64(),
+        "per-window scoring ({per_window:?}) is not ≪ training ({fit_time:?})"
+    );
+}
+
+/// Interval labels (Figures 11–12): within a labelled anomaly interval the
+/// score peaks align with a minority of observations.
+#[test]
+fn claim_interval_scores_are_peaked_not_uniform() {
+    let ds = DatasetKind::Ecg.generate(Scale::Quick, 35);
+    let (mc, ec) = base_configs(ds.train.dim());
+    let mut ens = CaeEnsemble::new(mc, ec);
+    ens.fit(&ds.train);
+    let scores = ens.score(&ds.test);
+
+    // Find the labelled intervals; compare each interval's max to its
+    // median score: a peaked profile has max ≫ median.
+    let mut t = 0;
+    let mut peaked = 0usize;
+    let mut total = 0usize;
+    while t < ds.test_labels.len() {
+        if ds.test_labels[t] {
+            let start = t;
+            while t < ds.test_labels.len() && ds.test_labels[t] {
+                t += 1;
+            }
+            let interval = &scores[start..t];
+            if interval.len() >= 8 {
+                let mut sorted = interval.to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let median = sorted[sorted.len() / 2];
+                let max = *sorted.last().expect("non-empty");
+                total += 1;
+                if max > 2.0 * median.max(1e-6) {
+                    peaked += 1;
+                }
+            }
+        } else {
+            t += 1;
+        }
+    }
+    assert!(total >= 3, "need at least a few long intervals, found {total}");
+    assert!(
+        peaked * 2 >= total,
+        "only {peaked}/{total} intervals show peaked score profiles"
+    );
+}
