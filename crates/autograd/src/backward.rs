@@ -20,10 +20,7 @@ impl Tape {
         );
         self.grads.clear();
         self.grads.resize(self.values.len(), None);
-        self.grads[loss.0] = Some(Tensor::from_vec(
-            vec![1.0],
-            self.values[loss.0].dims(),
-        ));
+        self.grads[loss.0] = Some(Tensor::from_vec(vec![1.0], self.values[loss.0].dims()));
 
         for i in (0..=loss.0).rev() {
             let Some(g) = self.grads[i].take() else {
@@ -112,7 +109,11 @@ impl Tape {
                 self.accum(a, g.reshape(&dims));
             }
 
-            Op::Conv1d { input, kernel, padding } => {
+            Op::Conv1d {
+                input,
+                kernel,
+                padding,
+            } => {
                 let (input, kernel, padding) = (*input, *kernel, *padding);
                 let k = self.values[kernel.0].dims()[2];
                 let dx = Tensor::conv1d_input_grad(g, &self.values[kernel.0], padding);
@@ -190,7 +191,11 @@ impl Tape {
                     .zip(y.data().chunks_exact(n))
                     .zip(g.data().chunks_exact(n))
                 {
-                    let dot: f32 = y_row.iter().zip(g_row.iter()).map(|(&yv, &gv)| yv * gv).sum();
+                    let dot: f32 = y_row
+                        .iter()
+                        .zip(g_row.iter())
+                        .map(|(&yv, &gv)| yv * gv)
+                        .sum();
                     for ((d, &yv), &gv) in dx_row.iter_mut().zip(y_row.iter()).zip(g_row.iter()) {
                         *d = yv * (gv - dot);
                     }

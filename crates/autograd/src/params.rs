@@ -35,7 +35,11 @@ impl ParamStore {
     /// The gradient accumulator starts at zero with the same shape.
     pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
         let grad = Tensor::zeros(value.dims());
-        self.slots.push(Slot { name: name.into(), value, grad });
+        self.slots.push(Slot {
+            name: name.into(),
+            value,
+            grad,
+        });
         ParamId(self.slots.len() - 1)
     }
 
@@ -114,7 +118,12 @@ impl ParamStore {
             .iter()
             .zip(other.slots.iter())
             .map(|(a, b)| {
-                assert_eq!(a.value.dims(), b.value.dims(), "parameter {} shape mismatch", a.name);
+                assert_eq!(
+                    a.value.dims(),
+                    b.value.dims(),
+                    "parameter {} shape mismatch",
+                    a.name
+                );
                 a.value.sub(&b.value).sq_norm()
             })
             .sum()

@@ -37,7 +37,11 @@ pub enum Op {
     Reshape(Var),
     /// 1-D convolution of `input` `(B, C_in, L)` with `kernel`
     /// `(C_out, C_in, K)`.
-    Conv1d { input: Var, kernel: Var, padding: Padding },
+    Conv1d {
+        input: Var,
+        kernel: Var,
+        padding: Padding,
+    },
     /// `(…, C) + (C)` bias over the last axis.
     AddBiasLast(Var, Var),
     /// `(B, C, L) + (C)` bias over the channel axis.
@@ -86,7 +90,11 @@ impl Default for Tape {
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
-        Tape { values: Vec::new(), ops: Vec::new(), grads: Vec::new() }
+        Tape {
+            values: Vec::new(),
+            ops: Vec::new(),
+            grads: Vec::new(),
+        }
     }
 
     /// Drops all nodes but keeps the allocations of the arenas.
@@ -165,7 +173,11 @@ impl Tape {
         let (av, bv) = (&self.values[a.0], &self.values[b.0]);
         assert_eq!(av.rank(), 3, "add_broadcast0 lhs must be rank 3");
         assert_eq!(bv.rank(), 2, "add_broadcast0 rhs must be rank 2");
-        assert_eq!(&av.dims()[1..], bv.dims(), "add_broadcast0 trailing dims mismatch");
+        assert_eq!(
+            &av.dims()[1..],
+            bv.dims(),
+            "add_broadcast0 trailing dims mismatch"
+        );
         let (bs, m, n) = (av.dims()[0], av.dims()[1], av.dims()[2]);
         let mut out = av.clone();
         for bi in 0..bs {
@@ -237,7 +249,14 @@ impl Tape {
     /// 1-D convolution (see [`cae_tensor::Tensor::conv1d`]).
     pub fn conv1d(&mut self, input: Var, kernel: Var, padding: Padding) -> Var {
         let v = self.values[input.0].conv1d(&self.values[kernel.0], padding);
-        self.push(v, Op::Conv1d { input, kernel, padding })
+        self.push(
+            v,
+            Op::Conv1d {
+                input,
+                kernel,
+                padding,
+            },
+        )
     }
 
     /// `(…, C) + (C)` bias along the last axis.
@@ -312,7 +331,13 @@ impl Tape {
     /// (rank-0 node). This is the autoencoder objective J (paper Eq. 11).
     pub fn mse_loss(&mut self, pred: Var, target: &Tensor) -> Var {
         let v = Tensor::scalar(self.values[pred.0].mse(target));
-        self.push(v, Op::MseLoss { pred, target: target.clone() })
+        self.push(
+            v,
+            Op::MseLoss {
+                pred,
+                target: target.clone(),
+            },
+        )
     }
 
     // ------------------------------------------------------------------
@@ -416,6 +441,9 @@ mod tests {
         let a = tape.constant(Tensor::zeros(&[2, 2, 2]));
         let b = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
         let y = tape.add_broadcast0(a, b);
-        assert_eq!(tape.value(y).data(), &[1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            tape.value(y).data(),
+            &[1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0]
+        );
     }
 }

@@ -51,7 +51,12 @@ fn check_grads(store: &mut ParamStore, f: impl Fn(&mut Tape, &ParamStore) -> Var
     for id in ids {
         let analytic = store.grad(id).clone();
         let numeric = finite_diff(store, id, &f);
-        for (i, (&a, &n)) in analytic.data().iter().zip(numeric.data().iter()).enumerate() {
+        for (i, (&a, &n)) in analytic
+            .data()
+            .iter()
+            .zip(numeric.data().iter())
+            .enumerate()
+        {
             let denom = 1.0f32.max(a.abs()).max(n.abs());
             assert!(
                 (a - n).abs() / denom <= tol,

@@ -76,7 +76,12 @@ impl MaskedLayer {
         );
         let bias = store.register(format!("{name}.b"), Tensor::zeros(&[out]));
         let mask = Tensor::bernoulli_mask(&[inp, out], 1.0 - drop, rng);
-        MaskedLayer { weight, bias, mask, tanh }
+        MaskedLayer {
+            weight,
+            bias,
+            mask,
+            tanh,
+        }
     }
 
     fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
@@ -127,7 +132,11 @@ pub struct AeEnsemble {
 impl AeEnsemble {
     /// An ensemble with the given configuration.
     pub fn new(cfg: AeEnsembleConfig) -> Self {
-        AeEnsemble { cfg, scaler: None, members: Vec::new() }
+        AeEnsemble {
+            cfg,
+            scaler: None,
+            members: Vec::new(),
+        }
     }
 
     /// An ensemble with the paper's configuration.
@@ -202,7 +211,11 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> AeEnsembleConfig {
-        AeEnsembleConfig { num_models: 3, epochs: 15, ..AeEnsembleConfig::default() }
+        AeEnsembleConfig {
+            num_models: 3,
+            epochs: 15,
+            ..AeEnsembleConfig::default()
+        }
     }
 
     fn correlated_series(n: usize, seed: u64) -> TimeSeries {
@@ -226,7 +239,10 @@ mod tests {
         let scores = ae.score(&test);
         let outlier = scores[60];
         let mean: f32 = scores[..60].iter().sum::<f32>() / 60.0;
-        assert!(outlier > 2.0 * mean, "outlier {outlier} vs inlier mean {mean}");
+        assert!(
+            outlier > 2.0 * mean,
+            "outlier {outlier} vs inlier mean {mean}"
+        );
     }
 
     #[test]

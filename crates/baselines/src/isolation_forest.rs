@@ -25,13 +25,22 @@ pub struct IsolationForestConfig {
 
 impl Default for IsolationForestConfig {
     fn default() -> Self {
-        IsolationForestConfig { num_trees: 100, subsample: 256, seed: 42 }
+        IsolationForestConfig {
+            num_trees: 100,
+            subsample: 256,
+            seed: 42,
+        }
     }
 }
 
 enum Node {
     /// Internal split: feature index, cut value, children.
-    Split { feature: usize, cut: f32, left: Box<Node>, right: Box<Node> },
+    Split {
+        feature: usize,
+        cut: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
     /// Leaf holding the number of training points that reached it.
     Leaf { size: usize },
 }
@@ -42,7 +51,12 @@ impl Node {
     fn path_length(&self, x: &[f32], depth: f64) -> f64 {
         match self {
             Node::Leaf { size } => depth + average_path_length(*size),
-            Node::Split { feature, cut, left, right } => {
+            Node::Split {
+                feature,
+                cut,
+                left,
+                right,
+            } => {
                 if x[*feature] < *cut {
                     left.path_length(x, depth + 1.0)
                 } else {
@@ -114,7 +128,12 @@ pub struct IsolationForest {
 impl IsolationForest {
     /// A forest with the given configuration.
     pub fn new(cfg: IsolationForestConfig) -> Self {
-        IsolationForest { cfg, scaler: None, trees: Vec::new(), subsample: 0 }
+        IsolationForest {
+            cfg,
+            scaler: None,
+            trees: Vec::new(),
+            subsample: 0,
+        }
     }
 
     /// A forest with the paper's configuration (100 trees).

@@ -26,8 +26,8 @@ mod isolation_forest;
 mod lof;
 mod mas;
 mod mscred;
-mod omni;
 mod ocsvm;
+mod omni;
 mod rae;
 mod rnnvae;
 pub(crate) mod util;

@@ -29,7 +29,11 @@ pub struct LofConfig {
 
 impl Default for LofConfig {
     fn default() -> Self {
-        LofConfig { k: 20, max_reference: 2000, seed: 42 }
+        LofConfig {
+            k: 20,
+            max_reference: 2000,
+            seed: 42,
+        }
     }
 }
 
@@ -90,10 +94,7 @@ impl LocalOutlierFactor {
 
     fn lrd_of(&self, neighbors: &[(f64, usize)]) -> f64 {
         // reach-dist(x, o) = max(k-dist(o), d(x, o))
-        let sum: f64 = neighbors
-            .iter()
-            .map(|&(d, o)| d.max(self.k_dist[o]))
-            .sum();
+        let sum: f64 = neighbors.iter().map(|&(d, o)| d.max(self.k_dist[o])).sum();
         if sum <= 0.0 {
             // Coincident points: infinite density, use a large finite cap.
             1e12
@@ -109,7 +110,10 @@ impl Detector for LocalOutlierFactor {
     }
 
     fn fit(&mut self, train: &TimeSeries) {
-        assert!(train.len() > self.cfg.k, "LOF needs more than k training points");
+        assert!(
+            train.len() > self.cfg.k,
+            "LOF needs more than k training points"
+        );
         self.scaler = Some(Scaler::fit(train));
         let scaled = self.scaler.as_ref().expect("just set").transform(train);
         self.dim = scaled.dim();
@@ -188,7 +192,10 @@ mod tests {
         let scores = lof.score(&test);
         let outlier = scores[30];
         let max_inlier = scores[..30].iter().copied().fold(f32::MIN, f32::max);
-        assert!(outlier > 2.0 * max_inlier, "outlier {outlier} vs max inlier {max_inlier}");
+        assert!(
+            outlier > 2.0 * max_inlier,
+            "outlier {outlier} vs max inlier {max_inlier}"
+        );
     }
 
     #[test]
@@ -205,7 +212,11 @@ mod tests {
     #[test]
     fn subsampling_caps_reference_set() {
         let train = cluster(500, 5);
-        let mut lof = LocalOutlierFactor::new(LofConfig { k: 5, max_reference: 100, seed: 6 });
+        let mut lof = LocalOutlierFactor::new(LofConfig {
+            k: 5,
+            max_reference: 100,
+            seed: 6,
+        });
         lof.fit(&train);
         assert_eq!(lof.reference.len() / 2, 100);
         let scores = lof.score(&cluster(20, 7));

@@ -74,7 +74,14 @@ pub struct Mscred {
 impl Mscred {
     /// MSCRED with the given configuration.
     pub fn new(cfg: MscredConfig) -> Self {
-        Mscred { cfg, scaler: None, channels: Vec::new(), encoder: None, decoder: None, store: ParamStore::new() }
+        Mscred {
+            cfg,
+            scaler: None,
+            channels: Vec::new(),
+            encoder: None,
+            decoder: None,
+            store: ParamStore::new(),
+        }
     }
 
     /// MSCRED with the paper's segment configuration (16 / 5).
@@ -113,7 +120,9 @@ impl Mscred {
         if len < self.cfg.segment {
             return Vec::new();
         }
-        (0..=len - self.cfg.segment).step_by(self.cfg.stride).collect()
+        (0..=len - self.cfg.segment)
+            .step_by(self.cfg.stride)
+            .collect()
     }
 
     /// Reconstruction error of each segment in `series`.
@@ -153,9 +162,10 @@ impl Detector for Mscred {
         let d = scaled.dim();
         let mut by_var: Vec<(f32, usize)> = (0..d)
             .map(|di| {
-                let mean: f32 =
-                    (0..scaled.len()).map(|t| scaled.observation(t)[di]).sum::<f32>()
-                        / scaled.len() as f32;
+                let mean: f32 = (0..scaled.len())
+                    .map(|t| scaled.observation(t)[di])
+                    .sum::<f32>()
+                    / scaled.len() as f32;
                 let var: f32 = (0..scaled.len())
                     .map(|t| {
                         let v = scaled.observation(t)[di] - mean;
@@ -167,7 +177,11 @@ impl Detector for Mscred {
             })
             .collect();
         by_var.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("variance not NaN"));
-        self.channels = by_var.iter().take(self.cfg.channel_cap).map(|&(_, i)| i).collect();
+        self.channels = by_var
+            .iter()
+            .take(self.cfg.channel_cap)
+            .map(|&(_, i)| i)
+            .collect();
         self.channels.sort_unstable();
 
         // Build and train the matrix autoencoder.
@@ -231,7 +245,10 @@ impl Detector for Mscred {
         assert!(self.encoder.is_some(), "score() before fit()");
         let scaled = self.scaler.as_ref().expect("fitted").transform(test);
         let starts = self.segment_starts(scaled.len());
-        assert!(!starts.is_empty(), "test series shorter than one signature segment");
+        assert!(
+            !starts.is_empty(),
+            "test series shorter than one signature segment"
+        );
         let seg_errors = self.segment_errors(&scaled, &starts);
 
         // Segment-granular scores: each timestamp takes the maximum error
@@ -276,12 +293,18 @@ mod tests {
             let d = test.dim();
             test.data_mut()[t * d + 1] *= -1.0;
         }
-        let mut m = Mscred::new(MscredConfig { epochs: 30, ..MscredConfig::default() });
+        let mut m = Mscred::new(MscredConfig {
+            epochs: 30,
+            ..MscredConfig::default()
+        });
         m.fit(&train);
         let scores = m.score(&test);
         let inside: f32 = scores[100..120].iter().sum::<f32>() / 20.0;
         let outside: f32 = scores[..80].iter().sum::<f32>() / 80.0;
-        assert!(inside > 2.0 * outside, "inside {inside} vs outside {outside}");
+        assert!(
+            inside > 2.0 * outside,
+            "inside {inside} vs outside {outside}"
+        );
         // Segment granularity: neighbors of the interval are also elevated
         // (the low-precision signature of MSCRED).
         assert!(scores[95] > outside, "no bleed-over before the interval");
@@ -312,7 +335,10 @@ mod tests {
     fn scores_cover_every_timestamp() {
         let train = correlated(300, 4);
         let test = correlated(143, 5); // deliberately not a stride multiple
-        let mut m = Mscred::new(MscredConfig { epochs: 2, ..MscredConfig::default() });
+        let mut m = Mscred::new(MscredConfig {
+            epochs: 2,
+            ..MscredConfig::default()
+        });
         m.fit(&train);
         let scores = m.score(&test);
         assert_eq!(scores.len(), 143);

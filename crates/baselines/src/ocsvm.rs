@@ -116,7 +116,9 @@ impl Detector for OneClassSvm {
                 std * (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
             })
             .collect();
-        self.phase = (0..r).map(|_| rng.gen_range(0.0..std::f32::consts::TAU)).collect();
+        self.phase = (0..r)
+            .map(|_| rng.gen_range(0.0..std::f32::consts::TAU))
+            .collect();
 
         // Primal SGD on ½‖w‖² − ρ + 1/(νn) Σ hinge(ρ − w·z_i).
         self.w = vec![0.0f32; r];
@@ -136,8 +138,13 @@ impl Detector for OneClassSvm {
                 order.swap(i, j);
                 let t = order[i];
                 self.features(scaled.observation(t), &mut z);
-                let margin: f32 =
-                    self.w.iter().zip(z.iter()).map(|(&a, &b)| a * b).sum::<f32>() - self.rho;
+                let margin: f32 = self
+                    .w
+                    .iter()
+                    .zip(z.iter())
+                    .map(|(&a, &b)| a * b)
+                    .sum::<f32>()
+                    - self.rho;
                 let active = if margin < 0.0 { inv_nu } else { 0.0 };
                 for (wj, &zj) in self.w.iter_mut().zip(z.iter()) {
                     *wj -= lr * (*wj - active * zj);

@@ -15,9 +15,7 @@
 use crate::util::gather_windows;
 use cae_autograd::{ParamStore, Tape, Var};
 use cae_data::{
-    num_windows,
-    scoring::series_scores_from_window_errors,
-    Detector, Scaler, TimeSeries,
+    num_windows, scoring::series_scores_from_window_errors, Detector, Scaler, TimeSeries,
 };
 use cae_nn::{Activation, Adam, GruCell, Linear, Optimizer};
 use cae_tensor::Tensor;
@@ -84,8 +82,22 @@ impl OmniNet {
     fn new(store: &mut ParamStore, cfg: &OmniConfig, dim: usize, rng: &mut StdRng) -> Self {
         OmniNet {
             rnn: GruCell::new(store, "rnn", dim, cfg.hidden, rng),
-            mu: Linear::new(store, "mu", cfg.hidden, cfg.latent, Activation::Identity, rng),
-            logvar: Linear::new(store, "logvar", cfg.hidden, cfg.latent, Activation::Identity, rng),
+            mu: Linear::new(
+                store,
+                "mu",
+                cfg.hidden,
+                cfg.latent,
+                Activation::Identity,
+                rng,
+            ),
+            logvar: Linear::new(
+                store,
+                "logvar",
+                cfg.hidden,
+                cfg.latent,
+                Activation::Identity,
+                rng,
+            ),
             readout_z: Linear::new(store, "out_z", cfg.latent, dim, Activation::Identity, rng),
             readout_h: Linear::new(store, "out_h", cfg.hidden, dim, Activation::Identity, rng),
             dim,
@@ -176,7 +188,11 @@ pub struct OmniAnomaly {
 impl OmniAnomaly {
     /// OmniAnomaly with the given configuration.
     pub fn new(cfg: OmniConfig) -> Self {
-        OmniAnomaly { cfg, scaler: None, net: None }
+        OmniAnomaly {
+            cfg,
+            scaler: None,
+            net: None,
+        }
     }
 
     /// OmniAnomaly with CPU-scaled defaults.
@@ -191,7 +207,10 @@ impl Detector for OmniAnomaly {
     }
 
     fn fit(&mut self, train: &TimeSeries) {
-        assert!(train.len() > self.cfg.window, "training series shorter than one window");
+        assert!(
+            train.len() > self.cfg.window,
+            "training series shorter than one window"
+        );
         self.scaler = Some(Scaler::fit(train));
         let scaled = self.scaler.as_ref().expect("just set").transform(train);
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
@@ -199,7 +218,9 @@ impl Detector for OmniAnomaly {
         let net = OmniNet::new(&mut store, &self.cfg, scaled.dim(), &mut rng);
 
         let w = self.cfg.window;
-        let starts: Vec<usize> = (0..=scaled.len() - w).step_by(self.cfg.train_stride).collect();
+        let starts: Vec<usize> = (0..=scaled.len() - w)
+            .step_by(self.cfg.train_stride)
+            .collect();
         let mut opt = Adam::new(&store, self.cfg.learning_rate);
         let mut order: Vec<usize> = (0..starts.len()).collect();
         for _ in 0..self.cfg.epochs {
@@ -209,8 +230,7 @@ impl Detector for OmniAnomaly {
                 let batch = gather_windows(&scaled, &batch_starts, w);
                 let b = batch.dims()[0];
                 let d = batch.dims()[2];
-                let noise =
-                    Tensor::rand_normal(&[w * b * self.cfg.latent], 0.0, 1.0, &mut rng);
+                let noise = Tensor::rand_normal(&[w * b * self.cfg.latent], 0.0, 1.0, &mut rng);
 
                 let mut tape = Tape::new();
                 let (recon, stats) = net.forward(&mut tape, &store, &batch, Some(&noise));
@@ -220,9 +240,8 @@ impl Detector for OmniAnomaly {
                 for (t, &var) in recon.iter().enumerate() {
                     let mut target = vec![0.0f32; b * d];
                     for bi in 0..b {
-                        target[bi * d..(bi + 1) * d].copy_from_slice(
-                            &batch.data()[(bi * w + t) * d..(bi * w + t + 1) * d],
-                        );
+                        target[bi * d..(bi + 1) * d]
+                            .copy_from_slice(&batch.data()[(bi * w + t) * d..(bi * w + t + 1) * d]);
                     }
                     let target = Tensor::from_vec(target, &[b, d]);
                     let step = tape.mse_loss(var, &target);
@@ -302,9 +321,13 @@ mod tests {
         omni.fit(&train);
         let scores = omni.score(&test);
         let spike = scores[60];
-        let mean: f32 =
-            scores.iter().enumerate().filter(|&(t, _)| t != 60).map(|(_, &s)| s).sum::<f32>()
-                / 119.0;
+        let mean: f32 = scores
+            .iter()
+            .enumerate()
+            .filter(|&(t, _)| t != 60)
+            .map(|(_, &s)| s)
+            .sum::<f32>()
+            / 119.0;
         assert!(spike > 2.0 * mean, "spike {spike} vs mean {mean}");
     }
 
@@ -312,7 +335,10 @@ mod tests {
     fn deterministic_scoring() {
         let train = sine(150);
         let test = sine(60);
-        let mut omni = OmniAnomaly::new(OmniConfig { epochs: 2, ..quick() });
+        let mut omni = OmniAnomaly::new(OmniConfig {
+            epochs: 2,
+            ..quick()
+        });
         omni.fit(&train);
         assert_eq!(omni.score(&test), omni.score(&test));
     }
@@ -321,7 +347,10 @@ mod tests {
     fn scores_cover_series() {
         let train = sine(150);
         let test = sine(73);
-        let mut omni = OmniAnomaly::new(OmniConfig { epochs: 1, ..quick() });
+        let mut omni = OmniAnomaly::new(OmniConfig {
+            epochs: 1,
+            ..quick()
+        });
         omni.fit(&train);
         let scores = omni.score(&test);
         assert_eq!(scores.len(), 73);

@@ -93,7 +93,15 @@ impl RaeNet {
         let decoder = LstmCell::new(store, "dec", dim, hidden, rng);
         let readout = Linear::new(store, "readout", hidden, dim, Activation::Identity, rng);
         let dropped = (0..window).map(|_| rng.gen_bool(drop_fraction)).collect();
-        RaeNet { encoder, decoder, readout, dim, window, skip, dropped }
+        RaeNet {
+            encoder,
+            decoder,
+            readout,
+            dim,
+            window,
+            skip,
+            dropped,
+        }
     }
 
     /// The recurrent state a step `t` attends to, honoring skip length and
@@ -249,7 +257,11 @@ pub struct Rae {
 impl Rae {
     /// An RAE with the given configuration.
     pub fn new(cfg: RaeConfig) -> Self {
-        Rae { cfg, scaler: None, member: None }
+        Rae {
+            cfg,
+            scaler: None,
+            member: None,
+        }
     }
 
     /// An RAE with CPU-scaled defaults.
@@ -264,7 +276,10 @@ impl Detector for Rae {
     }
 
     fn fit(&mut self, train: &TimeSeries) {
-        assert!(train.len() > self.cfg.window, "training series shorter than one window");
+        assert!(
+            train.len() > self.cfg.window,
+            "training series shorter than one window"
+        );
         self.scaler = Some(Scaler::fit(train));
         let scaled = self.scaler.as_ref().expect("just set").transform(train);
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
@@ -327,7 +342,11 @@ pub struct RaeEnsemble {
 impl RaeEnsemble {
     /// An ensemble with the given configuration.
     pub fn new(cfg: RaeEnsembleConfig) -> Self {
-        RaeEnsemble { cfg, scaler: None, members: Vec::new() }
+        RaeEnsemble {
+            cfg,
+            scaler: None,
+            members: Vec::new(),
+        }
     }
 
     /// An ensemble with CPU-scaled defaults (8 members).
@@ -347,7 +366,10 @@ impl Detector for RaeEnsemble {
     }
 
     fn fit(&mut self, train: &TimeSeries) {
-        assert!(train.len() > self.cfg.rae.window, "training series shorter than one window");
+        assert!(
+            train.len() > self.cfg.rae.window,
+            "training series shorter than one window"
+        );
         self.scaler = Some(Scaler::fit(train));
         let scaled = self.scaler.as_ref().expect("just set").transform(train);
         let mut seed_rng = StdRng::seed_from_u64(self.cfg.rae.seed);
@@ -418,9 +440,13 @@ mod tests {
         let scores = rae.score(&test);
         assert_eq!(scores.len(), 120);
         let spike = scores[60];
-        let mean: f32 =
-            scores.iter().enumerate().filter(|&(t, _)| t != 60).map(|(_, &s)| s).sum::<f32>()
-                / 119.0;
+        let mean: f32 = scores
+            .iter()
+            .enumerate()
+            .filter(|&(t, _)| t != 60)
+            .map(|(_, &s)| s)
+            .sum::<f32>()
+            / 119.0;
         assert!(spike > 3.0 * mean, "spike {spike} vs mean {mean}");
     }
 
@@ -428,7 +454,10 @@ mod tests {
     fn ensemble_members_have_different_skips() {
         let train = sine(150);
         let mut ens = RaeEnsemble::new(RaeEnsembleConfig {
-            rae: RaeConfig { epochs: 1, ..quick_rae_cfg() },
+            rae: RaeConfig {
+                epochs: 1,
+                ..quick_rae_cfg()
+            },
             num_models: 3,
             skip_choices: vec![1, 2, 4],
             drop_fraction: 0.2,
@@ -443,7 +472,10 @@ mod tests {
         let train = sine(200);
         let test = sine(80);
         let mut ens = RaeEnsemble::new(RaeEnsembleConfig {
-            rae: RaeConfig { epochs: 2, ..quick_rae_cfg() },
+            rae: RaeConfig {
+                epochs: 2,
+                ..quick_rae_cfg()
+            },
             num_models: 2,
             skip_choices: vec![1, 2],
             drop_fraction: 0.2,
@@ -460,7 +492,10 @@ mod tests {
         let train = sine(120);
         let test = sine(60);
         let run = || {
-            let mut rae = Rae::new(RaeConfig { epochs: 2, ..quick_rae_cfg() });
+            let mut rae = Rae::new(RaeConfig {
+                epochs: 2,
+                ..quick_rae_cfg()
+            });
             rae.fit(&train);
             rae.score(&test)
         };

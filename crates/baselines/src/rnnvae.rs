@@ -11,9 +11,7 @@
 use crate::util::gather_windows;
 use cae_autograd::{ParamStore, Tape, Var};
 use cae_data::{
-    num_windows,
-    scoring::series_scores_from_window_errors,
-    Detector, Scaler, TimeSeries,
+    num_windows, scoring::series_scores_from_window_errors, Detector, Scaler, TimeSeries,
 };
 use cae_nn::{Activation, Adam, GruCell, Linear, Optimizer};
 use cae_tensor::Tensor;
@@ -81,9 +79,30 @@ impl VaeNet {
     fn new(store: &mut ParamStore, cfg: &RnnVaeConfig, dim: usize, rng: &mut StdRng) -> Self {
         VaeNet {
             encoder: GruCell::new(store, "enc", dim, cfg.hidden, rng),
-            mu: Linear::new(store, "mu", cfg.hidden, cfg.latent, Activation::Identity, rng),
-            logvar: Linear::new(store, "logvar", cfg.hidden, cfg.latent, Activation::Identity, rng),
-            latent_to_hidden: Linear::new(store, "z2h", cfg.latent, cfg.hidden, Activation::Tanh, rng),
+            mu: Linear::new(
+                store,
+                "mu",
+                cfg.hidden,
+                cfg.latent,
+                Activation::Identity,
+                rng,
+            ),
+            logvar: Linear::new(
+                store,
+                "logvar",
+                cfg.hidden,
+                cfg.latent,
+                Activation::Identity,
+                rng,
+            ),
+            latent_to_hidden: Linear::new(
+                store,
+                "z2h",
+                cfg.latent,
+                cfg.hidden,
+                Activation::Tanh,
+                rng,
+            ),
             decoder: GruCell::new(store, "dec", dim, cfg.hidden, rng),
             readout: Linear::new(store, "readout", cfg.hidden, dim, Activation::Identity, rng),
             dim,
@@ -192,7 +211,11 @@ pub struct RnnVae {
 impl RnnVae {
     /// RNNVAE with the given configuration.
     pub fn new(cfg: RnnVaeConfig) -> Self {
-        RnnVae { cfg, scaler: None, net: None }
+        RnnVae {
+            cfg,
+            scaler: None,
+            net: None,
+        }
     }
 
     /// RNNVAE with CPU-scaled defaults.
@@ -207,7 +230,10 @@ impl Detector for RnnVae {
     }
 
     fn fit(&mut self, train: &TimeSeries) {
-        assert!(train.len() > self.cfg.window, "training series shorter than one window");
+        assert!(
+            train.len() > self.cfg.window,
+            "training series shorter than one window"
+        );
         self.scaler = Some(Scaler::fit(train));
         let scaled = self.scaler.as_ref().expect("just set").transform(train);
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
@@ -215,7 +241,9 @@ impl Detector for RnnVae {
         let net = VaeNet::new(&mut store, &self.cfg, scaled.dim(), &mut rng);
 
         let w = self.cfg.window;
-        let starts: Vec<usize> = (0..=scaled.len() - w).step_by(self.cfg.train_stride).collect();
+        let starts: Vec<usize> = (0..=scaled.len() - w)
+            .step_by(self.cfg.train_stride)
+            .collect();
         let mut opt = Adam::new(&store, self.cfg.learning_rate);
         let mut order: Vec<usize> = (0..starts.len()).collect();
         for _ in 0..self.cfg.epochs {
@@ -299,9 +327,13 @@ mod tests {
         vae.fit(&train);
         let scores = vae.score(&test);
         let spike = scores[60];
-        let mean: f32 =
-            scores.iter().enumerate().filter(|&(t, _)| t != 60).map(|(_, &s)| s).sum::<f32>()
-                / 119.0;
+        let mean: f32 = scores
+            .iter()
+            .enumerate()
+            .filter(|&(t, _)| t != 60)
+            .map(|(_, &s)| s)
+            .sum::<f32>()
+            / 119.0;
         assert!(spike > 2.0 * mean, "spike {spike} vs mean {mean}");
     }
 
@@ -309,7 +341,10 @@ mod tests {
     fn scoring_is_deterministic_despite_stochastic_training() {
         let train = sine(150);
         let test = sine(60);
-        let mut vae = RnnVae::new(RnnVaeConfig { epochs: 2, ..quick() });
+        let mut vae = RnnVae::new(RnnVaeConfig {
+            epochs: 2,
+            ..quick()
+        });
         vae.fit(&train);
         // Zero-noise scoring: repeated calls must agree exactly.
         assert_eq!(vae.score(&test), vae.score(&test));

@@ -28,7 +28,10 @@ pub fn gather_observations(series: &TimeSeries, indices: &[usize]) -> Tensor {
 #[inline]
 pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
 }
 
 #[cfg(test)]

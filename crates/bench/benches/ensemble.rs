@@ -28,7 +28,13 @@ fn bench_window_protocol(c: &mut Criterion) {
     let n_win = 10_000;
     let errors: Vec<f32> = (0..n_win * w).map(|_| rng.gen_range(0.0f32..1.0)).collect();
     c.bench_function("window_protocol_10k_windows", |bench| {
-        bench.iter(|| black_box(series_scores_from_window_errors(black_box(&errors), n_win, w)))
+        bench.iter(|| {
+            black_box(series_scores_from_window_errors(
+                black_box(&errors),
+                n_win,
+                w,
+            ))
+        })
     });
 }
 

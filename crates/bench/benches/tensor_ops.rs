@@ -54,7 +54,14 @@ fn bench_conv1d(c: &mut Criterion) {
         bench.iter(|| black_box(Tensor::conv1d_input_grad(black_box(&g), &w, Padding::Same)))
     });
     c.bench_function("conv1d_kernel_grad", |bench| {
-        bench.iter(|| black_box(Tensor::conv1d_kernel_grad(black_box(&x), &g, 3, Padding::Same)))
+        bench.iter(|| {
+            black_box(Tensor::conv1d_kernel_grad(
+                black_box(&x),
+                &g,
+                3,
+                Padding::Same,
+            ))
+        })
     });
 }
 
@@ -66,5 +73,11 @@ fn bench_softmax(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_bmm, bench_conv1d, bench_softmax);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_bmm,
+    bench_conv1d,
+    bench_softmax
+);
 criterion_main!(benches);

@@ -52,7 +52,11 @@ fn main() {
     if let Some(&(s, e)) = intervals.first() {
         let lo = s.saturating_sub(10);
         let hi = (e + 10).min(scores.len());
-        let max_score = scores[lo..hi].iter().copied().fold(f32::MIN, f32::max).max(1e-9);
+        let max_score = scores[lo..hi]
+            .iter()
+            .copied()
+            .fold(f32::MIN, f32::max)
+            .max(1e-9);
         println!("\nFirst labelled interval [{s}, {e}) — score strip (█ ∝ score, * = labelled):");
         for t in lo..hi {
             let bar_len = ((scores[t] / max_score) * 50.0).round() as usize;

@@ -22,8 +22,14 @@ fn main() {
     println!("Figure 13 reproduction — scale {scale:?}");
 
     for (kind, ks) in [
-        (DatasetKind::Ecg, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0]),
-        (DatasetKind::Smap, vec![6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0]),
+        (
+            DatasetKind::Ecg,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0],
+        ),
+        (
+            DatasetKind::Smap,
+            vec![6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0],
+        ),
     ] {
         let ds = load_dataset(kind, scale);
         let mut model = profile.cae_ensemble(ds.train.dim());

@@ -70,7 +70,11 @@ fn print_sweep(title: &str, mut candidates: Vec<Candidate>) {
                 format!("{:.5}", c.recon_error),
                 fmt4(c.pr),
                 fmt4(c.roc),
-                if i == median_idx { "<- median pick".to_string() } else { String::new() },
+                if i == median_idx {
+                    "<- median pick".to_string()
+                } else {
+                    String::new()
+                },
             ]
         })
         .collect();
@@ -95,7 +99,10 @@ fn main() {
             .map(|&b| (format!("beta={b}"), b, default_cfg.lambda))
             .collect();
         print_sweep(
-            &format!("Figure 14({}) — beta sweep, ordered by recon error", kind.name()),
+            &format!(
+                "Figure 14({}) — beta sweep, ordered by recon error",
+                kind.name()
+            ),
             run_sweep(&profile, &ds, beta_candidates),
         );
 
@@ -104,7 +111,10 @@ fn main() {
             .map(|&l| (format!("lambda={l}"), default_cfg.beta, l))
             .collect();
         print_sweep(
-            &format!("Figure 14({}) — lambda sweep, ordered by recon error", kind.name()),
+            &format!(
+                "Figure 14({}) — lambda sweep, ordered by recon error",
+                kind.name()
+            ),
             run_sweep(&profile, &ds, lambda_candidates),
         );
     }

@@ -59,7 +59,11 @@ fn main() {
                     format!("{recon:.5}"),
                     fmt4(pr),
                     fmt4(roc),
-                    if i == median_idx { "<- median pick".to_string() } else { String::new() },
+                    if i == median_idx {
+                        "<- median pick".to_string()
+                    } else {
+                        String::new()
+                    },
                 ]
             })
             .collect();

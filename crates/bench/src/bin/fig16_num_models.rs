@@ -41,7 +41,10 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("Figure 16 — effect of the number of basic models, {}", kind.name()),
+            &format!(
+                "Figure 16 — effect of the number of basic models, {}",
+                kind.name()
+            ),
             &["M", "PR", "ROC"],
             &rows,
         );

@@ -8,7 +8,9 @@
 //! cargo run --release -p cae-bench --bin fig17_kernel -- --scale quick
 //! ```
 
-use cae_bench::{evaluate, fmt4, init_parallelism, load_dataset, parse_scale, print_table, RunProfile};
+use cae_bench::{
+    evaluate, fmt4, init_parallelism, load_dataset, parse_scale, print_table, RunProfile,
+};
 use cae_core::CaeEnsemble;
 use cae_data::DatasetKind;
 

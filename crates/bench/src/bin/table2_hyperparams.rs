@@ -9,7 +9,9 @@
 //! cargo run --release -p cae-bench --bin table2_hyperparams -- --scale quick
 //! ```
 
-use cae_bench::{init_parallelism, load_dataset, parse_scale, print_table, RunProfile, HARNESS_SEED};
+use cae_bench::{
+    init_parallelism, load_dataset, parse_scale, print_table, RunProfile, HARNESS_SEED,
+};
 use cae_core::hyper::{select_hyperparameters, HyperRanges};
 use cae_data::{DatasetKind, Scale};
 

@@ -6,7 +6,9 @@
 //! cargo run --release -p cae-bench --bin table3_accuracy -- --scale quick
 //! ```
 
-use cae_bench::{evaluate, fmt4, fmt_secs, init_parallelism, load_dataset, parse_scale, print_table, RunProfile};
+use cae_bench::{
+    evaluate, fmt4, fmt_secs, init_parallelism, load_dataset, parse_scale, print_table, RunProfile,
+};
 use cae_data::DatasetKind;
 
 fn main() {
@@ -42,7 +44,16 @@ fn main() {
         }
         print_table(
             &format!("Table 3 — {}", kind.name()),
-            &["Model", "Precision", "Recall", "F1", "PR", "ROC", "fit(s)", "score(s)"],
+            &[
+                "Model",
+                "Precision",
+                "Recall",
+                "F1",
+                "PR",
+                "ROC",
+                "fit(s)",
+                "score(s)",
+            ],
             &rows,
         );
     }

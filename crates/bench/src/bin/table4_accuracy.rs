@@ -6,7 +6,9 @@
 //! cargo run --release -p cae-bench --bin table4_accuracy -- --scale quick
 //! ```
 
-use cae_bench::{evaluate, fmt4, init_parallelism, load_dataset, parse_scale, print_table, RunProfile};
+use cae_bench::{
+    evaluate, fmt4, init_parallelism, load_dataset, parse_scale, print_table, RunProfile,
+};
 use cae_data::DatasetKind;
 use cae_metrics::EvalReport;
 
@@ -39,7 +41,11 @@ fn main() {
         }
 
         let mut rows = Vec::new();
-        for (i, mut detector) in profile.all_detectors(ds.train.dim()).into_iter().enumerate() {
+        for (i, mut detector) in profile
+            .all_detectors(ds.train.dim())
+            .into_iter()
+            .enumerate()
+        {
             let (report, _, _) = evaluate(detector.as_mut(), &ds);
             if dataset_count == 0 {
                 model_names.push(detector.name().to_string());

@@ -7,7 +7,9 @@
 //! cargo run --release -p cae-bench --bin table5_ablation -- --scale quick
 //! ```
 
-use cae_bench::{evaluate, fmt4, init_parallelism, load_dataset, parse_scale, print_table, Named, RunProfile};
+use cae_bench::{
+    evaluate, fmt4, init_parallelism, load_dataset, parse_scale, print_table, Named, RunProfile,
+};
 use cae_core::CaeEnsemble;
 use cae_data::{Dataset, DatasetKind, Detector};
 
@@ -15,7 +17,10 @@ fn variants(profile: &RunProfile, dim: usize) -> Vec<Box<dyn Detector>> {
     vec![
         Box::new(Named::new(
             "No attention",
-            CaeEnsemble::new(profile.cae_config(dim).attention(false), profile.ensemble_config()),
+            CaeEnsemble::new(
+                profile.cae_config(dim).attention(false),
+                profile.ensemble_config(),
+            ),
         )),
         Box::new(Named::new(
             "No diversity",
@@ -27,7 +32,10 @@ fn variants(profile: &RunProfile, dim: usize) -> Vec<Box<dyn Detector>> {
         Box::new(Named::new("No ensemble", profile.cae_single(dim))),
         Box::new(Named::new(
             "No re-scaling",
-            CaeEnsemble::new(profile.cae_config(dim), profile.ensemble_config().rescale(false)),
+            CaeEnsemble::new(
+                profile.cae_config(dim),
+                profile.ensemble_config().rescale(false),
+            ),
         )),
         Box::new(Named::new("CAE-Ensemble", profile.cae_ensemble(dim))),
     ]

@@ -11,8 +11,8 @@
 //! cargo run --release -p cae-bench --bin table7_training_time -- --scale quick
 //! ```
 
-use cae_bench::{init_parallelism, load_dataset, parse_scale, print_table, RunProfile};
 use cae_baselines::{Rae, RaeConfig, RaeEnsemble};
+use cae_bench::{init_parallelism, load_dataset, parse_scale, print_table, RunProfile};
 use cae_core::CaeEnsemble;
 use cae_data::{DatasetKind, Detector};
 use std::time::Instant;
@@ -37,7 +37,10 @@ fn main() {
 
         // The ensemble/single ratio is the measured shape, so the single
         // models train for the same epoch count as one ensemble member.
-        let mut rae = Rae::new(RaeConfig { epochs: profile.epochs, ..profile.rae_config() });
+        let mut rae = Rae::new(RaeConfig {
+            epochs: profile.epochs,
+            ..profile.rae_config()
+        });
         let t = Instant::now();
         rae.fit(&ds.train);
         times[0].push(t.elapsed().as_secs_f64());

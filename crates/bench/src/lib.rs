@@ -127,7 +127,10 @@ impl RunProfile {
     /// RAE-Ensemble baseline configuration.
     pub fn rae_ensemble_config(&self) -> RaeEnsembleConfig {
         RaeEnsembleConfig {
-            rae: RaeConfig { epochs: self.epochs, ..self.rae_config() },
+            rae: RaeConfig {
+                epochs: self.epochs,
+                ..self.rae_config()
+            },
             num_models: self.num_models,
             ..RaeEnsembleConfig::default()
         }
@@ -185,7 +188,10 @@ pub struct Named<D: Detector> {
 impl<D: Detector> Named<D> {
     /// Renames `inner` for table output.
     pub fn new(name: impl Into<String>, inner: D) -> Self {
-        Named { name: name.into(), inner }
+        Named {
+            name: name.into(),
+            inner,
+        }
     }
 }
 
@@ -220,7 +226,11 @@ pub fn evaluate(
     let t1 = Instant::now();
     let scores = detector.score(&dataset.test);
     let score_time = t1.elapsed();
-    (EvalReport::compute(&scores, &dataset.test_labels), fit_time, score_time)
+    (
+        EvalReport::compute(&scores, &dataset.test_labels),
+        fit_time,
+        score_time,
+    )
 }
 
 /// Prints an aligned plain-text table.

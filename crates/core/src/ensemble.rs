@@ -36,7 +36,13 @@ pub struct CaeEnsemble {
 impl CaeEnsemble {
     /// A detector with the given architecture and training configuration.
     pub fn new(model_cfg: CaeConfig, cfg: EnsembleConfig) -> Self {
-        CaeEnsemble { model_cfg, cfg, scaler: None, members: Vec::new(), loss_trace: Vec::new() }
+        CaeEnsemble {
+            model_cfg,
+            cfg,
+            scaler: None,
+            members: Vec::new(),
+            loss_trace: Vec::new(),
+        }
     }
 
     /// The architecture configuration.
@@ -183,18 +189,23 @@ impl Detector for CaeEnsemble {
         );
         let w = self.model_cfg.window;
         assert!(
-            train.len() >= w + 1,
+            train.len() > w,
             "training series ({} observations) shorter than window + 1 ({})",
             train.len(),
             w + 1
         );
 
         // Pre-processing: re-scale, then split into windows (Section 3).
-        self.scaler = if self.cfg.rescale { Some(Scaler::fit(train)) } else { None };
+        self.scaler = if self.cfg.rescale {
+            Some(Scaler::fit(train))
+        } else {
+            None
+        };
         let scaled = self.scale(train);
 
-        let starts: Vec<usize> =
-            (0..=scaled.len() - w).step_by(self.cfg.train_stride).collect();
+        let starts: Vec<usize> = (0..=scaled.len() - w)
+            .step_by(self.cfg.train_stride)
+            .collect();
         let n_win = starts.len();
         let rd = self.model_cfg.recon_dim();
 
@@ -230,12 +241,8 @@ impl Detector for CaeEnsemble {
                     // the reconstruction target clean (see
                     // `EnsembleConfig::denoise_std`).
                     let (out, target) = if self.cfg.denoise_std > 0.0 {
-                        let noise = Tensor::rand_normal(
-                            batch.dims(),
-                            0.0,
-                            self.cfg.denoise_std,
-                            &mut rng,
-                        );
+                        let noise =
+                            Tensor::rand_normal(batch.dims(), 0.0, self.cfg.denoise_std, &mut rng);
                         let noisy = batch.add(&noise);
                         let out = model.forward(&mut tape, &store, &noisy);
                         let target = model.clean_target_tensor(&mut tape, &store, &batch);
@@ -271,8 +278,8 @@ impl Detector for CaeEnsemble {
                         // objective.
                         let lambda_eff = if k_val > 0.0 {
                             let saturation = self.cfg.lambda / (self.cfg.lambda + 4.0);
-                            let bound = saturation * self.cfg.diversity_cap * j_val.max(1e-6)
-                                / k_val;
+                            let bound =
+                                saturation * self.cfg.diversity_cap * j_val.max(1e-6) / k_val;
                             self.cfg.lambda.min(bound)
                         } else {
                             self.cfg.lambda
@@ -381,9 +388,13 @@ mod tests {
         ens.fit(&train);
         let scores = ens.score(&test);
         let spike = scores[100];
-        let normal_mean: f32 =
-            scores.iter().enumerate().filter(|&(t, _)| t != 100).map(|(_, &s)| s).sum::<f32>()
-                / 199.0;
+        let normal_mean: f32 = scores
+            .iter()
+            .enumerate()
+            .filter(|&(t, _)| t != 100)
+            .map(|(_, &s)| s)
+            .sum::<f32>()
+            / 199.0;
         assert!(
             spike > 3.0 * normal_mean,
             "spike score {spike} not above normal mean {normal_mean}"

@@ -136,7 +136,12 @@ pub fn select_hyperparameters(
         let mc = model_cfg.clone().window(window);
         let ec = ens_cfg.clone().beta(beta).lambda(lambda);
         let recon_error = validation_recon_error(&tr, &va, &mc, &ec);
-        TrialRecord { window, beta, lambda, recon_error }
+        TrialRecord {
+            window,
+            beta,
+            lambda,
+            recon_error,
+        }
     };
 
     // Lines 3–6: random search for the default combination.
@@ -211,7 +216,12 @@ mod tests {
 
     #[test]
     fn arg_median_picks_middle() {
-        let mk = |e: f64| TrialRecord { window: 8, beta: 0.5, lambda: 1.0, recon_error: e };
+        let mk = |e: f64| TrialRecord {
+            window: 8,
+            beta: 0.5,
+            lambda: 1.0,
+            recon_error: e,
+        };
         let trials = vec![mk(5.0), mk(1.0), mk(3.0)];
         assert_eq!(arg_median(&trials), 2); // 3.0 is the median
         let trials4 = vec![mk(4.0), mk(1.0), mk(3.0), mk(2.0)];
@@ -252,7 +262,10 @@ mod tests {
         let a = select_hyperparameters(&series, &mc, &ec, &ranges, 11);
         let b = select_hyperparameters(&series, &mc, &ec, &ranges, 11);
         assert_eq!(a.window, b.window);
-        assert_eq!(a.random_trials[0].recon_error, b.random_trials[0].recon_error);
+        assert_eq!(
+            a.random_trials[0].recon_error,
+            b.random_trials[0].recon_error
+        );
     }
 
     #[test]

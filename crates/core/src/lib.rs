@@ -27,22 +27,24 @@
 //! use cae_core::{CaeConfig, CaeEnsemble, EnsembleConfig};
 //! use cae_data::{Detector, TimeSeries};
 //!
-//! // A short periodic series with one injected spike.
-//! let mut values: Vec<f32> = (0..256)
+//! // A short periodic series with one injected spike. Deliberately tiny
+//! // (and trained for a single epoch) so `cargo test` stays fast; see
+//! // `examples/quickstart.rs` for a realistic configuration.
+//! let mut values: Vec<f32> = (0..96)
 //!     .map(|t| (t as f32 * 0.4).sin())
 //!     .collect();
-//! values[200] += 6.0;
+//! values[70] += 6.0;
 //! let series = TimeSeries::univariate(values.clone());
 //!
 //! let model_cfg = CaeConfig::new(1).embed_dim(8).layers(1).window(8);
 //! let ens_cfg = EnsembleConfig::new()
 //!     .num_models(2)
-//!     .epochs_per_model(3)
+//!     .epochs_per_model(1)
 //!     .seed(7);
 //! let mut detector = CaeEnsemble::new(model_cfg, ens_cfg);
 //! detector.fit(&series);
 //! let scores = detector.score(&series);
-//! assert_eq!(scores.len(), 256);
+//! assert_eq!(scores.len(), 96);
 //! ```
 
 mod config;

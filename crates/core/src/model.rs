@@ -56,8 +56,7 @@ impl Cae {
     /// Builds a model, registering all parameters in `store`.
     pub fn new<R: Rng + ?Sized>(cfg: CaeConfig, store: &mut ParamStore, rng: &mut R) -> Self {
         let d = cfg.embed_dim;
-        let obs_embed =
-            Linear::new(store, "embed.obs", cfg.dim, d, cfg.embed_activation, rng);
+        let obs_embed = Linear::new(store, "embed.obs", cfg.dim, d, cfg.embed_activation, rng);
         let pos_embed = Linear::new(store, "embed.pos", 1, d, cfg.embed_activation, rng);
 
         let mut enc_glu = Vec::with_capacity(cfg.layers);
@@ -280,7 +279,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn small_cfg() -> CaeConfig {
-        CaeConfig::new(2).embed_dim(8).window(8).layers(2).kernel_size(3)
+        CaeConfig::new(2)
+            .embed_dim(8)
+            .window(8)
+            .layers(2)
+            .kernel_size(3)
     }
 
     fn build(cfg: CaeConfig, seed: u64) -> (Cae, ParamStore) {

@@ -36,7 +36,10 @@ pub struct RepairReport {
 /// Panics if the ensemble is unfitted or was trained with the embedded
 /// reconstruction target.
 pub fn repair_series(ensemble: &CaeEnsemble, series: &TimeSeries, threshold: f32) -> RepairReport {
-    assert!(ensemble.num_members() > 0, "repair_series requires a fitted ensemble");
+    assert!(
+        ensemble.num_members() > 0,
+        "repair_series requires a fitted ensemble"
+    );
     assert_eq!(
         ensemble.model_config().target,
         ReconstructionTarget::Raw,
@@ -96,7 +99,11 @@ pub fn repair_series(ensemble: &CaeEnsemble, series: &TimeSeries, threshold: f32
         repaired = back;
     }
 
-    RepairReport { repaired, replaced, scores }
+    RepairReport {
+        repaired,
+        replaced,
+        scores,
+    }
 }
 
 impl CaeEnsemble {
@@ -170,7 +177,11 @@ mod tests {
             sorted[(sorted.len() as f64 * 0.98) as usize]
         };
         let report = repair_series(&ens, &test, threshold);
-        assert!(report.replaced.contains(&80), "spike not repaired: {:?}", report.replaced);
+        assert!(
+            report.replaced.contains(&80),
+            "spike not repaired: {:?}",
+            report.replaced
+        );
         let repaired_value = report.repaired.observation(80)[0];
         assert!(
             (repaired_value - clean_value).abs() < (test.observation(80)[0] - clean_value).abs(),
@@ -195,7 +206,10 @@ mod tests {
     fn repair_rejects_embedded_target() {
         let train = sine(300);
         let mc = CaeConfig::new(1).embed_dim(8).window(8).layers(1);
-        let ec = EnsembleConfig::new().num_models(2).epochs_per_model(1).seed(3);
+        let ec = EnsembleConfig::new()
+            .num_models(2)
+            .epochs_per_model(1)
+            .seed(3);
         let mut ens = CaeEnsemble::new(mc, ec);
         ens.fit(&train);
         repair_series(&ens, &train, 0.5);

@@ -26,7 +26,10 @@ mod tests {
     #[test]
     fn protocol_reexport_behaves() {
         let errors = vec![1.0, 2.0, 3.0, 4.0];
-        assert_eq!(series_scores_from_window_errors(&errors, 2, 2), vec![1.0, 2.0, 4.0]);
+        assert_eq!(
+            series_scores_from_window_errors(&errors, 2, 2),
+            vec![1.0, 2.0, 4.0]
+        );
     }
 
     #[test]

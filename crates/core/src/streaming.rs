@@ -22,8 +22,14 @@ pub struct StreamingDetector<'a> {
 impl<'a> StreamingDetector<'a> {
     /// A streaming scorer over a **fitted** ensemble.
     pub fn new(ensemble: &'a CaeEnsemble) -> Self {
-        assert!(ensemble.num_members() > 0, "StreamingDetector requires a fitted ensemble");
-        StreamingDetector { ensemble, buffer: VecDeque::new() }
+        assert!(
+            ensemble.num_members() > 0,
+            "StreamingDetector requires a fitted ensemble"
+        );
+        StreamingDetector {
+            ensemble,
+            buffer: VecDeque::new(),
+        }
     }
 
     /// Window size `w` of the underlying model.
@@ -45,7 +51,12 @@ impl<'a> StreamingDetector<'a> {
     /// (Figure 10).
     pub fn push(&mut self, observation: &[f32]) -> Option<f32> {
         let dim = self.ensemble.model_config().dim;
-        assert_eq!(observation.len(), dim, "observation dim {} != model dim {dim}", observation.len());
+        assert_eq!(
+            observation.len(),
+            dim,
+            "observation dim {} != model dim {dim}",
+            observation.len()
+        );
         let w = self.window();
         if self.buffer.len() == w {
             self.buffer.pop_front();

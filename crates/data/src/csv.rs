@@ -51,7 +51,11 @@ pub fn read_series(path: &Path, dim: usize) -> std::io::Result<TimeSeries> {
         if row.len() != dim {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
-                format!("line {}: expected {dim} columns, found {}", lineno + 1, row.len()),
+                format!(
+                    "line {}: expected {dim} columns, found {}",
+                    lineno + 1,
+                    row.len()
+                ),
             ));
         }
         series.push(&row);

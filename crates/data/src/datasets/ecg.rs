@@ -27,8 +27,7 @@ fn bump(phase: f64, center: f64, width: f64, height: f64) -> f64 {
 /// `phase ∈ [0, 1)`.
 fn beat(phase: f64, w_qrs: f64, w_t: f64) -> f64 {
     // P wave, QRS complex (sharp), T wave.
-    bump(phase, 0.18, 0.035, 0.25)
-        + bump(phase, 0.42, 0.014, 1.0) * w_qrs
+    bump(phase, 0.18, 0.035, 0.25) + bump(phase, 0.42, 0.014, 1.0) * w_qrs
         - bump(phase, 0.40, 0.02, 0.35) * w_qrs
         + bump(phase, 0.68, 0.06, 0.45) * w_t
 }
@@ -51,7 +50,10 @@ pub fn generate(scale: Scale, seed: u64) -> Dataset {
         let mut s = TimeSeries::empty(dim);
         for t in 0..len {
             drift = 0.999 * drift + 0.002 * normal(rng);
-            let obs = [baseline_sample(t, 0, drift, rng), baseline_sample(t, 1, drift, rng)];
+            let obs = [
+                baseline_sample(t, 0, drift, rng),
+                baseline_sample(t, 1, drift, rng),
+            ];
             s.push(&obs);
         }
         s
@@ -107,7 +109,9 @@ mod tests {
     fn is_periodic_in_train() {
         let ds = generate(Scale::Quick, 3);
         // Autocorrelation at lag PERIOD should dominate the half-period lag.
-        let raw: Vec<f32> = (0..ds.train.len()).map(|t| ds.train.observation(t)[0]).collect();
+        let raw: Vec<f32> = (0..ds.train.len())
+            .map(|t| ds.train.observation(t)[0])
+            .collect();
         let mean = raw.iter().sum::<f32>() / raw.len() as f32;
         let x: Vec<f32> = raw.iter().map(|v| v - mean).collect();
         let corr = |lag: usize| -> f32 {

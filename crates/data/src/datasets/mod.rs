@@ -127,7 +127,8 @@ mod tests {
     fn every_kind_generates_consistent_dataset() {
         for kind in DatasetKind::all() {
             let ds = kind.generate(Scale::Quick, 7);
-            ds.validate().unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            ds.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
             assert_eq!(ds.train.dim(), kind.dim(), "{} dim", kind.name());
             assert!(ds.train.len() > 500, "{} train too short", kind.name());
             assert!(ds.test.len() > 500, "{} test too short", kind.name());
@@ -178,7 +179,11 @@ mod tests {
         for kind in DatasetKind::all() {
             let ds = kind.generate(Scale::Quick, 5);
             assert!(
-                ds.train.data().iter().chain(ds.test.data()).all(|v| v.is_finite()),
+                ds.train
+                    .data()
+                    .iter()
+                    .chain(ds.test.data())
+                    .all(|v| v.is_finite()),
                 "{} produced non-finite values",
                 kind.name()
             );

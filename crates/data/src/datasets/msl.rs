@@ -69,8 +69,7 @@ pub fn generate(scale: Scale, seed: u64) -> Dataset {
     for iv in &intervals {
         let kind = rng.gen_range(0..3u8);
         let sensor = rng.gen_range(0..CONTINUOUS);
-        let commands: Vec<usize> =
-            (CONTINUOUS..DIM).filter(|_| rng.gen_bool(0.2)).collect();
+        let commands: Vec<usize> = (CONTINUOUS..DIM).filter(|_| rng.gen_bool(0.2)).collect();
         for t in iv.start..iv.end.min(test_len) {
             let rel = t - iv.start;
             match kind {

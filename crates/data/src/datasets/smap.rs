@@ -26,8 +26,13 @@ impl Satellite {
         let seasonal = (0..SEASONAL)
             .map(|_| Harmonics::random(2, 150.0, 800.0, rng))
             .collect();
-        let house_levels = (0..DIM - SEASONAL).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        Satellite { seasonal, house_levels }
+        let house_levels = (0..DIM - SEASONAL)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        Satellite {
+            seasonal,
+            house_levels,
+        }
     }
 
     fn step(&self, t: usize, rng: &mut StdRng, out: &mut Vec<f32>) {
@@ -107,7 +112,9 @@ mod tests {
     fn housekeeping_channels_are_stable() {
         let ds = generate(Scale::Quick, 31);
         for d in SEASONAL..DIM {
-            let vals: Vec<f32> = (0..ds.train.len()).map(|t| ds.train.observation(t)[d]).collect();
+            let vals: Vec<f32> = (0..ds.train.len())
+                .map(|t| ds.train.observation(t)[d])
+                .collect();
             let mean = vals.iter().sum::<f32>() / vals.len() as f32;
             let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(var < 0.01, "housekeeping channel {d} variance {var}");

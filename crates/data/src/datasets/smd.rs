@@ -28,13 +28,25 @@ struct Machine {
 impl Machine {
     fn new(rng: &mut StdRng) -> Self {
         let loadings = (0..DIM * NUM_LATENTS)
-            .map(|_| if rng.gen_bool(0.5) { rng.gen_range(0.2..1.0) } else { 0.0 })
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    rng.gen_range(0.2..1.0)
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let baselines = (0..DIM).map(|_| rng.gen_range(-0.5..0.5)).collect();
         let noise = (0..DIM).map(|_| rng.gen_range(0.02..0.12)).collect();
         let daily = Harmonics::random(2, 200.0, 400.0, rng);
         let latents = (0..NUM_LATENTS).map(|_| Ar1::new(0.97, 0.08)).collect();
-        Machine { loadings, baselines, noise, daily, latents }
+        Machine {
+            loadings,
+            baselines,
+            noise,
+            daily,
+            latents,
+        }
     }
 
     fn step(&mut self, t: usize, rng: &mut StdRng, out: &mut Vec<f32>) {
@@ -126,7 +138,11 @@ mod tests {
                 count += 1;
             }
         }
-        assert!(total / count as f32 > 0.15, "mean |corr| {}", total / count as f32);
+        assert!(
+            total / count as f32 > 0.15,
+            "mean |corr| {}",
+            total / count as f32
+        );
     }
 
     #[test]
@@ -137,7 +153,12 @@ mod tests {
             let mut cnt = 0usize;
             for t in 0..ds.test.len() {
                 if ds.test_labels[t] == want {
-                    sum += ds.test.observation(t).iter().map(|&v| v.abs() as f64).sum::<f64>();
+                    sum += ds
+                        .test
+                        .observation(t)
+                        .iter()
+                        .map(|&v| v.abs() as f64)
+                        .sum::<f64>();
                     cnt += 1;
                 }
             }

@@ -38,7 +38,10 @@ pub fn plan_intervals(
     max_len: usize,
     rng: &mut StdRng,
 ) -> Vec<Interval> {
-    assert!(min_len >= 1 && max_len >= min_len, "bad interval length bounds");
+    assert!(
+        min_len >= 1 && max_len >= min_len,
+        "bad interval length bounds"
+    );
     let budget = (ratio * len as f64).round() as usize;
     let mut intervals = Vec::new();
     let mut used = 0usize;
@@ -61,7 +64,10 @@ pub fn plan_intervals(
         for slot in &mut occupied[margin_start..margin_end] {
             *slot = true;
         }
-        intervals.push(Interval { start, end: start + ilen });
+        intervals.push(Interval {
+            start,
+            end: start + ilen,
+        });
         used += ilen;
     }
     intervals.sort_by_key(|iv| iv.start);
@@ -124,7 +130,11 @@ impl Ar1 {
     /// New process with persistence `rho` and innovation scale `sigma`.
     pub fn new(rho: f32, sigma: f32) -> Self {
         assert!((0.0..1.0).contains(&rho), "AR(1) rho must be in [0, 1)");
-        Ar1 { rho, sigma, state: 0.0 }
+        Ar1 {
+            rho,
+            sigma,
+            state: 0.0,
+        }
     }
 
     /// Advances one step and returns the new state.
@@ -157,7 +167,11 @@ impl Telegraph {
     pub fn new(levels: Vec<f32>, switch_prob: f64, rng: &mut StdRng) -> Self {
         assert!(!levels.is_empty(), "telegraph needs at least one level");
         let current = rng.gen_range(0..levels.len());
-        Telegraph { levels, switch_prob, current }
+        Telegraph {
+            levels,
+            switch_prob,
+            current,
+        }
     }
 
     /// Advances one step and returns the current level.
@@ -189,7 +203,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let ivs = plan_intervals(5000, 0.1, 10, 50, &mut rng);
         for pair in ivs.windows(2) {
-            assert!(pair[0].end <= pair[1].start, "{:?} overlaps {:?}", pair[0], pair[1]);
+            assert!(
+                pair[0].end <= pair[1].start,
+                "{:?} overlaps {:?}",
+                pair[0],
+                pair[1]
+            );
         }
     }
 
@@ -197,7 +216,9 @@ mod tests {
     fn labels_match_intervals() {
         let ivs = vec![Interval { start: 2, end: 4 }, Interval { start: 7, end: 8 }];
         let labels = intervals_to_labels(10, &ivs);
-        let expected = [false, false, true, true, false, false, false, true, false, false];
+        let expected = [
+            false, false, true, true, false, false, false, true, false, false,
+        ];
         assert_eq!(labels, expected);
     }
 

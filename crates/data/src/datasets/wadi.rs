@@ -35,8 +35,12 @@ impl Plant {
             sensor_gain: (0..SENSORS).map(|_| rng.gen_range(0.3..1.2)).collect(),
             sensor_noise: (0..SENSORS).map(|_| rng.gen_range(0.02..0.08)).collect(),
             local: (0..SENSORS).map(|_| Ar1::new(0.95, 0.05)).collect(),
-            actuator_link: (0..DIM - SENSORS).map(|_| rng.gen_range(0..SENSORS)).collect(),
-            actuator_threshold: (0..DIM - SENSORS).map(|_| rng.gen_range(-0.3..0.3)).collect(),
+            actuator_link: (0..DIM - SENSORS)
+                .map(|_| rng.gen_range(0..SENSORS))
+                .collect(),
+            actuator_threshold: (0..DIM - SENSORS)
+                .map(|_| rng.gen_range(-0.3..0.3))
+                .collect(),
         }
     }
 
@@ -51,7 +55,11 @@ impl Plant {
         }
         for a in 0..DIM - SENSORS {
             let sensor_val = out[self.actuator_link[a]];
-            out.push(if sensor_val > self.actuator_threshold[a] { 1.0 } else { 0.0 });
+            out.push(if sensor_val > self.actuator_threshold[a] {
+                1.0
+            } else {
+                0.0
+            });
         }
     }
 }
@@ -79,8 +87,9 @@ pub fn generate(scale: Scale, seed: u64) -> Dataset {
     // stays normal, so per-observation deviation is sparse in dimensions.
     let intervals = plan_intervals(test_len, RATIO, 40, 120, &mut rng);
     for iv in &intervals {
-        let targets: Vec<usize> =
-            (0..rng.gen_range(2..=4)).map(|_| rng.gen_range(0..SENSORS)).collect();
+        let targets: Vec<usize> = (0..rng.gen_range(2..=4))
+            .map(|_| rng.gen_range(0..SENSORS))
+            .collect();
         let override_value = rng.gen_range(1.2..2.2) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
         for t in iv.start..iv.end.min(test_len) {
             // Attack ramps in over the first few steps (stealthy onset) —
@@ -124,7 +133,11 @@ mod tests {
         // are exactly equal at consecutive core timestamps, noisy channels
         // never are.
         let ds = generate(Scale::Quick, 42);
-        let t = ds.test_labels.iter().position(|&l| l).expect("has anomalies");
+        let t = ds
+            .test_labels
+            .iter()
+            .position(|&l| l)
+            .expect("has anomalies");
         let mut end = t;
         while end < ds.test_labels.len() && ds.test_labels[end] {
             end += 1;

@@ -49,7 +49,10 @@ impl Scaler {
                 }
             })
             .collect();
-        Scaler { mean: mean.into_iter().map(|m| m as f32).collect(), std }
+        Scaler {
+            mean: mean.into_iter().map(|m| m as f32).collect(),
+            std,
+        }
     }
 
     /// Dimensionality the scaler was fit on.

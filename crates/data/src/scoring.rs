@@ -25,7 +25,10 @@ pub fn median(values: &mut [f32]) -> f32 {
 /// Per-observation median across `M` per-model score series of equal
 /// length: `out[t] = median(scores[0][t], …, scores[M−1][t])`.
 pub fn median_scores(per_model: &[Vec<f32>]) -> Vec<f32> {
-    assert!(!per_model.is_empty(), "median_scores needs at least one model");
+    assert!(
+        !per_model.is_empty(),
+        "median_scores needs at least one model"
+    );
     let len = per_model[0].len();
     assert!(
         per_model.iter().all(|s| s.len() == len),
@@ -83,8 +86,11 @@ mod tests {
 
     #[test]
     fn median_scores_per_position() {
-        let per_model =
-            vec![vec![1.0, 10.0, 3.0], vec![2.0, 20.0, 1.0], vec![3.0, 30.0, 2.0]];
+        let per_model = vec![
+            vec![1.0, 10.0, 3.0],
+            vec![2.0, 20.0, 1.0],
+            vec![3.0, 30.0, 2.0],
+        ];
         assert_eq!(median_scores(&per_model), vec![2.0, 20.0, 2.0]);
     }
 

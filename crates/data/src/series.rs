@@ -80,8 +80,14 @@ impl TimeSeries {
 
     /// The contiguous sub-series of observations `[start, end)`.
     pub fn slice(&self, start: usize, end: usize) -> TimeSeries {
-        assert!(start <= end && end <= self.len(), "slice [{start}, {end}) out of range");
-        TimeSeries::new(self.data[start * self.dim..end * self.dim].to_vec(), self.dim)
+        assert!(
+            start <= end && end <= self.len(),
+            "slice [{start}, {end}) out of range"
+        );
+        TimeSeries::new(
+            self.data[start * self.dim..end * self.dim].to_vec(),
+            self.dim,
+        )
     }
 
     /// Splits into a head of `at` observations and the remaining tail.
@@ -149,7 +155,10 @@ impl Dataset {
     /// the final `fraction` for validation (the paper reserves 30%,
     /// Section 4.1.1). Neither part carries labels.
     pub fn train_val_split(&self, fraction: f64) -> (TimeSeries, TimeSeries) {
-        assert!((0.0..1.0).contains(&fraction), "validation fraction {fraction} outside [0,1)");
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "validation fraction {fraction} outside [0,1)"
+        );
         let val_len = (self.train.len() as f64 * fraction).round() as usize;
         let at = self.train.len() - val_len;
         self.train.split_at(at)

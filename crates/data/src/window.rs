@@ -23,7 +23,12 @@ pub fn window(series: &TimeSeries, w: usize, i: usize) -> &[f32] {
 /// Iterator over all sliding windows of `series`.
 pub fn windows(series: &TimeSeries, w: usize) -> WindowIter<'_> {
     assert!(w > 0, "window size must be positive");
-    WindowIter { series, w, next: 0, count: num_windows(series.len(), w) }
+    WindowIter {
+        series,
+        w,
+        next: 0,
+        count: num_windows(series.len(), w),
+    }
 }
 
 /// Borrowing iterator produced by [`windows`].

@@ -13,7 +13,11 @@ pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
     }
 
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("scores must not be NaN"));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .expect("scores must not be NaN")
+    });
 
     // Sum the (average) ranks of the positive examples.
     let mut rank_sum_pos = 0.0f64;
@@ -50,7 +54,11 @@ pub fn pr_auc(scores: &[f32], labels: &[bool]) -> f64 {
     }
 
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores must not be NaN"));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("scores must not be NaN")
+    });
 
     let mut ap = 0.0f64;
     let mut tp = 0usize;

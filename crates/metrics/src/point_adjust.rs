@@ -15,7 +15,11 @@ use crate::{best_f1, precision_recall_f1, PrecisionRecallF1};
 ///
 /// Returns the adjusted prediction vector.
 pub fn adjust_predictions(predicted: &[bool], labels: &[bool]) -> Vec<bool> {
-    assert_eq!(predicted.len(), labels.len(), "predictions/labels length mismatch");
+    assert_eq!(
+        predicted.len(),
+        labels.len(),
+        "predictions/labels length mismatch"
+    );
     let mut adjusted = predicted.to_vec();
     let mut i = 0;
     while i < labels.len() {
@@ -40,8 +44,10 @@ pub fn point_adjusted_prf(scores: &[f32], labels: &[bool], threshold: f32) -> Pr
     let predicted: Vec<bool> = scores.iter().map(|&s| s > threshold).collect();
     let adjusted = adjust_predictions(&predicted, labels);
     // Reuse the threshold-metric machinery on the adjusted 0/1 scores.
-    let adjusted_scores: Vec<f32> =
-        adjusted.iter().map(|&p| if p { 1.0 } else { 0.0 }).collect();
+    let adjusted_scores: Vec<f32> = adjusted
+        .iter()
+        .map(|&p| if p { 1.0 } else { 0.0 })
+        .collect();
     let mut m = precision_recall_f1(&adjusted_scores, labels, 0.5);
     m.threshold = threshold;
     m

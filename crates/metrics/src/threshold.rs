@@ -45,14 +45,27 @@ pub fn confusion_counts(scores: &[f32], labels: &[bool], threshold: f32) -> Conf
 }
 
 fn prf_from_confusion(c: Confusion, threshold: f32) -> PrecisionRecallF1 {
-    let precision = if c.tp + c.fp == 0 { 0.0 } else { c.tp as f64 / (c.tp + c.fp) as f64 };
-    let recall = if c.tp + c.fn_ == 0 { 0.0 } else { c.tp as f64 / (c.tp + c.fn_) as f64 };
+    let precision = if c.tp + c.fp == 0 {
+        0.0
+    } else {
+        c.tp as f64 / (c.tp + c.fp) as f64
+    };
+    let recall = if c.tp + c.fn_ == 0 {
+        0.0
+    } else {
+        c.tp as f64 / (c.tp + c.fn_) as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    PrecisionRecallF1 { precision, recall, f1, threshold }
+    PrecisionRecallF1 {
+        precision,
+        recall,
+        f1,
+        threshold,
+    }
 }
 
 /// Precision/recall/F1 for `score > threshold ⇒ outlier`.
@@ -71,7 +84,11 @@ pub fn best_f1(scores: &[f32], labels: &[bool]) -> PrecisionRecallF1 {
     }
 
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores must not be NaN"));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("scores must not be NaN")
+    });
 
     // Walk thresholds from high to low; predicting positive everything seen
     // so far. Threshold = midpoint below the current score group.
@@ -102,11 +119,20 @@ pub fn best_f1(scores: &[f32], labels: &[bool]) -> PrecisionRecallF1 {
                 let mid = (group_score + next) / 2.0;
                 // Guard against midpoints rounding up to the group score
                 // when the two values are adjacent floats.
-                if mid < group_score { mid } else { next }
+                if mid < group_score {
+                    mid
+                } else {
+                    next
+                }
             } else {
                 f32::NEG_INFINITY
             };
-            best = PrecisionRecallF1 { precision, recall, f1, threshold };
+            best = PrecisionRecallF1 {
+                precision,
+                recall,
+                f1,
+                threshold,
+            };
         }
         i = j;
     }
@@ -121,7 +147,10 @@ pub fn best_f1(scores: &[f32], labels: &[bool]) -> PrecisionRecallF1 {
 /// exactly up to ties) `k_percent`% of the scores.
 pub fn top_k_threshold(scores: &[f32], k_percent: f64) -> f32 {
     assert!(!scores.is_empty(), "top_k_threshold on empty scores");
-    assert!((0.0..=100.0).contains(&k_percent), "k_percent {k_percent} outside [0, 100]");
+    assert!(
+        (0.0..=100.0).contains(&k_percent),
+        "k_percent {k_percent} outside [0, 100]"
+    );
     let mut sorted: Vec<f32> = scores.to_vec();
     sorted.sort_by(|a, b| b.partial_cmp(a).expect("scores must not be NaN"));
     let k = ((k_percent / 100.0) * scores.len() as f64).round() as usize;
@@ -146,7 +175,15 @@ mod tests {
     #[test]
     fn confusion_at_midpoint() {
         let c = confusion_counts(&SCORES, &LABELS, 0.5);
-        assert_eq!(c, Confusion { tp: 2, fp: 1, fn_: 1, tn: 2 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                fn_: 1,
+                tn: 2
+            }
+        );
     }
 
     #[test]

@@ -147,7 +147,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut store = ParamStore::new();
         let conv = Conv1dLayer::new(
-            &mut store, "c", 3, 5, 3, Padding::Same, Activation::Tanh, &mut rng,
+            &mut store,
+            "c",
+            3,
+            5,
+            3,
+            Padding::Same,
+            Activation::Tanh,
+            &mut rng,
         );
         let mut tape = Tape::new();
         let x = tape.constant(Tensor::ones(&[2, 3, 8]));
@@ -167,8 +174,16 @@ mod tests {
         let x = tape.constant(Tensor::rand_uniform(&[1, 2, 10], -2.0, 2.0, &mut rng));
         let y = glu.forward(&mut tape, &store, x);
         let value_only = glu.value_conv.forward(&mut tape, &store, x);
-        for (&gated, &raw) in tape.value(y).data().iter().zip(tape.value(value_only).data()) {
-            assert!(gated.abs() <= raw.abs() + 1e-6, "gate amplified: {gated} vs {raw}");
+        for (&gated, &raw) in tape
+            .value(y)
+            .data()
+            .iter()
+            .zip(tape.value(value_only).data())
+        {
+            assert!(
+                gated.abs() <= raw.abs() + 1e-6,
+                "gate amplified: {gated} vs {raw}"
+            );
         }
     }
 
@@ -189,7 +204,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let mut store = ParamStore::new();
         let conv = Conv1dLayer::new(
-            &mut store, "c", 1, 1, 3, Padding::Causal, Activation::Identity, &mut rng,
+            &mut store,
+            "c",
+            1,
+            1,
+            3,
+            Padding::Causal,
+            Activation::Identity,
+            &mut rng,
         );
         let base = Tensor::rand_uniform(&[1, 1, 8], -1.0, 1.0, &mut rng);
         let mut changed = base.clone();

@@ -36,7 +36,13 @@ impl Linear {
             Tensor::xavier_uniform(&[in_features, out_features], in_features, out_features, rng),
         );
         let bias = store.register(format!("{name}.bias"), Tensor::zeros(&[out_features]));
-        Linear { weight, bias, in_features, out_features, activation }
+        Linear {
+            weight,
+            bias,
+            in_features,
+            out_features,
+            activation,
+        }
     }
 
     /// Input feature count.
@@ -110,7 +116,10 @@ mod tests {
             opt.step(&mut store);
             last = tape.value(loss).item();
         }
-        assert!(last < 1e-3, "identity regression did not converge: loss {last}");
+        assert!(
+            last < 1e-3,
+            "identity regression did not converge: loss {last}"
+        );
     }
 
     #[test]

@@ -33,9 +33,23 @@ impl Adam {
     /// Adam with the paper's defaults (β₁ = 0.9, β₂ = 0.999, ε = 1e-8),
     /// with moment buffers laid out for `store`.
     pub fn new(store: &ParamStore, lr: f32) -> Self {
-        let m = store.ids().map(|id| Tensor::zeros(store.value(id).dims())).collect();
-        let v = store.ids().map(|id| Tensor::zeros(store.value(id).dims())).collect();
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m, v }
+        let m = store
+            .ids()
+            .map(|id| Tensor::zeros(store.value(id).dims()))
+            .collect();
+        let v = store
+            .ids()
+            .map(|id| Tensor::zeros(store.value(id).dims()))
+            .collect();
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m,
+            v,
+        }
     }
 }
 
@@ -45,7 +59,11 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         let ids: Vec<_> = store.ids().collect();
-        assert_eq!(ids.len(), self.m.len(), "optimizer layout does not match store");
+        assert_eq!(
+            ids.len(),
+            self.m.len(),
+            "optimizer layout does not match store"
+        );
         for (slot, id) in ids.into_iter().enumerate() {
             // Copy the gradient out to satisfy the borrow checker cheaply;
             // gradients are small relative to activations.
@@ -86,15 +104,26 @@ pub struct Sgd {
 impl Sgd {
     /// SGD with the given learning rate and momentum (0 disables momentum).
     pub fn new(store: &ParamStore, lr: f32, momentum: f32) -> Self {
-        let velocity = store.ids().map(|id| Tensor::zeros(store.value(id).dims())).collect();
-        Sgd { lr, momentum, velocity }
+        let velocity = store
+            .ids()
+            .map(|id| Tensor::zeros(store.value(id).dims()))
+            .collect();
+        Sgd {
+            lr,
+            momentum,
+            velocity,
+        }
     }
 }
 
 impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore) {
         let ids: Vec<_> = store.ids().collect();
-        assert_eq!(ids.len(), self.velocity.len(), "optimizer layout does not match store");
+        assert_eq!(
+            ids.len(),
+            self.velocity.len(),
+            "optimizer layout does not match store"
+        );
         for (slot, id) in ids.into_iter().enumerate() {
             let grad = store.grad(id).clone();
             let vel = &mut self.velocity[slot];

@@ -34,7 +34,14 @@ impl GruCell {
         rng: &mut R,
     ) -> Self {
         let lin = |store: &mut ParamStore, suffix: &str, inf: usize, rng: &mut R| {
-            Linear::new(store, &format!("{name}.{suffix}"), inf, hidden, Activation::Identity, rng)
+            Linear::new(
+                store,
+                &format!("{name}.{suffix}"),
+                inf,
+                hidden,
+                Activation::Identity,
+                rng,
+            )
         };
         GruCell {
             wz_x: lin(store, "wz_x", input, rng),
@@ -114,7 +121,14 @@ impl LstmCell {
         rng: &mut R,
     ) -> Self {
         let lin = |store: &mut ParamStore, suffix: &str, inf: usize, rng: &mut R| {
-            Linear::new(store, &format!("{name}.{suffix}"), inf, hidden, Activation::Identity, rng)
+            Linear::new(
+                store,
+                &format!("{name}.{suffix}"),
+                inf,
+                hidden,
+                Activation::Identity,
+                rng,
+            )
         };
         LstmCell {
             wi_x: lin(store, "wi_x", input, rng),

@@ -1,0 +1,186 @@
+//! Offline stand-in for the slice of the `criterion` API this workspace's
+//! benches use: `criterion_group!`/`criterion_main!`, `Criterion` with
+//! `sample_size`/`measurement_time`/`warm_up_time`, `Bencher::iter` and
+//! `black_box`.
+//!
+//! Semantics follow criterion's two execution modes:
+//!
+//! * under `cargo bench` (the harness receives `--bench`) each routine is
+//!   warmed up and then timed for the configured measurement budget, and a
+//!   mean-per-iteration line is printed;
+//! * under `cargo test` (no `--bench` flag) every routine runs exactly once
+//!   as a smoke test, so `cargo test -q` stays fast.
+//!
+//! No statistics, plots, or baselines — this is a placeholder until the
+//! real criterion can be vendored; the call sites need no changes then.
+
+use std::time::{Duration, Instant};
+
+/// Defeats constant-folding around a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver configured per group; see the crate docs for modes.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    full: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            full: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (builder, as in criterion).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget for the measurement phase.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Wall-clock budget for the warm-up phase.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark routine.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            mode: if self.full {
+                Mode::Measure {
+                    warm_up: self.warm_up_time,
+                    measure: self.measurement_time,
+                    samples: self.sample_size,
+                }
+            } else {
+                Mode::Smoke
+            },
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some((iters, total)) => {
+                let mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+                println!(
+                    "{id:<40} {:>14} /iter  ({iters} iterations)",
+                    format_ns(mean_ns)
+                );
+            }
+            None => println!("{id:<40} smoke-tested (1 iteration)"),
+        }
+        self
+    }
+}
+
+enum Mode {
+    /// `cargo test`: run the routine once.
+    Smoke,
+    /// `cargo bench`: warm up, then time.
+    Measure {
+        warm_up: Duration,
+        measure: Duration,
+        samples: usize,
+    },
+}
+
+/// Handle passed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times the routine according to the harness mode.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Measure {
+                warm_up,
+                measure,
+                samples,
+            } => {
+                let start = Instant::now();
+                while start.elapsed() < warm_up {
+                    black_box(routine());
+                }
+                let mut iters = 0u64;
+                let timer = Instant::now();
+                // At least `samples` iterations, then keep going until the
+                // measurement budget is spent.
+                while iters < samples as u64 || timer.elapsed() < measure {
+                    black_box(routine());
+                    iters += 1;
+                    if iters >= samples as u64 && timer.elapsed() >= measure {
+                        break;
+                    }
+                }
+                self.report = Some((iters, timer.elapsed()));
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Groups benchmark functions, optionally with a configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,70 @@
+//! Offline stand-in for the `crossbeam::scope` API used by this workspace.
+//!
+//! Implemented directly over [`std::thread::scope`], which has provided the
+//! same structured-concurrency guarantees since Rust 1.63. The shim keeps
+//! crossbeam's call shape — `crossbeam::scope(|s| { s.spawn(|_| ...); })`
+//! returning a `Result` — so kernel code compiles unchanged against either
+//! implementation.
+
+use std::any::Any;
+
+/// Scope handle passed to [`scope`] closures; spawned closures receive a
+/// reference to it (and may spawn further threads), mirroring crossbeam.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope itself.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let child = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&child))
+    }
+}
+
+/// Structured-concurrency scope: all threads spawned inside are joined
+/// before `scope` returns.
+///
+/// Panics in spawned threads propagate when the scope exits (via
+/// `std::thread::scope`), so the `Err` variant is never actually produced;
+/// it exists to keep crossbeam's `Result` signature for `.expect(...)`
+/// call sites.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let mut data = vec![0u32; 8];
+        super::scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u32 * 2);
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+}

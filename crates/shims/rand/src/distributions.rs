@@ -1,0 +1,70 @@
+//! Sampling distributions (`rand::distributions` subset).
+
+use crate::{unit_f32, unit_f64, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "standard" distribution: uniform bits for integers, uniform `[0, 1)`
+/// for floats, fair coin for `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        unit_f32(rng)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+/// Uniform on the open interval `(0, 1)` — safe to feed into `ln`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Open01;
+
+impl Distribution<f32> for Open01 {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        loop {
+            let v = unit_f32(rng);
+            if v > 0.0 {
+                return v;
+            }
+        }
+    }
+}
+
+impl Distribution<f64> for Open01 {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let v = unit_f64(rng);
+            if v > 0.0 {
+                return v;
+            }
+        }
+    }
+}

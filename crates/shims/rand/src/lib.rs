@@ -1,0 +1,198 @@
+//! Offline stand-in for the parts of `rand` 0.8 used by this workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! small path-dependency shims for its external dependencies (see
+//! `crates/shims/README.md`). This crate keeps the `rand` 0.8 paths and
+//! idioms — `StdRng::seed_from_u64`, `Rng::gen_range`, `Open01`,
+//! `SliceRandom` — so the source crates compile unchanged and remain
+//! drop-in compatible with the real `rand` should the registry become
+//! available.
+//!
+//! Everything is deterministic given a seed: `StdRng` is a xoshiro256**
+//! generator seeded through SplitMix64. The statistical quality is far more
+//! than the reproduction's tests and synthetic data generators need.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+/// Core source of randomness: 64 uniform bits per call.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`next_u64`](Self::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Samples uniformly from the given range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool: probability {p} outside [0, 1]"
+        );
+        unit_f64(self) < p
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D>(&mut self, distr: D) -> T
+    where
+        D: distributions::Distribution<T>,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+///
+/// Implemented generically for `Range<T>`/`RangeInclusive<T>` over one
+/// [`SampleUniform`] element type, exactly like real `rand`, so type
+/// inference flows from the use site into the range literal.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types uniform ranges can be sampled over.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(*self.start(), *self.end(), true, rng)
+    }
+}
+
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random mantissa bits -> uniform in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+pub(crate) fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    // 24 random mantissa bits -> uniform in [0, 1).
+    (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "gen_range: empty range {lo}..={hi}");
+                } else {
+                    assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+                }
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + inclusive as u128;
+                let v = (rng.next_u64() as u128) % span;
+                ((lo as i128) + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty => $unit:ident),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+                assert!(lo <= hi, "gen_range: empty range {lo}..{hi}");
+                if lo == hi {
+                    return lo;
+                }
+                let v = lo + (hi - lo) * $unit(rng);
+                // Guard the half-open contract against rounding up to `hi`.
+                if inclusive || v < hi { v } else { hi.next_down().max(lo) }
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32 => unit_f32, f64 => unit_f64);
+
+#[cfg(test)]
+mod tests {
+    use super::{Rng, SeedableRng};
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(43);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f32 = r.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let i: usize = r.gen_range(3..9);
+            assert!((3..9).contains(&i));
+            let j: i32 = r.gen_range(2..=4);
+            assert!((2..=4).contains(&j));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Offline stand-in for the `serde` trait surface used by this workspace.
+//!
+//! Sources derive `Serialize`/`Deserialize` on config structs and reports
+//! but never invoke a serializer (there is no `serde_json`/`bincode` in the
+//! tree). The shim keeps the names resolving — traits here, no-op derives
+//! in the shim `serde_derive` — with blanket impls so any `T: Serialize`
+//! bound is satisfied. Swapping in the real `serde` later is a
+//! manifest-only change.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`; blanket-implemented for all
+/// types so trait bounds written against the real serde keep compiling.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+/// Namespace parity with `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace parity with `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -83,7 +83,11 @@ mod tests {
     #[test]
     fn tanh_and_relu() {
         let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
-        assert_close(x.tanh().data(), &[(-1.0f32).tanh(), 0.0, 2.0f32.tanh()], 1e-6);
+        assert_close(
+            x.tanh().data(),
+            &[(-1.0f32).tanh(), 0.0, 2.0f32.tanh()],
+            1e-6,
+        );
         assert_eq!(x.relu().data(), &[0.0, 0.0, 2.0]);
         assert_close(x.leaky_relu(0.1).data(), &[-0.1, 0.0, 2.0], 1e-6);
     }

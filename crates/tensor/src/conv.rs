@@ -97,10 +97,17 @@ impl Tensor {
     /// output `(B, C_out, L)`.
     pub fn conv1d(&self, kernel: &Tensor, padding: Padding) -> Tensor {
         assert_eq!(self.rank(), 3, "conv1d input must be rank 3 (B, C, L)");
-        assert_eq!(kernel.rank(), 3, "conv1d kernel must be rank 3 (Cout, Cin, K)");
+        assert_eq!(
+            kernel.rank(),
+            3,
+            "conv1d kernel must be rank 3 (Cout, Cin, K)"
+        );
         let (b, cin, l) = (self.dims()[0], self.dims()[1], self.dims()[2]);
         let (cout, cin2, k) = (kernel.dims()[0], kernel.dims()[1], kernel.dims()[2]);
-        assert_eq!(cin, cin2, "conv1d channel mismatch: input {cin}, kernel {cin2}");
+        assert_eq!(
+            cin, cin2,
+            "conv1d channel mismatch: input {cin}, kernel {cin2}"
+        );
         assert!(k >= 1, "conv1d kernel size must be >= 1");
         let pl = padding.left(k) as isize;
 
@@ -229,7 +236,9 @@ mod tests {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let data = (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0
             })
             .collect();
@@ -302,7 +311,10 @@ mod tests {
             let gx = Tensor::conv1d_input_grad(&g, &w, padding);
             let lhs: f32 = y.data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
             let rhs: f32 = x.data().iter().zip(gx.data()).map(|(a, b)| a * b).sum();
-            assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs} ({padding:?})");
+            assert!(
+                (lhs - rhs).abs() < 1e-3,
+                "adjoint mismatch: {lhs} vs {rhs} ({padding:?})"
+            );
         }
     }
 

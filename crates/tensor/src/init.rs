@@ -19,7 +19,12 @@ impl Tensor {
 
     /// Gaussian samples with the given mean and standard deviation,
     /// generated via Box–Muller (avoids a `rand_distr` dependency).
-    pub fn rand_normal<R: Rng + ?Sized>(dims: &[usize], mean: f32, std: f32, rng: &mut R) -> Tensor {
+    pub fn rand_normal<R: Rng + ?Sized>(
+        dims: &[usize],
+        mean: f32,
+        std: f32,
+        rng: &mut R,
+    ) -> Tensor {
         let n: usize = dims.iter().product();
         let mut data = Vec::with_capacity(n);
         while data.len() < n {
@@ -56,7 +61,10 @@ impl Tensor {
     /// connections dropped, Section 4.1.2) and for selecting the fraction
     /// `β` of parameters to transfer between basic models (Figure 9).
     pub fn bernoulli_mask<R: Rng + ?Sized>(dims: &[usize], keep: f64, rng: &mut R) -> Tensor {
-        assert!((0.0..=1.0).contains(&keep), "keep probability {keep} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&keep),
+            "keep probability {keep} outside [0, 1]"
+        );
         let n: usize = dims.iter().product();
         let data = (0..n)
             .map(|_| if rng.gen_bool(keep) { 1.0 } else { 0.0 })
@@ -110,7 +118,11 @@ mod tests {
         let m = Tensor::bernoulli_mask(&[10_000], 0.8, &mut rng);
         let ones = m.sum();
         assert!(m.data().iter().all(|&v| v == 0.0 || v == 1.0));
-        assert!((ones / 10_000.0 - 0.8).abs() < 0.02, "keep rate {}", ones / 10_000.0);
+        assert!(
+            (ones / 10_000.0 - 0.8).abs() < 0.02,
+            "keep rate {}",
+            ones / 10_000.0
+        );
     }
 
     #[test]

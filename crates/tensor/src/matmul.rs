@@ -11,8 +11,18 @@ use crate::Tensor;
 impl Tensor {
     /// 2-D matrix product: `(M, K) · (K, N) → (M, N)`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2, got {}", self.rank());
-        assert_eq!(other.rank(), 2, "matmul rhs must be rank 2, got {}", other.rank());
+        assert_eq!(
+            self.rank(),
+            2,
+            "matmul lhs must be rank 2, got {}",
+            self.rank()
+        );
+        assert_eq!(
+            other.rank(),
+            2,
+            "matmul rhs must be rank 2, got {}",
+            other.rank()
+        );
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
@@ -75,8 +85,18 @@ impl Tensor {
     /// Batches are processed in parallel when the global parallelism level
     /// (see [`par::set_threads`]) is greater than one.
     pub fn bmm(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rank(), 3, "bmm lhs must be rank 3, got {}", self.rank());
-        assert_eq!(other.rank(), 3, "bmm rhs must be rank 3, got {}", other.rank());
+        assert_eq!(
+            self.rank(),
+            3,
+            "bmm lhs must be rank 3, got {}",
+            self.rank()
+        );
+        assert_eq!(
+            other.rank(),
+            3,
+            "bmm rhs must be rank 3, got {}",
+            other.rank()
+        );
         let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
         let (b2, k2, n) = (other.dims()[0], other.dims()[1], other.dims()[2]);
         assert_eq!(b, b2, "bmm batch dims differ: {b} vs {b2}");
@@ -238,7 +258,10 @@ mod tests {
     #[test]
     fn bmm_matches_per_batch_matmul() {
         let a = Tensor::from_vec((0..24).map(|x| x as f32 * 0.1).collect(), &[2, 3, 4]);
-        let b = Tensor::from_vec((0..40).map(|x| (x as f32 * 0.2).cos()).collect(), &[2, 4, 5]);
+        let b = Tensor::from_vec(
+            (0..40).map(|x| (x as f32 * 0.2).cos()).collect(),
+            &[2, 4, 5],
+        );
         let c = a.bmm(&b);
         assert_eq!(c.dims(), &[2, 3, 5]);
         for bi in 0..2 {

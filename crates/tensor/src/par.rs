@@ -28,7 +28,9 @@ pub fn threads() -> usize {
 
 /// Convenience: set threads to the machine's available parallelism.
 pub fn use_all_cores() {
-    let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     set_threads(n);
 }
 
@@ -107,7 +109,10 @@ where
         }
     })
     .expect("map worker thread panicked");
-    slots.into_iter().map(|s| s.expect("worker did not fill slot")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker did not fill slot"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -123,7 +128,10 @@ mod tests {
                 *c = bi as f32;
             }
         });
-        assert_eq!(out, vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0]);
+        assert_eq!(
+            out,
+            vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0]
+        );
     }
 
     #[test]

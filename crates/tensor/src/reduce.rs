@@ -19,7 +19,10 @@ impl Tensor {
 
     /// Maximum element (−∞ for an empty tensor).
     pub fn max(&self) -> f32 {
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (+∞ for an empty tensor).
@@ -150,7 +153,14 @@ mod tests {
         let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[2, 2, 3]);
         let s = t.sum_keep_last();
         assert_eq!(s.dims(), &[3]);
-        assert_eq!(s.data(), &[0.0 + 3.0 + 6.0 + 9.0, 1.0 + 4.0 + 7.0 + 10.0, 2.0 + 5.0 + 8.0 + 11.0]);
+        assert_eq!(
+            s.data(),
+            &[
+                0.0 + 3.0 + 6.0 + 9.0,
+                1.0 + 4.0 + 7.0 + 10.0,
+                2.0 + 5.0 + 8.0 + 11.0
+            ]
+        );
     }
 
     #[test]

@@ -70,7 +70,10 @@ impl Shape {
         for axis in (0..self.rank()).rev() {
             let i = index[axis];
             let d = self.0[axis];
-            assert!(i < d, "index {i} out of range for axis {axis} with size {d}");
+            assert!(
+                i < d,
+                "index {i} out of range for axis {axis} with size {d}"
+            );
             off += i * stride;
             stride *= d;
         }

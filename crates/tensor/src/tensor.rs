@@ -39,7 +39,10 @@ impl Tensor {
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
-        Tensor { shape, data: vec![0.0; len] }
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
     }
 
     /// A tensor filled with ones.
@@ -51,7 +54,10 @@ impl Tensor {
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
-        Tensor { shape, data: vec![value; len] }
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -65,7 +71,10 @@ impl Tensor {
 
     /// A rank-0 scalar tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::new(&[]), data: vec![value] }
+        Tensor {
+            shape: Shape::new(&[]),
+            data: vec![value],
+        }
     }
 
     /// A rank-1 tensor with values `0, 1, …, n-1`.
@@ -141,7 +150,12 @@ impl Tensor {
     ///
     /// Panics if the tensor holds more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.len(), 1, "item() on tensor with {} elements", self.len());
+        assert_eq!(
+            self.len(),
+            1,
+            "item() on tensor with {} elements",
+            self.len()
+        );
         self.data[0]
     }
 
@@ -159,12 +173,20 @@ impl Tensor {
             self.len(),
             shape
         );
-        Tensor { shape, data: self.data.clone() }
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
     }
 
     /// Transposes a rank-2 tensor.
     pub fn transpose(&self) -> Tensor {
-        assert_eq!(self.rank(), 2, "transpose() requires rank 2, got {}", self.rank());
+        assert_eq!(
+            self.rank(),
+            2,
+            "transpose() requires rank 2, got {}",
+            self.rank()
+        );
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
@@ -178,7 +200,12 @@ impl Tensor {
 
     /// Swaps the last two axes of a rank-3 tensor: `(B, M, N) → (B, N, M)`.
     pub fn transpose12(&self) -> Tensor {
-        assert_eq!(self.rank(), 3, "transpose12() requires rank 3, got {}", self.rank());
+        assert_eq!(
+            self.rank(),
+            3,
+            "transpose12() requires rank 3, got {}",
+            self.rank()
+        );
         let (b, m, n) = (self.dims()[0], self.dims()[1], self.dims()[2]);
         let mut out = vec![0.0f32; b * m * n];
         for bi in 0..b {
@@ -212,7 +239,10 @@ impl Tensor {
             .zip(other.data.iter())
             .map(|(&a, &b)| op(a, b))
             .collect();
-        Tensor { shape: self.shape.clone(), data }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Elementwise sum. Shapes must match exactly.
@@ -347,7 +377,12 @@ impl Tensor {
         assert_eq!(self.rank(), 3, "add_bias_channel requires rank 3");
         assert_eq!(bias.rank(), 1, "bias must be rank 1");
         let (b, c, l) = (self.dims()[0], self.dims()[1], self.dims()[2]);
-        assert_eq!(bias.len(), c, "bias length {} does not match channels {c}", bias.len());
+        assert_eq!(
+            bias.len(),
+            c,
+            "bias length {} does not match channels {c}",
+            bias.len()
+        );
         let mut out = self.clone();
         for bi in 0..b {
             for ci in 0..c {

@@ -6,8 +6,7 @@ use proptest::prelude::*;
 /// Strategy producing a tensor of the given shape with bounded values.
 fn tensor_strategy(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
     let n: usize = dims.iter().product();
-    proptest::collection::vec(-10.0f32..10.0, n)
-        .prop_map(move |data| Tensor::from_vec(data, &dims))
+    proptest::collection::vec(-10.0f32..10.0, n).prop_map(move |data| Tensor::from_vec(data, &dims))
 }
 
 proptest! {

@@ -11,7 +11,11 @@ use cae_ensemble_repro::prelude::*;
 
 fn main() {
     let ds = DatasetKind::Ecg.generate(Scale::Quick, 21);
-    println!("dataset: {} ({} train observations, no labels used)", ds.name, ds.train.len());
+    println!(
+        "dataset: {} ({} train observations, no labels used)",
+        ds.name,
+        ds.train.len()
+    );
 
     let model = CaeConfig::new(ds.train.dim()).embed_dim(16).layers(1);
     let ens = EnsembleConfig::new()

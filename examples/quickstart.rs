@@ -55,8 +55,14 @@ fn main() {
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
     println!("top-10 flagged timestamps (truth in brackets):");
     for &(t, s) in ranked.iter().take(10) {
-        println!("  t = {t:4}  score = {s:8.3}  [{}]", if labels[t] { "outlier" } else { "normal" });
+        println!(
+            "  t = {t:4}  score = {s:8.3}  [{}]",
+            if labels[t] { "outlier" } else { "normal" }
+        );
     }
-    assert!(report.roc_auc > 0.8, "detector failed to separate the anomalies");
+    assert!(
+        report.roc_auc > 0.8,
+        "detector failed to separate the anomalies"
+    );
     println!("done — ROC AUC {:.3}", report.roc_auc);
 }

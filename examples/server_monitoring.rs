@@ -30,7 +30,10 @@ fn main() {
         Box::new(MovingAverage::with_defaults()),
         Box::new(IsolationForest::with_defaults()),
         Box::new(CaeEnsemble::new(
-            CaeConfig::new(ds.train.dim()).embed_dim(24).window(16).layers(2),
+            CaeConfig::new(ds.train.dim())
+                .embed_dim(24)
+                .window(16)
+                .layers(2),
             EnsembleConfig::new()
                 .num_models(4)
                 .epochs_per_model(4)

@@ -10,11 +10,13 @@ use cae_ensemble_repro::prelude::*;
 
 fn main() {
     // Offline phase: train on a clean periodic signal.
-    let train =
-        TimeSeries::univariate((0..1500).map(|t| (t as f32 * 0.25).sin()).collect());
+    let train = TimeSeries::univariate((0..1500).map(|t| (t as f32 * 0.25).sin()).collect());
     let mut detector = CaeEnsemble::new(
         CaeConfig::new(1).embed_dim(16).window(16).layers(2),
-        EnsembleConfig::new().num_models(3).epochs_per_model(5).seed(11),
+        EnsembleConfig::new()
+            .num_models(3)
+            .epochs_per_model(5)
+            .seed(11),
     );
     println!("offline training…");
     detector.fit(&train);

@@ -30,3 +30,55 @@ pub mod prelude {
     pub use cae_data::{Dataset, DatasetKind, Detector, Scale, Scaler, TimeSeries};
     pub use cae_metrics::EvalReport;
 }
+
+#[cfg(test)]
+mod tests {
+    //! Audit that every name the umbrella re-exports actually resolves —
+    //! both the crate aliases above and each item in [`crate::prelude`].
+
+    #[test]
+    fn prelude_names_resolve_and_construct() {
+        use crate::prelude::{
+            CaeConfig, CaeEnsemble, Dataset, DatasetKind, Detector, EnsembleConfig, EvalReport,
+            Scale, Scaler, StreamingDetector, TimeSeries,
+        };
+
+        let series = TimeSeries::univariate((0..64).map(|t| (t as f32 * 0.3).sin()).collect());
+        let scaler = Scaler::fit(&series);
+        let _scaled = scaler.transform(&series);
+
+        let ds: Dataset = DatasetKind::Ecg.generate(Scale::Quick, 1);
+        assert!(!ds.train.is_empty() && !ds.test.is_empty());
+
+        let mut ens = CaeEnsemble::new(
+            CaeConfig::new(1).embed_dim(4).window(8).layers(1),
+            EnsembleConfig::new()
+                .num_models(1)
+                .epochs_per_model(1)
+                .seed(3),
+        );
+        ens.fit(&series);
+        let scores = ens.score(&series);
+        assert_eq!(scores.len(), series.len());
+
+        let labels: Vec<bool> = (0..series.len()).map(|t| t == 40).collect();
+        let report = EvalReport::compute(&scores, &labels);
+        assert!(report.roc_auc.is_finite());
+
+        let mut streaming = StreamingDetector::new(&ens);
+        let s = streaming.push(&[0.5]);
+        assert!(s.is_none_or(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn crate_aliases_resolve() {
+        let t = crate::tensor::Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let _ = crate::autograd::Tape::new();
+        let _ = crate::nn::Activation::Relu;
+        let _ = crate::metrics::roc_auc(&[0.1, 0.9], &[false, true]);
+        let _ = crate::data::num_windows(16, 8);
+        let _ = crate::baselines::MovingAverage::with_defaults();
+        let _ = crate::core::ReconstructionTarget::Raw;
+        assert_eq!(t.dims(), &[2, 2]);
+    }
+}

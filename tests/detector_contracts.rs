@@ -4,8 +4,8 @@
 
 use cae_ensemble_repro::baselines::{
     AeEnsemble, AeEnsembleConfig, IsolationForest, IsolationForestConfig, LocalOutlierFactor,
-    LofConfig, MovingAverage, Mscred, MscredConfig, OmniAnomaly, OmniConfig, OneClassSvm,
-    OcsvmConfig, Rae, RaeConfig, RaeEnsemble, RaeEnsembleConfig, RnnVae, RnnVaeConfig,
+    LofConfig, MovingAverage, Mscred, MscredConfig, OcsvmConfig, OmniAnomaly, OmniConfig,
+    OneClassSvm, Rae, RaeConfig, RaeEnsemble, RaeEnsembleConfig, RnnVae, RnnVaeConfig,
 };
 use cae_ensemble_repro::prelude::*;
 
@@ -40,10 +40,22 @@ fn detectors() -> Vec<Box<dyn Detector>> {
             subsample: 128,
             seed: 3,
         })),
-        Box::new(LocalOutlierFactor::new(LofConfig { k: 10, max_reference: 500, seed: 3 })),
+        Box::new(LocalOutlierFactor::new(LofConfig {
+            k: 10,
+            max_reference: 500,
+            seed: 3,
+        })),
         Box::new(MovingAverage::with_defaults()),
-        Box::new(OneClassSvm::new(OcsvmConfig { epochs: 10, seed: 3, ..OcsvmConfig::default() })),
-        Box::new(Mscred::new(MscredConfig { epochs: 10, seed: 3, ..MscredConfig::default() })),
+        Box::new(OneClassSvm::new(OcsvmConfig {
+            epochs: 10,
+            seed: 3,
+            ..OcsvmConfig::default()
+        })),
+        Box::new(Mscred::new(MscredConfig {
+            epochs: 10,
+            seed: 3,
+            ..MscredConfig::default()
+        })),
         Box::new(OmniAnomaly::new(OmniConfig {
             hidden: 12,
             latent: 4,

@@ -23,7 +23,10 @@ fn fit_score_evaluate_on_ecg_like() {
     // the detector needs a window covering most of a beat and a deeper
     // stack than the minimal smoke configuration.
     let mut det = CaeEnsemble::new(
-        CaeConfig::new(ds.train.dim()).embed_dim(24).window(16).layers(2),
+        CaeConfig::new(ds.train.dim())
+            .embed_dim(24)
+            .window(16)
+            .layers(2),
         EnsembleConfig::new()
             .num_models(4)
             .epochs_per_model(4)
@@ -41,7 +44,10 @@ fn fit_score_evaluate_on_ecg_like() {
         "ROC AUC {:.3} is not better than random",
         report.roc_auc
     );
-    assert!(report.pr_auc > ds.outlier_ratio(), "PR AUC below prevalence");
+    assert!(
+        report.pr_auc > ds.outlier_ratio(),
+        "PR AUC below prevalence"
+    );
 }
 
 #[test]

@@ -1,0 +1,87 @@
+//! Smoke coverage for the `examples/` directory.
+//!
+//! Compilation of all five examples is enforced by CI (`cargo build
+//! --examples`; see `.github/workflows/ci.yml`), and the release job runs
+//! `examples/quickstart.rs` end-to-end. This test keeps a fast local
+//! equivalent: it drives the exact quickstart pipeline — synthesize, inject
+//! outliers, fit, score, evaluate — on a tiny series so `cargo test -q`
+//! exercises the same API surface in well under a second.
+
+use cae_ensemble_repro::prelude::*;
+
+/// The examples CI builds; `quickstart` is additionally run end-to-end.
+const EXAMPLES: [&str; 5] = [
+    "hyperparameter_tuning",
+    "quickstart",
+    "server_monitoring",
+    "spacecraft_telemetry",
+    "streaming_detection",
+];
+
+#[test]
+fn example_sources_are_present() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    for name in EXAMPLES {
+        let path = dir.join(format!("{name}.rs"));
+        assert!(
+            path.is_file(),
+            "examples/{name}.rs is missing; update CI and this list"
+        );
+    }
+    let on_disk = std::fs::read_dir(&dir)
+        .expect("examples/ directory exists")
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "rs")
+        })
+        .count();
+    assert_eq!(
+        on_disk,
+        EXAMPLES.len(),
+        "examples/ gained or lost a file; update CI and this list"
+    );
+}
+
+#[test]
+fn quickstart_pipeline_runs_on_a_tiny_series() {
+    // Miniature of examples/quickstart.rs: same signal family, same
+    // pipeline, ~10x smaller so it runs fast in the test suite.
+    let wave = |t: usize| (t as f32 * 0.2).sin() + 0.4 * (t as f32 * 0.05).sin();
+    let train = TimeSeries::univariate((0..300).map(wave).collect());
+
+    let mut values: Vec<f32> = (0..160).map(wave).collect();
+    values[60] += 5.0; // point spike
+    for v in values.iter_mut().take(125).skip(110) {
+        *v += 2.0; // level shift interval
+    }
+    let test = TimeSeries::univariate(values);
+    let mut labels = vec![false; 160];
+    labels[60] = true;
+    labels[110..125].fill(true);
+
+    let model_cfg = CaeConfig::new(1).embed_dim(8).window(16).layers(1);
+    let ens_cfg = EnsembleConfig::new()
+        .num_models(2)
+        .epochs_per_model(3)
+        .lambda(2.0)
+        .beta(0.5)
+        .seed(7);
+    let mut detector = CaeEnsemble::new(model_cfg, ens_cfg);
+    detector.fit(&train);
+
+    let scores = detector.score(&test);
+    assert_eq!(scores.len(), 160);
+    assert!(
+        scores.iter().all(|s| s.is_finite()),
+        "scores must be finite"
+    );
+
+    let report = EvalReport::compute(&scores, &labels);
+    assert!(
+        report.roc_auc > 0.7,
+        "tiny quickstart failed to separate injected outliers: {report}"
+    );
+}
