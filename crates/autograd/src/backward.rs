@@ -18,7 +18,9 @@ impl Tape {
             "backward() requires a scalar loss node, got {} elements",
             self.values[loss.0].len()
         );
-        self.grads.clear();
+        for grad in self.grads.drain(..).flatten() {
+            grad.recycle();
+        }
         self.grads.resize(self.values.len(), None);
         self.grads[loss.0] = Some(Tensor::from_vec(vec![1.0], self.values[loss.0].dims()));
 
@@ -34,7 +36,10 @@ impl Tape {
     /// Adds `delta` into the gradient slot of node `target`.
     fn accum(&mut self, target: Var, delta: Tensor) {
         match &mut self.grads[target.0] {
-            Some(existing) => existing.add_inplace(&delta),
+            Some(existing) => {
+                existing.add_inplace(&delta);
+                delta.recycle();
+            }
             slot @ None => *slot = Some(delta),
         }
     }
@@ -135,39 +140,36 @@ impl Tape {
             Op::Sigmoid(a) => {
                 let a = *a;
                 let y = &self.values[i];
-                let dx = Tensor::from_vec(
+                let dx = Tensor::from_iter_pooled(
+                    g.dims(),
                     g.data()
                         .iter()
                         .zip(y.data().iter())
-                        .map(|(&gv, &yv)| gv * yv * (1.0 - yv))
-                        .collect(),
-                    g.dims(),
+                        .map(|(&gv, &yv)| gv * yv * (1.0 - yv)),
                 );
                 self.accum(a, dx);
             }
             Op::Tanh(a) => {
                 let a = *a;
                 let y = &self.values[i];
-                let dx = Tensor::from_vec(
+                let dx = Tensor::from_iter_pooled(
+                    g.dims(),
                     g.data()
                         .iter()
                         .zip(y.data().iter())
-                        .map(|(&gv, &yv)| gv * (1.0 - yv * yv))
-                        .collect(),
-                    g.dims(),
+                        .map(|(&gv, &yv)| gv * (1.0 - yv * yv)),
                 );
                 self.accum(a, dx);
             }
             Op::Relu(a) => {
                 let a = *a;
                 let y = &self.values[i];
-                let dx = Tensor::from_vec(
+                let dx = Tensor::from_iter_pooled(
+                    g.dims(),
                     g.data()
                         .iter()
                         .zip(y.data().iter())
-                        .map(|(&gv, &yv)| if yv > 0.0 { gv } else { 0.0 })
-                        .collect(),
-                    g.dims(),
+                        .map(|(&gv, &yv)| if yv > 0.0 { gv } else { 0.0 }),
                 );
                 self.accum(a, dx);
             }
@@ -185,7 +187,7 @@ impl Tape {
                 let a = *a;
                 let y = &self.values[i];
                 let n = *y.dims().last().expect("softmax output has no axes");
-                let mut dx = vec![0.0f32; y.len()];
+                let mut dx = cae_tensor::scratch::take_zeroed(y.len());
                 for ((dx_row, y_row), g_row) in dx
                     .chunks_exact_mut(n)
                     .zip(y.data().chunks_exact(n))
@@ -208,13 +210,13 @@ impl Tape {
                 let a = *a;
                 let n = self.values[a.0].len().max(1);
                 let dims = self.values[a.0].dims().to_vec();
-                let dx = Tensor::full(&dims, g.item() / n as f32);
+                let dx = Tensor::full_pooled(&dims, g.item() / n as f32);
                 self.accum(a, dx);
             }
             Op::SumAll(a) => {
                 let a = *a;
                 let dims = self.values[a.0].dims().to_vec();
-                let dx = Tensor::full(&dims, g.item());
+                let dx = Tensor::full_pooled(&dims, g.item());
                 self.accum(a, dx);
             }
             Op::MseLoss { pred, target } => {
@@ -230,7 +232,7 @@ impl Tape {
                 let a = *a;
                 let dims = self.values[a.0].dims().to_vec();
                 let (b, l, c) = (dims[0], dims[1], dims[2]);
-                let mut dx = Tensor::zeros(&dims);
+                let mut dx = Tensor::zeros_pooled(&dims);
                 for bi in 0..b {
                     let src = &g.data()[bi * l * c..(bi + 1) * l * c];
                     let dst = &mut dx.data_mut()[bi * l * c..(bi + 1) * l * c];

@@ -75,6 +75,12 @@ pub enum Op {
 /// Append-only computation tape.
 ///
 /// Values, ops and gradients are parallel arenas indexed by [`Var`].
+///
+/// Dropping or [`clear`](Tape::clear)ing a tape recycles every node's
+/// storage into the thread-local scratch pool of `cae-tensor`, so the next
+/// forward/backward pass (on this tape or a fresh one) reallocates nothing.
+/// Hot loops should still prefer reusing one tape via `clear()` — that
+/// also keeps the arena vectors themselves warm.
 pub struct Tape {
     pub(crate) values: Vec<Tensor>,
     pub(crate) ops: Vec<Op>,
@@ -84,6 +90,12 @@ pub struct Tape {
 impl Default for Tape {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Drop for Tape {
+    fn drop(&mut self) {
+        self.clear();
     }
 }
 
@@ -97,11 +109,23 @@ impl Tape {
         }
     }
 
-    /// Drops all nodes but keeps the allocations of the arenas.
+    /// Drops all nodes but keeps the allocations of the arenas, returning
+    /// every node's tensor storage to the scratch pool.
     pub fn clear(&mut self) {
-        self.values.clear();
-        self.ops.clear();
-        self.grads.clear();
+        for value in self.values.drain(..) {
+            value.recycle();
+        }
+        for op in self.ops.drain(..) {
+            // Ops that own tensors (targets, masks) recycle them too.
+            match op {
+                Op::MseLoss { target, .. } => target.recycle(),
+                Op::MulConst(_, mask) => mask.recycle(),
+                _ => {}
+            }
+        }
+        for grad in self.grads.drain(..).flatten() {
+            grad.recycle();
+        }
     }
 
     /// Number of nodes currently on the tape.
@@ -351,7 +375,7 @@ impl Tape {
         let x = &self.values[a.0];
         assert_eq!(x.rank(), 3, "shift_right_time requires rank 3 (B, L, C)");
         let (b, l, c) = (x.dims()[0], x.dims()[1], x.dims()[2]);
-        let mut out = Tensor::zeros(&[b, l, c]);
+        let mut out = Tensor::zeros_pooled(&[b, l, c]);
         for bi in 0..b {
             let src = &x.data()[bi * l * c..(bi + 1) * l * c];
             let dst = &mut out.data_mut()[bi * l * c..(bi + 1) * l * c];

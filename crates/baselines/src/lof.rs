@@ -16,6 +16,11 @@ use cae_tensor::par;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Minimum per-point loop items handed to each pool worker: one item is a
+/// single O(reference · d) neighbor query, so fanning out below this batch
+/// size costs more in dispatch than it buys in parallelism.
+const MIN_POINTS_PER_WORKER: usize = 128;
+
 /// LOF hyperparameters.
 #[derive(Clone, Debug)]
 pub struct LofConfig {
@@ -139,15 +144,17 @@ impl Detector for LocalOutlierFactor {
             .collect();
         let m = keep.len();
 
-        // k-distance of every reference point.
-        let k_dist: Vec<f64> = par::map_indexed(m, |i| {
+        // k-distance of every reference point. Each item is one cheap
+        // neighbor query, so the fan-out carries a minimum batch per
+        // worker instead of waking the whole pool for tiny point sets.
+        let k_dist: Vec<f64> = par::map_indexed_min(m, MIN_POINTS_PER_WORKER, |i| {
             let nb = self.knn(self.point(i), Some(i));
             nb.last().map(|&(d, _)| d).unwrap_or(0.0)
         });
         self.k_dist = k_dist;
 
         // Local reachability density of every reference point.
-        let lrd: Vec<f64> = par::map_indexed(m, |i| {
+        let lrd: Vec<f64> = par::map_indexed_min(m, MIN_POINTS_PER_WORKER, |i| {
             let nb = self.knn(self.point(i), Some(i));
             self.lrd_of(&nb)
         });
@@ -158,7 +165,7 @@ impl Detector for LocalOutlierFactor {
         assert!(!self.reference.is_empty(), "score() before fit()");
         let scaled = self.scaler.as_ref().expect("fitted").transform(test);
         assert_eq!(scaled.dim(), self.dim, "test dim mismatch");
-        par::map_indexed(scaled.len(), |t| {
+        par::map_indexed_min(scaled.len(), MIN_POINTS_PER_WORKER, |t| {
             let x = scaled.observation(t);
             let nb = self.knn(x, None);
             let lrd_x = self.lrd_of(&nb);

@@ -192,13 +192,16 @@ fn train_net(
     let starts: Vec<usize> = (0..=scaled.len() - w).step_by(cfg.train_stride).collect();
     let mut opt = Adam::new(store, cfg.learning_rate);
     let mut order: Vec<usize> = (0..starts.len()).collect();
+    // One tape per net, cleared each batch: node storage cycles through
+    // the scratch pool instead of the allocator.
+    let mut tape = Tape::new();
     for _ in 0..cfg.epochs {
         order.shuffle(rng);
         for chunk in order.chunks(cfg.batch_size) {
             let batch_starts: Vec<usize> = chunk.iter().map(|&i| starts[i]).collect();
             let batch = gather_windows(scaled, &batch_starts, w);
             let (b, d) = (batch.dims()[0], batch.dims()[2]);
-            let mut tape = Tape::new();
+            tape.clear();
             let recon = net.forward(&mut tape, store, &batch);
             // Mean of per-step MSEs against the true observations.
             let mut loss_acc: Option<Var> = None;

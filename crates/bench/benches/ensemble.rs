@@ -16,6 +16,7 @@ fn random_scores(models: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
 }
 
 fn bench_median_aggregation(c: &mut Criterion) {
+    cae_bench::init_parallelism();
     let per_model = random_scores(8, 10_000, 1);
     c.bench_function("median_scores_8x10k", |bench| {
         bench.iter(|| black_box(median_scores(black_box(&per_model))))
@@ -23,6 +24,7 @@ fn bench_median_aggregation(c: &mut Criterion) {
 }
 
 fn bench_window_protocol(c: &mut Criterion) {
+    cae_bench::init_parallelism();
     let mut rng = StdRng::seed_from_u64(2);
     let w = 16;
     let n_win = 10_000;
@@ -39,6 +41,7 @@ fn bench_window_protocol(c: &mut Criterion) {
 }
 
 fn bench_diversity_metric(c: &mut Criterion) {
+    cae_bench::init_parallelism();
     let outputs = random_scores(8, 50_000, 3);
     c.bench_function("pairwise_diversity_50k", |bench| {
         bench.iter(|| black_box(pairwise_diversity(black_box(&outputs[0]), &outputs[1])))

@@ -30,6 +30,7 @@ fn fitted(dim: usize, members: usize) -> CaeEnsemble {
 }
 
 fn bench_streaming(c: &mut Criterion) {
+    cae_bench::init_parallelism();
     for (label, members) in [("cae_single", 1usize), ("cae_ensemble_5", 5)] {
         let ens = fitted(8, members);
         let series = train_series(8, 256);
@@ -49,6 +50,7 @@ fn bench_streaming(c: &mut Criterion) {
 }
 
 fn bench_batch_scoring(c: &mut Criterion) {
+    cae_bench::init_parallelism();
     let ens = fitted(8, 5);
     let series = train_series(8, 256);
     c.bench_function("batch_score_256_obs", |bench| {

@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_matmul(c: &mut Criterion) {
+    cae_bench::init_parallelism();
     let mut rng = StdRng::seed_from_u64(1);
     let a = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
     let b = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
@@ -24,6 +25,7 @@ fn bench_matmul(c: &mut Criterion) {
 }
 
 fn bench_bmm(c: &mut Criterion) {
+    cae_bench::init_parallelism();
     let mut rng = StdRng::seed_from_u64(2);
     // Attention-shaped batched products: (B, w, D') x (B, w, D')^T.
     let z = Tensor::rand_uniform(&[32, 16, 32], -1.0, 1.0, &mut rng);
@@ -38,6 +40,7 @@ fn bench_bmm(c: &mut Criterion) {
 }
 
 fn bench_conv1d(c: &mut Criterion) {
+    cae_bench::init_parallelism();
     let mut rng = StdRng::seed_from_u64(3);
     // CAE-shaped convolution: batch 32, 32 channels, window 16, kernel 3.
     let x = Tensor::rand_uniform(&[32, 32, 16], -1.0, 1.0, &mut rng);
@@ -66,6 +69,7 @@ fn bench_conv1d(c: &mut Criterion) {
 }
 
 fn bench_softmax(c: &mut Criterion) {
+    cae_bench::init_parallelism();
     let mut rng = StdRng::seed_from_u64(4);
     let x = Tensor::rand_uniform(&[32, 16, 16], -5.0, 5.0, &mut rng);
     c.bench_function("softmax_last_attention", |bench| {

@@ -22,6 +22,7 @@ fn train_series(dim: usize, len: usize) -> TimeSeries {
 }
 
 fn bench_single_model_epoch(c: &mut Criterion) {
+    cae_bench::init_parallelism();
     let series = train_series(4, 400);
 
     c.bench_function("cae_train_1_epoch", |bench| {
@@ -56,6 +57,7 @@ fn bench_single_model_epoch(c: &mut Criterion) {
 }
 
 fn bench_parameter_transfer_effect(c: &mut Criterion) {
+    cae_bench::init_parallelism();
     // Ensemble of 3 with transfer (diversity-driven) vs. independent —
     // the transfer path is the Table 7 ratio-reduction mechanism.
     let series = train_series(4, 400);

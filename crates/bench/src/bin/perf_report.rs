@@ -1,0 +1,249 @@
+//! `perf_report` — the machine-readable performance baseline.
+//!
+//! Times the tensor kernels underneath every model, one full training step
+//! of the CAE basic model, and full-ensemble inference on synthetic data,
+//! then writes `BENCH_tensor.json` at the repo root:
+//!
+//! ```json
+//! {"version": 1, "threads": 8, "pool_workers_spawned": 7,
+//!  "results": [{"op": "matmul", "shape": "256x256x256",
+//!               "iters": 420, "ns_per_iter": 513211}, …]}
+//! ```
+//!
+//! The committed JSON is the perf trajectory's anchor: future PRs rerun
+//! the binary and diff `ns_per_iter` per op. Flags:
+//!
+//! * `--out PATH`       output path (default `BENCH_tensor.json`)
+//! * `--budget-ms N`    target wall time per op (default 100, CI uses 25)
+//! * `--threads N`      worker threads (default: all cores)
+
+use cae_autograd::{ParamStore, Tape};
+use cae_bench::HARNESS_SEED;
+use cae_core::{Cae, CaeConfig, CaeEnsemble, EnsembleConfig};
+use cae_data::{Detector, TimeSeries};
+use cae_nn::{Adam, Optimizer};
+use cae_tensor::{par, Padding, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+struct Entry {
+    op: &'static str,
+    shape: String,
+    iters: u64,
+    ns_per_iter: u128,
+}
+
+/// Number of measurement repetitions; the fastest is reported, which is
+/// robust against scheduler interference on shared machines.
+const REPS: u32 = 8;
+
+/// Times `f` as the **minimum** per-iteration wall time over [`REPS`]
+/// repetitions, each sized to roughly `budget / REPS`.
+fn bench(
+    op: &'static str,
+    shape: impl Into<String>,
+    budget: Duration,
+    mut f: impl FnMut(),
+) -> Entry {
+    // Warmup + calibration: size one repetition from a first timed call.
+    f();
+    let t0 = Instant::now();
+    f();
+    let estimate = t0.elapsed().max(Duration::from_nanos(50));
+    let per_rep = (budget.as_nanos() / u128::from(REPS) / estimate.as_nanos()).clamp(1, 1 << 20);
+    let per_rep = per_rep as u64;
+
+    let mut best = u128::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for _ in 0..per_rep {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() / u128::from(per_rep));
+    }
+    let iters = per_rep * u64::from(REPS);
+    let shape = shape.into();
+    eprintln!("{op:<26} {shape:<22} {iters:>8} iters  {best:>12} ns/iter (min of {REPS} reps)");
+    Entry {
+        op,
+        shape,
+        iters,
+        ns_per_iter: best,
+    }
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|pair| pair[0] == name)
+        .map(|pair| pair[1].clone())
+}
+
+fn sine_series(dim: usize, len: usize) -> TimeSeries {
+    let mut s = TimeSeries::empty(dim);
+    let mut obs = vec![0.0f32; dim];
+    for t in 0..len {
+        for (d, o) in obs.iter_mut().enumerate() {
+            *o = ((t as f32) * 0.3 + d as f32 * 0.7).sin();
+        }
+        s.push(&obs);
+    }
+    s
+}
+
+fn main() {
+    match arg_value("--threads").map(|v| v.parse::<usize>()) {
+        Some(Ok(n)) => par::set_threads(n),
+        Some(Err(e)) => panic!("invalid --threads: {e}"),
+        None => par::use_all_cores(),
+    }
+    let budget = Duration::from_millis(
+        arg_value("--budget-ms")
+            .map(|v| v.parse::<u64>().expect("invalid --budget-ms"))
+            .unwrap_or(100),
+    );
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_tensor.json".to_string());
+    let threads = par::threads();
+    eprintln!("perf_report: {threads} threads, {budget:?} budget per op\n");
+
+    let mut rng = StdRng::seed_from_u64(HARNESS_SEED);
+    let mut results: Vec<Entry> = Vec::new();
+
+    // --- Tensor kernels -------------------------------------------------
+    let a64 = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
+    let b64 = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
+    results.push(bench("matmul", "64x64x64", budget, || {
+        a64.matmul(&b64).recycle();
+    }));
+
+    let a256 = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut rng);
+    let b256 = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut rng);
+    results.push(bench("matmul", "256x256x256", budget, || {
+        a256.matmul(&b256).recycle();
+    }));
+
+    // Attention-shaped batched products: (B, w, D') x (B, w, D')^T.
+    let z = Tensor::rand_uniform(&[32, 16, 32], -1.0, 1.0, &mut rng);
+    let e = Tensor::rand_uniform(&[32, 16, 32], -1.0, 1.0, &mut rng);
+    results.push(bench("bmm_nt", "32x16x32", budget, || {
+        z.bmm_nt(&e).recycle();
+    }));
+    let scores = Tensor::rand_uniform(&[32, 16, 16], -1.0, 1.0, &mut rng).softmax_last();
+    results.push(bench("bmm", "32x16x16·32x16x32", budget, || {
+        scores.bmm(&e).recycle();
+    }));
+
+    // CAE-shaped convolutions: batch 32, 32 channels, window 16, K = 3.
+    let x = Tensor::rand_uniform(&[32, 32, 16], -1.0, 1.0, &mut rng);
+    let w = Tensor::rand_uniform(&[32, 32, 3], -1.0, 1.0, &mut rng);
+    let g = Tensor::rand_uniform(&[32, 32, 16], -1.0, 1.0, &mut rng);
+    results.push(bench("conv1d_same", "32x32x16 k3", budget, || {
+        x.conv1d(&w, Padding::Same).recycle();
+    }));
+    results.push(bench("conv1d_causal", "32x32x16 k3", budget, || {
+        x.conv1d(&w, Padding::Causal).recycle();
+    }));
+    results.push(bench("conv1d_input_grad", "32x32x16 k3", budget, || {
+        Tensor::conv1d_input_grad(&g, &w, Padding::Same).recycle();
+    }));
+    results.push(bench("conv1d_kernel_grad", "32x32x16 k3", budget, || {
+        Tensor::conv1d_kernel_grad(&x, &g, 3, Padding::Same).recycle();
+    }));
+
+    let big = Tensor::rand_uniform(&[64, 32, 64], -1.0, 1.0, &mut rng);
+    results.push(bench("softmax_last", "32x16x16", budget, || {
+        scores.softmax_last().recycle();
+    }));
+    results.push(bench("sum_axis0", "64x32x64", budget, || {
+        big.sum_axis0().recycle();
+    }));
+
+    // Pool dispatch overhead: trivial per-chunk work on a large buffer —
+    // measures the cost of waking and joining the persistent workers.
+    let mut dispatch_buf = vec![0.0f32; 1 << 16];
+    results.push(bench("pool_dispatch", "65536/1024", budget, || {
+        par::for_each_chunk(&mut dispatch_buf, 1024, |bi, chunk| {
+            chunk[0] = bi as f32;
+        });
+    }));
+
+    // --- One training step of the CAE basic model -----------------------
+    // Batch 32 windows of the paper-shaped model (D' = 24, w = 16, 2
+    // layers): forward, backward, Adam step.
+    let cfg = CaeConfig::new(4).embed_dim(24).window(16).layers(2);
+    let mut store = ParamStore::new();
+    let model = Cae::new(cfg, &mut store, &mut rng);
+    let mut opt = Adam::new(&store, 1e-3);
+    let batch = Tensor::rand_uniform(&[32, 16, 4], -1.0, 1.0, &mut rng);
+    let mut tape = Tape::new();
+    results.push(bench("training_step", "B32 w16 D'24 L2", budget, || {
+        tape.clear();
+        let out = model.forward(&mut tape, &store, &batch);
+        let target = model.target_tensor(&tape, &out, &batch);
+        let loss = tape.mse_loss(out.recon, &target);
+        target.recycle();
+        tape.backward(loss);
+        tape.accumulate_param_grads(&mut store);
+        opt.step(&mut store);
+    }));
+
+    // --- Full-ensemble training & inference ------------------------------
+    let series = sine_series(4, 600);
+    let ens_budget = budget.max(Duration::from_millis(400));
+    results.push(bench(
+        "ensemble_fit",
+        "5 members, 600 obs",
+        ens_budget,
+        || {
+            let mc = CaeConfig::new(4).embed_dim(24).window(16).layers(2);
+            let ec = EnsembleConfig::new()
+                .num_models(5)
+                .epochs_per_model(1)
+                .train_stride(8)
+                .seed(HARNESS_SEED);
+            let mut ens = CaeEnsemble::new(mc, ec);
+            ens.fit(&series);
+        },
+    ));
+
+    let mc = CaeConfig::new(4).embed_dim(24).window(16).layers(2);
+    let ec = EnsembleConfig::new()
+        .num_models(5)
+        .epochs_per_model(2)
+        .train_stride(8)
+        .seed(HARNESS_SEED);
+    let mut ens = CaeEnsemble::new(mc, ec);
+    ens.fit(&series);
+    let test = sine_series(4, 256);
+    results.push(bench(
+        "ensemble_inference",
+        "5 members, 256 obs",
+        budget,
+        || {
+            std::hint::black_box(ens.score(&test));
+        },
+    ));
+
+    // --- Emit JSON -------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"version\": 1,\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"pool_workers_spawned\": {},\n",
+        par::pool_threads_spawned()
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, e) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"op\": \"{}\", \"shape\": \"{}\", \"iters\": {}, \"ns_per_iter\": {}}}{comma}\n",
+            e.op, e.shape, e.iters, e.ns_per_iter
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("failed to write benchmark JSON");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

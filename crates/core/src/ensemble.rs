@@ -106,11 +106,13 @@ impl CaeEnsemble {
         let w = model.config().window;
         let rd = model.config().recon_dim();
         let mut out = Vec::with_capacity(starts.len() * w * rd);
+        let mut tape = Tape::new();
         for chunk in starts.chunks(INFERENCE_BATCH) {
             let batch = Self::gather_windows(series, chunk, w);
-            let mut tape = Tape::new();
+            tape.clear();
             let fwd = model.forward(&mut tape, store, &batch);
             out.extend_from_slice(tape.value(fwd.recon).data());
+            batch.recycle();
         }
         out
     }
@@ -154,9 +156,11 @@ impl CaeEnsemble {
             let (model, store) = &self.members[m];
             let mut errors = Vec::with_capacity(n_win * w);
             let starts: Vec<usize> = (0..n_win).collect();
+            let mut tape = Tape::new();
             for chunk in starts.chunks(INFERENCE_BATCH) {
                 let batch = Self::gather_windows(&scaled, chunk, w);
-                errors.extend(model.window_errors(store, &batch));
+                errors.extend(model.window_errors_with(&mut tape, store, &batch));
+                batch.recycle();
             }
             series_scores_from_window_errors(&errors, n_win, w)
         })
@@ -228,6 +232,10 @@ impl Detector for CaeEnsemble {
             let mut opt = Adam::new(&store, self.cfg.learning_rate);
             let mut order: Vec<usize> = (0..n_win).collect();
             let mut prev_epoch_j = f32::INFINITY;
+            // One tape for the whole member: cleared per batch, its node
+            // storage cycles through the scratch pool instead of the
+            // allocator.
+            let mut tape = Tape::new();
 
             for epoch in 0..self.cfg.epochs_per_model {
                 order.shuffle(&mut rng);
@@ -236,7 +244,7 @@ impl Detector for CaeEnsemble {
                     let batch_starts: Vec<usize> = chunk.iter().map(|&i| starts[i]).collect();
                     let batch = Self::gather_windows(&scaled, &batch_starts, w);
 
-                    let mut tape = Tape::new();
+                    tape.clear();
                     // Denoising training: corrupt the network input, keep
                     // the reconstruction target clean (see
                     // `EnsembleConfig::denoise_std`).
@@ -246,6 +254,8 @@ impl Detector for CaeEnsemble {
                         let noisy = batch.add(&noise);
                         let out = model.forward(&mut tape, &store, &noisy);
                         let target = model.clean_target_tensor(&mut tape, &store, &batch);
+                        noise.recycle();
+                        noisy.recycle();
                         (out, target)
                     } else {
                         let out = model.forward(&mut tape, &store, &batch);
@@ -254,11 +264,13 @@ impl Detector for CaeEnsemble {
                     };
                     let j = tape.mse_loss(out.recon, &target);
                     let j_val = tape.value(j).item();
+                    batch.recycle();
+                    target.recycle();
 
                     let mut k_val = 0.0f32;
                     let loss = if diverse {
                         // F(X) for this batch, from the running-mean cache.
-                        let mut f = vec![0.0f32; chunk.len() * w * rd];
+                        let mut f = cae_tensor::scratch::take_zeroed(chunk.len() * w * rd);
                         for (row, &i) in chunk.iter().enumerate() {
                             f[row * w * rd..(row + 1) * w * rd]
                                 .copy_from_slice(&mean_recon[i * w * rd..(i + 1) * w * rd]);
@@ -266,6 +278,7 @@ impl Detector for CaeEnsemble {
                         let f = Tensor::from_vec(f, &[chunk.len(), w, rd]);
                         let k = tape.mse_loss(out.recon, &f);
                         k_val = tape.value(k).item();
+                        f.recycle();
                         // Stability guard: the raw objective J − λK is
                         // unbounded below (scaling all activations by α
                         // multiplies both terms by α², so once λK > J the

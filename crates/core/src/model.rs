@@ -264,10 +264,25 @@ impl Cae {
     /// `(B, w)`-shaped vector in row-major order.
     pub fn window_errors(&self, store: &ParamStore, batch: &Tensor) -> Vec<f32> {
         let mut tape = Tape::new();
-        let out = self.forward(&mut tape, store, batch);
-        let target = self.target_tensor(&tape, &out, batch);
+        self.window_errors_with(&mut tape, store, batch)
+    }
+
+    /// [`Cae::window_errors`] on a caller-provided tape, so scoring loops
+    /// can reuse one tape (and its recycled tensor storage) across batches.
+    pub fn window_errors_with(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        batch: &Tensor,
+    ) -> Vec<f32> {
+        tape.clear();
+        let out = self.forward(tape, store, batch);
+        let target = self.target_tensor(tape, &out, batch);
         let diff = tape.value(out.recon).sub(&target);
-        diff.row_sq_norms()
+        let errors = diff.row_sq_norms();
+        target.recycle();
+        diff.recycle();
+        errors
     }
 }
 

@@ -65,8 +65,9 @@ impl Optimizer for Adam {
             "optimizer layout does not match store"
         );
         for (slot, id) in ids.into_iter().enumerate() {
-            // Copy the gradient out to satisfy the borrow checker cheaply;
-            // gradients are small relative to activations.
+            // Copy the gradient out to satisfy the borrow checker cheaply
+            // (through the scratch pool, so steady-state steps allocate
+            // nothing); gradients are small relative to activations.
             let grad = store.grad(id).clone();
             let m = &mut self.m[slot];
             let v = &mut self.v[slot];
@@ -81,6 +82,7 @@ impl Optimizer for Adam {
                 let v_hat = vi / bc2;
                 value.data_mut()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
             }
+            grad.recycle();
         }
         store.zero_grads();
     }
@@ -134,6 +136,7 @@ impl Optimizer for Sgd {
                 vel.data_mut()[i] = v;
                 value.data_mut()[i] -= self.lr * v;
             }
+            grad.recycle();
         }
         store.zero_grads();
     }

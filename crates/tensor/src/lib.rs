@@ -5,11 +5,15 @@
 //! kernels the paper's models need:
 //!
 //! * elementwise arithmetic and activations,
-//! * 2-D and batched 3-D matrix multiplication,
+//! * 2-D and batched 3-D matrix multiplication (register-blocked kernels),
 //! * 1-D convolution with *same* and *causal* padding ([`Padding`]),
+//!   with a fused multi-tap inner loop,
 //! * reductions and axis utilities,
 //! * seeded random initialization,
-//! * optional thread-level parallelism over batches ([`par`]).
+//! * optional thread-level parallelism over batches via a persistent
+//!   worker pool ([`par`]),
+//! * a thread-local scratch-buffer pool backing tensor storage
+//!   ([`scratch`]).
 //!
 //! Shape mismatches are programming errors and panic with a descriptive
 //! message, mirroring the convention of mainstream array libraries.
@@ -31,6 +35,7 @@ mod init;
 mod matmul;
 pub mod par;
 mod reduce;
+pub mod scratch;
 mod shape;
 mod tensor;
 

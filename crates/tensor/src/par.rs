@@ -1,24 +1,50 @@
-//! Thread-level batch parallelism.
+//! Thread-level batch parallelism over a **persistent worker pool**.
 //!
 //! The paper's efficiency claim for convolutional autoencoders rests on the
 //! fact that convolutions parallelize across time steps and batch elements
-//! while RNN steps cannot. On CPU we realize that parallelism with
-//! `crossbeam` scoped threads over batch chunks.
+//! while RNN steps cannot. On CPU we realize that parallelism with a
+//! process-wide pool of long-lived worker threads: workers are spawned
+//! lazily on the first parallel kernel call and then parked on a condition
+//! variable between jobs, so a training epoch pays the thread-spawn cost
+//! **zero** times instead of once per kernel invocation (the previous
+//! design spawned and joined scoped threads inside every call).
+//!
+//! Dispatch model:
+//!
+//! * A job is a count of independent tasks plus a closure `f(task_index)`.
+//!   The submitting thread publishes the job, wakes the workers, and then
+//!   participates in the work itself, so a pool with `n` configured threads
+//!   uses `n - 1` workers plus the caller.
+//! * Tasks are claimed with an atomic counter, executed, and counted; the
+//!   submitter returns once every task has finished. Worker panics are
+//!   caught, counted as completion, and re-raised on the submitting thread.
+//! * Nested parallel calls (a task that itself calls into [`for_each_chunk`]
+//!   or [`map_indexed`]) run sequentially on the calling worker — the outer
+//!   job already owns the pool, and coarse-grained parallelism wins.
 //!
 //! The thread count is a process-wide setting ([`set_threads`]); the default
 //! of 1 keeps all kernels deterministic and overhead-free for the small
-//! tensors used in tests. Benchmarks and the training harness raise it.
+//! tensors used in tests. Benchmarks and the training harness raise it via
+//! [`use_all_cores`]. Splitting is over contiguous, disjoint output spans
+//! computed identically at every thread count, so threaded results are
+//! **bit-exact** with the sequential path.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 static THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Hard cap on configured threads (and thus spawned workers).
+const MAX_THREADS: usize = 256;
 
 /// Sets the number of worker threads used by batched kernels.
 ///
 /// Values are clamped to `1..=256`. Thread count 1 means fully sequential
-/// execution (the default).
+/// execution (the default). Raising the count never re-spawns existing
+/// workers; lowering it simply leaves the surplus workers parked.
 pub fn set_threads(n: usize) {
-    THREADS.store(n.clamp(1, 256), Ordering::Relaxed);
+    THREADS.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
 }
 
 /// Current worker-thread setting.
@@ -36,17 +62,251 @@ pub fn use_all_cores() {
 
 /// Minimum output size (elements) before a kernel fans out to threads.
 ///
-/// Scoped threads are spawned per call; for the small tensors of a single
-/// training batch the spawn/join cost dwarfs the arithmetic, so kernels
-/// below this threshold always run sequentially.
-pub const PAR_THRESHOLD: usize = 1 << 15;
+/// Pool dispatch costs a couple of condvar wakes (microseconds, not the
+/// tens of microseconds a thread spawn used to cost), so the threshold is
+/// sized such that the arithmetic under it dominates the dispatch.
+pub const PAR_THRESHOLD: usize = 1 << 12;
+
+/// Total worker threads spawned by the pool over the process lifetime.
+///
+/// This is the probe used by tests and `perf_report` to verify that
+/// workers are spawned **once per process**, not once per kernel call: the
+/// value is bounded by `threads() - 1` and stays constant across any
+/// number of kernel invocations.
+pub fn pool_threads_spawned() -> usize {
+    pool().spawned.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------
+// Pool internals
+// ---------------------------------------------------------------------
+
+/// Lifetime-erased reference to the job closure. The submitter guarantees
+/// the referent outlives the job (it blocks until every task has
+/// finished), so handing the reference to workers is sound.
+#[derive(Clone, Copy)]
+struct TaskPtr(&'static (dyn Fn(usize) + Sync));
+
+impl TaskPtr {
+    /// Erases the closure's lifetime. Callers must not run the task after
+    /// the original borrow ends — `run_tasks` enforces this by blocking
+    /// until the job's finished count reaches its total.
+    fn erase(f: &(dyn Fn(usize) + Sync)) -> Self {
+        TaskPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        })
+    }
+}
+
+/// One published job: `total` tasks executed via `task`.
+struct Job {
+    task: TaskPtr,
+    total: usize,
+    /// Next unclaimed task index.
+    next: AtomicUsize,
+    /// Number of finished tasks (monotonic up to `total`).
+    finished: AtomicUsize,
+    /// Set when any task panicked; re-raised by the submitter.
+    panicked: AtomicBool,
+}
+
+impl Job {
+    /// Claims and runs tasks until none remain. Returns whether this call
+    /// finished the last task of the job.
+    fn run(&self) -> bool {
+        let mut finished_last = false;
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return finished_last;
+            }
+            let task = self.task;
+            if catch_unwind(AssertUnwindSafe(|| (task.0)(i))).is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+            let done = self.finished.fetch_add(1, Ordering::AcqRel) + 1;
+            finished_last = done == self.total;
+        }
+    }
+}
+
+struct PoolState {
+    /// The job currently being executed, if any. A single slot: concurrent
+    /// submitters queue on `done_cv` until the slot frees.
+    job: Option<Arc<Job>>,
+    /// Bumped on every publication so parked workers can tell a fresh job
+    /// from the one they already drained.
+    generation: u64,
+    /// Workers spawned so far.
+    workers: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Signaled when a new job is published.
+    work_cv: Condvar,
+    /// Signaled when a job completes (and when the job slot frees).
+    done_cv: Condvar,
+    /// Lifetime count of spawned worker threads (see
+    /// [`pool_threads_spawned`]).
+    spawned: AtomicUsize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            job: None,
+            generation: 0,
+            workers: 0,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+thread_local! {
+    /// True while this thread is executing inside a pool job (worker
+    /// threads permanently, the submitter during its participation).
+    /// Nested parallel calls observe it and run sequentially.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Worker main loop: park until a fresh job generation appears, drain it,
+/// signal completion if we finished the last task, repeat forever.
+fn worker_loop(pool: &'static Pool) {
+    IN_POOL.with(|f| f.set(true));
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut st = pool.state.lock().expect("pool lock poisoned");
+            loop {
+                if st.generation != seen_generation {
+                    seen_generation = st.generation;
+                    if let Some(job) = st.job.clone() {
+                        break job;
+                    }
+                }
+                st = pool.work_cv.wait(st).expect("pool lock poisoned");
+            }
+        };
+        if job.run() {
+            // Last task of the job: wake the submitter. Taking the lock
+            // orders the notify after the submitter's check-then-wait.
+            let _guard = pool.state.lock().expect("pool lock poisoned");
+            pool.done_cv.notify_all();
+        }
+    }
+}
+
+/// Ensures at least `wanted` workers exist (capped at `MAX_THREADS - 1`).
+fn ensure_workers(pool: &'static Pool, wanted: usize) {
+    let wanted = wanted.min(MAX_THREADS - 1);
+    let mut st = pool.state.lock().expect("pool lock poisoned");
+    while st.workers < wanted {
+        let idx = st.workers;
+        let spawn = std::thread::Builder::new()
+            .name(format!("cae-par-{idx}"))
+            .spawn(move || worker_loop(pool));
+        match spawn {
+            Ok(_) => {
+                st.workers += 1;
+                pool.spawned.fetch_add(1, Ordering::Relaxed);
+            }
+            // Out of threads: run with what we have — the submitter
+            // participates, so the job still completes.
+            Err(_) => break,
+        }
+    }
+}
+
+/// Executes `total` tasks on the pool with up to `workers` threads
+/// (including the calling thread), blocking until all have finished.
+///
+/// Falls back to a plain sequential loop when the pool would not help:
+/// one task, one configured thread, or a nested call from inside a job.
+fn run_tasks(total: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
+    if total == 0 {
+        return;
+    }
+    if total == 1 || workers <= 1 || IN_POOL.with(|g| g.get()) {
+        for i in 0..total {
+            f(i);
+        }
+        return;
+    }
+
+    let pool = pool();
+    ensure_workers(pool, workers - 1);
+    let job = Arc::new(Job {
+        task: TaskPtr::erase(f),
+        total,
+        next: AtomicUsize::new(0),
+        finished: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+    });
+
+    {
+        let mut st = pool.state.lock().expect("pool lock poisoned");
+        // Single job slot: wait for any in-flight job of another submitter.
+        while st.job.is_some() {
+            st = pool.done_cv.wait(st).expect("pool lock poisoned");
+        }
+        st.job = Some(job.clone());
+        st.generation += 1;
+    }
+    pool.work_cv.notify_all();
+
+    // Participate: the submitter is one of the `workers` threads. (No
+    // completion signal needed from this side — the wait below re-checks
+    // the finished count under the lock.)
+    IN_POOL.with(|g| g.set(true));
+    job.run();
+    IN_POOL.with(|g| g.set(false));
+
+    {
+        let mut st = pool.state.lock().expect("pool lock poisoned");
+        while job.finished.load(Ordering::Acquire) < total {
+            st = pool.done_cv.wait(st).expect("pool lock poisoned");
+        }
+        st.job = None;
+    }
+    // Free the job slot for queued submitters.
+    pool.done_cv.notify_all();
+
+    if job.panicked.load(Ordering::Relaxed) {
+        panic!("cae-tensor pool worker panicked");
+    }
+}
+
+/// Raw mutable base pointer that may cross the closure boundary; spans
+/// written through it are disjoint per task. (The accessor method forces
+/// closures to capture the whole wrapper, not the raw-pointer field.)
+struct SyncMutPtr<T>(*mut T);
+unsafe impl<T> Sync for SyncMutPtr<T> {}
+unsafe impl<T> Send for SyncMutPtr<T> {}
+
+impl<T> SyncMutPtr<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public kernels
+// ---------------------------------------------------------------------
 
 /// Runs `f(batch_index, chunk)` for every `chunk_len`-sized chunk of `out`,
 /// in parallel when more than one thread is configured **and** the total
 /// work exceeds [`PAR_THRESHOLD`].
 ///
 /// `out.len()` must be a multiple of `chunk_len`. The closure receives
-/// disjoint output chunks, so no synchronization is needed.
+/// disjoint output chunks, so no synchronization is needed. Chunks are
+/// grouped into one contiguous span per worker; every span is computed
+/// exactly as the sequential loop would, so results are bit-exact across
+/// thread counts.
 pub fn for_each_chunk<F>(out: &mut [f32], chunk_len: usize, f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
@@ -68,47 +328,65 @@ where
         }
         return;
     }
-    // Split the batch range into `workers` contiguous spans of chunks.
+    // One contiguous span of chunks per worker.
     let per = batches.div_ceil(workers);
-    crossbeam::scope(|scope| {
-        for (w, span) in out.chunks_mut(per * chunk_len).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (j, chunk) in span.chunks_exact_mut(chunk_len).enumerate() {
-                    f(w * per + j, chunk);
-                }
-            });
+    let spans = batches.div_ceil(per);
+    let base = SyncMutPtr(out.as_mut_ptr());
+    run_tasks(spans, workers, &|s| {
+        let lo = s * per;
+        let hi = (lo + per).min(batches);
+        for bi in lo..hi {
+            // Disjoint per task: spans never overlap and the submitter
+            // blocks until every task is done.
+            let chunk = unsafe {
+                std::slice::from_raw_parts_mut(base.get().add(bi * chunk_len), chunk_len)
+            };
+            f(bi, chunk);
         }
-    })
-    .expect("batch worker thread panicked");
+    });
 }
 
-/// Runs `f(i)` for every `i in 0..n` in parallel, collecting results in order.
-///
-/// Used for coarse-grained parallelism (e.g. training independent ensemble
-/// members or isolation-forest trees).
+/// Runs `f(i)` for every `i in 0..n` in parallel, collecting results in
+/// order. Equivalent to [`map_indexed_min`] with a minimum of one task per
+/// worker — use this for coarse-grained work where every task is heavy
+/// (training independent ensemble members, growing isolation-forest trees).
 pub fn map_indexed<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = threads().min(n.max(1));
+    map_indexed_min(n, 1, f)
+}
+
+/// Runs `f(i)` for every `i in 0..n` in parallel, fanning out only when
+/// every worker gets at least `min_per_worker` items.
+///
+/// The minimum is the granularity guard for cheap per-item workloads
+/// (e.g. per-point neighbor queries): with `n = 300` and
+/// `min_per_worker = 128` at most two workers engage, and below 256 items
+/// the loop stays sequential instead of waking the whole pool.
+pub fn map_indexed_min<T, F>(n: usize, min_per_worker: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let by_granularity = n / min_per_worker.max(1);
+    let workers = threads().min(by_granularity.max(1)).min(n.max(1));
     if workers <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let per = n.div_ceil(workers);
-    crossbeam::scope(|scope| {
-        for (w, span) in slots.chunks_mut(per).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (j, slot) in span.iter_mut().enumerate() {
-                    *slot = Some(f(w * per + j));
-                }
-            });
+    let spans = n.div_ceil(per);
+    let base = SyncMutPtr(slots.as_mut_ptr());
+    run_tasks(spans, workers, &|s| {
+        let lo = s * per;
+        let hi = (lo + per).min(n);
+        for i in lo..hi {
+            // Disjoint per task (spans never overlap).
+            unsafe { *base.get().add(i) = Some(f(i)) };
         }
-    })
-    .expect("map worker thread panicked");
+    });
     slots
         .into_iter()
         .map(|s| s.expect("worker did not fill slot"))
@@ -118,9 +396,20 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// The thread count and spawn counter are process-global; tests that
+    /// touch them must not interleave under the parallel test harness.
+    fn lock() -> MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(()))
+            .lock()
+            .expect("par test gate poisoned")
+    }
 
     #[test]
     fn sequential_chunks_cover_all() {
+        let _gate = lock();
         set_threads(1);
         let mut out = vec![0.0f32; 12];
         for_each_chunk(&mut out, 3, |bi, chunk| {
@@ -136,13 +425,14 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
+        let _gate = lock();
         let work = |bi: usize, chunk: &mut [f32]| {
             for (j, c) in chunk.iter_mut().enumerate() {
                 *c = (bi * 31 + j) as f32;
             }
         };
         // Large enough to clear PAR_THRESHOLD so the threaded path runs.
-        let n = 2 * PAR_THRESHOLD;
+        let n = 16 * PAR_THRESHOLD;
         set_threads(1);
         let mut seq = vec![0.0f32; n];
         for_each_chunk(&mut seq, n / 16, work);
@@ -155,6 +445,7 @@ mod tests {
 
     #[test]
     fn map_indexed_in_order() {
+        let _gate = lock();
         set_threads(3);
         let v = map_indexed(10, |i| i * i);
         set_threads(1);
@@ -162,10 +453,84 @@ mod tests {
     }
 
     #[test]
+    fn map_indexed_min_guards_granularity() {
+        let _gate = lock();
+        set_threads(4);
+        // 10 items at 128-per-worker minimum: stays sequential, still correct.
+        let v = map_indexed_min(10, 128, |i| i + 1);
+        assert_eq!(v, (1..=10).collect::<Vec<_>>());
+        // Large n fans out and matches the sequential result.
+        let big = map_indexed_min(1000, 128, |i| i * 3);
+        set_threads(1);
+        assert_eq!(big, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn empty_work_is_ok() {
+        let _gate = lock();
         let mut out: Vec<f32> = vec![];
         for_each_chunk(&mut out, 4, |_, _| panic!("must not be called"));
         let v: Vec<u8> = map_indexed(0, |_| 1u8);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn workers_are_spawned_once_per_process() {
+        let _gate = lock();
+        set_threads(4);
+        let run = || {
+            let mut out = vec![0.0f32; 4 * PAR_THRESHOLD];
+            for_each_chunk(&mut out, PAR_THRESHOLD / 4, |bi, c| {
+                c[0] = bi as f32;
+            });
+        };
+        run();
+        // Sibling tests (serialized by the gate) may already have grown
+        // the pool; this 4-thread run guarantees at least one worker and
+        // at most 3 exist, and the count must not grow afterwards.
+        let after_first = pool_threads_spawned();
+        assert!(
+            (1..=3).contains(&after_first),
+            "expected 1..=3 workers, got {after_first}"
+        );
+        for _ in 0..50 {
+            run();
+        }
+        set_threads(1);
+        assert_eq!(
+            pool_threads_spawned(),
+            after_first,
+            "pool re-spawned workers on later kernel calls"
+        );
+    }
+
+    #[test]
+    fn nested_calls_run_sequentially_and_complete() {
+        let _gate = lock();
+        set_threads(4);
+        let outer: Vec<Vec<usize>> = map_indexed(8, |i| {
+            // Nested call from inside a pool task: must not deadlock.
+            map_indexed(16, move |j| i * 16 + j)
+        });
+        set_threads(1);
+        for (i, inner) in outer.iter().enumerate() {
+            assert_eq!(*inner, (i * 16..(i + 1) * 16).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let _gate = lock();
+        set_threads(2);
+        let caught = std::panic::catch_unwind(|| {
+            let mut out = vec![0.0f32; 2 * PAR_THRESHOLD];
+            for_each_chunk(&mut out, PAR_THRESHOLD, |bi, _| {
+                if bi == 1 {
+                    panic!("task failure");
+                }
+            });
+        });
+        set_threads(1);
+        assert!(caught.is_err(), "panic in a pool task must propagate");
     }
 }

@@ -1,6 +1,6 @@
 //! Reductions and axis statistics.
 
-use crate::Tensor;
+use crate::{scratch, Tensor};
 
 impl Tensor {
     /// Sum of all elements.
@@ -57,7 +57,7 @@ impl Tensor {
     pub fn sum_axis0(&self) -> Tensor {
         assert_eq!(self.rank(), 3, "sum_axis0 requires rank 3");
         let (b, m, n) = (self.dims()[0], self.dims()[1], self.dims()[2]);
-        let mut out = vec![0.0f32; m * n];
+        let mut out = scratch::take_zeroed(m * n);
         for bi in 0..b {
             let chunk = &self.data()[bi * m * n..(bi + 1) * m * n];
             for (o, &v) in out.iter_mut().zip(chunk.iter()) {
@@ -73,7 +73,7 @@ impl Tensor {
     /// gradients of layers operating on `(B, L, C)` data.
     pub fn sum_keep_last(&self) -> Tensor {
         let c = *self.dims().last().expect("sum_keep_last on rank-0 tensor");
-        let mut out = vec![0.0f32; c];
+        let mut out = scratch::take_zeroed(c);
         if c > 0 {
             for row in self.data().chunks_exact(c) {
                 for (o, &v) in out.iter_mut().zip(row.iter()) {
@@ -91,7 +91,7 @@ impl Tensor {
     pub fn sum_keep_channel(&self) -> Tensor {
         assert_eq!(self.rank(), 3, "sum_keep_channel requires rank 3");
         let (b, c, l) = (self.dims()[0], self.dims()[1], self.dims()[2]);
-        let mut out = vec![0.0f32; c];
+        let mut out = scratch::take_zeroed(c);
         for bi in 0..b {
             for (ci, o) in out.iter_mut().enumerate() {
                 let row = &self.data()[(bi * c + ci) * l..(bi * c + ci + 1) * l];

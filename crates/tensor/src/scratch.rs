@@ -1,0 +1,191 @@
+//! Thread-local scratch-buffer pool for tensor storage reuse.
+//!
+//! The training loop allocates and frees hundreds of intermediate tensors
+//! per batch (forward activations, gradients, optimizer temporaries). With
+//! a plain `Vec` per tensor that is hundreds of allocator round-trips per
+//! step. This module keeps a small per-thread free list of `Vec<f32>`
+//! buffers: [`take`] hands out a recycled buffer when one with enough
+//! capacity is available, and [`recycle`] returns a buffer to the pool
+//! instead of freeing it.
+//!
+//! Recycling is wired into the autograd tape (`Tape::clear`/`Drop` recycle
+//! every node) and [`Tensor::recycle`](crate::Tensor::recycle), so a steady
+//! training loop reaches a fixed point where every step runs allocation-free
+//! out of the pool.
+//!
+//! The pool is thread-local: no locks, and kernels running on pool workers
+//! recycle into their own lists. Buffers above [`MAX_POOLED_LEN`] elements,
+//! lists beyond [`MAX_POOLED_BUFFERS`] entries, and anything that would
+//! push a thread's retained total past [`MAX_POOLED_BYTES`] are released
+//! to the allocator, so per-thread footprint stays hard-bounded even on
+//! long-lived pool workers.
+
+use std::cell::RefCell;
+
+/// Maximum buffers kept per thread.
+pub const MAX_POOLED_BUFFERS: usize = 64;
+
+/// Maximum capacity (elements) of a pooled buffer — 4 Mi elements, 16 MiB.
+pub const MAX_POOLED_LEN: usize = 1 << 22;
+
+/// Maximum total bytes retained per thread (64 MiB). Worker threads live
+/// for the whole process, so the per-thread bound is the process bound
+/// times the thread count.
+pub const MAX_POOLED_BYTES: usize = 64 << 20;
+
+#[derive(Default)]
+struct ScratchPool {
+    bufs: Vec<Vec<f32>>,
+    /// Total capacity bytes currently retained in `bufs`.
+    bytes: usize,
+}
+
+thread_local! {
+    static POOL: RefCell<ScratchPool> = RefCell::new(ScratchPool::default());
+}
+
+/// Takes an **empty** buffer with capacity at least `len`.
+///
+/// Prefers the smallest pooled buffer that fits to keep big buffers
+/// available for big requests. Falls back to a fresh allocation when the
+/// pool has no fit.
+pub fn take(len: usize) -> Vec<f32> {
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        let mut best: Option<(usize, usize)> = None;
+        for (i, buf) in pool.bufs.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= len && best.is_none_or(|(_, best_cap)| cap < best_cap) {
+                best = Some((i, cap));
+                if cap == len {
+                    break;
+                }
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let mut buf = pool.bufs.swap_remove(i);
+                pool.bytes -= buf.capacity() * std::mem::size_of::<f32>();
+                buf.clear();
+                buf
+            }
+            None => Vec::with_capacity(len),
+        }
+    })
+}
+
+/// Takes a buffer of exactly `len` zeros.
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    let mut buf = take(len);
+    buf.resize(len, 0.0);
+    buf
+}
+
+/// Takes a buffer holding a copy of `src`.
+pub fn take_copied(src: &[f32]) -> Vec<f32> {
+    let mut buf = take(src.len());
+    buf.extend_from_slice(src);
+    buf
+}
+
+/// Returns a buffer to this thread's pool (or frees it when the pool is
+/// full, the retained-bytes budget is spent, or the buffer is outside the
+/// pooled size range).
+pub fn recycle(buf: Vec<f32>) {
+    let bytes = buf.capacity() * std::mem::size_of::<f32>();
+    if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_LEN {
+        return;
+    }
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.bufs.len() < MAX_POOLED_BUFFERS && pool.bytes + bytes <= MAX_POOLED_BYTES {
+            pool.bytes += bytes;
+            pool.bufs.push(buf);
+        }
+    });
+}
+
+/// Number of buffers currently pooled on this thread (diagnostics/tests).
+pub fn pooled_buffers() -> usize {
+    POOL.with(|pool| pool.borrow().bufs.len())
+}
+
+/// Total capacity bytes currently retained on this thread
+/// (diagnostics/tests).
+pub fn pooled_bytes() -> usize {
+    POOL.with(|pool| pool.borrow().bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycled_buffer_is_reused() {
+        // Use an odd length unlikely to collide with other tests sharing
+        // the thread-local pool.
+        let mut buf = take(12345);
+        buf.resize(12345, 7.0);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        recycle(buf);
+        let again = take(12345);
+        assert_eq!(again.capacity(), cap);
+        assert_eq!(again.as_ptr(), ptr, "pool did not hand back the buffer");
+        assert!(again.is_empty(), "take() must hand out an empty buffer");
+    }
+
+    #[test]
+    fn take_zeroed_is_clean_after_recycling_garbage() {
+        let mut buf = take(513);
+        buf.resize(513, f32::NAN);
+        recycle(buf);
+        let z = take_zeroed(513);
+        assert_eq!(z.len(), 513);
+        assert!(z.iter().all(|&v| v == 0.0), "recycled garbage leaked");
+    }
+
+    #[test]
+    fn take_copied_matches_source() {
+        let src = [1.0f32, 2.0, 3.0];
+        let c = take_copied(&src);
+        assert_eq!(c.as_slice(), &src);
+        recycle(c);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_pooled() {
+        let before = pooled_buffers();
+        recycle(Vec::with_capacity(MAX_POOLED_LEN + 1));
+        assert_eq!(pooled_buffers(), before);
+        recycle(Vec::new());
+        assert_eq!(pooled_buffers(), before);
+    }
+
+    #[test]
+    fn retained_bytes_stay_under_budget() {
+        // Run on a dedicated thread: the budget assertion must not see
+        // buffers recycled by sibling tests on the harness thread.
+        std::thread::spawn(|| {
+            // Recycling more than the byte budget keeps only what fits.
+            let buf_len = MAX_POOLED_LEN / 2;
+            let per_buf_bytes = buf_len * std::mem::size_of::<f32>();
+            for _ in 0..(MAX_POOLED_BYTES / per_buf_bytes + 4) {
+                recycle(Vec::with_capacity(buf_len));
+            }
+            assert!(
+                pooled_bytes() <= MAX_POOLED_BYTES,
+                "pool retained {} bytes, budget {}",
+                pooled_bytes(),
+                MAX_POOLED_BYTES
+            );
+            // Draining returns the accounting to zero.
+            while pooled_buffers() > 0 {
+                drop(take(buf_len));
+            }
+            assert_eq!(pooled_bytes(), 0);
+        })
+        .join()
+        .expect("budget thread panicked");
+    }
+}

@@ -1,17 +1,31 @@
 //! The core dense tensor type and its elementwise operations.
 
-use crate::Shape;
+use crate::{scratch, Shape};
 use std::fmt;
 
 /// A dense, row-major, contiguous tensor of `f32` values.
 ///
 /// `Tensor` is the single array type used across the whole reproduction.
-/// All kernels allocate fresh output tensors; in-place variants are suffixed
-/// with `_inplace` and are used in the hot training loops.
-#[derive(Clone, PartialEq)]
+/// All kernels allocate fresh output tensors — drawn from the thread-local
+/// [`scratch`] buffer pool so hot loops stop hammering the allocator —
+/// and in-place variants are suffixed with `_inplace`. Buffers return to
+/// the pool via [`Tensor::recycle`] (the autograd tape does this for every
+/// node it drops).
+#[derive(PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        // Clone through the scratch pool: tensor clones are hot in the
+        // training loop (parameter injection, gradient fan-out).
+        Tensor {
+            shape: self.shape.clone(),
+            data: scratch::take_copied(&self.data),
+        }
+    }
 }
 
 impl Tensor {
@@ -43,6 +57,53 @@ impl Tensor {
             shape,
             data: vec![0.0; len],
         }
+    }
+
+    /// A zero tensor whose storage is drawn from the thread-local
+    /// [`scratch`] pool. Prefer this in hot loops; pair with
+    /// [`Tensor::recycle`] to keep the pool primed.
+    pub fn zeros_pooled(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: scratch::take_zeroed(len),
+        }
+    }
+
+    /// A constant tensor whose storage is drawn from the thread-local
+    /// [`scratch`] pool.
+    pub fn full_pooled(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        let mut data = scratch::take(len);
+        data.resize(len, value);
+        Tensor { shape, data }
+    }
+
+    /// Builds a tensor by draining `iter` into a pooled buffer.
+    ///
+    /// Panics if the iterator does not yield exactly the shape's element
+    /// count.
+    pub fn from_iter_pooled(dims: &[usize], iter: impl IntoIterator<Item = f32>) -> Self {
+        let shape = Shape::new(dims);
+        let mut data = scratch::take(shape.len());
+        data.extend(iter);
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "iterator yielded {} elements for shape {} ({} elements)",
+            data.len(),
+            shape,
+            shape.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Consumes the tensor, returning its buffer to the thread-local
+    /// [`scratch`] pool so the next allocation can reuse it.
+    pub fn recycle(self) {
+        scratch::recycle(self.data);
     }
 
     /// A tensor filled with ones.
@@ -175,7 +236,7 @@ impl Tensor {
         );
         Tensor {
             shape,
-            data: self.data.clone(),
+            data: scratch::take_copied(&self.data),
         }
     }
 
@@ -188,7 +249,7 @@ impl Tensor {
             self.rank()
         );
         let (m, n) = (self.dims()[0], self.dims()[1]);
-        let mut out = vec![0.0f32; m * n];
+        let mut out = scratch::take_zeroed(m * n);
         for i in 0..m {
             let row = &self.data[i * n..(i + 1) * n];
             for (j, &v) in row.iter().enumerate() {
@@ -207,7 +268,7 @@ impl Tensor {
             self.rank()
         );
         let (b, m, n) = (self.dims()[0], self.dims()[1], self.dims()[2]);
-        let mut out = vec![0.0f32; b * m * n];
+        let mut out = scratch::take_zeroed(b * m * n);
         for bi in 0..b {
             let src = &self.data[bi * m * n..(bi + 1) * m * n];
             let dst = &mut out[bi * m * n..(bi + 1) * m * n];
@@ -233,12 +294,13 @@ impl Tensor {
             self.shape,
             other.shape
         );
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| op(a, b))
-            .collect();
+        let mut data = scratch::take(self.data.len());
+        data.extend(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| op(a, b)),
+        );
         Tensor {
             shape: self.shape.clone(),
             data,
@@ -322,9 +384,11 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = scratch::take(self.data.len());
+        data.extend(self.data.iter().map(|&a| f(a)));
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&a| f(a)).collect(),
+            data,
         }
     }
 

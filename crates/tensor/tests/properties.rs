@@ -134,4 +134,68 @@ proptest! {
         let per_row: f32 = a.row_sq_norms().iter().sum();
         prop_assert!((per_row - a.sq_norm()).abs() < 1e-2 * (1.0 + a.sq_norm()));
     }
+
+    /// The register-blocked `matmul_into` against a textbook triple loop,
+    /// with inner dims straddling the 4-way unroll boundary.
+    #[test]
+    fn blocked_matmul_matches_naive_reference(
+        (a, b) in (1usize..7, 1usize..11, 1usize..7).prop_flat_map(|(m, k, n)| {
+            (tensor_strategy(vec![m, k]), tensor_strategy(vec![k, n]))
+        })
+    ) {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let fast = a.matmul(&b);
+        let mut naive = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.data()[i * k + p] * b.data()[p * n + j];
+                }
+                naive[i * n + j] = acc;
+            }
+        }
+        // |entry| <= k * 100; scale the tolerance with the contraction depth.
+        cae_tensor::assert_close(fast.data(), &naive, 1e-3 * k as f32);
+    }
+
+    /// The implicit-im2col GEMM `conv1d` against a textbook quintuple
+    /// loop, across kernel sizes straddling the 4-way unroll boundary of
+    /// the GEMM depth (`C_in·K`), for both padding modes.
+    #[test]
+    fn fused_conv1d_matches_naive_reference(
+        (x, w, causal) in (1usize..3, 1usize..4, 2usize..10, 1usize..8, 1usize..3)
+            .prop_flat_map(|(bs, cin, l, k, cout)| {
+                (
+                    tensor_strategy(vec![bs, cin, l]),
+                    tensor_strategy(vec![cout, cin, k]),
+                    any::<bool>(),
+                )
+            })
+    ) {
+        let padding = if causal { Padding::Causal } else { Padding::Same };
+        let (bs, cin, l) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        let (cout, k) = (w.dims()[0], w.dims()[2]);
+        let pl = padding.left(k) as isize;
+        let fast = x.conv1d(&w, padding);
+        let mut naive = Tensor::zeros(&[bs, cout, l]);
+        for bi in 0..bs {
+            for co in 0..cout {
+                for t in 0..l {
+                    let mut acc = 0.0f32;
+                    for ci in 0..cin {
+                        for j in 0..k {
+                            let s = t as isize + j as isize - pl;
+                            if s >= 0 && (s as usize) < l {
+                                acc += w.at(&[co, ci, j]) * x.at(&[bi, ci, s as usize]);
+                            }
+                        }
+                    }
+                    naive.set(&[bi, co, t], acc);
+                }
+            }
+        }
+        cae_tensor::assert_close(fast.data(), naive.data(), 1e-3 * (cin * k) as f32);
+    }
 }
