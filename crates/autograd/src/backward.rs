@@ -139,38 +139,17 @@ impl Tape {
 
             Op::Sigmoid(a) => {
                 let a = *a;
-                let y = &self.values[i];
-                let dx = Tensor::from_iter_pooled(
-                    g.dims(),
-                    g.data()
-                        .iter()
-                        .zip(y.data().iter())
-                        .map(|(&gv, &yv)| gv * yv * (1.0 - yv)),
-                );
+                let dx = Tensor::sigmoid_grad_from_output(&self.values[i], g);
                 self.accum(a, dx);
             }
             Op::Tanh(a) => {
                 let a = *a;
-                let y = &self.values[i];
-                let dx = Tensor::from_iter_pooled(
-                    g.dims(),
-                    g.data()
-                        .iter()
-                        .zip(y.data().iter())
-                        .map(|(&gv, &yv)| gv * (1.0 - yv * yv)),
-                );
+                let dx = Tensor::tanh_grad_from_output(&self.values[i], g);
                 self.accum(a, dx);
             }
             Op::Relu(a) => {
                 let a = *a;
-                let y = &self.values[i];
-                let dx = Tensor::from_iter_pooled(
-                    g.dims(),
-                    g.data()
-                        .iter()
-                        .zip(y.data().iter())
-                        .map(|(&gv, &yv)| if yv > 0.0 { gv } else { 0.0 }),
-                );
+                let dx = Tensor::relu_grad_from_output(&self.values[i], g);
                 self.accum(a, dx);
             }
             Op::Exp(a) => {

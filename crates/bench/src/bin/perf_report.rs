@@ -5,24 +5,32 @@
 //! then writes `BENCH_tensor.json` at the repo root:
 //!
 //! ```json
-//! {"version": 1, "threads": 8, "pool_workers_spawned": 7,
+//! {"version": 2, "threads": 8, "pool_workers_spawned": 7, "isa": "avx2+fma",
 //!  "results": [{"op": "matmul", "shape": "256x256x256",
 //!               "iters": 420, "ns_per_iter": 513211}, …]}
 //! ```
 //!
 //! The committed JSON is the perf trajectory's anchor: future PRs rerun
-//! the binary and diff `ns_per_iter` per op. Flags:
+//! the binary and diff `ns_per_iter` per op — `--baseline` does the diff
+//! in-process and turns the binary into a regression gate. Flags:
 //!
-//! * `--out PATH`       output path (default `BENCH_tensor.json`)
-//! * `--budget-ms N`    target wall time per op (default 100, CI uses 25)
-//! * `--threads N`      worker threads (default: all cores)
+//! * `--out PATH`        output path (default `BENCH_tensor.json`)
+//! * `--budget-ms N`     target wall time per op (default 100, CI uses 25)
+//! * `--threads N`       worker threads (default: all cores)
+//! * `--force-scalar`    pin the scalar dispatch path (stable on any
+//!   runner regardless of its vector ISA; also via
+//!   `CAE_TENSOR_FORCE_SCALAR=1`)
+//! * `--baseline PATH`   compare against a previously committed report:
+//!   prints per-op speedup ratios and exits non-zero if any op regressed
+//!   more than `--max-regress-pct` (default 15) percent
+//! * `--max-regress-pct N`  regression tolerance for `--baseline`
 
 use cae_autograd::{ParamStore, Tape};
 use cae_bench::HARNESS_SEED;
 use cae_core::{Cae, CaeConfig, CaeEnsemble, EnsembleConfig};
 use cae_data::{Detector, TimeSeries};
 use cae_nn::{Adam, Optimizer};
-use cae_tensor::{par, Padding, Tensor};
+use cae_tensor::{par, simd, Padding, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -80,6 +88,111 @@ fn arg_value(name: &str) -> Option<String> {
         .map(|pair| pair[1].clone())
 }
 
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Minimal extractor for the report's own JSON: one result object per
+/// line, fields in a fixed order (this tool both writes and reads the
+/// format, so no general parser is needed).
+fn parse_baseline(json: &str) -> Vec<(String, String, u128)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let rest = &line[line.find(key)? + key.len()..];
+        let rest = rest.trim_start_matches([':', ' ']);
+        // Quoted values (shapes may contain commas) end at the closing
+        // quote; bare numbers end at the next separator.
+        if let Some(q) = rest.strip_prefix('"') {
+            Some(q[..q.find('"')?].to_string())
+        } else {
+            let end = rest.find([',', '}'])?;
+            Some(rest[..end].trim().to_string())
+        }
+    };
+    json.lines()
+        .filter(|l| l.contains("\"op\""))
+        .filter_map(|l| {
+            Some((
+                field(l, "\"op\"")?,
+                field(l, "\"shape\"")?,
+                field(l, "\"ns_per_iter\"")?.parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
+/// Prints the per-op comparison against a baseline report and returns
+/// whether any op regressed beyond `max_regress_pct`.
+fn compare_to_baseline(results: &[Entry], baseline_path: &str, max_regress_pct: f64) -> bool {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let baseline = parse_baseline(&text);
+    // Comparing across thread counts or ISA paths is legitimate when
+    // measuring a speedup, but a gate run that does it accidentally is
+    // meaningless — make the mismatch loud.
+    let header = |key: &str| -> Option<String> {
+        let line = text.lines().find(|l| l.contains(&format!("\"{key}\"")))?;
+        let rest = line.split(':').nth(1)?;
+        Some(rest.trim().trim_matches([',', '"', ' ']).to_string())
+    };
+    if let Some(base_threads) = header("threads") {
+        if base_threads != par::threads().to_string() {
+            eprintln!(
+                "warning: baseline was recorded at {base_threads} thread(s), this run uses {} — \
+                 ratios mix thread scaling with kernel changes",
+                par::threads()
+            );
+        }
+    }
+    if let Some(base_isa) = header("isa") {
+        if base_isa != simd::active_name() {
+            eprintln!(
+                "warning: baseline ISA path is '{base_isa}', this run uses '{}' — ratios measure \
+                 dispatch speedup, not regressions",
+                simd::active_name()
+            );
+        }
+    }
+    let limit = 1.0 + max_regress_pct / 100.0;
+    let mut regressed = false;
+    eprintln!("\ncomparison vs {baseline_path} (regression limit {max_regress_pct}%):");
+    eprintln!(
+        "{:<26} {:<22} {:>12} {:>12} {:>9}",
+        "op", "shape", "baseline ns", "now ns", "speedup"
+    );
+    for e in results {
+        let Some((_, _, base_ns)) = baseline
+            .iter()
+            .find(|(op, shape, _)| *op == e.op && *shape == e.shape)
+        else {
+            eprintln!(
+                "{:<26} {:<22} {:>12} {:>12} {:>9}",
+                e.op, e.shape, "-", e.ns_per_iter, "new"
+            );
+            continue;
+        };
+        let speedup = *base_ns as f64 / e.ns_per_iter as f64;
+        let flag = if e.ns_per_iter as f64 > *base_ns as f64 * limit {
+            regressed = true;
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        eprintln!(
+            "{:<26} {:<22} {:>12} {:>12} {:>8.2}x{flag}",
+            e.op, e.shape, base_ns, e.ns_per_iter, speedup
+        );
+    }
+    // Reverse pass: a baseline op the new run no longer times is a hole
+    // in coverage, not a pass — fail so the gate cannot go blind.
+    for (op, shape, _) in &baseline {
+        if !results.iter().any(|e| e.op == *op && e.shape == *shape) {
+            eprintln!("{op:<26} {shape:<22} missing from this run  REGRESSED");
+            regressed = true;
+        }
+    }
+    regressed
+}
+
 fn sine_series(dim: usize, len: usize) -> TimeSeries {
     let mut s = TimeSeries::empty(dim);
     let mut obs = vec![0.0f32; dim];
@@ -98,6 +211,9 @@ fn main() {
         Some(Err(e)) => panic!("invalid --threads: {e}"),
         None => par::use_all_cores(),
     }
+    if arg_flag("--force-scalar") {
+        simd::set_force_scalar(true);
+    }
     let budget = Duration::from_millis(
         arg_value("--budget-ms")
             .map(|v| v.parse::<u64>().expect("invalid --budget-ms"))
@@ -105,7 +221,8 @@ fn main() {
     );
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_tensor.json".to_string());
     let threads = par::threads();
-    eprintln!("perf_report: {threads} threads, {budget:?} budget per op\n");
+    let isa = simd::active_name();
+    eprintln!("perf_report: {threads} threads, {isa} kernels, {budget:?} budget per op\n");
 
     let mut rng = StdRng::seed_from_u64(HARNESS_SEED);
     let mut results: Vec<Entry> = Vec::new();
@@ -228,12 +345,13 @@ fn main() {
     // --- Emit JSON -------------------------------------------------------
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"version\": 1,\n");
+    json.push_str("  \"version\": 2,\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!(
         "  \"pool_workers_spawned\": {},\n",
         par::pool_threads_spawned()
     ));
+    json.push_str(&format!("  \"isa\": \"{isa}\",\n"));
     json.push_str("  \"results\": [\n");
     for (i, e) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
@@ -246,4 +364,16 @@ fn main() {
     std::fs::write(&out_path, &json).expect("failed to write benchmark JSON");
     println!("{json}");
     eprintln!("wrote {out_path}");
+
+    // --- Optional regression gate ----------------------------------------
+    if let Some(baseline_path) = arg_value("--baseline") {
+        let max_regress_pct = arg_value("--max-regress-pct")
+            .map(|v| v.parse::<f64>().expect("invalid --max-regress-pct"))
+            .unwrap_or(15.0);
+        if compare_to_baseline(&results, &baseline_path, max_regress_pct) {
+            eprintln!("perf regression beyond {max_regress_pct}% detected");
+            std::process::exit(1);
+        }
+        eprintln!("no op regressed beyond {max_regress_pct}%");
+    }
 }

@@ -8,15 +8,25 @@
 //! forward on one window.
 
 use crate::CaeEnsemble;
-use cae_data::TimeSeries;
 use cae_tensor::Tensor;
 use std::collections::VecDeque;
 
 /// Wraps a trained [`CaeEnsemble`] with a ring buffer of the last `w`
 /// observations for per-observation scoring.
+///
+/// Scoring is allocation-free at steady state, like the batch path: the
+/// ring recycles each evicted observation's storage for the incoming one,
+/// the `(1, w, dim)` window tensor is a pooled buffer reused across
+/// pushes (re-filled and re-scaled in place via
+/// [`cae_data::Scaler::apply_in_place`]), and the per-member error
+/// scratch is retained.
 pub struct StreamingDetector<'a> {
     ensemble: &'a CaeEnsemble,
     buffer: VecDeque<Vec<f32>>,
+    /// Reused `(1, w, dim)` window tensor.
+    window_buf: Tensor,
+    /// Reused per-member last-position errors.
+    member_errors: Vec<f32>,
 }
 
 impl<'a> StreamingDetector<'a> {
@@ -26,9 +36,12 @@ impl<'a> StreamingDetector<'a> {
             ensemble.num_members() > 0,
             "StreamingDetector requires a fitted ensemble"
         );
+        let (w, dim) = (ensemble.model_config().window, ensemble.model_config().dim);
         StreamingDetector {
             ensemble,
-            buffer: VecDeque::new(),
+            buffer: VecDeque::with_capacity(w),
+            window_buf: Tensor::zeros_pooled(&[1, w, dim]),
+            member_errors: Vec::with_capacity(ensemble.num_members()),
         }
     }
 
@@ -58,37 +71,39 @@ impl<'a> StreamingDetector<'a> {
             observation.len()
         );
         let w = self.window();
-        if self.buffer.len() == w {
-            self.buffer.pop_front();
-        }
-        self.buffer.push_back(observation.to_vec());
+        // Recycle the evicted observation's storage for the incoming one.
+        let mut slot = if self.buffer.len() == w {
+            self.buffer.pop_front().expect("non-empty ring")
+        } else {
+            vec![0.0; dim]
+        };
+        slot.copy_from_slice(observation);
+        self.buffer.push_back(slot);
         if self.buffer.len() < w {
             return None;
         }
 
-        // Assemble the current window as a 1-window series and scale it
-        // with the training scaler.
-        let mut series = TimeSeries::empty(dim);
-        for obs in &self.buffer {
-            series.push(obs);
+        // Assemble the window into the pooled tensor and standardize it
+        // in place with the training scaler.
+        {
+            let data = self.window_buf.data_mut();
+            for (t, obs) in self.buffer.iter().enumerate() {
+                data[t * dim..(t + 1) * dim].copy_from_slice(obs);
+            }
+            if let Some(s) = self.ensemble.scaler() {
+                s.apply_in_place(data);
+            }
         }
-        let scaled = match self.ensemble.scaler() {
-            Some(s) => s.transform(&series),
-            None => series,
-        };
-        let batch = Tensor::from_vec(scaled.data().to_vec(), &[1, w, dim]);
 
         // Median across members of the last position's error.
-        let mut last_errors: Vec<f32> = self
-            .ensemble
-            .members_internal()
-            .iter()
-            .map(|(model, store)| {
-                let errors = model.window_errors(store, &batch);
-                errors[w - 1]
-            })
-            .collect();
-        Some(crate::score::median(&mut last_errors))
+        self.member_errors.clear();
+        self.member_errors.extend(
+            self.ensemble
+                .members_internal()
+                .iter()
+                .map(|(model, store)| model.window_errors(store, &self.window_buf)[w - 1]),
+        );
+        Some(crate::score::median(&mut self.member_errors))
     }
 
     /// Clears the warm-up buffer (e.g. after a stream gap).
@@ -101,7 +116,7 @@ impl<'a> StreamingDetector<'a> {
 mod tests {
     use super::*;
     use crate::{CaeConfig, EnsembleConfig};
-    use cae_data::Detector;
+    use cae_data::{Detector, TimeSeries};
 
     fn fitted_ensemble() -> CaeEnsemble {
         let series = TimeSeries::univariate((0..200).map(|t| (t as f32 * 0.3).sin()).collect());

@@ -73,18 +73,30 @@ impl Scaler {
     /// Applies the transformation to a series of matching dimensionality.
     pub fn transform(&self, series: &TimeSeries) -> TimeSeries {
         assert_eq!(series.dim(), self.dim(), "scaler dimension mismatch");
+        let mut data = series.data().to_vec();
+        self.apply_in_place(&mut data);
+        TimeSeries::new(data, self.dim())
+    }
+
+    /// Standardizes a flat `(rows × dim)` buffer of observations in
+    /// place, applying exactly the arithmetic of [`Scaler::transform`]
+    /// without allocating.
+    ///
+    /// This is the streaming-path entry point: the online detector keeps
+    /// one pooled window buffer and re-scales it on every observation.
+    pub fn apply_in_place(&self, data: &mut [f32]) {
         let d = self.dim();
-        let data = series
-            .data()
-            .chunks_exact(d)
-            .flat_map(|obs| {
-                obs.iter()
-                    .zip(self.mean.iter().zip(self.std.iter()))
-                    .map(|(&x, (&m, &s))| (x - m) / s)
-                    .collect::<Vec<f32>>()
-            })
-            .collect();
-        TimeSeries::new(data, d)
+        assert_eq!(
+            data.len() % d.max(1),
+            0,
+            "buffer length {} is not a multiple of dim {d}",
+            data.len()
+        );
+        for obs in data.chunks_exact_mut(d) {
+            for (x, (&m, &s)) in obs.iter_mut().zip(self.mean.iter().zip(self.std.iter())) {
+                *x = (*x - m) / s;
+            }
+        }
     }
 
     /// Inverts the transformation (`x = z·σ + μ`).
@@ -144,6 +156,17 @@ mod tests {
         let z = scaler.transform(&train);
         assert_eq!(z.observation(0)[0], 0.0);
         assert!(z.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn apply_in_place_matches_transform() {
+        let train = TimeSeries::new(vec![1.0, 100.0, 2.0, 200.0, 3.0, 300.0], 2);
+        let scaler = Scaler::fit(&train);
+        let test = TimeSeries::new(vec![1.5, 150.0, 2.5, 250.0], 2);
+        let via_transform = scaler.transform(&test);
+        let mut buf = test.data().to_vec();
+        scaler.apply_in_place(&mut buf);
+        assert_eq!(buf.as_slice(), via_transform.data());
     }
 
     #[test]

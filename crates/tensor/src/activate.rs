@@ -1,62 +1,77 @@
-//! Non-linear activation functions.
+//! Non-linear activation functions and their gradients.
 //!
 //! All activations are elementwise except [`Tensor::softmax_last`], which
 //! normalizes over the last axis (used by the attention scores, Eq. 7 of the
-//! paper).
+//! paper). Forward and backward kernels dispatch through [`crate::simd`]:
+//! 8-lane AVX2 loops (with a polynomial `exp` for the sigmoid family and
+//! the softmax) when available, the scalar loops otherwise.
 
-use crate::Tensor;
+use crate::{scratch, simd, Tensor};
 
-/// Numerically stable logistic sigmoid of a scalar.
-#[inline]
-pub(crate) fn sigmoid_scalar(x: f32) -> f32 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
-    }
+/// Builds the output tensor for a `dst/src` style dispatched kernel.
+fn unary(x: &Tensor, f: impl FnOnce(&mut [f32], &[f32])) -> Tensor {
+    let mut out = scratch::take_zeroed(x.len());
+    f(&mut out, x.data());
+    Tensor::from_vec(out, x.dims())
 }
 
 impl Tensor {
     /// Elementwise logistic sigmoid `1 / (1 + e^{-x})`.
     pub fn sigmoid(&self) -> Tensor {
-        self.map(sigmoid_scalar)
+        unary(self, simd::sigmoid)
     }
 
     /// Elementwise hyperbolic tangent.
     pub fn tanh(&self) -> Tensor {
-        self.map(f32::tanh)
+        unary(self, simd::tanh)
     }
 
     /// Elementwise rectified linear unit `max(0, x)`.
     pub fn relu(&self) -> Tensor {
-        self.map(|x| x.max(0.0))
+        unary(self, simd::relu)
     }
 
     /// Elementwise leaky ReLU with slope `alpha` for negative inputs.
     pub fn leaky_relu(&self, alpha: f32) -> Tensor {
-        self.map(|x| if x >= 0.0 { x } else { alpha * x })
+        unary(self, |dst, src| simd::leaky_relu(dst, src, alpha))
+    }
+
+    /// Backward of [`Tensor::sigmoid`] from its **output** `y` and the
+    /// upstream gradient `g`: `g · y · (1 − y)`.
+    pub fn sigmoid_grad_from_output(y: &Tensor, g: &Tensor) -> Tensor {
+        assert_eq!(y.dims(), g.dims(), "sigmoid grad shape mismatch");
+        let mut out = scratch::take_zeroed(y.len());
+        simd::sigmoid_grad(&mut out, y.data(), g.data());
+        Tensor::from_vec(out, y.dims())
+    }
+
+    /// Backward of [`Tensor::tanh`] from its output: `g · (1 − y²)`.
+    pub fn tanh_grad_from_output(y: &Tensor, g: &Tensor) -> Tensor {
+        assert_eq!(y.dims(), g.dims(), "tanh grad shape mismatch");
+        let mut out = scratch::take_zeroed(y.len());
+        simd::tanh_grad(&mut out, y.data(), g.data());
+        Tensor::from_vec(out, y.dims())
+    }
+
+    /// Backward of [`Tensor::relu`] from its output: `y > 0 ? g : 0`.
+    pub fn relu_grad_from_output(y: &Tensor, g: &Tensor) -> Tensor {
+        assert_eq!(y.dims(), g.dims(), "relu grad shape mismatch");
+        let mut out = scratch::take_zeroed(y.len());
+        simd::relu_grad(&mut out, y.data(), g.data());
+        Tensor::from_vec(out, y.dims())
     }
 
     /// Softmax over the **last** axis, numerically stabilized by
     /// subtracting each row's maximum before exponentiation.
     ///
-    /// Every length-`N` row of the output sums to 1.
+    /// Every length-`N` row of the output sums to 1. The max, exp, sum,
+    /// and normalize passes all run 8-wide on AVX2.
     pub fn softmax_last(&self) -> Tensor {
         let n = *self.dims().last().expect("softmax_last on rank-0 tensor");
         assert!(n > 0, "softmax_last over empty axis");
         let mut out = self.clone();
         for row in out.data_mut().chunks_exact_mut(n) {
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            let inv = 1.0 / sum;
-            for v in row.iter_mut() {
-                *v *= inv;
-            }
+            simd::softmax_row(row);
         }
         out
     }

@@ -19,14 +19,20 @@
 //! of `X̃` is the zero-padded input row `ci` shifted by `j`. Because the
 //! padded row is materialized once per batch element, every row of `X̃` is
 //! just a contiguous window into it — no im2col copy is needed. The product
-//! runs through the same register-blocked 4-way-unrolled inner loop as
-//! [`crate::Tensor::matmul`], fusing **all** `K·C_in` taps of an output row
-//! into one accumulation pass (the previous per-tap shifted-axpy sweeps and
-//! their `if v == 0.0 { continue }` branches are gone). The input-gradient
-//! adjoint is the same GEMM against a channel-transposed, tap-reversed
-//! weight matrix. Batch elements parallelize over the persistent worker
-//! pool ([`crate::par`]).
+//! runs as a dense GEMM. On AVX2+FMA hosts that product goes through the
+//! packed 6×16 microkernel in [`crate::gemm`] — the weight matrix is
+//! packed once per call and each batch element packs its own window
+//! panels — and the kernel gradient becomes a single batch-fused GEMM of
+//! depth `B·L`. The portable fallback is the register-blocked
+//! 4-way-unrolled loop in this file, fusing **all** `K·C_in` taps of an
+//! output row into one accumulation pass (the previous per-tap
+//! shifted-axpy sweeps and their `if v == 0.0 { continue }` branches are
+//! gone). The input-gradient adjoint is the same GEMM against a
+//! channel-transposed, tap-reversed weight matrix. Batch elements
+//! parallelize over the persistent worker pool ([`crate::par`]).
 
+#[cfg(target_arch = "x86_64")]
+use crate::gemm;
 use crate::Tensor;
 use crate::{par, scratch};
 
@@ -188,6 +194,23 @@ impl Tensor {
         if l > 0 {
             let x = self.data();
             let w = kernel.data();
+            #[cfg(target_arch = "x86_64")]
+            if gemm::enabled(cout * cin * k * l) {
+                gemm::conv_batch(
+                    x,
+                    w,
+                    &mut out,
+                    &gemm::ConvShape {
+                        batches: b,
+                        rows_in: cin,
+                        rows_out: cout,
+                        k,
+                        l,
+                        pl,
+                    },
+                );
+                return Tensor::from_vec(out, &[b, cout, l]);
+            }
             // One GEMM per batch element; the kernel's (co, ci, j) layout
             // already matches the X̃ row order (ci, j).
             par::for_each_chunk(&mut out, cout * l, |bi, y| {
@@ -228,6 +251,24 @@ impl Tensor {
         if l > 0 {
             let g = grad_out.data();
             let wt_ref = &wt;
+            #[cfg(target_arch = "x86_64")]
+            if gemm::enabled(cin * cout * k * l) {
+                gemm::conv_batch(
+                    g,
+                    wt_ref,
+                    &mut gx,
+                    &gemm::ConvShape {
+                        batches: b,
+                        rows_in: cout,
+                        rows_out: cin,
+                        k,
+                        l,
+                        pl: k - 1 - pl,
+                    },
+                );
+                scratch::recycle(wt);
+                return Tensor::from_vec(gx, &[b, cin, l]);
+            }
             par::for_each_chunk(&mut gx, cin * l, |bi, gxb| {
                 let gpad = pad_rows(
                     &g[bi * cout * l..(bi + 1) * cout * l],
@@ -266,6 +307,23 @@ impl Tensor {
         let mut gw = scratch::take_zeroed(cout * cin * k);
         let x = input.data();
         let g = grad_out.data();
+        #[cfg(target_arch = "x86_64")]
+        if l > 0 && gemm::enabled(b * l * cout * cin * k) {
+            gemm::conv_kernel_grad(
+                x,
+                g,
+                &mut gw,
+                &gemm::ConvShape {
+                    batches: b,
+                    rows_in: cin,
+                    rows_out: cout,
+                    k,
+                    l,
+                    pl,
+                },
+            );
+            return Tensor::from_vec(gw, &[cout, cin, k]);
+        }
         par::for_each_chunk(&mut gw, k, |row, gw_row| {
             let co = row / cin;
             let ci = row % cin;

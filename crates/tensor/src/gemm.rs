@@ -1,0 +1,662 @@
+//! Packed, register-blocked f32 GEMM core (AVX2 + FMA).
+//!
+//! Every dense contraction in the crate — the three 2-D matmul variants,
+//! the three batched variants, and the implicit-im2col convolution
+//! kernels — reduces to one primitive:
+//!
+//! ```text
+//! C (m × n) += A (m × depth) · B (depth × n)
+//! ```
+//!
+//! where A and B are *views* ([`APanelSrc`] / [`BPanelSrc`]) that know how
+//! to copy a few contiguous elements of a given depth slice, so transposed
+//! operands, padded convolution windows, and batch-concatenated gradients
+//! all feed the same microkernel without materializing anything.
+//!
+//! # Anatomy
+//!
+//! * **Packing.** B is repacked into `depth`-major column panels of
+//!   [`NR`] = 16 floats (one panel per 16 output columns, zero-padded at
+//!   the right edge); A is repacked per 6-row block into `depth`-major
+//!   row panels of [`MR`] = 6 floats. Both packings come from the
+//!   thread-local scratch pool ([`crate::scratch`]), so steady-state GEMMs
+//!   allocate nothing. The microkernel therefore streams two perfectly
+//!   contiguous buffers regardless of the logical layout of the operands.
+//! * **Microkernel.** A 6×16 register tile: 12 `ymm` accumulators, two
+//!   B loads and six A broadcasts per depth step, all combined with fused
+//!   multiply-adds — 96 madds per step, the AVX2 port-saturating shape.
+//!   Depth is unrolled four deep. Edge tiles (m % 6, n % 16) run the same
+//!   kernel into a stack tile that is then added to the live part of C.
+//! * **Parallelism.** Row blocks are independent; large products fan the
+//!   block list out over the persistent worker pool
+//!   ([`par::for_each_index`]), each worker packing its own A panels.
+//!   Block boundaries are fixed by [`MR`] — **not** by the worker count —
+//!   and every block accumulates depth in the same order, so results are
+//!   bit-exact across thread counts.
+//! * **Depth blocking.** Depths beyond [`KC`] are processed in slabs so
+//!   the packed B block stays cache-resident; C accumulates across slabs
+//!   in a fixed order (bit-exact by construction).
+//!
+//! This module is only compiled on x86_64 and only *runs* when
+//! [`crate::simd::active`] reports AVX2+FMA; the portable fallbacks in
+//! [`crate::matmul`] and [`crate::conv`] remain the other dispatch arm.
+
+use crate::par::SyncMutPtr;
+use crate::{par, scratch, simd};
+use core::arch::x86_64::*;
+
+/// Microkernel tile height (rows of A per block).
+pub(crate) const MR: usize = 6;
+
+/// Microkernel tile width (columns of B per panel, two `ymm` registers).
+pub(crate) const NR: usize = 16;
+
+/// Depth slab: at most this many contraction steps are packed at a time.
+/// 512 keeps a full-width packed B block (`n_round × KC` floats) within
+/// a few hundred KiB — L2-resident on anything that has AVX2.
+const KC: usize = 512;
+
+/// Minimum madd count before the packed path beats the plain scalar
+/// loops; below it, packing overhead dominates and callers should keep
+/// the portable kernel.
+const MIN_MADDS: usize = 1 << 10;
+
+/// True when callers should route a contraction of `madds` multiply-adds
+/// through this module.
+#[inline]
+pub(crate) fn enabled(madds: usize) -> bool {
+    simd::avx2_active() && madds >= MIN_MADDS
+}
+
+// ---------------------------------------------------------------------
+// Operand views
+// ---------------------------------------------------------------------
+
+/// Read view of the A operand.
+///
+/// `pack_block` packs rows `i0 .. i0+h` over depths `k0 .. k0+kc` into
+/// `dst` (length `MR*kc`) in **row-major** order — row `r` occupies
+/// `dst[r*kc ..][..kc]` — zero-filling rows `h .. MR`. Row-major panels
+/// keep the packing stage all contiguous copies; the microkernel
+/// broadcasts from the six row streams directly.
+pub(crate) trait APanelSrc: Sync {
+    fn pack_block(&self, k0: usize, kc: usize, i0: usize, h: usize, dst: &mut [f32]);
+}
+
+/// Read view of the B operand: fills `dst[j] = b[d][j0 + j]` for a depth
+/// slice `d` and column panel starting at `j0`.
+pub(crate) trait BPanelSrc: Sync {
+    fn fill(&self, d: usize, j0: usize, dst: &mut [f32]);
+
+    /// Packs columns `j0 .. j0+w` over depths `k0 .. k0+kc` into `dst`
+    /// (length `kc*NR`, depth-major), zero-padding columns `w .. NR`.
+    fn pack_panel(&self, k0: usize, kc: usize, j0: usize, w: usize, dst: &mut [f32]) {
+        for d in 0..kc {
+            let s = &mut dst[d * NR..][..NR];
+            self.fill(k0 + d, j0, &mut s[..w]);
+            s[w..].fill(0.0);
+        }
+    }
+}
+
+/// Row-major A: element `(i, d)` at `data[i*ld + d]`.
+pub(crate) struct ARows<'a> {
+    pub data: &'a [f32],
+    pub ld: usize,
+}
+
+impl APanelSrc for ARows<'_> {
+    /// Pure memcpy packing: one contiguous row copy per block row.
+    fn pack_block(&self, k0: usize, kc: usize, i0: usize, h: usize, dst: &mut [f32]) {
+        if h < MR {
+            dst[h * kc..MR * kc].fill(0.0);
+        }
+        for r in 0..h {
+            dst[r * kc..][..kc].copy_from_slice(&self.data[(i0 + r) * self.ld + k0..][..kc]);
+        }
+    }
+}
+
+/// Transposed A (the `tn` variants): the operand is stored `(depth, m)`
+/// row-major, so a depth slice is contiguous.
+pub(crate) struct ACols<'a> {
+    pub data: &'a [f32],
+    pub ld: usize,
+}
+
+impl APanelSrc for ACols<'_> {
+    fn pack_block(&self, k0: usize, kc: usize, i0: usize, h: usize, dst: &mut [f32]) {
+        if h < MR {
+            dst[h * kc..MR * kc].fill(0.0);
+        }
+        for r in 0..h {
+            let row = &mut dst[r * kc..][..kc];
+            for (d, v) in row.iter_mut().enumerate() {
+                *v = self.data[(k0 + d) * self.ld + i0 + r];
+            }
+        }
+    }
+}
+
+/// Batch-concatenated A for the kernel gradient: logical row `i` is the
+/// concatenation over batch elements of `data[(bi*rows + i)*l ..][..l]`,
+/// i.e. element `(i, d)` with `d = bi·l + t` reads `grad_out[bi][i][t]`.
+pub(crate) struct ABatchRows<'a> {
+    pub data: &'a [f32],
+    pub rows: usize,
+    pub l: usize,
+}
+
+impl APanelSrc for ABatchRows<'_> {
+    /// Copies per-batch row segments — contiguous both sides, split only
+    /// where a depth slab crosses a batch boundary.
+    fn pack_block(&self, k0: usize, kc: usize, i0: usize, h: usize, dst: &mut [f32]) {
+        if h < MR {
+            dst[h * kc..MR * kc].fill(0.0);
+        }
+        for r in 0..h {
+            let row = &mut dst[r * kc..][..kc];
+            let mut d = 0;
+            while d < kc {
+                let (bi, t) = ((k0 + d) / self.l, (k0 + d) % self.l);
+                let take = (self.l - t).min(kc - d);
+                row[d..d + take]
+                    .copy_from_slice(&self.data[(bi * self.rows + i0 + r) * self.l + t..][..take]);
+                d += take;
+            }
+        }
+    }
+}
+
+/// Row-major B: depth slice `d` is `data[d*ld ..][..n]`.
+pub(crate) struct BRows<'a> {
+    pub data: &'a [f32],
+    pub ld: usize,
+}
+
+impl BPanelSrc for BRows<'_> {
+    #[inline]
+    fn fill(&self, d: usize, j0: usize, dst: &mut [f32]) {
+        let row = &self.data[d * self.ld + j0..][..dst.len()];
+        dst.copy_from_slice(row);
+    }
+}
+
+/// Transposed B (the `nt` variants): the operand is stored `(n, depth)`
+/// row-major, so element `(d, j)` gathers `data[j*ld + d]`.
+pub(crate) struct BColsT<'a> {
+    pub data: &'a [f32],
+    pub ld: usize,
+}
+
+impl BPanelSrc for BColsT<'_> {
+    #[inline]
+    fn fill(&self, d: usize, j0: usize, dst: &mut [f32]) {
+        for (j, v) in dst.iter_mut().enumerate() {
+            *v = self.data[(j0 + j) * self.ld + d];
+        }
+    }
+
+    /// Row-major traversal of the stored `(n, depth)` operand: contiguous
+    /// reads, stride-`NR` writes.
+    fn pack_panel(&self, k0: usize, kc: usize, j0: usize, w: usize, dst: &mut [f32]) {
+        if w < NR {
+            dst[..kc * NR].fill(0.0);
+        }
+        for j in 0..w {
+            let row = &self.data[(j0 + j) * self.ld + k0..][..kc];
+            for (d, &v) in row.iter().enumerate() {
+                dst[d * NR + j] = v;
+            }
+        }
+    }
+}
+
+/// Implicit-im2col B for the convolution forward/input-grad: depth index
+/// `p = ci·k + j` selects the window `pad[ci][j .. j+l]` of the padded
+/// input (rows of stride `l + k − 1`), which is contiguous in the column
+/// (time) direction.
+pub(crate) struct BWindows<'a> {
+    pub pad: &'a [f32],
+    pub stride: usize,
+    pub k: usize,
+}
+
+impl BPanelSrc for BWindows<'_> {
+    #[inline]
+    fn fill(&self, d: usize, j0: usize, dst: &mut [f32]) {
+        let start = (d / self.k) * self.stride + (d % self.k) + j0;
+        dst.copy_from_slice(&self.pad[start..][..dst.len()]);
+    }
+}
+
+/// Batch-concatenated im2col B for the kernel gradient: depth
+/// `d = bi·l + t`, column `j = ci·k + jj`, element
+/// `xpad[bi][ci][t + jj]` (`xpad` rows carry the forward padding, so the
+/// tap offset is already folded in).
+pub(crate) struct BBatchWindows<'a> {
+    pub pad: &'a [f32],
+    pub stride: usize,
+    pub cin: usize,
+    pub k: usize,
+    pub l: usize,
+}
+
+impl BPanelSrc for BBatchWindows<'_> {
+    /// Segmented copies: consecutive `j` advance the tap `jj`
+    /// contiguously until a channel boundary, so the panel row splits
+    /// into at most `⌈NR/k⌉ + 1` slice copies instead of a divmod per
+    /// element.
+    fn fill(&self, d: usize, j0: usize, dst: &mut [f32]) {
+        let (bi, t) = (d / self.l, d % self.l);
+        let mut j = 0;
+        while j < dst.len() {
+            let (ci, jj) = ((j0 + j) / self.k, (j0 + j) % self.k);
+            let take = (self.k - jj).min(dst.len() - j);
+            let src = (bi * self.cin + ci) * self.stride + jj + t;
+            dst[j..j + take].copy_from_slice(&self.pad[src..src + take]);
+            j += take;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+/// `out (m × n) = A · B` over `depth` contraction steps.
+///
+/// The first depth slab overwrites `out` (no read of the destination);
+/// further slabs accumulate in a fixed order.
+pub(crate) fn gemm<A: APanelSrc, B: BPanelSrc>(
+    m: usize,
+    n: usize,
+    depth: usize,
+    a: &A,
+    b: &B,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || depth == 0 {
+        return;
+    }
+    let npanels = n.div_ceil(NR);
+    let nblocks = m.div_ceil(MR);
+    let mut pb = scratch::take_zeroed(npanels * NR * depth.min(KC));
+    let base = SyncMutPtr(out.as_mut_ptr());
+
+    let mut k0 = 0;
+    while k0 < depth {
+        let kc = KC.min(depth - k0);
+        // Pack B once per depth slab, shared read-only by every block.
+        for jp in 0..npanels {
+            let j0 = jp * NR;
+            let w = NR.min(n - j0);
+            b.pack_panel(k0, kc, j0, w, &mut pb[jp * kc * NR..][..kc * NR]);
+        }
+
+        let run_block = |ib: usize| {
+            let i0 = ib * MR;
+            let h = MR.min(m - i0);
+            let mut pa = scratch::take_zeroed(kc * MR);
+            a.pack_block(k0, kc, i0, h, &mut pa);
+            for jp in 0..npanels {
+                let j0 = jp * NR;
+                let w = NR.min(n - j0);
+                let c = unsafe { base.get().add(i0 * n + j0) };
+                // SAFETY: `enabled()` gated dispatch on runtime AVX2+FMA
+                // detection; the packed panels are `kc*MR` / `kc*NR` long
+                // and the C tile writes stay inside rows i0..i0+h,
+                // columns j0..j0+w of `out`. The first depth slab stores,
+                // later slabs accumulate.
+                unsafe {
+                    microkernel(
+                        pa.as_ptr(),
+                        pb.as_ptr().add(jp * kc * NR),
+                        kc,
+                        c,
+                        n,
+                        h,
+                        w,
+                        k0 > 0,
+                    );
+                }
+            }
+            scratch::recycle(pa);
+        };
+
+        // Fan row blocks out only when the output clears the pool
+        // threshold; block geometry is identical either way.
+        if par::threads() > 1 && m * n >= par::PAR_THRESHOLD && nblocks > 1 {
+            par::for_each_index(nblocks, run_block);
+        } else {
+            for ib in 0..nblocks {
+                run_block(ib);
+            }
+        }
+        k0 += kc;
+    }
+    scratch::recycle(pb);
+}
+
+// ---------------------------------------------------------------------
+// Microkernel
+// ---------------------------------------------------------------------
+
+/// Full or edge 6×16 tile over `kc` depth steps. `accumulate` selects
+/// `C += PA·PB` (later depth slabs) versus a plain store (the first —
+/// and usually only — slab, saving a full read of C).
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn microkernel(
+    pa: *const f32,
+    pb: *const f32,
+    kc: usize,
+    c: *mut f32,
+    ldc: usize,
+    h: usize,
+    w: usize,
+    accumulate: bool,
+) {
+    if h == MR && w == NR {
+        kernel_6x16(pa, pb, kc, c, ldc, accumulate);
+    } else {
+        // Edge tile: run the full kernel into a stack tile, then fold the
+        // live `h × w` corner into C.
+        let mut tile = [0.0f32; MR * NR];
+        kernel_6x16(pa, pb, kc, tile.as_mut_ptr(), NR, false);
+        for r in 0..h {
+            let crow = c.add(r * ldc);
+            for j in 0..w {
+                if accumulate {
+                    *crow.add(j) += tile[r * NR + j];
+                } else {
+                    *crow.add(j) = tile[r * NR + j];
+                }
+            }
+        }
+    }
+}
+
+/// The 6×16 register tile. 12 accumulators stay in `ymm` registers for
+/// the whole depth loop; every step issues 2 B loads, 6 A broadcasts
+/// (one per packed row stream) and 12 FMAs — the FMA-port-bound shape on
+/// AVX2. The depth loop is unrolled four deep with indexed addressing so
+/// the pointers advance once per group.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn kernel_6x16(
+    pa: *const f32,
+    mut pb: *const f32,
+    kc: usize,
+    c: *mut f32,
+    ldc: usize,
+    accumulate: bool,
+) {
+    let mut c00 = _mm256_setzero_ps();
+    let mut c01 = _mm256_setzero_ps();
+    let mut c10 = _mm256_setzero_ps();
+    let mut c11 = _mm256_setzero_ps();
+    let mut c20 = _mm256_setzero_ps();
+    let mut c21 = _mm256_setzero_ps();
+    let mut c30 = _mm256_setzero_ps();
+    let mut c31 = _mm256_setzero_ps();
+    let mut c40 = _mm256_setzero_ps();
+    let mut c41 = _mm256_setzero_ps();
+    let mut c50 = _mm256_setzero_ps();
+    let mut c51 = _mm256_setzero_ps();
+
+    // One pointer per packed A row stream; each advances by one float
+    // per depth step.
+    let mut pa0 = pa;
+    let mut pa1 = pa.add(kc);
+    let mut pa2 = pa.add(2 * kc);
+    let mut pa3 = pa.add(3 * kc);
+    let mut pa4 = pa.add(4 * kc);
+    let mut pa5 = pa.add(5 * kc);
+
+    macro_rules! step {
+        ($u:expr) => {
+            let b0 = _mm256_loadu_ps(pb.add($u * NR));
+            let b1 = _mm256_loadu_ps(pb.add($u * NR + 8));
+            let a0 = _mm256_broadcast_ss(&*pa0.add($u));
+            c00 = _mm256_fmadd_ps(a0, b0, c00);
+            c01 = _mm256_fmadd_ps(a0, b1, c01);
+            let a1 = _mm256_broadcast_ss(&*pa1.add($u));
+            c10 = _mm256_fmadd_ps(a1, b0, c10);
+            c11 = _mm256_fmadd_ps(a1, b1, c11);
+            let a2 = _mm256_broadcast_ss(&*pa2.add($u));
+            c20 = _mm256_fmadd_ps(a2, b0, c20);
+            c21 = _mm256_fmadd_ps(a2, b1, c21);
+            let a3 = _mm256_broadcast_ss(&*pa3.add($u));
+            c30 = _mm256_fmadd_ps(a3, b0, c30);
+            c31 = _mm256_fmadd_ps(a3, b1, c31);
+            let a4 = _mm256_broadcast_ss(&*pa4.add($u));
+            c40 = _mm256_fmadd_ps(a4, b0, c40);
+            c41 = _mm256_fmadd_ps(a4, b1, c41);
+            let a5 = _mm256_broadcast_ss(&*pa5.add($u));
+            c50 = _mm256_fmadd_ps(a5, b0, c50);
+            c51 = _mm256_fmadd_ps(a5, b1, c51);
+        };
+    }
+    macro_rules! advance {
+        ($by:expr) => {
+            pa0 = pa0.add($by);
+            pa1 = pa1.add($by);
+            pa2 = pa2.add($by);
+            pa3 = pa3.add($by);
+            pa4 = pa4.add($by);
+            pa5 = pa5.add($by);
+            pb = pb.add($by * NR);
+        };
+    }
+
+    let mut d = 0;
+    while d + 4 <= kc {
+        step!(0);
+        step!(1);
+        step!(2);
+        step!(3);
+        advance!(4);
+        d += 4;
+    }
+    while d < kc {
+        step!(0);
+        advance!(1);
+        d += 1;
+    }
+
+    macro_rules! store_row {
+        ($r:expr, $v0:expr, $v1:expr) => {
+            let crow = c.add($r * ldc);
+            if accumulate {
+                _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), $v0));
+                _mm256_storeu_ps(
+                    crow.add(8),
+                    _mm256_add_ps(_mm256_loadu_ps(crow.add(8)), $v1),
+                );
+            } else {
+                _mm256_storeu_ps(crow, $v0);
+                _mm256_storeu_ps(crow.add(8), $v1);
+            }
+        };
+    }
+    store_row!(0, c00, c01);
+    store_row!(1, c10, c11);
+    store_row!(2, c20, c21);
+    store_row!(3, c30, c31);
+    store_row!(4, c40, c41);
+    store_row!(5, c50, c51);
+}
+
+// ---------------------------------------------------------------------
+// Contraction entry points
+// ---------------------------------------------------------------------
+
+/// `out (m×n) += A (m×k) · B (k×n)`, both row-major.
+pub(crate) fn matmul_nn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm(
+        m,
+        n,
+        k,
+        &ARows { data: a, ld: k },
+        &BRows { data: b, ld: n },
+        out,
+    );
+}
+
+/// `out (m×n) += Aᵀ · B` with `A: (k, m)`, `B: (k, n)`.
+pub(crate) fn matmul_tn(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    gemm(
+        m,
+        n,
+        k,
+        &ACols { data: a, ld: m },
+        &BRows { data: b, ld: n },
+        out,
+    );
+}
+
+/// `out (m×n) += A · Bᵀ` with `A: (m, k)`, `B: (n, k)`.
+pub(crate) fn matmul_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm(
+        m,
+        n,
+        k,
+        &ARows { data: a, ld: k },
+        &BColsT { data: b, ld: k },
+        out,
+    );
+}
+
+/// Dimensions of one convolution GEMM (shared by forward and the
+/// adjoints; `rows_in`/`rows_out` swap roles for the input gradient).
+pub(crate) struct ConvShape {
+    pub batches: usize,
+    pub rows_in: usize,
+    pub rows_out: usize,
+    pub k: usize,
+    pub l: usize,
+    pub pl: usize,
+}
+
+impl ConvShape {
+    #[inline]
+    fn stride(&self) -> usize {
+        self.l + self.k - 1
+    }
+}
+
+/// Batched implicit-im2col convolution forward (also the input gradient,
+/// with a reordered weight matrix and mirrored padding):
+/// `out[bi] (rows_out × l) = W (rows_out × rows_in·k) · X̃[bi]`.
+///
+/// The weight matrix is packed **once** and shared across the batch;
+/// each batch element pads its input rows and packs its own B panels in
+/// worker-local scratch.
+pub(crate) fn conv_batch(x: &[f32], wmat: &[f32], out: &mut [f32], s: &ConvShape) {
+    let depth = s.rows_in * s.k;
+    let (l, stride) = (s.l, s.stride());
+    debug_assert_eq!(out.len(), s.batches * s.rows_out * l);
+    debug_assert_eq!(wmat.len(), s.rows_out * depth);
+    if l == 0 || out.is_empty() {
+        return;
+    }
+
+    // Pack all row blocks of W up front: block ib holds depth-major
+    // MR-wide slices of rows ib*MR ..
+    let nblocks = s.rows_out.div_ceil(MR);
+    let a = ARows {
+        data: wmat,
+        ld: depth,
+    };
+    let mut pw = scratch::take_zeroed(nblocks * depth * MR);
+    for ib in 0..nblocks {
+        let i0 = ib * MR;
+        let h = MR.min(s.rows_out - i0);
+        a.pack_block(0, depth, i0, h, &mut pw[ib * depth * MR..][..depth * MR]);
+    }
+
+    let npanels = l.div_ceil(NR);
+    let pw_ref = &pw;
+    par::for_each_chunk(out, s.rows_out * l, |bi, y| {
+        // Zero-pad this batch element's input rows so every tap shift is
+        // a contiguous in-bounds window.
+        let src = &x[bi * s.rows_in * l..(bi + 1) * s.rows_in * l];
+        let mut pad = scratch::take_zeroed(s.rows_in * stride);
+        for r in 0..s.rows_in {
+            pad[r * stride + s.pl..r * stride + s.pl + l].copy_from_slice(&src[r * l..(r + 1) * l]);
+        }
+        let bsrc = BWindows {
+            pad: &pad,
+            stride,
+            k: s.k,
+        };
+        let mut pb = scratch::take_zeroed(npanels * NR * depth);
+        for jp in 0..npanels {
+            let j0 = jp * NR;
+            let w = NR.min(l - j0);
+            bsrc.pack_panel(0, depth, j0, w, &mut pb[jp * depth * NR..][..depth * NR]);
+        }
+        for ib in 0..nblocks {
+            let i0 = ib * MR;
+            let h = MR.min(s.rows_out - i0);
+            for jp in 0..npanels {
+                let j0 = jp * NR;
+                let w = NR.min(l - j0);
+                // SAFETY: same contract as in `gemm` — panels are fully
+                // packed and the tile stays inside y's h×w corner.
+                unsafe {
+                    microkernel(
+                        pw_ref.as_ptr().add(ib * depth * MR),
+                        pb.as_ptr().add(jp * depth * NR),
+                        depth,
+                        y.as_mut_ptr().add(i0 * l + j0),
+                        l,
+                        h,
+                        w,
+                        false,
+                    );
+                }
+            }
+        }
+        scratch::recycle(pb);
+        scratch::recycle(pad);
+    });
+    scratch::recycle(pw);
+}
+
+/// Kernel gradient as one batch-fused GEMM:
+/// `gw (C_out × C_in·k) = Σ_{bi,t} grad_out[bi][·][t] · X̃[bi][·][t]ᵀ`,
+/// i.e. an `nt`-shaped product whose depth is the whole batch-time extent
+/// `B·L` — the deepest (and best-amortized) contraction in the backend.
+pub(crate) fn conv_kernel_grad(x: &[f32], g: &[f32], gw: &mut [f32], s: &ConvShape) {
+    let (l, stride) = (s.l, s.stride());
+    debug_assert_eq!(gw.len(), s.rows_out * s.rows_in * s.k);
+    if l == 0 || s.batches == 0 {
+        return;
+    }
+    // Pad every batch element's input rows once (forward-side padding).
+    let mut pad = scratch::take_zeroed(s.batches * s.rows_in * stride);
+    for r in 0..s.batches * s.rows_in {
+        pad[r * stride + s.pl..r * stride + s.pl + l].copy_from_slice(&x[r * l..(r + 1) * l]);
+    }
+    gemm(
+        s.rows_out,
+        s.rows_in * s.k,
+        s.batches * l,
+        &ABatchRows {
+            data: g,
+            rows: s.rows_out,
+            l,
+        },
+        &BBatchWindows {
+            pad: &pad,
+            stride,
+            cin: s.rows_in,
+            k: s.k,
+            l,
+        },
+        gw,
+    );
+    scratch::recycle(pad);
+}

@@ -15,6 +15,30 @@
 //! * a thread-local scratch-buffer pool backing tensor storage
 //!   ([`scratch`]).
 //!
+//! # Kernel layering
+//!
+//! Compute is organized in three layers:
+//!
+//! 1. **Dispatch** ([`simd`]): detects AVX2+FMA once at runtime (cached
+//!    in an atomic) and exposes the `CAE_TENSOR_FORCE_SCALAR` /
+//!    [`simd::set_force_scalar`] overrides. It also hosts the vectorized
+//!    elementwise kernels (activations and their gradients, reductions,
+//!    softmax passes, axpys) next to their portable scalar twins.
+//! 2. **Packed GEMM core** (`gemm`, x86_64 only): every dense
+//!    contraction — `matmul`/`matmul_tn`/`matmul_nt`, the three `bmm`
+//!    variants, and the implicit-im2col convolution forward/input-grad/
+//!    kernel-grad — is expressed as `C += A·B` over packed operand
+//!    panels and executed by one 6×16 AVX2+FMA register-tile
+//!    microkernel. Panels live in pooled scratch; row blocks fan out
+//!    over the worker pool.
+//! 3. **Portable kernels** (`matmul`, `conv`): the unrolled scalar
+//!    loops, used when AVX2 is unavailable or the scalar path is forced,
+//!    and for contractions too small to amortize packing.
+//!
+//! Within a dispatch path results are bit-exact across thread counts;
+//! across paths they agree to ≤1e-4 relative tolerance (see
+//! `tests/determinism.rs` and `tests/properties.rs`).
+//!
 //! Shape mismatches are programming errors and panic with a descriptive
 //! message, mirroring the convention of mainstream array libraries.
 //!
@@ -31,12 +55,15 @@
 
 mod activate;
 mod conv;
+#[cfg(target_arch = "x86_64")]
+mod gemm;
 mod init;
 mod matmul;
 pub mod par;
 mod reduce;
 pub mod scratch;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use conv::Padding;

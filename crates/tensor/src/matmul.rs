@@ -1,19 +1,23 @@
 //! Matrix multiplication kernels.
 //!
-//! The 2-D kernel is register-blocked: the `ikj` loop order is unrolled
-//! four deep along `k`, so each pass over an output row folds in four rows
-//! of `B` with four independent fused multiply-adds. That keeps several
-//! accumulator registers live per lane and lets the compiler vectorize the
-//! dense inner loop (the previous `if v == 0.0 { continue }` early-outs
-//! defeated autovectorization on dense data and are gone). Transposed
-//! variants use the same 4-way blocking; dot-product kernels accumulate in
-//! four partial sums.
+//! Every variant dispatches at runtime (see [`crate::simd`]): on x86_64
+//! with AVX2+FMA the contraction routes through the packed 6×16
+//! register-tile GEMM core in [`crate::gemm`]; everywhere else (or under
+//! the scalar override) it runs the portable register-blocked loops in
+//! this file. The scalar 2-D kernel unrolls the `ikj` loop four deep
+//! along `k`, so each pass over an output row folds in four rows of `B`
+//! with four independent fused multiply-adds — branch-free, so the
+//! compiler can autovectorize with the baseline instruction set.
+//! Transposed variants use the same 4-way blocking; dot-product kernels
+//! accumulate in four partial sums.
 //!
 //! Large 2-D products parallelize over output-row blocks and batched
 //! kernels over batch elements, both through the persistent worker pool
 //! (see [`crate::par`]). Output buffers come from the thread-local
 //! scratch pool ([`crate::scratch`]).
 
+#[cfg(target_arch = "x86_64")]
+use crate::gemm;
 use crate::Tensor;
 use crate::{par, scratch};
 
@@ -42,6 +46,11 @@ impl Tensor {
         if n > 0 {
             let lhs = self.data();
             let rhs = other.data();
+            #[cfg(target_arch = "x86_64")]
+            if gemm::enabled(m * k * n) {
+                gemm::matmul_nn(lhs, rhs, &mut out, m, k, n);
+                return Tensor::from_vec(out, &[m, n]);
+            }
             // Row-parallel: each chunk is one output row.
             par::for_each_chunk(&mut out, n, |i, orow| {
                 matmul_into(&lhs[i * k..(i + 1) * k], rhs, orow, 1, k, n);
@@ -62,6 +71,11 @@ impl Tensor {
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         assert_eq!(k, k2, "matmul_tn inner dims differ: {k} vs {k2}");
         let mut out = scratch::take_zeroed(m * n);
+        #[cfg(target_arch = "x86_64")]
+        if n > 0 && gemm::enabled(m * k * n) {
+            gemm::matmul_tn(self.data(), other.data(), &mut out, k, m, n);
+            return Tensor::from_vec(out, &[m, n]);
+        }
         matmul_tn_into(self.data(), other.data(), &mut out, k, m, n);
         Tensor::from_vec(out, &[m, n])
     }
@@ -78,6 +92,11 @@ impl Tensor {
         if n > 0 {
             let lhs = self.data();
             let rhs = other.data();
+            #[cfg(target_arch = "x86_64")]
+            if gemm::enabled(m * k * n) {
+                gemm::matmul_nt(lhs, rhs, &mut out, m, k, n);
+                return Tensor::from_vec(out, &[m, n]);
+            }
             par::for_each_chunk(&mut out, n, |i, orow| {
                 let arow = &lhs[i * k..(i + 1) * k];
                 for (j, o) in orow.iter_mut().enumerate() {
@@ -113,6 +132,15 @@ impl Tensor {
         {
             let lhs = self.data();
             let rhs = other.data();
+            #[cfg(target_arch = "x86_64")]
+            if gemm::enabled(m * k * n) {
+                par::for_each_chunk(&mut out, m * n, |bi, chunk| {
+                    let a = &lhs[bi * m * k..(bi + 1) * m * k];
+                    let bdat = &rhs[bi * k * n..(bi + 1) * k * n];
+                    gemm::matmul_nn(a, bdat, chunk, m, k, n);
+                });
+                return Tensor::from_vec(out, &[b, m, n]);
+            }
             par::for_each_chunk(&mut out, m * n, |bi, chunk| {
                 let a = &lhs[bi * m * k..(bi + 1) * m * k];
                 let bdat = &rhs[bi * k * n..(bi + 1) * k * n];
@@ -138,6 +166,15 @@ impl Tensor {
         {
             let lhs = self.data();
             let rhs = other.data();
+            #[cfg(target_arch = "x86_64")]
+            if gemm::enabled(m * k * n) {
+                par::for_each_chunk(&mut out, m * n, |bi, chunk| {
+                    let a = &lhs[bi * m * k..(bi + 1) * m * k];
+                    let bdat = &rhs[bi * n * k..(bi + 1) * n * k];
+                    gemm::matmul_nt(a, bdat, chunk, m, k, n);
+                });
+                return Tensor::from_vec(out, &[b, m, n]);
+            }
             par::for_each_chunk(&mut out, m * n, |bi, chunk| {
                 let a = &lhs[bi * m * k..(bi + 1) * m * k];
                 let bdat = &rhs[bi * n * k..(bi + 1) * n * k];
@@ -166,6 +203,15 @@ impl Tensor {
         {
             let lhs = self.data();
             let rhs = other.data();
+            #[cfg(target_arch = "x86_64")]
+            if gemm::enabled(m * k * n) {
+                par::for_each_chunk(&mut out, m * n, |bi, chunk| {
+                    let a = &lhs[bi * k * m..(bi + 1) * k * m];
+                    let bdat = &rhs[bi * k * n..(bi + 1) * k * n];
+                    gemm::matmul_tn(a, bdat, chunk, k, m, n);
+                });
+                return Tensor::from_vec(out, &[b, m, n]);
+            }
             par::for_each_chunk(&mut out, m * n, |bi, chunk| {
                 let a = &lhs[bi * k * m..(bi + 1) * k * m];
                 let bdat = &rhs[bi * k * n..(bi + 1) * k * n];

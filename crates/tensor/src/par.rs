@@ -283,13 +283,15 @@ fn run_tasks(total: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
 /// Raw mutable base pointer that may cross the closure boundary; spans
 /// written through it are disjoint per task. (The accessor method forces
 /// closures to capture the whole wrapper, not the raw-pointer field.)
-struct SyncMutPtr<T>(*mut T);
+/// Shared with the packed GEMM driver, which fans row blocks out the
+/// same way.
+pub(crate) struct SyncMutPtr<T>(pub(crate) *mut T);
 unsafe impl<T> Sync for SyncMutPtr<T> {}
 unsafe impl<T> Send for SyncMutPtr<T> {}
 
 impl<T> SyncMutPtr<T> {
     #[inline]
-    fn get(&self) -> *mut T {
+    pub(crate) fn get(&self) -> *mut T {
         self.0
     }
 }
@@ -344,6 +346,20 @@ where
             f(bi, chunk);
         }
     });
+}
+
+/// Runs `f(i)` for every `i in 0..n` on the pool, collecting nothing.
+///
+/// This is the fan-out primitive of the packed GEMM driver: tasks are
+/// claimed dynamically by an atomic counter, so callers whose tasks write
+/// disjoint output regions (e.g. fixed-size row blocks) need no further
+/// coordination. Falls back to a sequential loop for one task, one
+/// configured thread, or a nested call from inside a pool job.
+pub fn for_each_index<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    run_tasks(n, threads().min(n), &f);
 }
 
 /// Runs `f(i)` for every `i in 0..n` in parallel, collecting results in

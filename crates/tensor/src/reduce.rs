@@ -1,11 +1,14 @@
 //! Reductions and axis statistics.
+//!
+//! The bandwidth-bound passes (global sums, axis folds, squared norms)
+//! dispatch through [`crate::simd`] and run 8-wide on AVX2 hosts.
 
-use crate::{scratch, Tensor};
+use crate::{scratch, simd, Tensor};
 
 impl Tensor {
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data().iter().sum()
+        simd::sum(self.data())
     }
 
     /// Arithmetic mean of all elements (0 for an empty tensor).
@@ -19,15 +22,12 @@ impl Tensor {
 
     /// Maximum element (−∞ for an empty tensor).
     pub fn max(&self) -> f32 {
-        self.data()
-            .iter()
-            .copied()
-            .fold(f32::NEG_INFINITY, f32::max)
+        simd::max(self.data())
     }
 
     /// Minimum element (+∞ for an empty tensor).
     pub fn min(&self) -> f32 {
-        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+        simd::min(self.data())
     }
 
     /// Mean squared difference against `other`: `mean((a - b)²)`.
@@ -44,13 +44,7 @@ impl Tensor {
         if self.is_empty() {
             return 0.0;
         }
-        let sum: f32 = self
-            .data()
-            .iter()
-            .zip(other.data().iter())
-            .map(|(&a, &b)| (a - b) * (a - b))
-            .sum();
-        sum / self.len() as f32
+        simd::sq_diff_sum(self.data(), other.data()) / self.len() as f32
     }
 
     /// Sums a rank-3 `(B, M, N)` tensor over its first axis, producing `(M, N)`.
@@ -59,10 +53,7 @@ impl Tensor {
         let (b, m, n) = (self.dims()[0], self.dims()[1], self.dims()[2]);
         let mut out = scratch::take_zeroed(m * n);
         for bi in 0..b {
-            let chunk = &self.data()[bi * m * n..(bi + 1) * m * n];
-            for (o, &v) in out.iter_mut().zip(chunk.iter()) {
-                *o += v;
-            }
+            simd::add_assign(&mut out, &self.data()[bi * m * n..(bi + 1) * m * n]);
         }
         Tensor::from_vec(out, &[m, n])
     }
@@ -76,9 +67,7 @@ impl Tensor {
         let mut out = scratch::take_zeroed(c);
         if c > 0 {
             for row in self.data().chunks_exact(c) {
-                for (o, &v) in out.iter_mut().zip(row.iter()) {
-                    *o += v;
-                }
+                simd::add_assign(&mut out, row);
             }
         }
         Tensor::from_vec(out, &[c])
@@ -94,8 +83,7 @@ impl Tensor {
         let mut out = scratch::take_zeroed(c);
         for bi in 0..b {
             for (ci, o) in out.iter_mut().enumerate() {
-                let row = &self.data()[(bi * c + ci) * l..(bi * c + ci + 1) * l];
-                *o += row.iter().sum::<f32>();
+                *o += simd::sum(&self.data()[(bi * c + ci) * l..(bi * c + ci + 1) * l]);
             }
         }
         Tensor::from_vec(out, &[c])
@@ -111,10 +99,7 @@ impl Tensor {
         if c == 0 {
             return Vec::new();
         }
-        self.data()
-            .chunks_exact(c)
-            .map(|row| row.iter().map(|&v| v * v).sum())
-            .collect()
+        self.data().chunks_exact(c).map(simd::sq_sum).collect()
     }
 }
 

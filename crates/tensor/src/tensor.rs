@@ -1,6 +1,6 @@
 //! The core dense tensor type and its elementwise operations.
 
-use crate::{scratch, Shape};
+use crate::{scratch, simd, Shape};
 use std::fmt;
 
 /// A dense, row-major, contiguous tensor of `f32` values.
@@ -336,9 +336,7 @@ impl Tensor {
             self.shape,
             other.shape
         );
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b;
-        }
+        simd::add_assign(&mut self.data, &other.data);
     }
 
     /// Adds `scale * other` into `self` in place (fused multiply-add).
@@ -350,16 +348,12 @@ impl Tensor {
             self.shape,
             other.shape
         );
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += scale * b;
-        }
+        simd::axpy(&mut self.data, &other.data, scale);
     }
 
     /// Multiplies every element by `value`, in place.
     pub fn scale_inplace(&mut self, value: f32) {
-        for a in self.data.iter_mut() {
-            *a *= value;
-        }
+        simd::scale_in_place(&mut self.data, value);
     }
 
     /// Sets every element to zero, keeping the allocation.
@@ -466,7 +460,7 @@ impl Tensor {
 
     /// Sum of squared elements (squared Frobenius norm).
     pub fn sq_norm(&self) -> f32 {
-        self.data.iter().map(|&a| a * a).sum()
+        simd::sq_sum(&self.data)
     }
 
     /// Euclidean (Frobenius) norm.

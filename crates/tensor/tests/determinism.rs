@@ -1,16 +1,18 @@
 //! Bit-exact determinism of the pooled/threaded kernels.
 //!
 //! The worker pool splits every kernel into contiguous output spans that
-//! are computed exactly as the sequential loop would, and the scratch pool
-//! hands out fully (re)initialized buffers — so results must be **bit
-//! identical** across thread counts and across buffer-recycling cycles.
-//! These tests pin that contract for matmul, the batched matmuls, the
-//! convolution kernels, and the reductions.
+//! are computed exactly as the sequential loop would — and the packed
+//! GEMM core fixes its row-block geometry by tile size, never by worker
+//! count — so results must be **bit identical** across thread counts
+//! *within each dispatch path* (packed AVX2 and forced scalar), and
+//! across buffer-recycling cycles. These tests pin that contract for
+//! matmul, the batched matmuls, the convolution kernels, and the
+//! reductions, on both paths.
 //!
-//! All tests share one mutex: the thread-count setting is process-global
-//! state, so the assertions must not interleave.
+//! All tests share one mutex: the thread count and the dispatch override
+//! are process-global state, so the assertions must not interleave.
 
-use cae_tensor::{par, Padding, Tensor};
+use cae_tensor::{par, simd, Padding, Tensor};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Serializes tests that mutate the global thread count.
@@ -38,25 +40,40 @@ fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-/// Runs `f` at every thread count and asserts the outputs are bit-equal to
-/// the sequential (1-thread) result.
+/// Runs `f` at every thread count and asserts the outputs are bit-equal
+/// to the sequential (1-thread) result, separately **within each**
+/// dispatch path: once with the default dispatch (packed AVX2 where the
+/// host has it) and once with the scalar path forced. Packing must not
+/// make results depend on the worker count.
 fn assert_bit_exact_across_threads(name: &str, f: impl Fn() -> Vec<Vec<f32>>) {
-    par::set_threads(1);
-    let reference = f();
-    for &t in &THREAD_COUNTS[1..] {
-        par::set_threads(t);
-        let got = f();
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            simd::set_force_scalar(false);
+            par::set_threads(1);
+        }
+    }
+    let _reset = Reset;
+    for force_scalar in [false, true] {
+        simd::set_force_scalar(force_scalar);
+        let path = if force_scalar { "scalar" } else { "dispatched" };
         par::set_threads(1);
-        assert_eq!(
-            reference.len(),
-            got.len(),
-            "{name}: output count differs at {t} threads"
-        );
-        for (out_idx, (a, b)) in reference.iter().zip(got.iter()).enumerate() {
-            assert!(
-                a == b,
-                "{name}: output {out_idx} not bit-exact at {t} threads"
+        let reference = f();
+        for &t in &THREAD_COUNTS[1..] {
+            par::set_threads(t);
+            let got = f();
+            par::set_threads(1);
+            assert_eq!(
+                reference.len(),
+                got.len(),
+                "{name} [{path}]: output count differs at {t} threads"
             );
+            for (out_idx, (a, b)) in reference.iter().zip(got.iter()).enumerate() {
+                assert!(
+                    a == b,
+                    "{name} [{path}]: output {out_idx} not bit-exact at {t} threads"
+                );
+            }
         }
     }
 }
@@ -78,6 +95,23 @@ fn matmul_family_bit_exact_across_thread_counts() {
             a3.bmm(&b3).into_vec(),
             a3.bmm_nt(&bt).into_vec(),
             a3.transpose12().bmm_tn(&b3).into_vec(),
+        ]
+    });
+}
+
+#[test]
+fn matmul_edge_tiles_bit_exact_across_thread_counts() {
+    let _gate = lock();
+    // Dimensions off the 6×16 tile grid: the last row block is 4 high
+    // and the last column panel 5 wide, so the packed path exercises its
+    // zero-padded edge tiles at every thread count.
+    let a = rand_tensor(&[94, 37], 51);
+    let b = rand_tensor(&[37, 85], 52);
+    assert_bit_exact_across_threads("matmul edge tiles", || {
+        vec![
+            a.matmul(&b).into_vec(),
+            a.matmul_nt(&rand_tensor(&[85, 37], 53)).into_vec(),
+            a.matmul_tn(&rand_tensor(&[94, 85], 54)).into_vec(),
         ]
     });
 }

@@ -1,12 +1,62 @@
-//! Property-based tests of tensor algebra identities.
+//! Property-based tests of tensor algebra identities, plus the
+//! cross-dispatch contract: every GEMM/conv entry point must produce the
+//! same result (≤1e-4 relative tolerance) on the SIMD and forced-scalar
+//! paths.
 
-use cae_tensor::{Padding, Tensor};
+use cae_tensor::{simd, Padding, Tensor};
 use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Strategy producing a tensor of the given shape with bounded values.
 fn tensor_strategy(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
     let n: usize = dims.iter().product();
     proptest::collection::vec(-10.0f32..10.0, n).prop_map(move |data| Tensor::from_vec(data, &dims))
+}
+
+/// Strategy with a tighter value range for cross-path comparisons, so
+/// accumulated rounding stays far inside the 1e-4 relative tolerance
+/// even for deep contractions.
+fn small_tensor_strategy(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    proptest::collection::vec(-2.0f32..2.0, n).prop_map(move |data| Tensor::from_vec(data, &dims))
+}
+
+/// The force-scalar override is process-global; comparisons serialize on
+/// this gate so a concurrent test cannot flip the path mid-comparison.
+fn simd_gate() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .expect("simd gate poisoned")
+}
+
+/// Runs `f` once on the forced-scalar path and once on the default
+/// (SIMD where available) path, returning `(scalar, dispatched)`.
+fn on_both_paths(f: impl Fn() -> Tensor) -> (Tensor, Tensor) {
+    let _gate = simd_gate();
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            simd::set_force_scalar(false);
+        }
+    }
+    let _reset = Reset;
+    simd::set_force_scalar(true);
+    let scalar = f();
+    simd::set_force_scalar(false);
+    (scalar, f())
+}
+
+/// Elementwise `|a − b| ≤ tol · max(1, |a|, |b|)`.
+fn assert_rel_close(a: &[f32], b: &[f32], tol: f32) {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        let denom = x.abs().max(y.abs()).max(1.0);
+        assert!(
+            (x - y).abs() <= tol * denom,
+            "paths differ at index {i}: {x} vs {y} (tol {tol})"
+        );
+    }
 }
 
 proptest! {
@@ -197,5 +247,78 @@ proptest! {
             }
         }
         cae_tensor::assert_close(fast.data(), naive.data(), 1e-3 * (cin * k) as f32);
+    }
+
+    /// SIMD vs forced-scalar for the 2-D matmul family, with dimensions
+    /// straddling the 6×16 tile edges and the packed-path size cutoff.
+    #[test]
+    fn simd_matches_scalar_matmul_family(
+        (a, b) in (1usize..20, 1usize..24, 1usize..36).prop_flat_map(|(m, k, n)| {
+            (small_tensor_strategy(vec![m, k]), small_tensor_strategy(vec![k, n]))
+        })
+    ) {
+        let (scalar, simd_r) = on_both_paths(|| a.matmul(&b));
+        assert_rel_close(scalar.data(), simd_r.data(), 1e-4);
+        let (scalar, simd_r) = on_both_paths(|| a.transpose().matmul_tn(&b));
+        assert_rel_close(scalar.data(), simd_r.data(), 1e-4);
+        let (scalar, simd_r) = on_both_paths(|| a.matmul_nt(&b.transpose()));
+        assert_rel_close(scalar.data(), simd_r.data(), 1e-4);
+    }
+
+    /// SIMD vs forced-scalar for the batched matmul family.
+    #[test]
+    fn simd_matches_scalar_bmm_family(
+        (a, b) in (1usize..5, 1usize..14, 1usize..14, 1usize..20).prop_flat_map(|(bs, m, k, n)| {
+            (small_tensor_strategy(vec![bs, m, k]), small_tensor_strategy(vec![bs, k, n]))
+        })
+    ) {
+        let (scalar, simd_r) = on_both_paths(|| a.bmm(&b));
+        assert_rel_close(scalar.data(), simd_r.data(), 1e-4);
+        let (scalar, simd_r) = on_both_paths(|| a.bmm_nt(&b.transpose12()));
+        assert_rel_close(scalar.data(), simd_r.data(), 1e-4);
+        let (scalar, simd_r) = on_both_paths(|| a.transpose12().bmm_tn(&b));
+        assert_rel_close(scalar.data(), simd_r.data(), 1e-4);
+    }
+
+    /// SIMD vs forced-scalar for the convolution forward and both
+    /// adjoints, across kernel sizes and both padding modes.
+    #[test]
+    fn simd_matches_scalar_conv_family(
+        (x, w, g, causal) in (1usize..4, 1usize..5, 2usize..24, 1usize..6, 1usize..5)
+            .prop_flat_map(|(bs, cin, l, k, cout)| {
+                (
+                    small_tensor_strategy(vec![bs, cin, l]),
+                    small_tensor_strategy(vec![cout, cin, k]),
+                    small_tensor_strategy(vec![bs, cout, l]),
+                    any::<bool>(),
+                )
+            })
+    ) {
+        let padding = if causal { Padding::Causal } else { Padding::Same };
+        let k = w.dims()[2];
+        let (scalar, simd_r) = on_both_paths(|| x.conv1d(&w, padding));
+        assert_rel_close(scalar.data(), simd_r.data(), 1e-4);
+        let (scalar, simd_r) = on_both_paths(|| Tensor::conv1d_input_grad(&g, &w, padding));
+        assert_rel_close(scalar.data(), simd_r.data(), 1e-4);
+        let (scalar, simd_r) =
+            on_both_paths(|| Tensor::conv1d_kernel_grad(&x, &g, k, padding));
+        assert_rel_close(scalar.data(), simd_r.data(), 1e-4);
+    }
+
+    /// SIMD vs forced-scalar for the dispatched elementwise kernels and
+    /// reductions (the transcendentals use a polynomial `exp` on the
+    /// vector path, so the comparison is toleranced, not bit-exact).
+    #[test]
+    fn simd_matches_scalar_elementwise(
+        x in (1usize..6, 1usize..40).prop_flat_map(|(m, n)| small_tensor_strategy(vec![m, n]))
+    ) {
+        for op in [Tensor::sigmoid, Tensor::tanh, Tensor::relu, Tensor::softmax_last] {
+            let (scalar, simd_r) = on_both_paths(|| op(&x));
+            assert_rel_close(scalar.data(), simd_r.data(), 1e-4);
+        }
+        let (scalar, simd_r) = on_both_paths(|| Tensor::scalar(x.sum()));
+        assert_rel_close(scalar.data(), simd_r.data(), 1e-4);
+        let (scalar, simd_r) = on_both_paths(|| Tensor::scalar(x.sq_norm()));
+        assert_rel_close(scalar.data(), simd_r.data(), 1e-4);
     }
 }
