@@ -24,6 +24,17 @@ pub struct ParamStore {
     slots: Vec<Slot>,
 }
 
+impl std::fmt::Debug for ParamStore {
+    /// Names and shapes only — a store holds thousands of scalars.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut map = f.debug_map();
+        for slot in &self.slots {
+            map.entry(&slot.name, &slot.value.dims());
+        }
+        map.finish()
+    }
+}
+
 impl ParamStore {
     /// An empty store.
     pub fn new() -> Self {
@@ -93,6 +104,30 @@ impl ParamStore {
     /// Iterates over all parameter handles in registration order.
     pub fn ids(&self) -> impl Iterator<Item = ParamId> {
         (0..self.slots.len()).map(ParamId)
+    }
+
+    /// Iterates `(name, value)` pairs in registration order — the
+    /// checkpoint export path: together with [`ParamStore::set_value`]
+    /// this round-trips a store bit-exactly through external storage.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.slots.iter().map(|s| (s.name.as_str(), &s.value))
+    }
+
+    /// Replaces a parameter's value (the checkpoint import path). The new
+    /// value must have the registered shape; the gradient accumulator is
+    /// reset to zero so a freshly loaded model starts from a clean slate.
+    pub fn set_value(&mut self, id: ParamId, value: Tensor) {
+        let slot = &mut self.slots[id.0];
+        assert_eq!(
+            slot.value.dims(),
+            value.dims(),
+            "parameter {} shape mismatch: registered {:?}, loaded {:?}",
+            slot.name,
+            slot.value.dims(),
+            value.dims()
+        );
+        std::mem::replace(&mut slot.value, value).recycle();
+        slot.grad.fill_zero();
     }
 
     /// Rescales all gradients so their global L2 norm is at most `max_norm`.
@@ -237,6 +272,36 @@ mod tests {
         assert!((rate - 0.3).abs() < 0.02, "transfer rate {rate}");
         // transferred entries are exactly the ones now equal to 1.0
         assert_eq!(dst.value(ParamId(0)).sum() as usize, n);
+    }
+
+    #[test]
+    fn iter_yields_registration_order() {
+        let mut store = ParamStore::new();
+        store.register("a", Tensor::ones(&[2]));
+        store.register("b", Tensor::zeros(&[3, 1]));
+        let named: Vec<(&str, Vec<usize>)> = store
+            .iter()
+            .map(|(name, value)| (name, value.dims().to_vec()))
+            .collect();
+        assert_eq!(named, [("a", vec![2]), ("b", vec![3, 1])]);
+    }
+
+    #[test]
+    fn set_value_replaces_and_clears_grad() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::zeros(&[2]));
+        store.accumulate_grad(w, &Tensor::ones(&[2]));
+        store.set_value(w, Tensor::from_vec(vec![5.0, 6.0], &[2]));
+        assert_eq!(store.value(w).data(), &[5.0, 6.0]);
+        assert_eq!(store.grad(w).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn set_value_rejects_wrong_shape() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::zeros(&[2]));
+        store.set_value(w, Tensor::zeros(&[3]));
     }
 
     #[test]

@@ -27,9 +27,10 @@
 
 use cae_autograd::{ParamStore, Tape};
 use cae_bench::HARNESS_SEED;
-use cae_core::{Cae, CaeConfig, CaeEnsemble, EnsembleConfig};
+use cae_core::{Cae, CaeConfig, CaeEnsemble, EnsembleConfig, StreamingDetector};
 use cae_data::{Detector, TimeSeries};
 use cae_nn::{Adam, Optimizer};
+use cae_serve::{FleetDetector, StreamId};
 use cae_tensor::{par, simd, Padding, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -341,6 +342,95 @@ fn main() {
             std::hint::black_box(ens.score(&test));
         },
     ));
+
+    // --- Serving: per-stream streaming vs fleet-batched ticks ------------
+    // The same workload — 64 concurrent streams, one observation each per
+    // round — served two ways. `streaming_push` is the per-stream
+    // deployment: 64 independent `StreamingDetector`s, each push running
+    // M batch-size-1 forwards (and each detector dragging its own ring,
+    // window tensor and tape through the cache). `fleet_tick` pools all
+    // 64 ready windows into one (64, w, D) batch per member, so the same
+    // 64 observations ride the packed GEMM path at full batch width.
+    // Both sides are warmed past the w-observation ring fill (and to the
+    // scratch pool's steady state) before timing.
+    const FLEET_STREAMS: usize = 64;
+    let fleet_obs = |t: usize, k: usize, obs: &mut [f32; 4]| {
+        for (d, o) in obs.iter_mut().enumerate() {
+            *o = ((t as f32) * 0.3 + (d + k) as f32 * 0.7).sin();
+        }
+    };
+
+    let mut detectors: Vec<StreamingDetector> = (0..FLEET_STREAMS)
+        .map(|_| StreamingDetector::new(&ens))
+        .collect();
+    let mut obs = [0.0f32; 4];
+    let mut t = 0usize;
+    for _ in 0..16 {
+        t += 1;
+        for (k, det) in detectors.iter_mut().enumerate() {
+            fleet_obs(t, k, &mut obs);
+            det.push(&obs);
+        }
+    }
+    results.push(bench(
+        "streaming_push",
+        "64 streams, B=1",
+        ens_budget,
+        || {
+            t += 1;
+            for (k, det) in detectors.iter_mut().enumerate() {
+                fleet_obs(t, k, &mut obs);
+                std::hint::black_box(det.push(&obs));
+            }
+        },
+    ));
+
+    let mut fleet = FleetDetector::new(&ens);
+    let ids: Vec<StreamId> = (0..FLEET_STREAMS).map(|_| fleet.add_stream()).collect();
+    let mut out = Vec::new();
+    let mut ft = 0usize;
+    for _ in 0..16 {
+        ft += 1;
+        for (k, &id) in ids.iter().enumerate() {
+            fleet_obs(ft, k, &mut obs);
+            fleet.push(id, &obs);
+        }
+        fleet.tick(&mut out);
+    }
+    results.push(bench(
+        "fleet_tick",
+        "64 streams, 5 members",
+        ens_budget,
+        || {
+            ft += 1;
+            for (k, &id) in ids.iter().enumerate() {
+                fleet_obs(ft, k, &mut obs);
+                fleet.push(id, &obs);
+            }
+            fleet.tick(&mut out);
+            std::hint::black_box(out.len());
+        },
+    ));
+
+    // The serving headline: per-observation throughput of the batched
+    // fleet path relative to per-stream pushes over the same 64 streams.
+    {
+        let per_iter = |op: &str| {
+            results
+                .iter()
+                .find(|e| e.op == op)
+                .map(|e| e.ns_per_iter)
+                .expect("op was just benchmarked")
+        };
+        let push_ns_per_obs = per_iter("streaming_push") as f64 / FLEET_STREAMS as f64;
+        let tick_ns_per_obs = per_iter("fleet_tick") as f64 / FLEET_STREAMS as f64;
+        eprintln!(
+            "\nserving {FLEET_STREAMS} streams: fleet_tick {tick_ns_per_obs:.0} ns/observation \
+             vs per-stream push {push_ns_per_obs:.0} ns/observation — \
+             {:.2}x per-observation throughput",
+            push_ns_per_obs / tick_ns_per_obs
+        );
+    }
 
     // --- Emit JSON -------------------------------------------------------
     let mut json = String::new();

@@ -3,14 +3,16 @@
 use crate::config::{CaeConfig, EnsembleConfig};
 use crate::diversity;
 use crate::model::Cae;
-use crate::score::{median_scores, series_scores_from_window_errors};
+use crate::persist::{self, PersistError};
+use crate::score::{median, median_scores, series_scores_from_window_errors};
 use cae_autograd::{transfer_fraction, ParamStore, Tape};
 use cae_data::{num_windows, Detector, Scaler, TimeSeries};
 use cae_nn::{Adam, Optimizer};
-use cae_tensor::{par, Tensor};
+use cae_tensor::{par, scratch, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::path::Path;
 
 /// Batch size used for inference/scoring passes (no gradients, so larger
 /// than the training batch).
@@ -85,12 +87,16 @@ impl CaeEnsemble {
     }
 
     /// Copies the windows starting at `starts` into a `(B, w, D)` batch.
+    ///
+    /// The batch buffer comes from the thread-local [`scratch`] pool —
+    /// every caller recycles the batch after its forward pass, so the
+    /// per-epoch hot loop stays allocation-free at steady state like the
+    /// rest of the training path.
     fn gather_windows(series: &TimeSeries, starts: &[usize], w: usize) -> Tensor {
         let d = series.dim();
-        let mut data = vec![0.0f32; starts.len() * w * d];
-        for (row, &s) in starts.iter().enumerate() {
-            let src = &series.data()[s * d..(s + w) * d];
-            data[row * w * d..(row + 1) * w * d].copy_from_slice(src);
+        let mut data = scratch::take(starts.len() * w * d);
+        for &s in starts {
+            data.extend_from_slice(&series.data()[s * d..(s + w) * d]);
         }
         Tensor::from_vec(data, &[starts.len(), w, d])
     }
@@ -172,6 +178,104 @@ impl CaeEnsemble {
         let all = self.member_scores(test);
         assert!(m >= 1 && m <= all.len(), "invalid member count {m}");
         median_scores(&all[..m])
+    }
+
+    /// Scores a batch of **already scaled** windows `(B, w, D)`: for each
+    /// window, the ensemble-median reconstruction error of its **last**
+    /// position — the protocol the batch scorer applies to non-initial
+    /// windows (Figure 10) and the streaming scorer applies to every
+    /// observation. Appends `B` scores to `out`, one per window in row
+    /// order.
+    ///
+    /// This is the serving hot path shared by [`StreamingDetector`] and
+    /// the fleet detector: every member runs on the whole batch, so with
+    /// `B` pooled streams inference goes through the packed GEMM kernels
+    /// instead of `B` batch-size-1 forwards. The caller provides the tape
+    /// so its node storage cycles through the scratch pool across calls.
+    ///
+    /// [`StreamingDetector`]: crate::StreamingDetector
+    pub fn score_scaled_windows_into(&self, tape: &mut Tape, batch: &Tensor, out: &mut Vec<f32>) {
+        assert!(
+            !self.members.is_empty(),
+            "score_scaled_windows_into before fit()"
+        );
+        assert_eq!(batch.rank(), 3, "window batch must be (B, w, D)");
+        let (b, w) = (batch.dims()[0], batch.dims()[1]);
+        let m = self.members.len();
+        // Last-position error per (member, window), member-major. Only
+        // the last position of each window is scored, so the error is
+        // computed for that row alone (`sq_dist` matches the batch
+        // scorer's full-tensor arithmetic bit-exactly) instead of
+        // materializing a (B, w, D′) difference tensor per member.
+        let mut last = scratch::take(m * b);
+        for (model, store) in &self.members {
+            tape.clear();
+            let fwd = model.forward(tape, store, batch);
+            let recon = tape.value(fwd.recon);
+            let target = match model.config().target {
+                crate::ReconstructionTarget::Embedded => tape.value(fwd.embedded),
+                crate::ReconstructionTarget::Raw => batch,
+            };
+            let rd = model.config().recon_dim();
+            last.extend((0..b).map(|row| {
+                let at = (row * w + w - 1) * rd;
+                cae_tensor::sq_dist(&recon.data()[at..at + rd], &target.data()[at..at + rd])
+            }));
+        }
+        let mut column = scratch::take(m);
+        out.reserve(b);
+        for row in 0..b {
+            column.clear();
+            column.extend((0..m).map(|i| last[i * b + row]));
+            out.push(median(&mut column));
+        }
+        scratch::recycle(column);
+        scratch::recycle(last);
+    }
+
+    /// Writes the trained state — both configurations, the training
+    /// scaler and every member's parameters — to `path` as a versioned
+    /// binary checkpoint (see [`crate::persist`]). The round trip through
+    /// [`CaeEnsemble::load`] is bit-exact: a loaded ensemble produces
+    /// scores identical to the one that was saved.
+    ///
+    /// Panics when called before [`Detector::fit`] — only a trained
+    /// ensemble is worth shipping, and the reader rejects memberless
+    /// files.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        assert!(!self.members.is_empty(), "save() before fit()");
+        persist::save_ensemble(
+            path.as_ref(),
+            &self.model_cfg,
+            &self.cfg,
+            self.scaler.as_ref(),
+            &self.members,
+        )
+    }
+
+    /// Loads a trained ensemble from a checkpoint written by
+    /// [`CaeEnsemble::save`]. The training loss trace is not persisted;
+    /// a loaded ensemble has an empty [`CaeEnsemble::loss_trace`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let (model_cfg, cfg, scaler, members) = persist::load_ensemble(path.as_ref())?;
+        Ok(Self::from_loaded_parts(model_cfg, cfg, scaler, members))
+    }
+
+    /// Reassembles an ensemble from decoded checkpoint parts (the loss
+    /// trace is diagnostic state and is not persisted).
+    pub(crate) fn from_loaded_parts(
+        model_cfg: CaeConfig,
+        cfg: EnsembleConfig,
+        scaler: Option<Scaler>,
+        members: Vec<(Cae, ParamStore)>,
+    ) -> Self {
+        CaeEnsemble {
+            model_cfg,
+            cfg,
+            scaler,
+            members,
+            loss_trace: Vec::new(),
+        }
     }
 }
 

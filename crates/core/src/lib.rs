@@ -18,6 +18,11 @@
 //!   validation reconstruction error (Section 3.3, Algorithm 2).
 //! * [`StreamingDetector`] — online per-observation scoring (the setting of
 //!   Table 8).
+//! * [`persist`] — versioned binary checkpoints: [`CaeEnsemble::save`] /
+//!   [`CaeEnsemble::load`] round-trip a trained ensemble bit-exactly, so
+//!   the online phase can run in a process that never trains (the
+//!   offline/online split of Section 4.2.7; fleet-scale serving lives in
+//!   the `cae-serve` crate).
 //! * [`diversity`] — the ensemble diversity metric DIV (Eq. 9–10), also
 //!   used stand-alone to reproduce Table 6.
 //!
@@ -52,6 +57,7 @@ pub mod diversity;
 mod ensemble;
 pub mod hyper;
 mod model;
+pub mod persist;
 pub mod repair;
 pub mod score;
 mod streaming;
@@ -60,5 +66,6 @@ pub use config::{CaeConfig, EnsembleConfig, ReconstructionTarget};
 pub use ensemble::CaeEnsemble;
 pub use hyper::{select_hyperparameters, HyperRanges, HyperSelection, TrialRecord};
 pub use model::Cae;
+pub use persist::PersistError;
 pub use repair::{repair_series, RepairReport};
 pub use streaming::StreamingDetector;

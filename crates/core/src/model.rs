@@ -19,7 +19,7 @@
 
 use crate::config::{CaeConfig, ReconstructionTarget};
 use cae_autograd::{ParamStore, Tape, Var};
-use cae_nn::{Activation, Conv1dLayer, GluConv1d, Linear};
+use cae_nn::{Activation, Conv1dLayer, GluConv1d, Initializer, Linear, XavierInit, ZerosInit};
 use cae_tensor::{Padding, Tensor};
 use rand::Rng;
 
@@ -55,9 +55,58 @@ pub struct CaeOutput {
 impl Cae {
     /// Builds a model, registering all parameters in `store`.
     pub fn new<R: Rng + ?Sized>(cfg: CaeConfig, store: &mut ParamStore, rng: &mut R) -> Self {
+        Self::with_init(cfg, store, &mut XavierInit(rng))
+    }
+
+    /// Rebuilds a model from its configuration plus previously exported
+    /// `(name, value)` parameter pairs — the checkpoint-loading path. No
+    /// RNG is involved: the architecture is registered with placeholder
+    /// zeros and every parameter is overwritten by its stored value, so
+    /// the result is bit-identical to the model that was saved.
+    ///
+    /// `params` must list exactly the model's parameters in registration
+    /// order with matching names and shapes (as produced by
+    /// [`ParamStore::iter`] on a store built for the same configuration);
+    /// any deviation is reported as an error, never a panic.
+    pub fn from_params(
+        cfg: CaeConfig,
+        params: Vec<(String, Tensor)>,
+    ) -> Result<(Self, ParamStore), String> {
+        let mut store = ParamStore::new();
+        let model = Cae::with_init(cfg, &mut store, &mut ZerosInit);
+        if params.len() != store.len() {
+            return Err(format!(
+                "checkpoint holds {} parameter tensors, model configuration expects {}",
+                params.len(),
+                store.len()
+            ));
+        }
+        let ids: Vec<_> = store.ids().collect();
+        for (id, (name, value)) in ids.into_iter().zip(params) {
+            if store.name(id) != name {
+                return Err(format!(
+                    "parameter named '{name}' in checkpoint where model expects '{}'",
+                    store.name(id)
+                ));
+            }
+            if store.value(id).dims() != value.dims() {
+                return Err(format!(
+                    "parameter '{name}' has shape {:?} in checkpoint, model expects {:?}",
+                    value.dims(),
+                    store.value(id).dims()
+                ));
+            }
+            store.set_value(id, value);
+        }
+        Ok((model, store))
+    }
+
+    /// [`Cae::new`] with an explicit weight [`Initializer`].
+    pub fn with_init(cfg: CaeConfig, store: &mut ParamStore, init: &mut impl Initializer) -> Self {
         let d = cfg.embed_dim;
-        let obs_embed = Linear::new(store, "embed.obs", cfg.dim, d, cfg.embed_activation, rng);
-        let pos_embed = Linear::new(store, "embed.pos", 1, d, cfg.embed_activation, rng);
+        let obs_embed =
+            Linear::with_init(store, "embed.obs", cfg.dim, d, cfg.embed_activation, init);
+        let pos_embed = Linear::with_init(store, "embed.pos", 1, d, cfg.embed_activation, init);
 
         let mut enc_glu = Vec::with_capacity(cfg.layers);
         let mut enc_conv = Vec::with_capacity(cfg.layers);
@@ -65,15 +114,15 @@ impl Cae {
         let mut dec_conv = Vec::with_capacity(cfg.layers);
         let mut attn_summary = Vec::with_capacity(cfg.layers);
         for l in 0..cfg.layers {
-            enc_glu.push(GluConv1d::new(
+            enc_glu.push(GluConv1d::with_init(
                 store,
                 &format!("enc.{l}.glu"),
                 d,
                 cfg.kernel_size,
                 Padding::Same,
-                rng,
+                init,
             ));
-            enc_conv.push(Conv1dLayer::new(
+            enc_conv.push(Conv1dLayer::with_init(
                 store,
                 &format!("enc.{l}.conv"),
                 d,
@@ -81,17 +130,17 @@ impl Cae {
                 cfg.kernel_size,
                 Padding::Same,
                 Activation::Identity, // activation applied after in-layer sum
-                rng,
+                init,
             ));
-            dec_glu.push(GluConv1d::new(
+            dec_glu.push(GluConv1d::with_init(
                 store,
                 &format!("dec.{l}.glu"),
                 d,
                 cfg.kernel_size,
                 Padding::Causal,
-                rng,
+                init,
             ));
-            dec_conv.push(Conv1dLayer::new(
+            dec_conv.push(Conv1dLayer::with_init(
                 store,
                 &format!("dec.{l}.conv"),
                 d,
@@ -99,21 +148,27 @@ impl Cae {
                 cfg.kernel_size,
                 Padding::Causal,
                 Activation::Identity, // encoder state is added pre-activation
-                rng,
+                init,
             ));
-            attn_summary.push(Linear::new(
+            attn_summary.push(Linear::with_init(
                 store,
                 &format!("attn.{l}.summary"),
                 d,
                 d,
                 Activation::Identity,
-                rng,
+                init,
             ));
         }
 
-        let recon_glu =
-            GluConv1d::new(store, "recon.glu", d, cfg.kernel_size, Padding::Causal, rng);
-        let recon_conv = Conv1dLayer::new(
+        let recon_glu = GluConv1d::with_init(
+            store,
+            "recon.glu",
+            d,
+            cfg.kernel_size,
+            Padding::Causal,
+            init,
+        );
+        let recon_conv = Conv1dLayer::with_init(
             store,
             "recon.conv",
             d,
@@ -121,7 +176,7 @@ impl Cae {
             1, // pointwise head: no further temporal mixing
             Padding::Causal,
             cfg.recon_activation,
-            rng,
+            init,
         );
 
         Cae {
@@ -277,10 +332,15 @@ impl Cae {
     ) -> Vec<f32> {
         tape.clear();
         let out = self.forward(tape, store, batch);
-        let target = self.target_tensor(tape, &out, batch);
-        let diff = tape.value(out.recon).sub(&target);
+        // Scoring needs no gradient, so the target can be borrowed
+        // straight off the tape instead of cloned the way the training
+        // loss path must ([`Cae::target_tensor`]).
+        let target = match self.cfg.target {
+            ReconstructionTarget::Embedded => tape.value(out.embedded),
+            ReconstructionTarget::Raw => batch,
+        };
+        let diff = tape.value(out.recon).sub(target);
         let errors = diff.row_sq_norms();
-        target.recycle();
         diff.recycle();
         errors
     }
@@ -391,6 +451,44 @@ mod tests {
             last < first * 0.5,
             "training did not reduce loss: {first} -> {last}"
         );
+    }
+
+    #[test]
+    fn from_params_rebuilds_bit_exactly() {
+        let (model, store) = build(small_cfg(), 21);
+        let exported: Vec<(String, Tensor)> = store
+            .iter()
+            .map(|(name, value)| (name.to_string(), value.clone()))
+            .collect();
+        let (rebuilt, rebuilt_store) =
+            Cae::from_params(small_cfg(), exported).expect("round trip must succeed");
+        let mut rng = StdRng::seed_from_u64(22);
+        let batch = Tensor::rand_uniform(&[3, 8, 2], -1.0, 1.0, &mut rng);
+        assert_eq!(
+            model.window_errors(&store, &batch),
+            rebuilt.window_errors(&rebuilt_store, &batch)
+        );
+    }
+
+    #[test]
+    fn from_params_rejects_wrong_layout() {
+        let (_, store) = build(small_cfg(), 23);
+        let mut exported: Vec<(String, Tensor)> = store
+            .iter()
+            .map(|(name, value)| (name.to_string(), value.clone()))
+            .collect();
+
+        let err = Cae::from_params(small_cfg(), exported[..1].to_vec()).unwrap_err();
+        assert!(err.contains("parameter tensors"), "{err}");
+
+        exported[0].0 = "not.a.param".into();
+        let err = Cae::from_params(small_cfg(), exported.clone()).unwrap_err();
+        assert!(err.contains("expects 'embed.obs.weight'"), "{err}");
+
+        exported[0].0 = "embed.obs.weight".into();
+        exported[0].1 = Tensor::zeros(&[1, 1]);
+        let err = Cae::from_params(small_cfg(), exported).unwrap_err();
+        assert!(err.contains("shape"), "{err}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! forward on one window.
 
 use crate::CaeEnsemble;
+use cae_autograd::Tape;
 use cae_tensor::Tensor;
 use std::collections::VecDeque;
 
@@ -18,15 +19,22 @@ use std::collections::VecDeque;
 /// ring recycles each evicted observation's storage for the incoming one,
 /// the `(1, w, dim)` window tensor is a pooled buffer reused across
 /// pushes (re-filled and re-scaled in place via
-/// [`cae_data::Scaler::apply_in_place`]), and the per-member error
-/// scratch is retained.
+/// [`cae_data::Scaler::apply_in_place`]), and all members run on one
+/// retained tape whose node storage cycles through the scratch pool.
+///
+/// This scores one stream at a time, `B = 1` forwards per observation.
+/// To serve many concurrent streams against one loaded ensemble, use the
+/// fleet detector in `cae-serve`, which pools all ready streams into one
+/// batch per tick via [`CaeEnsemble::score_scaled_windows_into`].
 pub struct StreamingDetector<'a> {
     ensemble: &'a CaeEnsemble,
     buffer: VecDeque<Vec<f32>>,
     /// Reused `(1, w, dim)` window tensor.
     window_buf: Tensor,
-    /// Reused per-member last-position errors.
-    member_errors: Vec<f32>,
+    /// Retained tape shared across pushes (and across members per push).
+    tape: Tape,
+    /// Reused one-score output buffer.
+    score_buf: Vec<f32>,
 }
 
 impl<'a> StreamingDetector<'a> {
@@ -41,7 +49,8 @@ impl<'a> StreamingDetector<'a> {
             ensemble,
             buffer: VecDeque::with_capacity(w),
             window_buf: Tensor::zeros_pooled(&[1, w, dim]),
-            member_errors: Vec::with_capacity(ensemble.num_members()),
+            tape: Tape::new(),
+            score_buf: Vec::with_capacity(1),
         }
     }
 
@@ -95,15 +104,15 @@ impl<'a> StreamingDetector<'a> {
             }
         }
 
-        // Median across members of the last position's error.
-        self.member_errors.clear();
-        self.member_errors.extend(
-            self.ensemble
-                .members_internal()
-                .iter()
-                .map(|(model, store)| model.window_errors(store, &self.window_buf)[w - 1]),
+        // Median across members of the last position's error — the shared
+        // serving path at batch size 1.
+        self.score_buf.clear();
+        self.ensemble.score_scaled_windows_into(
+            &mut self.tape,
+            &self.window_buf,
+            &mut self.score_buf,
         );
-        Some(crate::score::median(&mut self.member_errors))
+        Some(self.score_buf[0])
     }
 
     /// Clears the warm-up buffer (e.g. after a stream gap).

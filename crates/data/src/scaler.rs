@@ -55,6 +55,27 @@ impl Scaler {
         }
     }
 
+    /// Rebuilds a scaler from previously exported statistics (the
+    /// checkpoint-loading path). Fails — never panics — on malformed
+    /// inputs: mismatched lengths, non-finite statistics, or
+    /// non-positive standard deviations.
+    pub fn from_parts(mean: Vec<f32>, std: Vec<f32>) -> Result<Self, String> {
+        if mean.len() != std.len() {
+            return Err(format!(
+                "scaler mean has {} dimensions, std has {}",
+                mean.len(),
+                std.len()
+            ));
+        }
+        if mean.iter().any(|m| !m.is_finite()) {
+            return Err("scaler mean contains non-finite values".to_string());
+        }
+        if std.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+            return Err("scaler std contains non-finite or non-positive values".to_string());
+        }
+        Ok(Scaler { mean, std })
+    }
+
     /// Dimensionality the scaler was fit on.
     pub fn dim(&self) -> usize {
         self.mean.len()
@@ -167,6 +188,28 @@ mod tests {
         let mut buf = test.data().to_vec();
         scaler.apply_in_place(&mut buf);
         assert_eq!(buf.as_slice(), via_transform.data());
+    }
+
+    #[test]
+    fn from_parts_round_trips_fit_statistics() {
+        let train = TimeSeries::new(vec![1.0, 100.0, 2.0, 200.0, 3.0, 300.0], 2);
+        let scaler = Scaler::fit(&train);
+        let rebuilt = Scaler::from_parts(scaler.mean().to_vec(), scaler.std().to_vec())
+            .expect("fit statistics are valid");
+        assert_eq!(rebuilt.mean(), scaler.mean());
+        assert_eq!(rebuilt.std(), scaler.std());
+        assert_eq!(
+            rebuilt.transform(&train).data(),
+            scaler.transform(&train).data()
+        );
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_statistics() {
+        assert!(Scaler::from_parts(vec![0.0], vec![1.0, 1.0]).is_err());
+        assert!(Scaler::from_parts(vec![f32::NAN], vec![1.0]).is_err());
+        assert!(Scaler::from_parts(vec![0.0], vec![0.0]).is_err());
+        assert!(Scaler::from_parts(vec![0.0], vec![-1.0]).is_err());
     }
 
     #[test]

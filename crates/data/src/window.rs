@@ -15,7 +15,16 @@ pub fn num_windows(len: usize, w: usize) -> usize {
 }
 
 /// The `i`-th window as a contiguous `(w × D)` slice.
+///
+/// Panics with an explicit range message when `i` is not a valid window
+/// index (rather than an opaque slice-bounds panic from the raw indexing).
 pub fn window(series: &TimeSeries, w: usize, i: usize) -> &[f32] {
+    let n = num_windows(series.len(), w);
+    assert!(
+        i < n,
+        "window index {i} out of range: series of {} observations has {n} windows of size {w}",
+        series.len()
+    );
     let d = series.dim();
     &series.data()[i * d..(i + w) * d]
 }
@@ -93,5 +102,27 @@ mod tests {
     fn short_series_yields_nothing() {
         let s = TimeSeries::univariate(vec![1.0, 2.0]);
         assert_eq!(windows(&s, 5).count(), 0);
+    }
+
+    #[test]
+    fn boundary_window_is_the_series_tail() {
+        let s = TimeSeries::new((0..10).map(|x| x as f32).collect(), 2);
+        // 5 observations, w = 3 ⇒ windows 0..=2; the last one is valid.
+        assert_eq!(window(&s, 3, 2), &[4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window index 3 out of range")]
+    fn out_of_range_window_panics_with_context() {
+        let s = TimeSeries::new((0..10).map(|x| x as f32).collect(), 2);
+        window(&s, 3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn window_on_too_short_series_panics_with_context() {
+        // Shorter than one window: previously an unchecked slice panic.
+        let s = TimeSeries::univariate(vec![1.0, 2.0]);
+        window(&s, 5, 0);
     }
 }

@@ -57,6 +57,12 @@ pub fn point_adjusted_prf(scores: &[f32], labels: &[bool], threshold: f32) -> Pr
 /// scores, adjusting at each).
 pub fn best_point_adjusted_f1(scores: &[f32], labels: &[bool]) -> PrecisionRecallF1 {
     assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    // No scores ⇒ nothing to sweep: the quantile index arithmetic below
+    // needs a non-empty sorted vector. Mirror `best_f1` and report the
+    // all-zero default.
+    if scores.is_empty() {
+        return PrecisionRecallF1::default();
+    }
     // Candidate thresholds: the raw best-F1 threshold plus the score
     // quantiles — point adjustment is monotone in the flagged set, so a
     // coarse sweep suffices and keeps this O(n log n).
@@ -139,5 +145,46 @@ mod tests {
         let scores = vec![1.0, 2.0, 3.0, 4.0, 5.0];
         let m = best_point_adjusted_f1(&scores, &labels);
         assert_eq!(m.f1, 0.0);
+    }
+
+    // Regression tests for the empty-scores panic: the quantile sweep used
+    // to compute `(q * (sorted.len() - 1)) / 61` on an empty vector, which
+    // underflowed and then indexed out of bounds.
+
+    #[test]
+    fn best_adjusted_f1_on_empty_input_is_default() {
+        assert_eq!(
+            best_point_adjusted_f1(&[], &[]),
+            PrecisionRecallF1::default()
+        );
+    }
+
+    #[test]
+    fn adjusted_prf_on_empty_input_is_default() {
+        let m = point_adjusted_prf(&[], &[], 0.5);
+        assert_eq!((m.precision, m.recall, m.f1), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn best_adjusted_f1_all_negative_labels() {
+        let m = best_point_adjusted_f1(&[0.3, 0.1, 0.2], &[false, false, false]);
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(m.recall, 0.0);
+    }
+
+    #[test]
+    fn best_adjusted_f1_single_element() {
+        let hit = best_point_adjusted_f1(&[1.0], &[true]);
+        assert_eq!(hit.f1, 1.0);
+        let miss = best_point_adjusted_f1(&[1.0], &[false]);
+        assert_eq!(miss.f1, 0.0);
+    }
+
+    #[test]
+    fn best_raw_f1_empty_all_negative_single() {
+        // The raw sweep entry point guards the same edge cases.
+        assert_eq!(best_f1(&[], &[]), PrecisionRecallF1::default());
+        assert_eq!(best_f1(&[0.5, 0.7], &[false, false]).f1, 0.0);
+        assert_eq!(best_f1(&[2.0], &[true]).f1, 1.0);
     }
 }

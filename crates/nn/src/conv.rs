@@ -1,6 +1,6 @@
 //! Convolutional layers: plain conv and the paper's gated (GLU) block.
 
-use crate::Activation;
+use crate::{Activation, Initializer, XavierInit};
 use cae_autograd::{ParamId, ParamStore, Tape, Var};
 use cae_tensor::{Padding, Tensor};
 use rand::Rng;
@@ -32,13 +32,37 @@ impl Conv1dLayer {
         activation: Activation,
         rng: &mut R,
     ) -> Self {
+        Self::with_init(
+            store,
+            name,
+            in_channels,
+            out_channels,
+            kernel_size,
+            padding,
+            activation,
+            &mut XavierInit(rng),
+        )
+    }
+
+    /// [`Conv1dLayer::new`] with an explicit weight [`Initializer`] (the
+    /// checkpoint-loading path).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_init(
+        store: &mut ParamStore,
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel_size: usize,
+        padding: Padding,
+        activation: Activation,
+        init: &mut impl Initializer,
+    ) -> Self {
         let kernel = store.register(
             format!("{name}.kernel"),
-            Tensor::xavier_uniform(
+            init.weight(
                 &[out_channels, in_channels, kernel_size],
                 in_channels * kernel_size,
                 out_channels * kernel_size,
-                rng,
             ),
         );
         let bias = store.register(format!("{name}.bias"), Tensor::zeros(&[out_channels]));
@@ -102,8 +126,28 @@ impl GluConv1d {
         padding: Padding,
         rng: &mut R,
     ) -> Self {
+        Self::with_init(
+            store,
+            name,
+            channels,
+            kernel_size,
+            padding,
+            &mut XavierInit(rng),
+        )
+    }
+
+    /// [`GluConv1d::new`] with an explicit weight [`Initializer`] (the
+    /// checkpoint-loading path).
+    pub fn with_init(
+        store: &mut ParamStore,
+        name: &str,
+        channels: usize,
+        kernel_size: usize,
+        padding: Padding,
+        init: &mut impl Initializer,
+    ) -> Self {
         GluConv1d {
-            value_conv: Conv1dLayer::new(
+            value_conv: Conv1dLayer::with_init(
                 store,
                 &format!("{name}.value"),
                 channels,
@@ -111,9 +155,9 @@ impl GluConv1d {
                 kernel_size,
                 padding,
                 Activation::Identity,
-                rng,
+                init,
             ),
-            gate_conv: Conv1dLayer::new(
+            gate_conv: Conv1dLayer::with_init(
                 store,
                 &format!("{name}.gate"),
                 channels,
@@ -121,7 +165,7 @@ impl GluConv1d {
                 kernel_size,
                 padding,
                 Activation::Sigmoid,
-                rng,
+                init,
             ),
         }
     }

@@ -1,0 +1,64 @@
+//! Weight-initialization sources for layer constructors.
+//!
+//! Layer constructors are generic over an [`Initializer`] so the same
+//! registration code serves two paths: training-time construction draws
+//! Xavier-uniform values from an RNG ([`XavierInit`]), while checkpoint
+//! loading registers placeholder zeros ([`ZerosInit`]) that are
+//! immediately overwritten with stored values — no RNG state is consumed,
+//! so a loaded model is independent of any seed.
+
+use cae_tensor::Tensor;
+use rand::Rng;
+
+/// Source of initial values for a layer's weight tensors. (Biases are
+/// always registered as zeros and do not go through the initializer.)
+pub trait Initializer {
+    /// Initial value for a weight tensor of shape `dims` with the given
+    /// fan-in/fan-out.
+    fn weight(&mut self, dims: &[usize], fan_in: usize, fan_out: usize) -> Tensor;
+}
+
+/// Xavier-uniform initialization from an RNG — the training-time default
+/// used by every layer's `new` constructor.
+pub struct XavierInit<'a, R: Rng + ?Sized>(pub &'a mut R);
+
+impl<R: Rng + ?Sized> Initializer for XavierInit<'_, R> {
+    fn weight(&mut self, dims: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+        Tensor::xavier_uniform(dims, fan_in, fan_out, self.0)
+    }
+}
+
+/// All-zeros initialization for models whose parameters are about to be
+/// overwritten (checkpoint loading).
+pub struct ZerosInit;
+
+impl Initializer for ZerosInit {
+    fn weight(&mut self, dims: &[usize], _fan_in: usize, _fan_out: usize) -> Tensor {
+        Tensor::zeros(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_init_matches_direct_call() {
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            XavierInit(&mut rng).weight(&[3, 4], 3, 4)
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let direct = Tensor::xavier_uniform(&[3, 4], 3, 4, &mut rng);
+        assert_eq!(draw(5), direct);
+    }
+
+    #[test]
+    fn zeros_init_is_all_zero() {
+        let t = ZerosInit.weight(&[2, 5], 2, 5);
+        assert_eq!(t.dims(), &[2, 5]);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+}

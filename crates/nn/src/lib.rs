@@ -16,12 +16,14 @@
 
 mod activation;
 mod conv;
+mod init;
 mod linear;
 mod optim;
 mod rnn;
 
 pub use activation::Activation;
 pub use conv::{Conv1dLayer, GluConv1d};
+pub use init::{Initializer, XavierInit, ZerosInit};
 pub use linear::Linear;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use rnn::{GruCell, LstmCell, LstmState};

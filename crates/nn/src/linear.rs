@@ -1,6 +1,6 @@
 //! Affine layer over the last axis.
 
-use crate::Activation;
+use crate::{Activation, Initializer, XavierInit};
 use cae_autograd::{ParamId, ParamStore, Tape, Var};
 use cae_tensor::Tensor;
 use rand::Rng;
@@ -31,9 +31,30 @@ impl Linear {
         activation: Activation,
         rng: &mut R,
     ) -> Self {
+        Self::with_init(
+            store,
+            name,
+            in_features,
+            out_features,
+            activation,
+            &mut XavierInit(rng),
+        )
+    }
+
+    /// [`Linear::new`] with an explicit weight [`Initializer`] — the
+    /// checkpoint-loading path registers zeros here and overwrites them
+    /// with stored values.
+    pub fn with_init(
+        store: &mut ParamStore,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        activation: Activation,
+        init: &mut impl Initializer,
+    ) -> Self {
         let weight = store.register(
             format!("{name}.weight"),
-            Tensor::xavier_uniform(&[in_features, out_features], in_features, out_features, rng),
+            init.weight(&[in_features, out_features], in_features, out_features),
         );
         let bias = store.register(format!("{name}.bias"), Tensor::zeros(&[out_features]));
         Linear {

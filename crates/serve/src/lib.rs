@@ -1,0 +1,454 @@
+//! Serving layer: many concurrent streams against one trained ensemble.
+//!
+//! The paper's online setting (Section 4.2.7 / Table 8) trains offline and
+//! scores online, one observation per stream per tick. A deployment serves
+//! *fleets* of such streams — thousands of sensors or hosts — from a single
+//! checkpointed model. Scoring each stream separately runs `M` batch-size-1
+//! forwards per observation, which starves the packed GEMM kernels; the
+//! [`FleetDetector`] instead gathers all ready streams' windows into pooled
+//! `(B, w, D)` batches per tick, so member inference runs at full batch
+//! width through the same SIMD path as offline scoring.
+//!
+//! ```no_run
+//! use cae_core::CaeEnsemble;
+//! use cae_serve::FleetDetector;
+//!
+//! // Offline: train once, checkpoint. Online: load and serve.
+//! let ensemble = CaeEnsemble::load("ensemble.caee").expect("checkpoint");
+//! let mut fleet = FleetDetector::new(&ensemble);
+//! let sensors: Vec<_> = (0..1000).map(|_| fleet.add_stream()).collect();
+//!
+//! let mut scores = Vec::new();
+//! loop {
+//!     for &id in &sensors {
+//!         fleet.push(id, &[0.0 /* latest observation */]);
+//!     }
+//!     fleet.tick(&mut scores);
+//!     for (id, score) in &scores { /* alerting… */ }
+//! #   break;
+//! }
+//! ```
+
+use cae_autograd::Tape;
+use cae_core::CaeEnsemble;
+use cae_tensor::{scratch, Tensor};
+
+/// Windows scored per member forward pass. Matches the batch scorer's
+/// inference chunk (`INFERENCE_BATCH` in `cae-core`): identical batch
+/// shapes dispatch through identical kernels, so a fleet whose full
+/// chunks align with the batch scorer's produces bit-identical scores.
+pub const FLEET_BATCH: usize = 64;
+
+/// Handle to one stream session inside a [`FleetDetector`].
+///
+/// Ids are generation-tagged: after [`FleetDetector::remove_stream`] the
+/// slot is recycled for future sessions, but the stale id can never
+/// silently read another stream — using it panics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StreamId {
+    slot: usize,
+    generation: u64,
+}
+
+struct StreamSlot {
+    generation: u64,
+    active: bool,
+    /// Circular window storage: `window × dim` values, oldest observation
+    /// at `head` once the ring is full.
+    ring: Vec<f32>,
+    /// Next observation slot to write, in `[0, window)`.
+    head: usize,
+    /// Observations buffered so far (saturates at `window`).
+    filled: usize,
+    /// Whether a new observation arrived since the last tick.
+    fresh: bool,
+}
+
+impl StreamSlot {
+    fn reset(&mut self) {
+        self.head = 0;
+        self.filled = 0;
+        self.fresh = false;
+    }
+}
+
+/// Scores many concurrent observation streams against one **fitted**
+/// (typically [loaded](CaeEnsemble::load)) ensemble.
+///
+/// Each stream owns a warm-up ring of its last `w` observations, exactly
+/// like [`StreamingDetector`](cae_core::StreamingDetector). The difference
+/// is the scoring schedule: observations are buffered by [`push`] and
+/// scored by [`tick`], which batches every ready stream's window into
+/// pooled `(B, w, D)` tensors (`B ≤` [`FLEET_BATCH`]) and runs all
+/// ensemble members at full batch width. Ticks are allocation-free at
+/// steady state: ring storage is retained per stream, batch buffers come
+/// from the thread-local scratch pool, and the tape is reused.
+///
+/// [`push`]: FleetDetector::push
+/// [`tick`]: FleetDetector::tick
+pub struct FleetDetector<'a> {
+    ensemble: &'a CaeEnsemble,
+    window: usize,
+    dim: usize,
+    slots: Vec<StreamSlot>,
+    free: Vec<usize>,
+    next_generation: u64,
+    active: usize,
+    tape: Tape,
+    /// Ready slot indices gathered per tick (retained).
+    ready: Vec<usize>,
+    /// Per-chunk score output (retained).
+    scores: Vec<f32>,
+}
+
+impl<'a> FleetDetector<'a> {
+    /// A fleet scorer over a **fitted** ensemble.
+    pub fn new(ensemble: &'a CaeEnsemble) -> Self {
+        assert!(
+            ensemble.num_members() > 0,
+            "FleetDetector requires a fitted ensemble"
+        );
+        FleetDetector {
+            ensemble,
+            window: ensemble.model_config().window,
+            dim: ensemble.model_config().dim,
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_generation: 0,
+            active: 0,
+            tape: Tape::new(),
+            ready: Vec::new(),
+            scores: Vec::new(),
+        }
+    }
+
+    /// Window size `w` of the underlying model.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Observation dimensionality `D` of the underlying model.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of active stream sessions.
+    pub fn num_streams(&self) -> usize {
+        self.active
+    }
+
+    /// Opens a new stream session. Slot storage from removed streams is
+    /// reused, so long-lived fleets with session churn do not grow.
+    pub fn add_stream(&mut self) -> StreamId {
+        self.next_generation += 1;
+        let generation = self.next_generation;
+        let slot = match self.free.pop() {
+            Some(i) => {
+                let s = &mut self.slots[i];
+                s.generation = generation;
+                s.active = true;
+                s.reset();
+                i
+            }
+            None => {
+                self.slots.push(StreamSlot {
+                    generation,
+                    active: true,
+                    ring: vec![0.0; self.window * self.dim],
+                    head: 0,
+                    filled: 0,
+                    fresh: false,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.active += 1;
+        StreamId { slot, generation }
+    }
+
+    /// Closes a stream session. Its slot (and ring storage) is recycled
+    /// for a future [`FleetDetector::add_stream`]; the id becomes stale
+    /// and must not be used again.
+    pub fn remove_stream(&mut self, id: StreamId) {
+        let slot = self.slot_mut(id);
+        slot.active = false;
+        self.free.push(id.slot);
+        self.active -= 1;
+    }
+
+    /// Clears a stream's warm-up buffer (e.g. after a gap in its feed);
+    /// the session stays open and scores again after `w` fresh
+    /// observations.
+    pub fn reset_stream(&mut self, id: StreamId) {
+        self.slot_mut(id).reset();
+    }
+
+    /// Observations currently buffered for a stream (saturates at `w`).
+    pub fn buffered(&self, id: StreamId) -> usize {
+        self.slot(id).filled
+    }
+
+    /// Feeds one observation into a stream's ring. Scores are produced by
+    /// the next [`FleetDetector::tick`]; a tick scores the window ending
+    /// at each stream's **most recent** observation, so push once per
+    /// stream between ticks for per-observation scores (pushing more
+    /// often skips the intermediate windows).
+    pub fn push(&mut self, id: StreamId, observation: &[f32]) {
+        assert_eq!(
+            observation.len(),
+            self.dim,
+            "observation dim {} != model dim {}",
+            observation.len(),
+            self.dim
+        );
+        let dim = self.dim;
+        let window = self.window;
+        let slot = self.slot_mut(id);
+        slot.ring[slot.head * dim..(slot.head + 1) * dim].copy_from_slice(observation);
+        slot.head = (slot.head + 1) % window;
+        slot.filled = (slot.filled + 1).min(window);
+        slot.fresh = true;
+    }
+
+    /// Scores every stream that received an observation since the last
+    /// tick and has a full warm-up ring. Clears `out`, then appends one
+    /// `(id, score)` pair per scored stream in session-slot order.
+    ///
+    /// Each score is the ensemble-median reconstruction error of the last
+    /// window position — identical to what
+    /// [`StreamingDetector::push`](cae_core::StreamingDetector::push)
+    /// returns for the same observations, but computed for up to
+    /// [`FLEET_BATCH`] streams per member forward pass.
+    pub fn tick(&mut self, out: &mut Vec<(StreamId, f32)>) {
+        out.clear();
+        let (window, dim) = (self.window, self.dim);
+        let mut ready = std::mem::take(&mut self.ready);
+        ready.clear();
+        ready.extend(
+            self.slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.active && s.fresh && s.filled == window)
+                .map(|(i, _)| i),
+        );
+
+        for chunk in ready.chunks(FLEET_BATCH) {
+            let mut data = scratch::take(chunk.len() * window * dim);
+            for &i in chunk {
+                // Unroll the ring in time order: the oldest observation
+                // sits at `head` once the ring is full.
+                let s = &self.slots[i];
+                data.extend_from_slice(&s.ring[s.head * dim..]);
+                data.extend_from_slice(&s.ring[..s.head * dim]);
+            }
+            if let Some(scaler) = self.ensemble.scaler() {
+                scaler.apply_in_place(&mut data);
+            }
+            let batch = Tensor::from_vec(data, &[chunk.len(), window, dim]);
+            self.scores.clear();
+            self.ensemble
+                .score_scaled_windows_into(&mut self.tape, &batch, &mut self.scores);
+            batch.recycle();
+            for (&i, &score) in chunk.iter().zip(self.scores.iter()) {
+                let s = &mut self.slots[i];
+                s.fresh = false;
+                out.push((
+                    StreamId {
+                        slot: i,
+                        generation: s.generation,
+                    },
+                    score,
+                ));
+            }
+        }
+        self.ready = ready;
+    }
+
+    fn slot(&self, id: StreamId) -> &StreamSlot {
+        let s = self.slots.get(id.slot).expect("invalid StreamId");
+        assert!(
+            s.active && s.generation == id.generation,
+            "stale StreamId: the stream was removed"
+        );
+        s
+    }
+
+    fn slot_mut(&mut self, id: StreamId) -> &mut StreamSlot {
+        let s = self.slots.get_mut(id.slot).expect("invalid StreamId");
+        assert!(
+            s.active && s.generation == id.generation,
+            "stale StreamId: the stream was removed"
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cae_core::{CaeConfig, EnsembleConfig, StreamingDetector};
+    use cae_data::{Detector, TimeSeries};
+
+    fn wave(t: usize, phase: f32) -> f32 {
+        (t as f32 * 0.3 + phase).sin()
+    }
+
+    fn fitted_ensemble() -> CaeEnsemble {
+        let series = TimeSeries::univariate((0..200).map(|t| wave(t, 0.0)).collect());
+        let mc = CaeConfig::new(1).embed_dim(8).window(8).layers(1);
+        let ec = EnsembleConfig::new()
+            .num_models(2)
+            .epochs_per_model(2)
+            .batch_size(16)
+            .train_stride(2)
+            .seed(23);
+        let mut ens = CaeEnsemble::new(mc, ec);
+        ens.fit(&series);
+        ens
+    }
+
+    #[test]
+    fn warm_up_emits_nothing_then_scores() {
+        let ens = fitted_ensemble();
+        let w = ens.model_config().window;
+        let mut fleet = FleetDetector::new(&ens);
+        let id = fleet.add_stream();
+        let mut out = Vec::new();
+        for t in 0..w - 1 {
+            fleet.push(id, &[wave(t, 0.0)]);
+            fleet.tick(&mut out);
+            assert!(out.is_empty(), "scored during warm-up at t={t}");
+        }
+        fleet.push(id, &[wave(w - 1, 0.0)]);
+        fleet.tick(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, id);
+        assert!(out[0].1 >= 0.0 && out[0].1.is_finite());
+    }
+
+    #[test]
+    fn fleet_matches_streaming_detector_bit_exactly() {
+        // A single-stream fleet assembles the identical (1, w, D) batch a
+        // StreamingDetector scores, so the scores must be bit-equal.
+        let ens = fitted_ensemble();
+        let mut stream = StreamingDetector::new(&ens);
+        let mut fleet = FleetDetector::new(&ens);
+        let id = fleet.add_stream();
+        let mut out = Vec::new();
+        for t in 0..40 {
+            let obs = [wave(t, 0.4)];
+            let expected = stream.push(&obs);
+            fleet.push(id, &obs);
+            fleet.tick(&mut out);
+            match expected {
+                Some(score) => assert_eq!(out, [(id, score)], "t={t}"),
+                None => assert!(out.is_empty(), "t={t}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sixty_four_streams_match_the_batch_scorer_bit_exactly() {
+        // 64 streams ticked together form exactly one FLEET_BATCH chunk —
+        // the same (64, w, D) shape the batch scorer's inference chunks
+        // use — so every kernel dispatches identically and the scores are
+        // bit-equal, not merely close.
+        let ens = fitted_ensemble();
+        let w = ens.model_config().window;
+        let len = (w - 1) + 64; // 64 windows ⇒ one full inference chunk
+        let phases: Vec<f32> = (0..64).map(|k| k as f32 * 0.09).collect();
+        let series: Vec<TimeSeries> = phases
+            .iter()
+            .map(|&p| TimeSeries::univariate((0..len).map(|t| wave(t, p)).collect()))
+            .collect();
+
+        let mut fleet = FleetDetector::new(&ens);
+        let ids: Vec<StreamId> = (0..64).map(|_| fleet.add_stream()).collect();
+        let mut out = Vec::new();
+        let mut per_stream: Vec<Vec<f32>> = vec![Vec::new(); 64];
+        for t in 0..len {
+            for (k, &id) in ids.iter().enumerate() {
+                fleet.push(id, series[k].observation(t));
+            }
+            fleet.tick(&mut out);
+            for &(id, score) in &out {
+                let k = ids.iter().position(|&i| i == id).expect("known id");
+                per_stream[k].push(score);
+            }
+        }
+
+        for (k, s) in series.iter().enumerate() {
+            let batch_scores = ens.score(s);
+            assert_eq!(per_stream[k].len(), 64, "stream {k}");
+            // Streaming emits from t = w−1; batch scores before that come
+            // from the first window's interior.
+            assert_eq!(per_stream[k], batch_scores[w - 1..], "stream {k}");
+        }
+    }
+
+    #[test]
+    fn tick_without_fresh_observations_is_empty() {
+        let ens = fitted_ensemble();
+        let w = ens.model_config().window;
+        let mut fleet = FleetDetector::new(&ens);
+        let id = fleet.add_stream();
+        let mut out = Vec::new();
+        for t in 0..w {
+            fleet.push(id, &[wave(t, 0.0)]);
+        }
+        fleet.tick(&mut out);
+        assert_eq!(out.len(), 1);
+        fleet.tick(&mut out); // nothing new pushed
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn remove_and_reset_sessions() {
+        let ens = fitted_ensemble();
+        let w = ens.model_config().window;
+        let mut fleet = FleetDetector::new(&ens);
+        let a = fleet.add_stream();
+        let b = fleet.add_stream();
+        assert_eq!(fleet.num_streams(), 2);
+
+        let mut out = Vec::new();
+        for t in 0..w {
+            fleet.push(a, &[wave(t, 0.0)]);
+            fleet.push(b, &[wave(t, 1.0)]);
+        }
+        fleet.remove_stream(b);
+        assert_eq!(fleet.num_streams(), 1);
+        fleet.tick(&mut out);
+        assert_eq!(out.len(), 1, "removed stream must not be scored");
+        assert_eq!(out[0].0, a);
+
+        // The freed slot is recycled with a fresh generation and a clean
+        // warm-up ring.
+        let c = fleet.add_stream();
+        assert_ne!(b, c);
+        assert_eq!(fleet.buffered(c), 0);
+
+        fleet.reset_stream(a);
+        assert_eq!(fleet.buffered(a), 0);
+        fleet.push(a, &[0.0]);
+        fleet.tick(&mut out);
+        assert!(out.is_empty(), "reset stream must warm up again");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale StreamId")]
+    fn stale_id_panics() {
+        let ens = fitted_ensemble();
+        let mut fleet = FleetDetector::new(&ens);
+        let id = fleet.add_stream();
+        fleet.remove_stream(id);
+        fleet.push(id, &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a fitted ensemble")]
+    fn rejects_unfitted_ensemble() {
+        let ens = CaeEnsemble::new(CaeConfig::new(1), EnsembleConfig::new());
+        FleetDetector::new(&ens);
+    }
+}

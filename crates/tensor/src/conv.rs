@@ -190,12 +190,14 @@ impl Tensor {
         assert!(k >= 1, "conv1d kernel size must be >= 1");
         let pl = padding.left(k);
 
-        let mut out = scratch::take_zeroed(b * cout * l);
         if l > 0 {
             let x = self.data();
             let w = kernel.data();
             #[cfg(target_arch = "x86_64")]
             if gemm::enabled(cout * cin * k * l) {
+                // The packed path *stores* every output element (no
+                // accumulation), so the buffer needs no zeroing.
+                let mut out = scratch::take_full(b * cout * l);
                 gemm::conv_batch(
                     x,
                     w,
@@ -213,13 +215,15 @@ impl Tensor {
             }
             // One GEMM per batch element; the kernel's (co, ci, j) layout
             // already matches the X̃ row order (ci, j).
+            let mut out = scratch::take_zeroed(b * cout * l);
             par::for_each_chunk(&mut out, cout * l, |bi, y| {
                 let xpad = pad_rows(&x[bi * cin * l..(bi + 1) * cin * l], cin, l, k, pl);
                 conv_gemm(y, w, &xpad, cout, cin, k, l);
                 scratch::recycle(xpad);
             });
+            return Tensor::from_vec(out, &[b, cout, l]);
         }
-        Tensor::from_vec(out, &[b, cout, l])
+        Tensor::from_vec(scratch::take_zeroed(b * cout * l), &[b, cout, l])
     }
 
     /// Gradient of [`Tensor::conv1d`] with respect to its **input**.
@@ -237,8 +241,9 @@ impl Tensor {
         let pl = padding.left(k);
 
         // Reorder the kernel once: wt[ci][co·k + j'] = K[co][ci][k-1-j'].
+        // The scatter covers every index, so no zeroing is needed.
         let w = kernel.data();
-        let mut wt = scratch::take_zeroed(cin * cout * k);
+        let mut wt = scratch::take_full(cin * cout * k);
         for co in 0..cout {
             for ci in 0..cin {
                 for j in 0..k {
@@ -247,12 +252,13 @@ impl Tensor {
             }
         }
 
-        let mut gx = scratch::take_zeroed(b * cin * l);
         if l > 0 {
             let g = grad_out.data();
             let wt_ref = &wt;
             #[cfg(target_arch = "x86_64")]
             if gemm::enabled(cin * cout * k * l) {
+                // Store-mode packed path: no zeroing of the output needed.
+                let mut gx = scratch::take_full(b * cin * l);
                 gemm::conv_batch(
                     g,
                     wt_ref,
@@ -269,6 +275,7 @@ impl Tensor {
                 scratch::recycle(wt);
                 return Tensor::from_vec(gx, &[b, cin, l]);
             }
+            let mut gx = scratch::take_zeroed(b * cin * l);
             par::for_each_chunk(&mut gx, cin * l, |bi, gxb| {
                 let gpad = pad_rows(
                     &g[bi * cout * l..(bi + 1) * cout * l],
@@ -280,9 +287,11 @@ impl Tensor {
                 conv_gemm(gxb, wt_ref, &gpad, cin, cout, k, l);
                 scratch::recycle(gpad);
             });
+            scratch::recycle(wt);
+            return Tensor::from_vec(gx, &[b, cin, l]);
         }
         scratch::recycle(wt);
-        Tensor::from_vec(gx, &[b, cin, l])
+        Tensor::from_vec(scratch::take_zeroed(b * cin * l), &[b, cin, l])
     }
 
     /// Gradient of [`Tensor::conv1d`] with respect to its **kernel**.
@@ -304,11 +313,13 @@ impl Tensor {
         assert_eq!(l, l2, "conv1d_kernel_grad length mismatch");
         let pl = padding.left(k);
 
-        let mut gw = scratch::take_zeroed(cout * cin * k);
         let x = input.data();
         let g = grad_out.data();
         #[cfg(target_arch = "x86_64")]
         if l > 0 && gemm::enabled(b * l * cout * cin * k) {
+            // `gemm` stores its first depth slab, so the output needs no
+            // zeroing (the guards above ensure a non-empty contraction).
+            let mut gw = scratch::take_full(cout * cin * k);
             gemm::conv_kernel_grad(
                 x,
                 g,
@@ -324,6 +335,7 @@ impl Tensor {
             );
             return Tensor::from_vec(gw, &[cout, cin, k]);
         }
+        let mut gw = scratch::take_zeroed(cout * cin * k);
         par::for_each_chunk(&mut gw, k, |row, gw_row| {
             let co = row / cin;
             let ci = row % cin;

@@ -282,7 +282,9 @@ pub(crate) fn gemm<A: APanelSrc, B: BPanelSrc>(
     }
     let npanels = n.div_ceil(NR);
     let nblocks = m.div_ceil(MR);
-    let mut pb = scratch::take_zeroed(npanels * NR * depth.min(KC));
+    // Panels are fully packed before the microkernel reads them, so the
+    // buffers can start with unspecified contents (no memset).
+    let mut pb = scratch::take_full(npanels * NR * depth.min(KC));
     let base = SyncMutPtr(out.as_mut_ptr());
 
     let mut k0 = 0;
@@ -298,7 +300,7 @@ pub(crate) fn gemm<A: APanelSrc, B: BPanelSrc>(
         let run_block = |ib: usize| {
             let i0 = ib * MR;
             let h = MR.min(m - i0);
-            let mut pa = scratch::take_zeroed(kc * MR);
+            let mut pa = scratch::take_full(kc * MR);
             a.pack_block(k0, kc, i0, h, &mut pa);
             for jp in 0..npanels {
                 let j0 = jp * NR;
@@ -569,7 +571,8 @@ pub(crate) fn conv_batch(x: &[f32], wmat: &[f32], out: &mut [f32], s: &ConvShape
         data: wmat,
         ld: depth,
     };
-    let mut pw = scratch::take_zeroed(nblocks * depth * MR);
+    // Fully packed before use — unspecified initial contents are fine.
+    let mut pw = scratch::take_full(nblocks * depth * MR);
     for ib in 0..nblocks {
         let i0 = ib * MR;
         let h = MR.min(s.rows_out - i0);
@@ -579,23 +582,55 @@ pub(crate) fn conv_batch(x: &[f32], wmat: &[f32], out: &mut [f32], s: &ConvShape
     let npanels = l.div_ceil(NR);
     let pw_ref = &pw;
     par::for_each_chunk(out, s.rows_out * l, |bi, y| {
-        // Zero-pad this batch element's input rows so every tap shift is
-        // a contiguous in-bounds window.
         let src = &x[bi * s.rows_in * l..(bi + 1) * s.rows_in * l];
-        let mut pad = scratch::take_zeroed(s.rows_in * stride);
-        for r in 0..s.rows_in {
-            pad[r * stride + s.pl..r * stride + s.pl + l].copy_from_slice(&src[r * l..(r + 1) * l]);
-        }
-        let bsrc = BWindows {
-            pad: &pad,
-            stride,
-            k: s.k,
-        };
-        let mut pb = scratch::take_zeroed(npanels * NR * depth);
-        for jp in 0..npanels {
-            let j0 = jp * NR;
-            let w = NR.min(l - j0);
-            bsrc.pack_panel(0, depth, j0, w, &mut pb[jp * depth * NR..][..depth * NR]);
+        let mut pb;
+        if npanels == 1 {
+            // Single-panel fast path (the CAE serving/training shape:
+            // window length ≤ NR). Each depth row is built directly from
+            // the unpadded source — one contiguous copy for the valid
+            // span, explicit zero fills for the padding borders — so the
+            // intermediate padded buffer, its memset, its row copies and
+            // the whole-panel memset are all skipped. Contents are
+            // identical to the padded path below, so results stay
+            // bit-exact across both.
+            pb = scratch::take_full(depth * NR);
+            for ci in 0..s.rows_in {
+                let row = &src[ci * l..(ci + 1) * l];
+                for j in 0..s.k {
+                    // Panel column t reads source index t + j − pl.
+                    let off = j as isize - s.pl as isize;
+                    let lead = (-off).clamp(0, l as isize) as usize;
+                    let te = (l as isize - off).clamp(lead as isize, l as isize) as usize;
+                    let dst = &mut pb[(ci * s.k + j) * NR..][..NR];
+                    dst[..lead].fill(0.0);
+                    if te > lead {
+                        dst[lead..te].copy_from_slice(
+                            &row[(lead as isize + off) as usize..(te as isize + off) as usize],
+                        );
+                    }
+                    dst[te..].fill(0.0);
+                }
+            }
+        } else {
+            // Zero-pad this batch element's input rows so every tap shift
+            // is a contiguous in-bounds window.
+            let mut pad = scratch::take_zeroed(s.rows_in * stride);
+            for r in 0..s.rows_in {
+                pad[r * stride + s.pl..r * stride + s.pl + l]
+                    .copy_from_slice(&src[r * l..(r + 1) * l]);
+            }
+            let bsrc = BWindows {
+                pad: &pad,
+                stride,
+                k: s.k,
+            };
+            pb = scratch::take_full(npanels * NR * depth);
+            for jp in 0..npanels {
+                let j0 = jp * NR;
+                let w = NR.min(l - j0);
+                bsrc.pack_panel(0, depth, j0, w, &mut pb[jp * depth * NR..][..depth * NR]);
+            }
+            scratch::recycle(pad);
         }
         for ib in 0..nblocks {
             let i0 = ib * MR;
@@ -620,7 +655,6 @@ pub(crate) fn conv_batch(x: &[f32], wmat: &[f32], out: &mut [f32], s: &ConvShape
             }
         }
         scratch::recycle(pb);
-        scratch::recycle(pad);
     });
     scratch::recycle(pw);
 }

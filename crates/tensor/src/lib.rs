@@ -67,6 +67,7 @@ pub mod simd;
 mod tensor;
 
 pub use conv::Padding;
+pub use reduce::sq_dist;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -44,16 +44,14 @@ thread_local! {
     static POOL: RefCell<ScratchPool> = RefCell::new(ScratchPool::default());
 }
 
-/// Takes an **empty** buffer with capacity at least `len`.
-///
-/// Prefers the smallest pooled buffer that fits to keep big buffers
-/// available for big requests. Falls back to a fresh allocation when the
-/// pool has no fit.
-pub fn take(len: usize) -> Vec<f32> {
-    POOL.with(|pool| {
-        let mut pool = pool.borrow_mut();
+impl ScratchPool {
+    /// Removes and returns the smallest pooled buffer with capacity at
+    /// least `len` (smallest-fit keeps big buffers available for big
+    /// requests), updating the retained-bytes accounting. The buffer's
+    /// length is whatever its previous user left.
+    fn pop_best_fit(&mut self, len: usize) -> Option<Vec<f32>> {
         let mut best: Option<(usize, usize)> = None;
-        for (i, buf) in pool.bufs.iter().enumerate() {
+        for (i, buf) in self.bufs.iter().enumerate() {
             let cap = buf.capacity();
             if cap >= len && best.is_none_or(|(_, best_cap)| cap < best_cap) {
                 best = Some((i, cap));
@@ -62,15 +60,26 @@ pub fn take(len: usize) -> Vec<f32> {
                 }
             }
         }
-        match best {
-            Some((i, _)) => {
-                let mut buf = pool.bufs.swap_remove(i);
-                pool.bytes -= buf.capacity() * std::mem::size_of::<f32>();
-                buf.clear();
-                buf
-            }
-            None => Vec::with_capacity(len),
+        best.map(|(i, _)| {
+            let buf = self.bufs.swap_remove(i);
+            self.bytes -= buf.capacity() * std::mem::size_of::<f32>();
+            buf
+        })
+    }
+}
+
+/// Takes an **empty** buffer with capacity at least `len`.
+///
+/// Prefers the smallest pooled buffer that fits to keep big buffers
+/// available for big requests. Falls back to a fresh allocation when the
+/// pool has no fit.
+pub fn take(len: usize) -> Vec<f32> {
+    POOL.with(|pool| match pool.borrow_mut().pop_best_fit(len) {
+        Some(mut buf) => {
+            buf.clear();
+            buf
         }
+        None => Vec::with_capacity(len),
     })
 }
 
@@ -79,6 +88,34 @@ pub fn take_zeroed(len: usize) -> Vec<f32> {
     let mut buf = take(len);
     buf.resize(len, 0.0);
     buf
+}
+
+/// Takes a buffer of exactly `len` elements with **unspecified contents**
+/// (stale values from the buffer's previous use, zeros where the pool has
+/// to grow it).
+///
+/// For buffers the caller fully overwrites before reading — packed GEMM
+/// panels, store-mode GEMM outputs — this skips [`take_zeroed`]'s memset,
+/// which on the convolution hot path re-zeroes megabytes per training or
+/// serving step only to overwrite every byte again. Buffers are recycled
+/// with their length intact, so at steady state the common case is a pure
+/// truncate with no writes at all.
+pub fn take_full(len: usize) -> Vec<f32> {
+    POOL.with(|pool| match pool.borrow_mut().pop_best_fit(len) {
+        Some(mut buf) => {
+            if buf.len() >= len {
+                buf.truncate(len);
+            } else {
+                // Only the gap between the buffer's previous length and
+                // `len` needs initializing; bytes past a Vec's length may
+                // never have been written, so they cannot be exposed by
+                // truncation tricks.
+                buf.resize(len, 0.0);
+            }
+            buf
+        }
+        None => vec![0.0; len],
+    })
 }
 
 /// Takes a buffer holding a copy of `src`.
@@ -143,6 +180,36 @@ mod tests {
         let z = take_zeroed(513);
         assert_eq!(z.len(), 513);
         assert!(z.iter().all(|&v| v == 0.0), "recycled garbage leaked");
+    }
+
+    #[test]
+    fn take_full_reuses_without_clearing() {
+        // Dedicated thread: the assertions must not race sibling tests
+        // sharing the harness thread's pool.
+        std::thread::spawn(|| {
+            let mut buf = take(777);
+            buf.resize(777, 3.5);
+            let ptr = buf.as_ptr();
+            recycle(buf);
+            let full = take_full(777);
+            assert_eq!(full.len(), 777);
+            assert_eq!(full.as_ptr(), ptr, "pool did not hand back the buffer");
+            // Contents are unspecified but must be initialized memory; here
+            // the recycled values survive untouched.
+            assert!(full.iter().all(|&v| v == 3.5));
+            recycle(full);
+
+            // Growing within capacity zero-fills only the gap.
+            let mut short = Vec::with_capacity(2048);
+            short.extend_from_slice(&[9.0; 8]);
+            recycle(short);
+            let grown = take_full(1024);
+            assert_eq!(grown.len(), 1024);
+            assert_eq!(&grown[..8], &[9.0; 8]);
+            assert!(grown[8..].iter().all(|&v| v == 0.0));
+        })
+        .join()
+        .expect("take_full thread panicked");
     }
 
     #[test]

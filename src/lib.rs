@@ -8,6 +8,8 @@
 //! users can depend on a single crate:
 //!
 //! * [`core`] — the CAE-Ensemble detector (the paper's contribution);
+//! * [`serve`] — checkpoint-backed serving: many concurrent streams
+//!   batched against one trained ensemble;
 //! * [`baselines`] — the eleven comparison methods of the evaluation;
 //! * [`data`] — time series containers, pre-processing, synthetic datasets;
 //! * [`metrics`] — PR/ROC AUC and F1 evaluation suites;
@@ -22,13 +24,15 @@ pub use cae_core as core;
 pub use cae_data as data;
 pub use cae_metrics as metrics;
 pub use cae_nn as nn;
+pub use cae_serve as serve;
 pub use cae_tensor as tensor;
 
 /// Convenience prelude importing the types most programs need.
 pub mod prelude {
-    pub use cae_core::{CaeConfig, CaeEnsemble, EnsembleConfig, StreamingDetector};
+    pub use cae_core::{CaeConfig, CaeEnsemble, EnsembleConfig, PersistError, StreamingDetector};
     pub use cae_data::{Dataset, DatasetKind, Detector, Scale, Scaler, TimeSeries};
     pub use cae_metrics::EvalReport;
+    pub use cae_serve::{FleetDetector, StreamId};
 }
 
 #[cfg(test)]
@@ -40,7 +44,7 @@ mod tests {
     fn prelude_names_resolve_and_construct() {
         use crate::prelude::{
             CaeConfig, CaeEnsemble, Dataset, DatasetKind, Detector, EnsembleConfig, EvalReport,
-            Scale, Scaler, StreamingDetector, TimeSeries,
+            FleetDetector, Scale, Scaler, StreamingDetector, TimeSeries,
         };
 
         let series = TimeSeries::univariate((0..64).map(|t| (t as f32 * 0.3).sin()).collect());
@@ -68,6 +72,13 @@ mod tests {
         let mut streaming = StreamingDetector::new(&ens);
         let s = streaming.push(&[0.5]);
         assert!(s.is_none_or(|v| v.is_finite()));
+
+        let mut fleet = FleetDetector::new(&ens);
+        let id = fleet.add_stream();
+        fleet.push(id, &[0.5]);
+        let mut ticked = Vec::new();
+        fleet.tick(&mut ticked);
+        assert!(ticked.iter().all(|(_, v)| v.is_finite()));
     }
 
     #[test]
@@ -79,6 +90,7 @@ mod tests {
         let _ = crate::data::num_windows(16, 8);
         let _ = crate::baselines::MovingAverage::with_defaults();
         let _ = crate::core::ReconstructionTarget::Raw;
+        let _ = crate::serve::FLEET_BATCH;
         assert_eq!(t.dims(), &[2, 2]);
     }
 }

@@ -10,7 +10,8 @@
 use cae_ensemble_repro::prelude::*;
 
 /// The examples CI builds; `quickstart` is additionally run end-to-end.
-const EXAMPLES: [&str; 5] = [
+const EXAMPLES: [&str; 6] = [
+    "fleet_serving",
     "hyperparameter_tuning",
     "quickstart",
     "server_monitoring",
@@ -84,4 +85,64 @@ fn quickstart_pipeline_runs_on_a_tiny_series() {
         report.roc_auc > 0.7,
         "tiny quickstart failed to separate injected outliers: {report}"
     );
+}
+
+#[test]
+fn fleet_serving_pipeline_runs_on_a_tiny_fleet() {
+    // Miniature of examples/fleet_serving.rs: train → save → load →
+    // serve a small fleet, asserting the loaded ensemble and the fleet
+    // scores match the batch scorer bit-exactly.
+    let wave = |t: usize, phase: f32| (t as f32 * 0.25 + phase).sin();
+    let train = TimeSeries::univariate((0..260).map(|t| wave(t, 0.0)).collect());
+
+    let mut detector = CaeEnsemble::new(
+        CaeConfig::new(1).embed_dim(8).window(8).layers(1),
+        EnsembleConfig::new()
+            .num_models(2)
+            .epochs_per_model(2)
+            .batch_size(16)
+            .train_stride(2)
+            .seed(13),
+    );
+    detector.fit(&train);
+
+    let path = std::env::temp_dir().join(format!(
+        "cae_examples_smoke_fleet_{}.caee",
+        std::process::id()
+    ));
+    detector.save(&path).expect("checkpoint write");
+    let ensemble = CaeEnsemble::load(&path).expect("checkpoint read");
+    let _ = std::fs::remove_file(&path);
+
+    let w = ensemble.model_config().window;
+    // n_win = 64 aligns the fleet's 64-stream chunks with the batch
+    // scorer's inference chunks — the comparison is bit-exact.
+    let len = (w - 1) + 64;
+    let series: Vec<TimeSeries> = (0..64)
+        .map(|k| TimeSeries::univariate((0..len).map(|t| wave(t, k as f32 * 0.09)).collect()))
+        .collect();
+
+    let mut fleet = FleetDetector::new(&ensemble);
+    let ids: Vec<StreamId> = (0..64).map(|_| fleet.add_stream()).collect();
+    let mut out = Vec::new();
+    let mut per_stream: Vec<Vec<f32>> = vec![Vec::new(); 64];
+    for t in 0..len {
+        for (k, &id) in ids.iter().enumerate() {
+            fleet.push(id, series[k].observation(t));
+        }
+        fleet.tick(&mut out);
+        for &(id, score) in &out {
+            let k = ids.iter().position(|&i| i == id).expect("known session");
+            per_stream[k].push(score);
+        }
+    }
+
+    for (k, s) in series.iter().enumerate() {
+        let batch_scores = detector.score(s); // original, not the loaded copy
+        assert_eq!(
+            per_stream[k],
+            batch_scores[w - 1..],
+            "fleet stream {k} diverged from the trained ensemble's batch scorer"
+        );
+    }
 }
