@@ -1,0 +1,610 @@
+//! Online adaptation: drift-aware warm-start re-fit with hot ensemble
+//! swap.
+//!
+//! The paper splits the detector's life into an offline training phase
+//! and an online scoring phase; a deployed ensemble therefore decays
+//! silently once the stream's regime drifts. This crate closes the loop
+//! for long-lived fleets:
+//!
+//! 1. **Watch** — every scored observation feeds an
+//!    [`ObservationReservoir`] (bounded ring of recent raw data) and a
+//!    [`DriftMonitor`] (EWMA of live scores vs. a band calibrated on the
+//!    trained model).
+//! 2. **Re-fit** — when the EWMA leaves the band, the controller
+//!    snapshots the live ensemble (`Arc` clone, no parameter copies) and
+//!    launches [`CaeEnsemble::refit_warm`] on a **dedicated background
+//!    thread**: serving ticks keep running while the re-fit trains. The
+//!    re-fit warm-starts from the live parameters (the paper's transfer
+//!    trick across time) with the diversity term anchored to the live
+//!    ensemble's output, so it converges in a fraction of the epochs a
+//!    cold re-train needs.
+//! 3. **Publish** — the finished ensemble is checkpointed atomically
+//!    (format v1, temp-file + rename) and handed back through
+//!    [`AdaptationController::poll`]; the caller installs it with
+//!    [`FleetDetector::swap_ensemble`] — an O(1), generation-tagged
+//!    pointer swap that never costs the fleet a tick.
+//!
+//! The background thread is a plain `std::thread`, deliberately **not** a
+//! task on the `cae_tensor::par` worker pool: pool jobs are serialized,
+//! so training inside one would stall every serving kernel for the whole
+//! re-fit. As a separate thread the re-fit submits its kernels to the
+//! same pool and interleaves with serving at kernel granularity instead.
+//!
+//! ```no_run
+//! use cae_adapt::{AdaptationConfig, AdaptationController};
+//! use cae_core::CaeEnsemble;
+//! use cae_data::Detector;
+//! use cae_serve::FleetDetector;
+//!
+//! # fn observation_of(_: cae_serve::StreamId) -> &'static [f32] { &[0.0] }
+//! let ensemble = CaeEnsemble::load("ensemble.caee").expect("checkpoint");
+//! # let training_tail = cae_data::TimeSeries::univariate(vec![0.0; 32]);
+//! let baseline = ensemble.score(&training_tail);
+//! let mut fleet = FleetDetector::new(ensemble);
+//! // One *canary* stream feeds the controller: the reservoir needs
+//! // contiguous single-stream history — interleaving every stream's
+//! // observations would make re-fit windows straddle unrelated signals
+//! // (see `ObservationReservoir`). Use one controller per regime.
+//! let canary = fleet.add_stream();
+//! let mut adapt = AdaptationController::new(
+//!     fleet.ensemble(),
+//!     &baseline,
+//!     AdaptationConfig::new().checkpoint_path("ensemble.caee"),
+//! );
+//!
+//! let mut scores = Vec::new();
+//! loop {
+//!     // … push observations …
+//!     fleet.tick(&mut scores);
+//!     if let Some(&(_, score)) = scores.iter().find(|(id, _)| *id == canary) {
+//!         adapt.observe(fleet.ensemble(), observation_of(canary), score);
+//!     }
+//!     if let Some(adapted) = adapt.poll() {
+//!         fleet.swap_ensemble(adapted); // next tick scores with the new model
+//!     }
+//! }
+//! ```
+
+use cae_core::{CaeEnsemble, RefitOptions};
+use cae_data::{Detector, DriftMonitor, ObservationReservoir};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Configuration of an [`AdaptationController`].
+#[derive(Clone, Debug)]
+pub struct AdaptationConfig {
+    /// Observations retained in the re-fit reservoir (per fleet).
+    pub reservoir_capacity: usize,
+    /// Minimum buffered observations before a re-fit may start. Must
+    /// exceed the model window by enough to form a useful training set;
+    /// [`AdaptationController::new`] enforces `> window`.
+    pub min_observations: usize,
+    /// EWMA smoothing factor of the drift statistic (see
+    /// [`DriftMonitor`]).
+    pub ewma_alpha: f32,
+    /// Drift band half-width in baseline standard deviations.
+    pub band_sigma: f32,
+    /// Observations that must pass after a re-fit starts before the next
+    /// one may trigger — keeps a persistent band violation from queueing
+    /// re-fit after re-fit while the first swap is still propagating.
+    pub cooldown: u64,
+    /// Re-fit options; `warm_start` defaults to on — that is the point.
+    pub refit: RefitOptions,
+    /// Where the adapted ensemble is checkpointed (format v1, atomic
+    /// temp-file + rename) before being published. `None` publishes
+    /// in-memory only.
+    pub checkpoint_path: Option<PathBuf>,
+}
+
+impl Default for AdaptationConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AdaptationConfig {
+    /// Defaults: 512-observation reservoir, re-fit after ≥ 256 buffered,
+    /// EWMA α 0.05 with a 4σ band, 512-observation cooldown, 4 warm
+    /// epochs, no checkpoint.
+    pub fn new() -> Self {
+        AdaptationConfig {
+            reservoir_capacity: 512,
+            min_observations: 256,
+            ewma_alpha: 0.05,
+            band_sigma: 4.0,
+            cooldown: 512,
+            refit: RefitOptions::warm(4, 0x5eed),
+            checkpoint_path: None,
+        }
+    }
+
+    /// Sets the reservoir capacity (observations).
+    pub fn reservoir_capacity(mut self, n: usize) -> Self {
+        assert!(n >= 1, "reservoir capacity must be at least 1");
+        self.reservoir_capacity = n;
+        self
+    }
+
+    /// Sets the minimum buffered observations before a re-fit may start.
+    pub fn min_observations(mut self, n: usize) -> Self {
+        self.min_observations = n;
+        self
+    }
+
+    /// Sets the EWMA smoothing factor.
+    pub fn ewma_alpha(mut self, alpha: f32) -> Self {
+        self.ewma_alpha = alpha;
+        self
+    }
+
+    /// Sets the drift band half-width (baseline standard deviations).
+    pub fn band_sigma(mut self, sigma: f32) -> Self {
+        self.band_sigma = sigma;
+        self
+    }
+
+    /// Sets the post-trigger cooldown (observations).
+    pub fn cooldown(mut self, observations: u64) -> Self {
+        self.cooldown = observations;
+        self
+    }
+
+    /// Sets the re-fit options.
+    pub fn refit(mut self, refit: RefitOptions) -> Self {
+        self.refit = refit;
+        self
+    }
+
+    /// Sets the checkpoint destination for adapted ensembles.
+    pub fn checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+}
+
+/// Operational counters of one [`AdaptationController`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdaptationStats {
+    /// Band violations: transitions of the drift statistic from inside to
+    /// outside the baseline band (not one per drifted observation).
+    pub drift_trips: u64,
+    /// Background re-fits launched.
+    pub refits_started: u64,
+    /// Re-fits that finished and were published.
+    pub refits_completed: u64,
+    /// Re-fits whose worker thread panicked.
+    pub refits_failed: u64,
+    /// Checkpoints written for published ensembles.
+    pub checkpoints_written: u64,
+}
+
+/// What the background worker hands back: the adapted ensemble, its own
+/// scores on the reservoir series (for re-baselining the monitor), and
+/// the checkpoint write result (`None` when no path is configured).
+type RefitOutcome = (CaeEnsemble, Vec<f32>, Option<Result<(), String>>);
+
+/// Watches a served ensemble's outlier scores for drift and maintains a
+/// warm-start re-fit pipeline: reservoir → drift trip → background
+/// re-fit → atomic checkpoint → published replacement.
+///
+/// The controller never touches the fleet; the caller owns the swap (see
+/// the crate example). All methods are non-blocking except
+/// [`AdaptationController::wait`], which joins a running re-fit.
+pub struct AdaptationController {
+    cfg: AdaptationConfig,
+    reservoir: ObservationReservoir,
+    monitor: DriftMonitor,
+    worker: Option<JoinHandle<RefitOutcome>>,
+    stats: AdaptationStats,
+    /// Observations seen over the controller's lifetime.
+    observed: u64,
+    /// `observed` at the moment the last re-fit started (cooldown base).
+    last_refit_at: Option<u64>,
+    /// Previous drift state, for counting trips on the rising edge.
+    was_drifted: bool,
+    /// Why the last checkpoint write failed, if it did (the publish still
+    /// proceeds in-memory — a failed disk write must not block a swap).
+    last_checkpoint_error: Option<String>,
+}
+
+impl AdaptationController {
+    /// A controller for a fleet served by `live`, with the drift band
+    /// calibrated from `baseline_scores` — the live ensemble's scores on
+    /// in-distribution data (typically the tail of its training series,
+    /// or the first scored stretch of healthy streaming).
+    pub fn new(live: &Arc<CaeEnsemble>, baseline_scores: &[f32], cfg: AdaptationConfig) -> Self {
+        assert!(
+            live.num_members() > 0,
+            "AdaptationController requires a fitted ensemble"
+        );
+        let window = live.model_config().window;
+        assert!(
+            cfg.min_observations > window,
+            "min_observations {} must exceed the model window {window}",
+            cfg.min_observations
+        );
+        assert!(
+            cfg.reservoir_capacity >= cfg.min_observations,
+            "reservoir capacity {} below min_observations {}",
+            cfg.reservoir_capacity,
+            cfg.min_observations
+        );
+        let monitor =
+            DriftMonitor::from_baseline_scores(baseline_scores, cfg.ewma_alpha, cfg.band_sigma);
+        let reservoir = ObservationReservoir::new(live.model_config().dim, cfg.reservoir_capacity);
+        AdaptationController {
+            cfg,
+            reservoir,
+            monitor,
+            worker: None,
+            stats: AdaptationStats::default(),
+            observed: 0,
+            last_refit_at: None,
+            was_drifted: false,
+            last_checkpoint_error: None,
+        }
+    }
+
+    /// The drift monitor (band, EWMA, counters).
+    pub fn monitor(&self) -> &DriftMonitor {
+        &self.monitor
+    }
+
+    /// The re-fit reservoir.
+    pub fn reservoir(&self) -> &ObservationReservoir {
+        &self.reservoir
+    }
+
+    /// Operational counters.
+    pub fn stats(&self) -> &AdaptationStats {
+        &self.stats
+    }
+
+    /// Whether a background re-fit is currently running.
+    pub fn refit_in_progress(&self) -> bool {
+        self.worker.is_some()
+    }
+
+    /// Why the most recent checkpoint write failed, if it did.
+    pub fn last_checkpoint_error(&self) -> Option<&str> {
+        self.last_checkpoint_error.as_deref()
+    }
+
+    /// Feeds one scored observation: the raw observation goes into the
+    /// reservoir, the score into the drift monitor. When the monitor
+    /// trips (and the reservoir is deep enough, no re-fit is running, and
+    /// the cooldown has passed) a background warm re-fit of `live` is
+    /// launched. Returns `true` when this call started a re-fit.
+    ///
+    /// `live` is the fleet's serving ensemble
+    /// ([`FleetDetector::ensemble`](../cae_serve/struct.FleetDetector.html#method.ensemble));
+    /// the snapshot is an `Arc` clone, so launching costs no parameter
+    /// copies and the re-fit reads the exact generation that produced the
+    /// observed scores.
+    pub fn observe(&mut self, live: &Arc<CaeEnsemble>, observation: &[f32], score: f32) -> bool {
+        self.reservoir.push(observation);
+        self.observed += 1;
+        let drifted = self.monitor.observe(score);
+        if drifted && !self.was_drifted {
+            self.stats.drift_trips += 1;
+        }
+        self.was_drifted = drifted;
+
+        let cooled = match self.last_refit_at {
+            None => true,
+            Some(at) => self.observed.saturating_sub(at) >= self.cfg.cooldown,
+        };
+        if !(drifted
+            && cooled
+            && self.worker.is_none()
+            && self.reservoir.len() >= self.cfg.min_observations)
+        {
+            return false;
+        }
+
+        let snapshot = Arc::clone(live);
+        let recent = self.reservoir.series();
+        let opts = self.cfg.refit.clone();
+        let checkpoint_path = self.cfg.checkpoint_path.clone();
+        let handle = std::thread::Builder::new()
+            .name("cae-adapt-refit".to_string())
+            .spawn(move || {
+                let adapted = snapshot.refit(&recent, &opts);
+                // Score the reservoir and write the checkpoint while
+                // still off the serving thread: poll() then publishes
+                // without paying inference or disk I/O between ticks.
+                // `save` stages into a temp file and renames, so a crash
+                // mid-write can never destroy the previous checkpoint.
+                let baseline = adapted.score(&recent);
+                let checkpoint =
+                    checkpoint_path.map(|path| adapted.save(&path).map_err(|e| e.to_string()));
+                (adapted, baseline, checkpoint)
+            })
+            .expect("failed to spawn the re-fit thread");
+        self.worker = Some(handle);
+        self.stats.refits_started += 1;
+        self.last_refit_at = Some(self.observed);
+        true
+    }
+
+    /// Non-blocking publish check: returns the adapted ensemble once the
+    /// background re-fit has finished — checkpointed (if configured) and
+    /// ready for [`FleetDetector::swap_ensemble`](../cae_serve/struct.FleetDetector.html#method.swap_ensemble)
+    /// — or `None` while it is still training (or none is running). The
+    /// drift band is re-calibrated to the adapted model on publish.
+    pub fn poll(&mut self) -> Option<Arc<CaeEnsemble>> {
+        if self.worker.as_ref().is_none_or(|w| !w.is_finished()) {
+            return None;
+        }
+        self.finish()
+    }
+
+    /// Blocking variant of [`AdaptationController::poll`]: joins the
+    /// running re-fit, if any. Intended for tests and drain-on-shutdown;
+    /// a serving loop should poll.
+    pub fn wait(&mut self) -> Option<Arc<CaeEnsemble>> {
+        self.worker.as_ref()?;
+        self.finish()
+    }
+
+    fn finish(&mut self) -> Option<Arc<CaeEnsemble>> {
+        let handle = self.worker.take().expect("caller checked a worker exists");
+        match handle.join() {
+            Ok((adapted, baseline, checkpoint)) => {
+                self.stats.refits_completed += 1;
+                // The worker already wrote the checkpoint (off the
+                // serving thread); a failed write is recorded but does
+                // not block the in-memory publish.
+                match checkpoint {
+                    Some(Ok(())) => {
+                        self.stats.checkpoints_written += 1;
+                        self.last_checkpoint_error = None;
+                    }
+                    Some(Err(e)) => self.last_checkpoint_error = Some(e),
+                    None => {}
+                }
+                // Re-calibrate the drift band to the adapted model,
+                // ignoring non-finite scores. An adapted model that
+                // produced *no* finite score on its own training
+                // reservoir has diverged outright — publishing it would
+                // replace a working model with one that emits NaN for
+                // every stream, and since the monitor ignores non-finite
+                // scores it could never accumulate evidence against it.
+                // Treat that as a failed re-fit instead.
+                let finite: Vec<f32> = baseline.into_iter().filter(|s| s.is_finite()).collect();
+                if finite.is_empty() {
+                    self.stats.refits_completed -= 1;
+                    self.stats.refits_failed += 1;
+                    return None;
+                }
+                self.monitor.rebaseline(&finite);
+                self.was_drifted = false;
+                Some(Arc::new(adapted))
+            }
+            Err(_) => {
+                self.stats.refits_failed += 1;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cae_core::{CaeConfig, EnsembleConfig};
+    use cae_data::{Detector, TimeSeries};
+    use cae_serve::FleetDetector;
+
+    /// The drift-experiment signal family (see `cae-core`'s refit tests):
+    /// two superimposed sinusoids, scaled and shifted.
+    fn drift_wave(t: usize, f1: f32, scale: f32, level: f32) -> f32 {
+        scale * ((t as f32 * f1).sin() + 0.5 * (t as f32 * 0.07).sin() + level)
+    }
+
+    fn trained_on_regime_a() -> Arc<CaeEnsemble> {
+        let train =
+            TimeSeries::univariate((0..400).map(|t| drift_wave(t, 0.25, 1.0, 0.0)).collect());
+        let mc = CaeConfig::new(1).embed_dim(8).window(8).layers(1);
+        let ec = EnsembleConfig::new()
+            .num_models(2)
+            .epochs_per_model(3)
+            .batch_size(16)
+            .train_stride(2)
+            .seed(41);
+        let mut ens = CaeEnsemble::new(mc, ec);
+        ens.fit(&train);
+        Arc::new(ens)
+    }
+
+    fn small_cfg() -> AdaptationConfig {
+        AdaptationConfig::new()
+            .reservoir_capacity(160)
+            .min_observations(120)
+            .ewma_alpha(0.1)
+            .band_sigma(4.0)
+            .cooldown(200)
+            .refit(RefitOptions::warm(3, 7))
+    }
+
+    #[test]
+    fn healthy_scores_never_start_a_refit() {
+        let live = trained_on_regime_a();
+        let healthy =
+            TimeSeries::univariate((0..200).map(|t| drift_wave(t, 0.25, 1.0, 0.0)).collect());
+        let baseline = live.score(&healthy);
+        let mut ctl = AdaptationController::new(&live, &baseline, small_cfg());
+
+        let mut stream = cae_core::StreamingDetector::new(&live);
+        for t in 0..200 {
+            let obs = [drift_wave(t, 0.25, 1.0, 0.0)];
+            if let Some(score) = stream.push(&obs) {
+                assert!(!ctl.observe(&live, &obs, score), "refit started at t={t}");
+            }
+        }
+        assert!(!ctl.refit_in_progress());
+        assert_eq!(ctl.stats().refits_started, 0);
+        assert_eq!(ctl.stats().drift_trips, 0);
+        assert!(ctl.poll().is_none());
+        assert!(ctl.wait().is_none());
+    }
+
+    /// Drives the full loop — serve, drift, background re-fit, hot swap —
+    /// and returns the controller, fleet and published ensemble.
+    fn run_drift_loop(
+        cfg: AdaptationConfig,
+    ) -> (AdaptationController, FleetDetector, Arc<CaeEnsemble>) {
+        let live = trained_on_regime_a();
+        let healthy =
+            TimeSeries::univariate((0..200).map(|t| drift_wave(t, 0.25, 1.0, 0.0)).collect());
+        let baseline = live.score(&healthy);
+        let mut fleet = FleetDetector::new(live.clone());
+        let id = fleet.add_stream();
+        let mut ctl = AdaptationController::new(fleet.ensemble(), &baseline, cfg);
+
+        let mut out = Vec::new();
+        let mut started = false;
+        for t in 0..400 {
+            // Drifted regime from the start of the loop.
+            let obs = [drift_wave(t, 0.29, 1.2, 0.3)];
+            fleet.push(id, &obs);
+            fleet.tick(&mut out);
+            // Serving never misses a tick while the re-fit runs in the
+            // background.
+            if t >= fleet.window() - 1 {
+                assert_eq!(out.len(), 1, "missed tick at t={t}");
+            }
+            for &(_, score) in &out {
+                started |= ctl.observe(fleet.ensemble(), &obs, score);
+            }
+            if started {
+                break;
+            }
+        }
+        assert!(started, "drift never tripped a re-fit");
+        assert!(ctl.refit_in_progress());
+
+        // Keep serving while the re-fit trains, then drain it.
+        let mut t = 400;
+        let adapted = loop {
+            let obs = [drift_wave(t, 0.29, 1.2, 0.3)];
+            fleet.push(id, &obs);
+            fleet.tick(&mut out);
+            assert_eq!(out.len(), 1, "missed tick at t={t}");
+            t += 1;
+            if let Some(adapted) = if t < 420 { ctl.poll() } else { ctl.wait() } {
+                break adapted;
+            }
+        };
+        fleet.swap_ensemble(adapted.clone());
+        (ctl, fleet, adapted)
+    }
+
+    #[test]
+    fn drift_starts_a_background_refit_and_publishes_a_swap() {
+        let (ctl, fleet, adapted) = run_drift_loop(small_cfg());
+        assert_eq!(ctl.stats().refits_started, 1);
+        assert_eq!(ctl.stats().refits_completed, 1);
+        assert_eq!(ctl.stats().refits_failed, 0);
+        assert!(ctl.stats().drift_trips >= 1);
+        assert!(!ctl.refit_in_progress());
+        assert_eq!(fleet.swap_count(), 1);
+        assert_eq!(fleet.model_generation(), 1);
+        assert!(Arc::ptr_eq(fleet.ensemble(), &adapted));
+
+        // The published model reconstructs the drifted regime better than
+        // the one it replaced.
+        let drifted =
+            TimeSeries::univariate((0..160).map(|t| drift_wave(t, 0.29, 1.2, 0.3)).collect());
+        let mean = |s: &[f32]| s.iter().sum::<f32>() / s.len() as f32;
+        let stale = mean(&fleet.retired_ensemble().expect("one swap").score(&drifted));
+        let fresh = mean(&adapted.score(&drifted));
+        assert!(
+            fresh < stale,
+            "adapted mean score {fresh} not below stale {stale}"
+        );
+
+        // The drift band was re-calibrated to the adapted model: its own
+        // scores on the drifted regime sit inside the new band.
+        let mut ctl = ctl;
+        let mut tripped = false;
+        for &s in &adapted.score(&drifted) {
+            tripped |= ctl.observe(fleet.ensemble(), &[0.0], s);
+        }
+        assert!(!tripped, "re-baselined monitor tripped on healthy scores");
+    }
+
+    #[test]
+    fn published_checkpoint_loads_bit_identically() {
+        let path =
+            std::env::temp_dir().join(format!("cae_adapt_checkpoint_{}.caee", std::process::id()));
+        let (ctl, _fleet, adapted) = run_drift_loop(small_cfg().checkpoint_path(&path));
+        assert_eq!(ctl.stats().checkpoints_written, 1);
+        assert!(ctl.last_checkpoint_error().is_none());
+        let loaded = CaeEnsemble::load(&path).expect("published checkpoint loads");
+        let _ = std::fs::remove_file(&path);
+        let probe =
+            TimeSeries::univariate((0..120).map(|t| drift_wave(t, 0.29, 1.2, 0.3)).collect());
+        assert_eq!(
+            loaded.score(&probe),
+            adapted.score(&probe),
+            "checkpoint must round-trip the published ensemble bit-exactly"
+        );
+    }
+
+    #[test]
+    fn cooldown_blocks_back_to_back_refits() {
+        let live = trained_on_regime_a();
+        let baseline = vec![0.01; 64]; // tiny band: everything drifts
+        let mut ctl = AdaptationController::new(
+            &live,
+            &baseline,
+            small_cfg().cooldown(10_000).refit(RefitOptions::warm(1, 7)),
+        );
+        // Saturate the reservoir with drifted data and trip a refit.
+        let mut started = 0;
+        for t in 0..160 {
+            let obs = [drift_wave(t, 0.29, 1.2, 0.3)];
+            if ctl.observe(&live, &obs, 10.0) {
+                started += 1;
+            }
+        }
+        assert_eq!(started, 1, "exactly one refit within the cooldown");
+        ctl.wait();
+        // Still cooling down: persistent drift must not restart.
+        for t in 0..160 {
+            let obs = [drift_wave(t, 0.29, 1.2, 0.3)];
+            assert!(!ctl.observe(&live, &obs, 10.0), "restarted during cooldown");
+        }
+        assert_eq!(ctl.stats().refits_started, 1);
+    }
+
+    #[test]
+    fn min_observations_gate_refits() {
+        let live = trained_on_regime_a();
+        let baseline = vec![0.01; 64];
+        let mut ctl = AdaptationController::new(&live, &baseline, small_cfg());
+        for t in 0..119 {
+            // One below min_observations (120): never starts.
+            let obs = [drift_wave(t, 0.29, 1.2, 0.3)];
+            assert!(!ctl.observe(&live, &obs, 10.0), "started at t={t}");
+        }
+        assert!(ctl.observe(&live, &[0.0], 10.0), "must start at the gate");
+        ctl.wait();
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed the model window")]
+    fn rejects_min_observations_below_window() {
+        let live = trained_on_regime_a();
+        AdaptationController::new(&live, &[0.1], AdaptationConfig::new().min_observations(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a fitted ensemble")]
+    fn rejects_unfitted_ensemble() {
+        let live = Arc::new(CaeEnsemble::new(CaeConfig::new(1), EnsembleConfig::new()));
+        AdaptationController::new(&live, &[0.1], AdaptationConfig::new());
+    }
+}

@@ -24,6 +24,27 @@ pub struct ParamStore {
     slots: Vec<Slot>,
 }
 
+impl Clone for ParamStore {
+    /// Clones names and **values** only; the clone starts with zeroed
+    /// gradient accumulators. This is the warm-start path: a re-fit
+    /// snapshots a live member's parameters and trains the copy, so
+    /// carrying the original's half-accumulated gradients over would be a
+    /// bug, not a feature.
+    fn clone(&self) -> Self {
+        ParamStore {
+            slots: self
+                .slots
+                .iter()
+                .map(|s| Slot {
+                    name: s.name.clone(),
+                    value: s.value.clone(),
+                    grad: Tensor::zeros(s.grad.dims()),
+                })
+                .collect(),
+        }
+    }
+}
+
 impl std::fmt::Debug for ParamStore {
     /// Names and shapes only — a store holds thousands of scalars.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -302,6 +323,19 @@ mod tests {
         let mut store = ParamStore::new();
         let w = store.register("w", Tensor::zeros(&[2]));
         store.set_value(w, Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn clone_copies_values_but_zeroes_grads() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        store.accumulate_grad(w, &Tensor::ones(&[2]));
+        let copy = store.clone();
+        assert_eq!(copy.len(), 1);
+        assert_eq!(copy.name(w), "w");
+        assert_eq!(copy.value(w).data(), &[1.0, 2.0]);
+        assert_eq!(copy.grad(w).data(), &[0.0, 0.0], "clone starts clean");
+        assert_eq!(store.grad(w).data(), &[1.0, 1.0], "original untouched");
     }
 
     #[test]

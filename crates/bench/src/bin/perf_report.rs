@@ -385,7 +385,8 @@ fn main() {
         },
     ));
 
-    let mut fleet = FleetDetector::new(&ens);
+    let ens = std::sync::Arc::new(ens);
+    let mut fleet = FleetDetector::new(ens.clone());
     let ids: Vec<StreamId> = (0..FLEET_STREAMS).map(|_| fleet.add_stream()).collect();
     let mut out = Vec::new();
     let mut ft = 0usize;
@@ -411,6 +412,30 @@ fn main() {
             std::hint::black_box(out.len());
         },
     ));
+
+    // --- Online adaptation: warm re-fit and hot swap ---------------------
+    // refit_warm is the background-thread workload of `cae-adapt`: a
+    // one-epoch warm-started re-fit of the live 5-member ensemble on a
+    // 240-observation reservoir, diversity term anchored to the live
+    // ensemble. ensemble_swap is the publish step — a generation-tagged
+    // Arc pointer exchange on the serving fleet. Timing it pins the
+    // "swap never blocks a tick" property: regressions that sneak real
+    // work into the swap path show up as orders of magnitude, not
+    // percent.
+    let recent = sine_series(4, 240);
+    results.push(bench(
+        "refit_warm",
+        "5 members, 240 obs",
+        ens_budget,
+        || {
+            std::hint::black_box(ens.refit_warm(&recent, 1, HARNESS_SEED));
+        },
+    ));
+
+    let next = std::sync::Arc::new(ens.refit_warm(&recent, 1, HARNESS_SEED));
+    results.push(bench("ensemble_swap", "64 streams", budget, || {
+        std::hint::black_box(fleet.swap_ensemble(next.clone()));
+    }));
 
     // The serving headline: per-observation throughput of the batched
     // fleet path relative to per-stream pushes over the same 64 streams.

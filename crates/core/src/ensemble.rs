@@ -18,6 +18,56 @@ use std::path::Path;
 /// than the training batch).
 const INFERENCE_BATCH: usize = 64;
 
+/// Options controlling [`CaeEnsemble::refit`] — the online-adaptation
+/// re-training of an already-fitted ensemble on recent observations.
+#[derive(Clone, Debug)]
+pub struct RefitOptions {
+    /// Training epochs per member (early stopping still applies when
+    /// `EnsembleConfig::early_stop_rel_tol` is non-zero).
+    pub epochs: usize,
+    /// Warm start: each new member begins from the **current parameters**
+    /// of the corresponding live member — the paper's parameter-transfer
+    /// trick (Figure 9) applied across time instead of across members —
+    /// rather than a fresh Xavier initialization.
+    pub warm_start: bool,
+    /// Fold the recent series into the scaler's running statistics via
+    /// [`Scaler::partial_fit`] before scaling; `false` keeps the serving
+    /// scaler bit-identical.
+    ///
+    /// Only applies to scalers that carry accumulator history
+    /// (`Scaler::observations() > 0`). A checkpoint-loaded scaler has
+    /// none — the sample count is not persisted — so a partial fit would
+    /// *replace* the training statistics with reservoir-only ones
+    /// instead of merging; to keep adaptation deterministic across a
+    /// checkpoint round trip, such scalers stay frozen.
+    pub update_scaler: bool,
+    /// RNG seed for batch shuffling and denoising noise (and for
+    /// initialization plus transfer masks when `warm_start` is off).
+    pub seed: u64,
+}
+
+impl RefitOptions {
+    /// Warm-started re-fit with scaler update — the adaptation default.
+    pub fn warm(epochs: usize, seed: u64) -> Self {
+        RefitOptions {
+            epochs,
+            warm_start: true,
+            update_scaler: true,
+            seed,
+        }
+    }
+
+    /// Cold re-fit (fresh Xavier init, offline-style member chain) on the
+    /// same data and scaler policy — the comparison baseline warm-start
+    /// adaptation is measured against.
+    pub fn cold(epochs: usize, seed: u64) -> Self {
+        RefitOptions {
+            warm_start: false,
+            ..Self::warm(epochs, seed)
+        }
+    }
+}
+
 /// The CAE-Ensemble detector.
 ///
 /// Basic models are generated **sequentially**: model `m+1` starts from a
@@ -26,6 +76,7 @@ const INFERENCE_BATCH: usize = 64;
 /// measures the distance to the running ensemble output `F(X)` (Eq. 8).
 /// Final outlier scores are per-observation **medians** across members
 /// (Eq. 15), assembled per the window protocol of Figure 10.
+#[derive(Clone)]
 pub struct CaeEnsemble {
     model_cfg: CaeConfig,
     cfg: EnsembleConfig,
@@ -99,6 +150,132 @@ impl CaeEnsemble {
             data.extend_from_slice(&series.data()[s * d..(s + w) * d]);
         }
         Tensor::from_vec(data, &[starts.len(), w, d])
+    }
+
+    /// Trains one member in place on the windows of `scaled` listed by
+    /// `starts`, optionally against a diversity anchor.
+    ///
+    /// `anchor` is the ensemble output `F(X)` (Eq. 8) as a flat
+    /// `(n_win × w × recon_dim)` buffer indexed by window position:
+    /// `Some` enables the diversity-driven objective `J − λK` (Eq. 13)
+    /// with the per-batch `λ` clamp, `None` trains on plain
+    /// reconstruction. This is the single training loop behind both
+    /// [`Detector::fit`] (anchor = running mean over previously trained
+    /// members) and [`CaeEnsemble::refit`] (anchor seeded with the live
+    /// ensemble's output); `fit` drives it with the exact RNG consumption
+    /// order of earlier releases, so fixed-seed training remains
+    /// bit-reproducible.
+    #[allow(clippy::too_many_arguments)]
+    fn train_member(
+        cfg: &EnsembleConfig,
+        model: &Cae,
+        store: &mut ParamStore,
+        scaled: &TimeSeries,
+        starts: &[usize],
+        anchor: Option<&[f32]>,
+        epochs: usize,
+        rng: &mut StdRng,
+        loss_trace: &mut Vec<(usize, usize, f32, f32)>,
+        member_index: usize,
+    ) {
+        let w = model.config().window;
+        let rd = model.config().recon_dim();
+        let n_win = starts.len();
+        let mut opt = Adam::new(store, cfg.learning_rate);
+        let mut order: Vec<usize> = (0..n_win).collect();
+        let mut prev_epoch_j = f32::INFINITY;
+        // One tape for the whole member: cleared per batch, its node
+        // storage cycles through the scratch pool instead of the
+        // allocator.
+        let mut tape = Tape::new();
+
+        for epoch in 0..epochs {
+            order.shuffle(rng);
+            let (mut j_sum, mut k_sum, mut batches) = (0.0f32, 0.0f32, 0usize);
+            for chunk in order.chunks(cfg.batch_size) {
+                let batch_starts: Vec<usize> = chunk.iter().map(|&i| starts[i]).collect();
+                let batch = Self::gather_windows(scaled, &batch_starts, w);
+
+                tape.clear();
+                // Denoising training: corrupt the network input, keep
+                // the reconstruction target clean (see
+                // `EnsembleConfig::denoise_std`).
+                let (out, target) = if cfg.denoise_std > 0.0 {
+                    let noise = Tensor::rand_normal(batch.dims(), 0.0, cfg.denoise_std, rng);
+                    let noisy = batch.add(&noise);
+                    let out = model.forward(&mut tape, store, &noisy);
+                    let target = model.clean_target_tensor(&mut tape, store, &batch);
+                    noise.recycle();
+                    noisy.recycle();
+                    (out, target)
+                } else {
+                    let out = model.forward(&mut tape, store, &batch);
+                    let target = model.target_tensor(&tape, &out, &batch);
+                    (out, target)
+                };
+                let j = tape.mse_loss(out.recon, &target);
+                let j_val = tape.value(j).item();
+                batch.recycle();
+                target.recycle();
+
+                let mut k_val = 0.0f32;
+                let loss = if let Some(mean_recon) = anchor {
+                    // F(X) for this batch, from the anchor cache.
+                    let mut f = cae_tensor::scratch::take_zeroed(chunk.len() * w * rd);
+                    for (row, &i) in chunk.iter().enumerate() {
+                        f[row * w * rd..(row + 1) * w * rd]
+                            .copy_from_slice(&mean_recon[i * w * rd..(i + 1) * w * rd]);
+                    }
+                    let f = Tensor::from_vec(f, &[chunk.len(), w, rd]);
+                    let k = tape.mse_loss(out.recon, &f);
+                    k_val = tape.value(k).item();
+                    f.recycle();
+                    // Stability guard: the raw objective J − λK is
+                    // unbounded below (scaling all activations by α
+                    // multiplies both terms by α², so once λK > J the
+                    // model can diverge by inflating its outputs). The
+                    // effective weight is clamped per batch so the
+                    // reward never exceeds a λ-dependent share of J:
+                    // λ/(λ+4) saturates toward 1, so larger λ yields
+                    // stronger diversity pressure (the Figure 14
+                    // sweep), while accuracy always dominates the
+                    // objective.
+                    let lambda_eff = if k_val > 0.0 {
+                        let saturation = cfg.lambda / (cfg.lambda + 4.0);
+                        let bound = saturation * cfg.diversity_cap * j_val.max(1e-6) / k_val;
+                        cfg.lambda.min(bound)
+                    } else {
+                        cfg.lambda
+                    };
+                    let neg_k = tape.mul_scalar(k, -lambda_eff);
+                    tape.add(j, neg_k)
+                } else {
+                    j
+                };
+
+                tape.backward(loss);
+                tape.accumulate_param_grads(store);
+                store.clip_grad_norm(cfg.grad_clip);
+                opt.step(store);
+
+                j_sum += j_val;
+                k_sum += k_val;
+                batches += 1;
+            }
+            let b = batches.max(1) as f32;
+            let epoch_j = j_sum / b;
+            loss_trace.push((member_index, epoch, epoch_j, k_sum / b));
+
+            // Early stopping: warm-started members plateau quickly
+            // (see `EnsembleConfig::early_stop_rel_tol`).
+            if cfg.early_stop_rel_tol > 0.0
+                && epoch > 0
+                && prev_epoch_j - epoch_j < cfg.early_stop_rel_tol * prev_epoch_j
+            {
+                break;
+            }
+            prev_epoch_j = epoch_j;
+        }
     }
 
     /// Reconstruction of every listed window under one member, flattened
@@ -261,6 +438,158 @@ impl CaeEnsemble {
         Ok(Self::from_loaded_parts(model_cfg, cfg, scaler, members))
     }
 
+    /// Warm-started re-fit on recent observations: the online-adaptation
+    /// path. Equivalent to [`CaeEnsemble::refit`] with
+    /// [`RefitOptions::warm`].
+    ///
+    /// The live ensemble is untouched (`&self`); the returned ensemble is
+    /// the adapted replacement, ready to be checkpointed and hot-swapped
+    /// into a fleet. Safe to call from a background thread while the
+    /// original keeps serving.
+    pub fn refit_warm(&self, recent: &TimeSeries, epochs: usize, seed: u64) -> CaeEnsemble {
+        self.refit(recent, &RefitOptions::warm(epochs, seed))
+    }
+
+    /// Re-trains every member on `recent` — typically the drift
+    /// reservoir's unrolled ring (see `cae_data::ObservationReservoir`) —
+    /// and returns the adapted ensemble without touching the live one.
+    ///
+    /// With [`RefitOptions::warm_start`] each new member begins from the
+    /// corresponding live member's current parameters, the paper's
+    /// parameter-transfer trick (Figure 9) applied across time: most of
+    /// what the model knows about the signal family survives the drift,
+    /// so far fewer epochs are needed than a cold re-fit from Xavier
+    /// init. The diversity term stays active, **anchored to the live
+    /// ensemble**: the anchor `F(X)` (Eq. 8) starts as the deployed
+    /// members' mean reconstruction of the recent windows and folds in
+    /// each freshly re-fit member, so adaptation cannot collapse the
+    /// ensemble onto a single post-drift solution.
+    ///
+    /// A cold re-fit ([`RefitOptions::cold`]) runs the offline `fit`
+    /// member chain (fresh init + inter-member transfer, running-mean
+    /// anchor) on the same windows and scaler policy — the controlled
+    /// baseline that warm-start adaptation is measured against.
+    pub fn refit(&self, recent: &TimeSeries, opts: &RefitOptions) -> CaeEnsemble {
+        assert!(!self.members.is_empty(), "refit() before fit()");
+        assert!(opts.epochs >= 1, "refit needs at least one epoch");
+        assert_eq!(
+            recent.dim(),
+            self.model_cfg.dim,
+            "recent series dim {} != configured {}",
+            recent.dim(),
+            self.model_cfg.dim
+        );
+        let w = self.model_cfg.window;
+        assert!(
+            recent.len() > w,
+            "recent series ({} observations) shorter than window + 1 ({})",
+            recent.len(),
+            w + 1
+        );
+
+        // Scaler: fold the recent regime into the running statistics
+        // (Welford partial fit), or keep the serving scaler bit-identical.
+        // History-less scalers (checkpoint-loaded; the sample count is not
+        // persisted) stay frozen even with `update_scaler` — a partial fit
+        // would replace the training statistics with reservoir-only ones
+        // instead of merging (see `RefitOptions::update_scaler`).
+        let scaler = match (&self.scaler, opts.update_scaler) {
+            (Some(s), true) if s.observations() > 0 => {
+                let mut s = s.clone();
+                s.partial_fit(recent);
+                Some(s)
+            }
+            (s, _) => s.clone(),
+        };
+        let scaled = match &scaler {
+            Some(s) => s.transform(recent),
+            None => recent.clone(),
+        };
+
+        let starts: Vec<usize> = (0..=scaled.len() - w)
+            .step_by(self.cfg.train_stride)
+            .collect();
+        let n_win = starts.len();
+        let rd = self.model_cfg.recon_dim();
+
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut new = CaeEnsemble {
+            model_cfg: self.model_cfg.clone(),
+            cfg: self.cfg.clone(),
+            scaler,
+            members: Vec::with_capacity(self.members.len()),
+            loss_trace: Vec::new(),
+        };
+
+        // Diversity anchor F(X) over the recent windows. Warm start seeds
+        // it with the live ensemble's mean reconstruction (one
+        // pseudo-member); the cold baseline reproduces `fit` exactly: the
+        // anchor starts empty and member 0 trains on plain
+        // reconstruction. Either way each finished member folds in, so
+        // later members diversify against the re-fit ensemble as it
+        // grows.
+        let diverse = self.cfg.diversity_driven && self.members.len() > 1;
+        let mut mean_recon = vec![0.0f32; n_win * w * rd];
+        let mut anchored = 0usize;
+        if diverse && opts.warm_start {
+            let outputs: Vec<Vec<f32>> = par::map_indexed(self.members.len(), |m| {
+                let (model, store) = &self.members[m];
+                Self::reconstruct_all(model, store, &scaled, &starts)
+            });
+            let inv = 1.0 / outputs.len() as f32;
+            for recon in &outputs {
+                for (mean, &r) in mean_recon.iter_mut().zip(recon.iter()) {
+                    *mean += r * inv;
+                }
+            }
+            anchored = 1;
+        }
+
+        for m in 0..self.members.len() {
+            let (model, mut store) = if opts.warm_start {
+                let (live_model, live_store) = &self.members[m];
+                (live_model.clone(), live_store.clone())
+            } else {
+                let mut store = ParamStore::new();
+                let model = Cae::new(self.model_cfg.clone(), &mut store, &mut rng);
+                if diverse && m > 0 {
+                    let (_, prev_store) =
+                        new.members.last().expect("m > 0 implies a previous member");
+                    transfer_fraction(prev_store, &mut store, self.cfg.beta, &mut rng);
+                }
+                (model, store)
+            };
+            Self::train_member(
+                &self.cfg,
+                &model,
+                &mut store,
+                &scaled,
+                &starts,
+                (diverse && anchored > 0).then_some(mean_recon.as_slice()),
+                opts.epochs,
+                &mut rng,
+                &mut new.loss_trace,
+                m,
+            );
+
+            // Fold the re-fit member into the anchor — only while a later
+            // member will read it (with diversity off, or for the final
+            // member, the fold is a full inference pass nothing consumes).
+            if diverse && m + 1 < self.members.len() {
+                let recon = Self::reconstruct_all(&model, &store, &scaled, &starts);
+                let inv = 1.0 / (anchored + 1) as f32;
+                for (mean, &r) in mean_recon.iter_mut().zip(recon.iter()) {
+                    *mean += (r - *mean) * inv;
+                }
+                anchored += 1;
+            }
+
+            new.members.push((model, store));
+        }
+
+        new
+    }
+
     /// Reassembles an ensemble from decoded checkpoint parts (the loss
     /// trace is diagnostic state and is not persisted).
     pub(crate) fn from_loaded_parts(
@@ -333,110 +662,29 @@ impl Detector for CaeEnsemble {
                 let (_, prev_store) = members.last().expect("m > 0 implies a previous member");
                 transfer_fraction(prev_store, &mut store, self.cfg.beta, &mut rng);
             }
-            let mut opt = Adam::new(&store, self.cfg.learning_rate);
-            let mut order: Vec<usize> = (0..n_win).collect();
-            let mut prev_epoch_j = f32::INFINITY;
-            // One tape for the whole member: cleared per batch, its node
-            // storage cycles through the scratch pool instead of the
-            // allocator.
-            let mut tape = Tape::new();
-
-            for epoch in 0..self.cfg.epochs_per_model {
-                order.shuffle(&mut rng);
-                let (mut j_sum, mut k_sum, mut batches) = (0.0f32, 0.0f32, 0usize);
-                for chunk in order.chunks(self.cfg.batch_size) {
-                    let batch_starts: Vec<usize> = chunk.iter().map(|&i| starts[i]).collect();
-                    let batch = Self::gather_windows(&scaled, &batch_starts, w);
-
-                    tape.clear();
-                    // Denoising training: corrupt the network input, keep
-                    // the reconstruction target clean (see
-                    // `EnsembleConfig::denoise_std`).
-                    let (out, target) = if self.cfg.denoise_std > 0.0 {
-                        let noise =
-                            Tensor::rand_normal(batch.dims(), 0.0, self.cfg.denoise_std, &mut rng);
-                        let noisy = batch.add(&noise);
-                        let out = model.forward(&mut tape, &store, &noisy);
-                        let target = model.clean_target_tensor(&mut tape, &store, &batch);
-                        noise.recycle();
-                        noisy.recycle();
-                        (out, target)
-                    } else {
-                        let out = model.forward(&mut tape, &store, &batch);
-                        let target = model.target_tensor(&tape, &out, &batch);
-                        (out, target)
-                    };
-                    let j = tape.mse_loss(out.recon, &target);
-                    let j_val = tape.value(j).item();
-                    batch.recycle();
-                    target.recycle();
-
-                    let mut k_val = 0.0f32;
-                    let loss = if diverse {
-                        // F(X) for this batch, from the running-mean cache.
-                        let mut f = cae_tensor::scratch::take_zeroed(chunk.len() * w * rd);
-                        for (row, &i) in chunk.iter().enumerate() {
-                            f[row * w * rd..(row + 1) * w * rd]
-                                .copy_from_slice(&mean_recon[i * w * rd..(i + 1) * w * rd]);
-                        }
-                        let f = Tensor::from_vec(f, &[chunk.len(), w, rd]);
-                        let k = tape.mse_loss(out.recon, &f);
-                        k_val = tape.value(k).item();
-                        f.recycle();
-                        // Stability guard: the raw objective J − λK is
-                        // unbounded below (scaling all activations by α
-                        // multiplies both terms by α², so once λK > J the
-                        // model can diverge by inflating its outputs). The
-                        // effective weight is clamped per batch so the
-                        // reward never exceeds a λ-dependent share of J:
-                        // λ/(λ+4) saturates toward 1, so larger λ yields
-                        // stronger diversity pressure (the Figure 14
-                        // sweep), while accuracy always dominates the
-                        // objective.
-                        let lambda_eff = if k_val > 0.0 {
-                            let saturation = self.cfg.lambda / (self.cfg.lambda + 4.0);
-                            let bound =
-                                saturation * self.cfg.diversity_cap * j_val.max(1e-6) / k_val;
-                            self.cfg.lambda.min(bound)
-                        } else {
-                            self.cfg.lambda
-                        };
-                        let neg_k = tape.mul_scalar(k, -lambda_eff);
-                        tape.add(j, neg_k)
-                    } else {
-                        j
-                    };
-
-                    tape.backward(loss);
-                    tape.accumulate_param_grads(&mut store);
-                    store.clip_grad_norm(self.cfg.grad_clip);
-                    opt.step(&mut store);
-
-                    j_sum += j_val;
-                    k_sum += k_val;
-                    batches += 1;
-                }
-                let b = batches.max(1) as f32;
-                let epoch_j = j_sum / b;
-                self.loss_trace.push((m, epoch, epoch_j, k_sum / b));
-
-                // Early stopping: warm-started members plateau quickly
-                // (see `EnsembleConfig::early_stop_rel_tol`).
-                if self.cfg.early_stop_rel_tol > 0.0
-                    && epoch > 0
-                    && prev_epoch_j - epoch_j < self.cfg.early_stop_rel_tol * prev_epoch_j
-                {
-                    break;
-                }
-                prev_epoch_j = epoch_j;
-            }
+            Self::train_member(
+                &self.cfg,
+                &model,
+                &mut store,
+                &scaled,
+                &starts,
+                diverse.then_some(mean_recon.as_slice()),
+                self.cfg.epochs_per_model,
+                &mut rng,
+                &mut self.loss_trace,
+                m,
+            );
 
             // Fold this member's reconstructions into the running mean
-            // F ← (m·F + f_m) / (m+1).
-            let recon = Self::reconstruct_all(&model, &store, &scaled, &starts);
-            let inv = 1.0 / (m + 1) as f32;
-            for (mean, &r) in mean_recon.iter_mut().zip(recon.iter()) {
-                *mean += (r - *mean) * inv;
+            // F ← (m·F + f_m) / (m+1) — only while a later member will
+            // read the anchor: with diversity off (or for the final
+            // member) the fold is a full inference pass nothing consumes.
+            if self.cfg.diversity_driven && m + 1 < self.cfg.num_models {
+                let recon = Self::reconstruct_all(&model, &store, &scaled, &starts);
+                let inv = 1.0 / (m + 1) as f32;
+                for (mean, &r) in mean_recon.iter_mut().zip(recon.iter()) {
+                    *mean += (r - *mean) * inv;
+                }
             }
 
             members.push((model, store));
@@ -590,5 +838,210 @@ mod tests {
         let (mc, ec) = tiny_configs(1);
         let ens = CaeEnsemble::new(mc, ec);
         ens.score(&sine_series(50, 1));
+    }
+
+    // ------------------------------------------------------------------
+    // Online adaptation: refit / refit_warm
+    // ------------------------------------------------------------------
+
+    /// A univariate regime `amp · sin(freq · t) + level`.
+    fn regime(len: usize, freq: f32, amp: f32, level: f32) -> TimeSeries {
+        TimeSeries::univariate(
+            (0..len)
+                .map(|t| amp * (t as f32 * freq).sin() + level)
+                .collect(),
+        )
+    }
+
+    /// The two-frequency signal family of the drift experiments:
+    /// `sin(f₁·t) + 0.5·sin(0.07·t)`, scaled and shifted.
+    fn drift_wave(t: usize, f1: f32, scale: f32, level: f32) -> f32 {
+        scale * ((t as f32 * f1).sin() + 0.5 * (t as f32 * 0.07).sin() + level)
+    }
+
+    fn drifted_setup() -> (CaeEnsemble, TimeSeries) {
+        let train =
+            TimeSeries::univariate((0..400).map(|t| drift_wave(t, 0.25, 1.0, 0.0)).collect());
+        // Deep enough that re-learning the stack from scratch genuinely
+        // costs epochs — the regime parameter transfer is supposed to
+        // save.
+        let mc = CaeConfig::new(1).embed_dim(12).window(12).layers(2);
+        let ec = EnsembleConfig::new()
+            .num_models(3)
+            .epochs_per_model(4)
+            .batch_size(16)
+            .train_stride(2)
+            .seed(17);
+        let mut ens = CaeEnsemble::new(mc, ec);
+        ens.fit(&train);
+        // The drifted regime: faster primary frequency, larger amplitude,
+        // shifted level — related to, but off, the training distribution.
+        let recent =
+            TimeSeries::univariate((0..240).map(|t| drift_wave(t, 0.29, 1.2, 0.3)).collect());
+        (ens, recent)
+    }
+
+    /// Mean epoch-`e` reconstruction loss J across all members, from the
+    /// training trace.
+    fn mean_j_at_epoch(ens: &CaeEnsemble, epoch: usize) -> f32 {
+        let js: Vec<f32> = ens
+            .loss_trace()
+            .iter()
+            .filter(|&&(_, e, _, _)| e == epoch)
+            .map(|&(_, _, j, _)| j)
+            .collect();
+        assert!(!js.is_empty(), "no trace entries for epoch {epoch}");
+        js.iter().sum::<f32>() / js.len() as f32
+    }
+
+    #[test]
+    fn refit_warm_is_deterministic_and_leaves_the_live_ensemble_untouched() {
+        let (ens, recent) = drifted_setup();
+        let before = ens.score(&recent);
+        let a = ens.refit_warm(&recent, 2, 77);
+        let b = ens.refit_warm(&recent, 2, 77);
+        assert_eq!(a.num_members(), ens.num_members());
+        assert_eq!(a.score(&recent), b.score(&recent));
+        // `&self` re-fit: the serving ensemble still scores identically.
+        assert_eq!(ens.score(&recent), before);
+    }
+
+    #[test]
+    fn warm_refit_starts_near_the_live_parameters() {
+        let (ens, recent) = drifted_setup();
+        let warm = ens.refit(&recent, &RefitOptions::warm(1, 5));
+        let cold = ens.refit(&recent, &RefitOptions::cold(1, 5));
+        for m in 0..ens.num_members() {
+            let live = &ens.members_internal()[m].1;
+            let d_warm = live.param_distance_sq(&warm.members_internal()[m].1);
+            let d_cold = live.param_distance_sq(&cold.members_internal()[m].1);
+            assert!(
+                d_warm < d_cold,
+                "member {m}: warm distance {d_warm} not below cold {d_cold}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_refit_reaches_cold_final_loss_in_at_most_half_the_epochs() {
+        // The acceptance criterion of the adaptation subsystem: on drifted
+        // data, the warm-started re-fit must reach the loss a cold re-fit
+        // ends at in ≤ 50% of the cold epochs.
+        let (ens, recent) = drifted_setup();
+        let epochs = 10;
+        let cold = ens.refit(&recent, &RefitOptions::cold(epochs, 99));
+        let warm = ens.refit(&recent, &RefitOptions::warm(epochs, 99));
+        let cold_final = mean_j_at_epoch(&cold, epochs - 1);
+        let reached = (0..epochs).find(|&e| mean_j_at_epoch(&warm, e) <= cold_final);
+        let reached = reached.unwrap_or_else(|| {
+            panic!(
+                "warm re-fit never reached the cold final loss {cold_final} \
+                 (warm final {})",
+                mean_j_at_epoch(&warm, epochs - 1)
+            )
+        });
+        let used = reached + 1;
+        assert!(
+            used <= epochs / 2,
+            "warm re-fit needed {used} epochs to reach the cold final loss \
+             {cold_final}; budget was {}",
+            epochs / 2
+        );
+    }
+
+    #[test]
+    fn refit_adapts_scores_to_the_drifted_regime() {
+        let (ens, recent) = drifted_setup();
+        let adapted = ens.refit_warm(&recent, 6, 3);
+        let mean = |s: &[f32]| s.iter().sum::<f32>() / s.len() as f32;
+        let holdout =
+            TimeSeries::univariate((0..160).map(|t| drift_wave(t, 0.29, 1.2, 0.3)).collect());
+        let stale = mean(&ens.score(&holdout));
+        let fresh = mean(&adapted.score(&holdout));
+        assert!(
+            fresh < stale,
+            "adapted ensemble must reconstruct the drifted regime better: \
+             adapted mean score {fresh} vs stale {stale}"
+        );
+    }
+
+    #[test]
+    fn refit_scaler_policy_is_respected() {
+        let (ens, recent) = drifted_setup();
+        let live = ens.scaler().expect("rescale on");
+        let frozen = ens.refit(
+            &recent,
+            &RefitOptions {
+                update_scaler: false,
+                ..RefitOptions::warm(1, 4)
+            },
+        );
+        let f = frozen.scaler().expect("rescale on");
+        assert_eq!(f.mean(), live.mean());
+        assert_eq!(f.std(), live.std());
+
+        let updated = ens.refit(&recent, &RefitOptions::warm(1, 4));
+        let u = updated.scaler().expect("rescale on");
+        assert_eq!(
+            u.observations(),
+            live.observations() + recent.len() as u64,
+            "partial_fit must fold the recent observations in"
+        );
+        assert_ne!(u.mean(), live.mean(), "drifted level must move the mean");
+    }
+
+    #[test]
+    fn refit_keeps_a_checkpoint_loaded_scaler_frozen() {
+        // A loaded scaler has no accumulator history (the sample count is
+        // not persisted); partial_fit would *replace* its statistics with
+        // reservoir-only ones instead of merging. refit must keep it
+        // frozen so adaptation is deterministic across a checkpoint round
+        // trip.
+        let (ens, recent) = drifted_setup();
+        let path = std::env::temp_dir().join(format!(
+            "cae_refit_frozen_scaler_{}.caee",
+            std::process::id()
+        ));
+        ens.save(&path).expect("checkpoint write");
+        let loaded = CaeEnsemble::load(&path).expect("checkpoint read");
+        let _ = std::fs::remove_file(&path);
+        let before = loaded.scaler().expect("rescale on").clone();
+        assert_eq!(before.observations(), 0, "loaded scaler has no history");
+
+        let adapted = loaded.refit(&recent, &RefitOptions::warm(1, 4));
+        let after = adapted.scaler().expect("rescale on");
+        assert_eq!(
+            after.mean(),
+            before.mean(),
+            "loaded scaler must stay frozen"
+        );
+        assert_eq!(after.std(), before.std(), "loaded scaler must stay frozen");
+    }
+
+    #[test]
+    fn refit_works_without_rescaling() {
+        let train = regime(300, 0.3, 1.0, 0.0);
+        let (mc, ec) = tiny_configs(1);
+        let mut ens = CaeEnsemble::new(mc, ec.rescale(false));
+        ens.fit(&train);
+        assert!(ens.scaler().is_none());
+        let adapted = ens.refit_warm(&regime(200, 0.4, 1.2, 0.0), 1, 2);
+        assert!(adapted.scaler().is_none());
+        assert_eq!(adapted.num_members(), ens.num_members());
+    }
+
+    #[test]
+    #[should_panic(expected = "refit() before fit")]
+    fn refit_requires_fit() {
+        let (mc, ec) = tiny_configs(1);
+        let ens = CaeEnsemble::new(mc, ec);
+        ens.refit_warm(&sine_series(100, 1), 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than window")]
+    fn refit_rejects_short_series() {
+        let (ens, _) = drifted_setup();
+        ens.refit_warm(&sine_series(4, 1), 1, 0);
     }
 }

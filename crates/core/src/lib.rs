@@ -63,7 +63,7 @@ pub mod score;
 mod streaming;
 
 pub use config::{CaeConfig, EnsembleConfig, ReconstructionTarget};
-pub use ensemble::CaeEnsemble;
+pub use ensemble::{CaeEnsemble, RefitOptions};
 pub use hyper::{select_hyperparameters, HyperRanges, HyperSelection, TrialRecord};
 pub use model::Cae;
 pub use persist::PersistError;

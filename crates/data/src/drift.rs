@@ -1,0 +1,449 @@
+//! Drift detection primitives for online adaptation.
+//!
+//! The paper trains offline and scores online, so a deployed ensemble
+//! silently decays once the stream's regime drifts away from the training
+//! distribution. This module provides the two model-agnostic pieces the
+//! adaptation loop needs on the data side:
+//!
+//! * [`ObservationReservoir`] — a bounded ring of the most recent raw
+//!   observations, kept per fleet so a re-fit always has a contiguous
+//!   window of the *current* regime to train on;
+//! * [`DriftMonitor`] — an EWMA of the live outlier scores compared
+//!   against a baseline band calibrated on the trained model's own
+//!   scores. A drifted stream reconstructs persistently worse than the
+//!   band allows; isolated outliers do not move the EWMA far enough to
+//!   trip it.
+//!
+//! Neither type knows about models: scores come in as plain `f32`, data
+//! leaves as a [`TimeSeries`]. The adaptation controller (crate
+//! `cae-adapt`) wires them to the ensemble's re-fit and the fleet's hot
+//! swap.
+
+use crate::TimeSeries;
+
+/// Bounded ring buffer of the most recent raw observations of one fleet.
+///
+/// Observations are stored untransformed (no scaling), time-major, so the
+/// unrolled contents form a contiguous recent-history [`TimeSeries`] that
+/// re-fit can window exactly like an offline training series. Once full,
+/// each push overwrites the oldest observation; memory never grows past
+/// `capacity × dim` values.
+///
+/// For fleets whose streams share one regime, feeding every stream's
+/// observations into one reservoir pools the evidence; fleets with
+/// heterogeneous streams should keep a reservoir per representative
+/// stream so windows never straddle unrelated signals.
+#[derive(Clone, Debug)]
+pub struct ObservationReservoir {
+    dim: usize,
+    capacity: usize,
+    /// `capacity × dim` values; oldest observation at `head` once full.
+    ring: Vec<f32>,
+    /// Next observation slot to write, in `[0, capacity)`.
+    head: usize,
+    /// Observations buffered so far (saturates at `capacity`).
+    filled: usize,
+}
+
+impl ObservationReservoir {
+    /// A reservoir holding up to `capacity` observations of `dim`
+    /// dimensions.
+    pub fn new(dim: usize, capacity: usize) -> Self {
+        assert!(dim >= 1, "observation dimensionality must be at least 1");
+        assert!(capacity >= 1, "reservoir capacity must be at least 1");
+        ObservationReservoir {
+            dim,
+            capacity,
+            ring: vec![0.0; capacity * dim],
+            head: 0,
+            filled: 0,
+        }
+    }
+
+    /// Observation dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Maximum number of observations retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Observations currently buffered (saturates at the capacity).
+    pub fn len(&self) -> usize {
+        self.filled
+    }
+
+    /// Whether no observations are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+
+    /// Whether the ring holds `capacity` observations (the steady state).
+    pub fn is_full(&self) -> bool {
+        self.filled == self.capacity
+    }
+
+    /// Appends one observation, evicting the oldest when full.
+    ///
+    /// Non-finite observations (a NaN/Inf sensor reading) are dropped:
+    /// the reservoir is a future *training set*, and one NaN window
+    /// would poison the re-fit's loss and the scaler's running
+    /// statistics — producing an ensemble whose checkpoint could not
+    /// even be re-loaded (`Scaler::from_parts` rejects non-finite
+    /// statistics).
+    pub fn push(&mut self, observation: &[f32]) {
+        assert_eq!(
+            observation.len(),
+            self.dim,
+            "observation dim {} != reservoir dim {}",
+            observation.len(),
+            self.dim
+        );
+        if observation.iter().any(|v| !v.is_finite()) {
+            return;
+        }
+        let d = self.dim;
+        self.ring[self.head * d..(self.head + 1) * d].copy_from_slice(observation);
+        self.head = (self.head + 1) % self.capacity;
+        self.filled = (self.filled + 1).min(self.capacity);
+    }
+
+    /// Drops all buffered observations (capacity and storage retained).
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.filled = 0;
+    }
+
+    /// The buffered observations as a contiguous series in arrival order
+    /// (oldest first) — the training input for a re-fit.
+    pub fn series(&self) -> TimeSeries {
+        let d = self.dim;
+        let mut data = Vec::with_capacity(self.filled * d);
+        if self.is_full() {
+            data.extend_from_slice(&self.ring[self.head * d..]);
+            data.extend_from_slice(&self.ring[..self.head * d]);
+        } else {
+            data.extend_from_slice(&self.ring[..self.filled * d]);
+        }
+        TimeSeries::new(data, d)
+    }
+}
+
+/// EWMA drift statistic over live outlier scores, compared against a
+/// baseline band calibrated on the trained model's scores.
+///
+/// The trained ensemble defines what "normal reconstruction error" looks
+/// like: the mean `μ` and standard deviation `σ` of its scores on
+/// in-distribution data (typically the tail of the training series). The
+/// monitor keeps an exponentially weighted moving average of the live
+/// scores and reports drift once the EWMA leaves the band
+/// `μ + sigma_threshold · σ`. Because the EWMA averages over roughly
+/// `1/alpha` recent observations, isolated outliers — the very thing the
+/// detector exists to flag — barely move it, while a regime change lifts
+/// it persistently.
+#[derive(Clone, Debug)]
+pub struct DriftMonitor {
+    baseline_mean: f32,
+    baseline_std: f32,
+    alpha: f32,
+    sigma_threshold: f32,
+    ewma: Option<f32>,
+    observed: u64,
+}
+
+impl DriftMonitor {
+    /// A monitor with an explicit baseline band.
+    ///
+    /// `alpha` is the EWMA smoothing factor in `(0, 1]` (smaller = longer
+    /// memory, slower trip); `sigma_threshold` is the band half-width in
+    /// baseline standard deviations.
+    pub fn new(baseline_mean: f32, baseline_std: f32, alpha: f32, sigma_threshold: f32) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha {alpha} outside (0, 1]"
+        );
+        assert!(
+            sigma_threshold >= 0.0 && sigma_threshold.is_finite(),
+            "sigma threshold must be non-negative"
+        );
+        assert!(
+            baseline_mean.is_finite() && baseline_std.is_finite() && baseline_std >= 0.0,
+            "baseline band must be finite with non-negative spread"
+        );
+        DriftMonitor {
+            baseline_mean,
+            baseline_std,
+            alpha,
+            sigma_threshold,
+            ewma: None,
+            observed: 0,
+        }
+    }
+
+    /// Calibrates the baseline band from a trained model's scores on
+    /// in-distribution data.
+    ///
+    /// Non-finite scores are excluded from the calibration, consistent
+    /// with [`DriftMonitor::observe`] ignoring them at runtime — one NaN
+    /// in an otherwise healthy calibration stretch must not make the
+    /// band NaN. Panics only when **no** finite score remains.
+    pub fn from_baseline_scores(scores: &[f32], alpha: f32, sigma_threshold: f32) -> Self {
+        let finite: Vec<f64> = scores
+            .iter()
+            .filter(|s| s.is_finite())
+            .map(|&s| s as f64)
+            .collect();
+        assert!(
+            !finite.is_empty(),
+            "baseline calibration needs at least one finite score"
+        );
+        let n = finite.len() as f64;
+        let mean = finite.iter().sum::<f64>() / n;
+        let var = finite
+            .iter()
+            .map(|&s| {
+                let d = s - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        Self::new(mean as f32, var.sqrt() as f32, alpha, sigma_threshold)
+    }
+
+    /// Feeds one live score; returns whether the monitor now reports
+    /// drift (same as [`DriftMonitor::is_drifted`]).
+    ///
+    /// The EWMA starts from the baseline mean (the standard EWMA-chart
+    /// initialization `z₀ = μ₀`), so a single hot first score after
+    /// construction or a [`DriftMonitor::rebaseline`] cannot trip the
+    /// band by itself.
+    ///
+    /// Non-finite scores (a numerically diverged member can emit NaN or
+    /// infinite reconstruction errors) are ignored: folding one into the
+    /// EWMA would poison it permanently — NaN propagates through every
+    /// later update and compares false against the threshold, silently
+    /// disabling drift detection forever.
+    pub fn observe(&mut self, score: f32) -> bool {
+        self.observed += 1;
+        if score.is_finite() {
+            let prev = self.ewma.unwrap_or(self.baseline_mean);
+            self.ewma = Some(prev + self.alpha * (score - prev));
+        }
+        self.is_drifted()
+    }
+
+    /// Whether the score EWMA currently sits above the baseline band.
+    pub fn is_drifted(&self) -> bool {
+        matches!(self.ewma, Some(e) if e > self.threshold())
+    }
+
+    /// Upper edge of the baseline band:
+    /// `mean + sigma_threshold · std`.
+    pub fn threshold(&self) -> f32 {
+        self.baseline_mean + self.sigma_threshold * self.baseline_std
+    }
+
+    /// The baseline band as `(mean, std)`.
+    pub fn baseline(&self) -> (f32, f32) {
+        (self.baseline_mean, self.baseline_std)
+    }
+
+    /// Current EWMA of the live scores (`None` before the first
+    /// [`DriftMonitor::observe`]).
+    pub fn ewma(&self) -> Option<f32> {
+        self.ewma
+    }
+
+    /// Scores observed since construction or the last re-baseline.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Re-calibrates the band from a fresh model's scores (after a hot
+    /// swap) and clears the EWMA so the next observation starts clean.
+    pub fn rebaseline(&mut self, scores: &[f32]) {
+        let fresh = Self::from_baseline_scores(scores, self.alpha, self.sigma_threshold);
+        self.baseline_mean = fresh.baseline_mean;
+        self.baseline_std = fresh.baseline_std;
+        self.ewma = None;
+        self.observed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ------------------------------------------------------------------
+    // ObservationReservoir
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn reservoir_fills_then_evicts_oldest() {
+        let mut r = ObservationReservoir::new(1, 3);
+        assert!(r.is_empty() && !r.is_full());
+        r.push(&[1.0]);
+        r.push(&[2.0]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.series().data(), &[1.0, 2.0]);
+        r.push(&[3.0]);
+        assert!(r.is_full());
+        r.push(&[4.0]); // evicts 1.0
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.series().data(), &[2.0, 3.0, 4.0]);
+        r.push(&[5.0]);
+        assert_eq!(r.series().data(), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn reservoir_is_time_major_multivariate() {
+        let mut r = ObservationReservoir::new(2, 2);
+        r.push(&[1.0, 10.0]);
+        r.push(&[2.0, 20.0]);
+        r.push(&[3.0, 30.0]);
+        let s = r.series();
+        assert_eq!(s.dim(), 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.observation(0), &[2.0, 20.0]);
+        assert_eq!(s.observation(1), &[3.0, 30.0]);
+    }
+
+    #[test]
+    fn reservoir_clear_restarts() {
+        let mut r = ObservationReservoir::new(1, 2);
+        r.push(&[1.0]);
+        r.push(&[2.0]);
+        r.clear();
+        assert!(r.is_empty());
+        r.push(&[7.0]);
+        assert_eq!(r.series().data(), &[7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reservoir dim")]
+    fn reservoir_rejects_wrong_dim() {
+        ObservationReservoir::new(2, 4).push(&[1.0]);
+    }
+
+    #[test]
+    fn reservoir_drops_non_finite_observations() {
+        let mut r = ObservationReservoir::new(2, 4);
+        r.push(&[1.0, 2.0]);
+        r.push(&[f32::NAN, 0.0]);
+        r.push(&[0.0, f32::INFINITY]);
+        assert_eq!(r.len(), 1, "non-finite observations must be dropped");
+        assert_eq!(r.series().data(), &[1.0, 2.0]);
+    }
+
+    // ------------------------------------------------------------------
+    // DriftMonitor
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn calibration_matches_population_moments() {
+        let m = DriftMonitor::from_baseline_scores(&[1.0, 2.0, 3.0], 0.2, 2.0);
+        let (mean, std) = m.baseline();
+        assert!((mean - 2.0).abs() < 1e-6);
+        assert!((std - (2.0f32 / 3.0).sqrt()).abs() < 1e-6);
+        assert!((m.threshold() - (mean + 2.0 * std)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn in_band_scores_never_trip() {
+        let mut m = DriftMonitor::new(1.0, 0.2, 0.3, 3.0);
+        for i in 0..200 {
+            let wiggle = if i % 2 == 0 { 0.1 } else { -0.1 };
+            assert!(!m.observe(1.0 + wiggle), "tripped at i={i}");
+        }
+        assert!(m.ewma().is_some());
+        assert_eq!(m.observed(), 200);
+    }
+
+    #[test]
+    fn an_isolated_spike_does_not_trip_but_a_regime_shift_does() {
+        // alpha 0.02 ⇒ ~50-observation memory: a lone spike cannot lift
+        // the EWMA past the band, a sustained shift can.
+        let mut m = DriftMonitor::new(1.0, 0.2, 0.02, 3.0);
+        for _ in 0..50 {
+            m.observe(1.0);
+        }
+        // One enormous outlier score: the EWMA absorbs it.
+        assert!(!m.observe(30.0), "isolated spike must not trip the EWMA");
+        for _ in 0..20 {
+            m.observe(1.0);
+        }
+        assert!(!m.is_drifted());
+        // Persistent elevation: trips after a handful of observations.
+        let mut tripped_at = None;
+        for i in 0..60 {
+            if m.observe(4.0) {
+                tripped_at = Some(i);
+                break;
+            }
+        }
+        let at = tripped_at.expect("a sustained shift must trip the monitor");
+        assert!(at >= 1, "needed more than a single elevated score");
+    }
+
+    #[test]
+    fn non_finite_scores_cannot_poison_the_ewma() {
+        let mut m = DriftMonitor::new(1.0, 0.2, 0.3, 3.0);
+        for _ in 0..10 {
+            m.observe(1.0);
+        }
+        m.observe(f32::NAN);
+        m.observe(f32::INFINITY);
+        m.observe(f32::NEG_INFINITY);
+        assert!(m.ewma().expect("ewma kept").is_finite());
+        assert!(!m.is_drifted());
+        // Detection still works afterwards.
+        let mut tripped = false;
+        for _ in 0..60 {
+            tripped |= m.observe(10.0);
+        }
+        assert!(tripped, "monitor must still trip after non-finite scores");
+    }
+
+    #[test]
+    fn rebaseline_clears_state_and_adopts_new_band() {
+        let mut m = DriftMonitor::new(1.0, 0.1, 0.5, 2.0);
+        for _ in 0..30 {
+            m.observe(5.0);
+        }
+        assert!(m.is_drifted());
+        m.rebaseline(&[5.0, 5.2, 4.8]);
+        assert!(!m.is_drifted());
+        assert_eq!(m.ewma(), None);
+        assert_eq!(m.observed(), 0);
+        assert!(!m.observe(5.0), "scores inside the new band are normal");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        DriftMonitor::new(0.0, 1.0, 0.0, 2.0);
+    }
+
+    #[test]
+    fn calibration_ignores_non_finite_scores() {
+        let clean = DriftMonitor::from_baseline_scores(&[1.0, 2.0, 3.0], 0.2, 2.0);
+        let dirty =
+            DriftMonitor::from_baseline_scores(&[1.0, f32::NAN, 2.0, f32::INFINITY, 3.0], 0.2, 2.0);
+        assert_eq!(dirty.baseline(), clean.baseline());
+        assert!(dirty.threshold().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one finite score")]
+    fn rejects_empty_calibration() {
+        DriftMonitor::from_baseline_scores(&[], 0.2, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one finite score")]
+    fn rejects_all_non_finite_calibration() {
+        DriftMonitor::from_baseline_scores(&[f32::NAN, f32::INFINITY], 0.2, 2.0);
+    }
+}

@@ -5,7 +5,11 @@
 //! * [`TimeSeries`] — a multivariate series laid out time-major, so every
 //!   sliding window is one contiguous slice;
 //! * [`Scaler`] — z-score normalization fit on the training split only
-//!   (the paper's pre-processing, Section 3);
+//!   (the paper's pre-processing, Section 3), with a Welford
+//!   [`partial_fit`](Scaler::partial_fit) for online adaptation;
+//! * [`ObservationReservoir`] / [`DriftMonitor`] — the data-side
+//!   primitives of drift-aware re-fitting: a bounded ring of recent raw
+//!   observations and a score-EWMA drift statistic;
 //! * [`windows`] — sliding windows of size `w` with stride 1;
 //! * [`Dataset`] — a named train/test pair with test-time ground-truth
 //!   labels (used exclusively for evaluation, never for training);
@@ -18,6 +22,7 @@
 pub mod csv;
 pub mod datasets;
 mod detector;
+mod drift;
 mod scaler;
 pub mod scoring;
 mod series;
@@ -25,6 +30,7 @@ mod window;
 
 pub use datasets::{DatasetKind, Scale};
 pub use detector::Detector;
+pub use drift::{DriftMonitor, ObservationReservoir};
 pub use scaler::Scaler;
 pub use series::{Dataset, TimeSeries};
 pub use window::{num_windows, window, windows, WindowIter};

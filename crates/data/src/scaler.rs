@@ -12,6 +12,19 @@ use serde::{Deserialize, Serialize};
 pub struct Scaler {
     mean: Vec<f32>,
     std: Vec<f32>,
+    /// Welford/Chan accumulator behind [`Scaler::partial_fit`]:
+    /// observations folded in so far (0 for scalers rebuilt from exported
+    /// statistics, whose sample count is not persisted). The accumulator
+    /// fields default on deserialization so a `Scaler` serialized before
+    /// they existed decodes into the documented history-less state.
+    #[serde(default)]
+    count: f64,
+    /// Running per-dimension mean in f64.
+    #[serde(default)]
+    accum_mean: Vec<f64>,
+    /// Running per-dimension sum of squared deviations (M2) in f64.
+    #[serde(default)]
+    accum_m2: Vec<f64>,
 }
 
 impl Scaler {
@@ -50,9 +63,88 @@ impl Scaler {
             })
             .collect();
         Scaler {
-            mean: mean.into_iter().map(|m| m as f32).collect(),
+            mean: mean.iter().map(|&m| m as f32).collect(),
             std,
+            count: train.len() as f64,
+            accum_mean: mean,
+            accum_m2: var,
         }
+    }
+
+    /// Folds additional observations into the statistics **without
+    /// revisiting the data already seen** — the streaming counterpart of
+    /// [`Scaler::fit`] for online adaptation, where the original training
+    /// series is gone but recent observations keep arriving.
+    ///
+    /// Per-batch moments are computed exactly as [`Scaler::fit`] computes
+    /// them and merged with Chan's parallel variance update, so
+    /// `fit(a)` + `partial_fit(b)` converges to `fit(a ++ b)` up to f64
+    /// rounding. The published `mean()`/`std()` are refreshed after every
+    /// call (σ < 1e-8 still maps to 1.0 for constant channels).
+    ///
+    /// A scaler rebuilt via [`Scaler::from_parts`] (e.g. loaded from a
+    /// checkpoint) carries no accumulator history; its first `partial_fit`
+    /// re-estimates the statistics from the new data alone.
+    ///
+    /// Observations containing non-finite values are skipped: folding a
+    /// NaN into the accumulator would poison mean and σ permanently —
+    /// every later `transform` would emit NaN, and a checkpoint of the
+    /// poisoned scaler could never be re-loaded ([`Scaler::from_parts`]
+    /// rejects non-finite statistics).
+    pub fn partial_fit(&mut self, recent: &TimeSeries) {
+        assert_eq!(recent.dim(), self.dim(), "scaler dimension mismatch");
+        let rows: Vec<&[f32]> = (0..recent.len())
+            .map(|t| recent.observation(t))
+            .filter(|obs| obs.iter().all(|v| v.is_finite()))
+            .collect();
+        if rows.is_empty() {
+            return;
+        }
+        let d = self.dim();
+        let bn = rows.len() as f64;
+        let mut bmean = vec![0.0f64; d];
+        for obs in &rows {
+            for (m, &x) in bmean.iter_mut().zip(obs.iter()) {
+                *m += x as f64;
+            }
+        }
+        for m in &mut bmean {
+            *m /= bn;
+        }
+        let mut bm2 = vec![0.0f64; d];
+        for obs in &rows {
+            for ((v, &m), &x) in bm2.iter_mut().zip(bmean.iter()).zip(obs.iter()) {
+                let diff = x as f64 - m;
+                *v += diff * diff;
+            }
+        }
+
+        if self.count == 0.0 {
+            self.accum_mean = bmean;
+            self.accum_m2 = bm2;
+            self.count = bn;
+        } else {
+            let an = self.count;
+            let n = an + bn;
+            for i in 0..d {
+                let delta = bmean[i] - self.accum_mean[i];
+                self.accum_m2[i] += bm2[i] + delta * delta * an * bn / n;
+                self.accum_mean[i] += delta * bn / n;
+            }
+            self.count = n;
+        }
+
+        for i in 0..d {
+            self.mean[i] = self.accum_mean[i] as f32;
+            let s = (self.accum_m2[i] / self.count).sqrt();
+            self.std[i] = if s < 1e-8 { 1.0 } else { s as f32 };
+        }
+    }
+
+    /// Observations folded into the statistics so far (0 for scalers
+    /// rebuilt via [`Scaler::from_parts`], whose history is not persisted).
+    pub fn observations(&self) -> u64 {
+        self.count as u64
     }
 
     /// Rebuilds a scaler from previously exported statistics (the
@@ -73,7 +165,14 @@ impl Scaler {
         if std.iter().any(|s| !s.is_finite() || *s <= 0.0) {
             return Err("scaler std contains non-finite or non-positive values".to_string());
         }
-        Ok(Scaler { mean, std })
+        let dim = mean.len();
+        Ok(Scaler {
+            mean,
+            std,
+            count: 0.0,
+            accum_mean: vec![0.0; dim],
+            accum_m2: vec![0.0; dim],
+        })
     }
 
     /// Dimensionality the scaler was fit on.
@@ -210,6 +309,136 @@ mod tests {
         assert!(Scaler::from_parts(vec![f32::NAN], vec![1.0]).is_err());
         assert!(Scaler::from_parts(vec![0.0], vec![0.0]).is_err());
         assert!(Scaler::from_parts(vec![0.0], vec![-1.0]).is_err());
+    }
+
+    /// Concatenates two series of equal dimensionality.
+    fn concat(a: &TimeSeries, b: &TimeSeries) -> TimeSeries {
+        let mut data = a.data().to_vec();
+        data.extend_from_slice(b.data());
+        TimeSeries::new(data, a.dim())
+    }
+
+    #[test]
+    fn partial_fit_converges_to_fit_on_concatenated_data() {
+        // Two regimes with very different statistics, multivariate.
+        let a = TimeSeries::new(
+            (0..400)
+                .flat_map(|t| [(t as f32 * 0.3).sin(), 50.0 + (t as f32 * 0.1).cos() * 9.0])
+                .collect(),
+            2,
+        );
+        let b = TimeSeries::new(
+            (0..150)
+                .flat_map(|t| [3.0 + (t as f32 * 0.7).sin() * 2.0, -20.0 + t as f32 * 0.05])
+                .collect(),
+            2,
+        );
+        let reference = Scaler::fit(&concat(&a, &b));
+        let mut running = Scaler::fit(&a);
+        running.partial_fit(&b);
+        assert_eq!(running.observations(), 550);
+        for d in 0..2 {
+            assert!(
+                (running.mean()[d] - reference.mean()[d]).abs() < 1e-5,
+                "dim {d} mean {} vs {}",
+                running.mean()[d],
+                reference.mean()[d]
+            );
+            assert!(
+                (running.std()[d] - reference.std()[d]).abs() < 1e-5,
+                "dim {d} std {} vs {}",
+                running.std()[d],
+                reference.std()[d]
+            );
+        }
+    }
+
+    #[test]
+    fn partial_fit_in_many_small_batches_matches_one_fit() {
+        let whole =
+            TimeSeries::univariate((0..500).map(|t| (t as f32 * 0.17).sin() * 4.0).collect());
+        let reference = Scaler::fit(&whole);
+        let mut running = Scaler::fit(&TimeSeries::new(whole.data()[..40].to_vec(), 1));
+        let mut at = 40;
+        while at < whole.len() {
+            let end = (at + 37).min(whole.len());
+            running.partial_fit(&TimeSeries::new(whole.data()[at..end].to_vec(), 1));
+            at = end;
+        }
+        assert!((running.mean()[0] - reference.mean()[0]).abs() < 1e-6);
+        assert!((running.std()[0] - reference.std()[0]).abs() < 1e-6);
+        assert_eq!(running.observations(), 500);
+    }
+
+    #[test]
+    fn partial_fit_on_empty_series_is_a_no_op() {
+        let train = TimeSeries::new(vec![1.0, 100.0, 2.0, 200.0, 3.0, 300.0], 2);
+        let mut scaler = Scaler::fit(&train);
+        let (mean, std) = (scaler.mean().to_vec(), scaler.std().to_vec());
+        scaler.partial_fit(&TimeSeries::empty(2));
+        assert_eq!(scaler.mean(), mean.as_slice());
+        assert_eq!(scaler.std(), std.as_slice());
+    }
+
+    #[test]
+    fn partial_fit_after_from_parts_restarts_from_the_new_data() {
+        // from_parts carries no accumulator history (checkpoints do not
+        // persist the sample count), so the first partial_fit re-estimates
+        // from the new batch alone.
+        let rebuilt = Scaler::from_parts(vec![10.0], vec![5.0]).expect("valid parts");
+        assert_eq!(rebuilt.observations(), 0);
+        let mut s = rebuilt;
+        let batch = TimeSeries::univariate(vec![1.0, 2.0, 3.0]);
+        s.partial_fit(&batch);
+        let direct = Scaler::fit(&batch);
+        assert_eq!(s.mean(), direct.mean());
+        assert_eq!(s.std(), direct.std());
+    }
+
+    #[test]
+    fn partial_fit_skips_non_finite_observations() {
+        let clean = TimeSeries::new(vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0], 2);
+        let mut reference = Scaler::fit(&TimeSeries::new(vec![0.0, 5.0], 2));
+        let mut poisoned = reference.clone();
+        reference.partial_fit(&clean);
+        // The same batch with NaN/Inf rows interleaved: those rows are
+        // dropped, the statistics match the clean batch exactly.
+        let dirty = TimeSeries::new(
+            vec![
+                1.0,
+                10.0,
+                f32::NAN,
+                11.0,
+                2.0,
+                20.0,
+                4.0,
+                f32::INFINITY,
+                3.0,
+                30.0,
+            ],
+            2,
+        );
+        poisoned.partial_fit(&dirty);
+        assert_eq!(poisoned.mean(), reference.mean());
+        assert_eq!(poisoned.std(), reference.std());
+        assert_eq!(poisoned.observations(), reference.observations());
+        assert!(poisoned.std().iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn partial_fit_keeps_constant_channel_rule() {
+        let train = TimeSeries::new(vec![4.0, 1.0, 4.0, 2.0], 2);
+        let mut scaler = Scaler::fit(&train);
+        scaler.partial_fit(&TimeSeries::new(vec![4.0, 3.0, 4.0, 4.0], 2));
+        assert_eq!(scaler.std()[0], 1.0, "constant channel keeps σ = 1");
+        assert!(scaler.std()[1] > 0.0 && scaler.std()[1] != 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn partial_fit_rejects_wrong_dim() {
+        let mut scaler = Scaler::fit(&TimeSeries::univariate(vec![0.0, 1.0]));
+        scaler.partial_fit(&TimeSeries::new(vec![0.0, 1.0], 2));
     }
 
     #[test]

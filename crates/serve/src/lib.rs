@@ -9,13 +9,19 @@
 //! `(B, w, D)` batches per tick, so member inference runs at full batch
 //! width through the same SIMD path as offline scoring.
 //!
+//! The fleet holds its ensemble behind an [`Arc`], so a drift-aware
+//! re-fit (see the `cae-adapt` crate) can hand it a replacement model at
+//! runtime: [`FleetDetector::swap_ensemble`] is a generation-tagged,
+//! double-buffered pointer swap that takes effect at the next tick and
+//! never disturbs per-stream warm-up rings.
+//!
 //! ```no_run
 //! use cae_core::CaeEnsemble;
 //! use cae_serve::FleetDetector;
 //!
 //! // Offline: train once, checkpoint. Online: load and serve.
 //! let ensemble = CaeEnsemble::load("ensemble.caee").expect("checkpoint");
-//! let mut fleet = FleetDetector::new(&ensemble);
+//! let mut fleet = FleetDetector::new(ensemble);
 //! let sensors: Vec<_> = (0..1000).map(|_| fleet.add_stream()).collect();
 //!
 //! let mut scores = Vec::new();
@@ -32,6 +38,7 @@
 use cae_autograd::Tape;
 use cae_core::CaeEnsemble;
 use cae_tensor::{scratch, Tensor};
+use std::sync::Arc;
 
 /// Windows scored per member forward pass. Matches the batch scorer's
 /// inference chunk (`INFERENCE_BATCH` in `cae-core`): identical batch
@@ -84,10 +91,23 @@ impl StreamSlot {
 /// steady state: ring storage is retained per stream, batch buffers come
 /// from the thread-local scratch pool, and the tape is reused.
 ///
+/// The serving model is [swappable](FleetDetector::swap_ensemble): the
+/// fleet owns an [`Arc<CaeEnsemble>`] pair — the live model and the most
+/// recently retired one. Swapping bumps a model-generation counter and
+/// takes effect at the next [`tick`]; sessions, warm-up rings and score
+/// history are untouched, and the retired `Arc` keeps any reader that
+/// still holds the old generation (a sharded front-end mid-tick, the
+/// adaptation controller's baseline scorer) valid until the next swap.
+///
 /// [`push`]: FleetDetector::push
 /// [`tick`]: FleetDetector::tick
-pub struct FleetDetector<'a> {
-    ensemble: &'a CaeEnsemble,
+pub struct FleetDetector {
+    ensemble: Arc<CaeEnsemble>,
+    /// Double buffer: the previous model generation, kept alive across
+    /// one swap so in-flight readers of the old generation stay valid.
+    retired: Option<Arc<CaeEnsemble>>,
+    /// Bumped on every [`FleetDetector::swap_ensemble`].
+    model_generation: u64,
     window: usize,
     dim: usize,
     slots: Vec<StreamSlot>,
@@ -101,17 +121,27 @@ pub struct FleetDetector<'a> {
     scores: Vec<f32>,
 }
 
-impl<'a> FleetDetector<'a> {
+impl FleetDetector {
     /// A fleet scorer over a **fitted** ensemble.
-    pub fn new(ensemble: &'a CaeEnsemble) -> Self {
+    ///
+    /// Accepts either an owned [`CaeEnsemble`] or an existing
+    /// [`Arc<CaeEnsemble>`] (share the `Arc` when something else — e.g.
+    /// an adaptation controller — needs concurrent read access to the
+    /// live model).
+    pub fn new(ensemble: impl Into<Arc<CaeEnsemble>>) -> Self {
+        let ensemble = ensemble.into();
         assert!(
             ensemble.num_members() > 0,
             "FleetDetector requires a fitted ensemble"
         );
+        let window = ensemble.model_config().window;
+        let dim = ensemble.model_config().dim;
         FleetDetector {
             ensemble,
-            window: ensemble.model_config().window,
-            dim: ensemble.model_config().dim,
+            retired: None,
+            model_generation: 0,
+            window,
+            dim,
             slots: Vec::new(),
             free: Vec::new(),
             next_generation: 0,
@@ -120,6 +150,76 @@ impl<'a> FleetDetector<'a> {
             ready: Vec::new(),
             scores: Vec::new(),
         }
+    }
+
+    /// The ensemble currently serving this fleet.
+    pub fn ensemble(&self) -> &Arc<CaeEnsemble> {
+        &self.ensemble
+    }
+
+    /// Generation counter of the serving model: 0 at construction,
+    /// incremented by every [`FleetDetector::swap_ensemble`]. Scores can
+    /// be attributed to the model generation that produced them by
+    /// reading this between ticks.
+    pub fn model_generation(&self) -> u64 {
+        self.model_generation
+    }
+
+    /// Number of hot swaps performed over this fleet's lifetime (equals
+    /// [`FleetDetector::model_generation`]; exposed separately as the
+    /// operational counter).
+    pub fn swap_count(&self) -> u64 {
+        self.model_generation
+    }
+
+    /// The previous model generation, if a swap has happened — the second
+    /// half of the double buffer. Kept alive until the next swap so
+    /// readers that pinned the old generation stay valid; useful for
+    /// attributing in-flight results or diffing old vs. new scores.
+    pub fn retired_ensemble(&self) -> Option<&Arc<CaeEnsemble>> {
+        self.retired.as_ref()
+    }
+
+    /// Replaces the serving ensemble with `next`, returning the new model
+    /// generation.
+    ///
+    /// The swap is an `Arc` pointer exchange — O(1), no parameter copies,
+    /// no tensor work — so it can sit between two ticks of a heavily
+    /// loaded fleet without missing a beat: the tick before the swap
+    /// scores entirely under the old model, the tick after scores
+    /// entirely under the new one, and no tick ever observes a mix.
+    /// Per-stream sessions and warm-up rings are preserved; streams that
+    /// were mid-warm-up keep their progress.
+    ///
+    /// The replacement must be a fitted ensemble with the same window
+    /// size and observation dimensionality (anything else would
+    /// invalidate the buffered rings); a warm re-fit of the serving model
+    /// satisfies this by construction. The previous model is retired into
+    /// the double buffer, keeping outstanding references to it valid
+    /// until the next swap.
+    pub fn swap_ensemble(&mut self, next: impl Into<Arc<CaeEnsemble>>) -> u64 {
+        let next = next.into();
+        assert!(
+            next.num_members() > 0,
+            "swap_ensemble requires a fitted ensemble"
+        );
+        assert_eq!(
+            next.model_config().window,
+            self.window,
+            "swap_ensemble window {} != serving window {}",
+            next.model_config().window,
+            self.window
+        );
+        assert_eq!(
+            next.model_config().dim,
+            self.dim,
+            "swap_ensemble dim {} != serving dim {}",
+            next.model_config().dim,
+            self.dim
+        );
+        self.retired = Some(std::mem::replace(&mut self.ensemble, next));
+        self.model_generation += 1;
+        self.model_generation
     }
 
     /// Window size `w` of the underlying model.
@@ -293,7 +393,7 @@ mod tests {
         (t as f32 * 0.3 + phase).sin()
     }
 
-    fn fitted_ensemble() -> CaeEnsemble {
+    fn fitted_ensemble() -> Arc<CaeEnsemble> {
         let series = TimeSeries::univariate((0..200).map(|t| wave(t, 0.0)).collect());
         let mc = CaeConfig::new(1).embed_dim(8).window(8).layers(1);
         let ec = EnsembleConfig::new()
@@ -304,14 +404,14 @@ mod tests {
             .seed(23);
         let mut ens = CaeEnsemble::new(mc, ec);
         ens.fit(&series);
-        ens
+        Arc::new(ens)
     }
 
     #[test]
     fn warm_up_emits_nothing_then_scores() {
         let ens = fitted_ensemble();
         let w = ens.model_config().window;
-        let mut fleet = FleetDetector::new(&ens);
+        let mut fleet = FleetDetector::new(ens.clone());
         let id = fleet.add_stream();
         let mut out = Vec::new();
         for t in 0..w - 1 {
@@ -332,7 +432,7 @@ mod tests {
         // StreamingDetector scores, so the scores must be bit-equal.
         let ens = fitted_ensemble();
         let mut stream = StreamingDetector::new(&ens);
-        let mut fleet = FleetDetector::new(&ens);
+        let mut fleet = FleetDetector::new(ens.clone());
         let id = fleet.add_stream();
         let mut out = Vec::new();
         for t in 0..40 {
@@ -362,7 +462,7 @@ mod tests {
             .map(|&p| TimeSeries::univariate((0..len).map(|t| wave(t, p)).collect()))
             .collect();
 
-        let mut fleet = FleetDetector::new(&ens);
+        let mut fleet = FleetDetector::new(ens.clone());
         let ids: Vec<StreamId> = (0..64).map(|_| fleet.add_stream()).collect();
         let mut out = Vec::new();
         let mut per_stream: Vec<Vec<f32>> = vec![Vec::new(); 64];
@@ -390,7 +490,7 @@ mod tests {
     fn tick_without_fresh_observations_is_empty() {
         let ens = fitted_ensemble();
         let w = ens.model_config().window;
-        let mut fleet = FleetDetector::new(&ens);
+        let mut fleet = FleetDetector::new(ens.clone());
         let id = fleet.add_stream();
         let mut out = Vec::new();
         for t in 0..w {
@@ -406,7 +506,7 @@ mod tests {
     fn remove_and_reset_sessions() {
         let ens = fitted_ensemble();
         let w = ens.model_config().window;
-        let mut fleet = FleetDetector::new(&ens);
+        let mut fleet = FleetDetector::new(ens.clone());
         let a = fleet.add_stream();
         let b = fleet.add_stream();
         assert_eq!(fleet.num_streams(), 2);
@@ -439,7 +539,7 @@ mod tests {
     #[should_panic(expected = "stale StreamId")]
     fn stale_id_panics() {
         let ens = fitted_ensemble();
-        let mut fleet = FleetDetector::new(&ens);
+        let mut fleet = FleetDetector::new(ens.clone());
         let id = fleet.add_stream();
         fleet.remove_stream(id);
         fleet.push(id, &[0.0]);
@@ -449,6 +549,190 @@ mod tests {
     #[should_panic(expected = "requires a fitted ensemble")]
     fn rejects_unfitted_ensemble() {
         let ens = CaeEnsemble::new(CaeConfig::new(1), EnsembleConfig::new());
-        FleetDetector::new(&ens);
+        FleetDetector::new(ens.clone());
+    }
+
+    // ------------------------------------------------------------------
+    // Hot ensemble swap
+    // ------------------------------------------------------------------
+
+    /// A second fitted ensemble with the same architecture but different
+    /// parameters (different seed ⇒ different members).
+    fn fitted_ensemble_seed(seed: u64) -> Arc<CaeEnsemble> {
+        let series = TimeSeries::univariate((0..200).map(|t| wave(t, 0.2)).collect());
+        let mc = CaeConfig::new(1).embed_dim(8).window(8).layers(1);
+        let ec = EnsembleConfig::new()
+            .num_models(2)
+            .epochs_per_model(2)
+            .batch_size(16)
+            .train_stride(2)
+            .seed(seed);
+        let mut ens = CaeEnsemble::new(mc, ec);
+        ens.fit(&series);
+        Arc::new(ens)
+    }
+
+    #[test]
+    fn swap_takes_effect_at_the_next_tick_and_never_skips_one() {
+        let a = fitted_ensemble();
+        let b = fitted_ensemble_seed(91);
+        let w = a.model_config().window;
+
+        // Reference fleets that never swap.
+        let mut on_a = FleetDetector::new(a.clone());
+        let mut on_b = FleetDetector::new(b.clone());
+        let mut swapping = FleetDetector::new(a.clone());
+        let ia = on_a.add_stream();
+        let ib = on_b.add_stream();
+        let is = swapping.add_stream();
+        assert_eq!(swapping.model_generation(), 0);
+        assert_eq!(swapping.swap_count(), 0);
+
+        let (mut oa, mut ob, mut os) = (Vec::new(), Vec::new(), Vec::new());
+        let swap_at = w + 3;
+        for t in 0..w + 8 {
+            let obs = [wave(t, 0.5)];
+            on_a.push(ia, &obs);
+            on_b.push(ib, &obs);
+            swapping.push(is, &obs);
+            if t == swap_at {
+                let generation = swapping.swap_ensemble(b.clone());
+                assert_eq!(generation, 1);
+                assert!(Arc::ptr_eq(swapping.ensemble(), &b));
+                assert_eq!(
+                    swapping.buffered(is),
+                    w,
+                    "swap must preserve the warm-up ring"
+                );
+            }
+            on_a.tick(&mut oa);
+            on_b.tick(&mut ob);
+            swapping.tick(&mut os);
+            // The swap never costs a tick: every tick with a fresh, warm
+            // stream emits a score…
+            if t >= w - 1 {
+                assert_eq!(os.len(), 1, "missing score at t={t}");
+                // …bit-equal to the never-swapped fleet of whichever
+                // model is serving: the old model up to and including the
+                // swap tick's predecessor — the swap lands *between*
+                // ticks — and the new model from the swap tick on.
+                let reference = if t < swap_at { oa[0].1 } else { ob[0].1 };
+                assert_eq!(os[0].1, reference, "t={t}");
+            }
+        }
+        assert_eq!(swapping.swap_count(), 1);
+    }
+
+    #[test]
+    fn post_swap_scores_are_bit_identical_to_a_fresh_load_of_the_checkpoint() {
+        let a = fitted_ensemble();
+        let b = fitted_ensemble_seed(77);
+        let w = a.model_config().window;
+
+        // Checkpoint the replacement and load it back — the swap target
+        // and the fresh load must be indistinguishable in every bit.
+        let path = std::env::temp_dir().join(format!(
+            "cae_serve_swap_roundtrip_{}.caee",
+            std::process::id()
+        ));
+        b.save(&path).expect("checkpoint write");
+        let loaded = Arc::new(CaeEnsemble::load(&path).expect("checkpoint read"));
+        let _ = std::fs::remove_file(&path);
+
+        let mut veteran = FleetDetector::new(a.clone());
+        let vid = veteran.add_stream();
+        let mut out = Vec::new();
+        // Serve under the old model past warm-up, then hot-swap.
+        for t in 0..w + 5 {
+            veteran.push(vid, &[wave(t, 0.9)]);
+            veteran.tick(&mut out);
+        }
+        veteran.swap_ensemble(b.clone());
+
+        // A cold fleet started from the freshly loaded checkpoint, fed
+        // exactly the observations sitting in the veteran's ring.
+        let mut fresh = FleetDetector::new(loaded);
+        let fid = fresh.add_stream();
+        let mut fresh_out = Vec::new();
+        for t in w + 5..2 * w + 5 {
+            let obs = [wave(t, 0.9)];
+            veteran.push(vid, &obs);
+            veteran.tick(&mut out);
+            fresh.push(fid, &obs);
+            fresh.tick(&mut fresh_out);
+            if t >= w + 5 + w - 1 {
+                // Both rings now hold the same w observations.
+                assert_eq!(out[0].1, fresh_out[0].1, "t={t}");
+            } else {
+                assert_eq!(out.len(), 1, "veteran ring stays warm across swap");
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_and_generation_tags_survive_the_swap() {
+        let a = fitted_ensemble();
+        let b = fitted_ensemble_seed(55);
+        let mut fleet = FleetDetector::new(a.clone());
+        let keep = fleet.add_stream();
+        let drop = fleet.add_stream();
+        fleet.push(keep, &[0.4]);
+        fleet.push(drop, &[0.4]);
+        fleet.remove_stream(drop);
+        fleet.swap_ensemble(b.clone());
+        // Live session: buffered progress intact, slot still addressable.
+        assert_eq!(fleet.buffered(keep), 1);
+        assert_eq!(fleet.num_streams(), 1);
+        // Stale session: still rejected after the swap.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fleet.buffered(drop);
+        }));
+        assert!(
+            panicked.is_err(),
+            "stale id must stay rejected across swaps"
+        );
+    }
+
+    #[test]
+    fn repeated_swaps_keep_counting() {
+        let a = fitted_ensemble();
+        let b = fitted_ensemble_seed(31);
+        let mut fleet = FleetDetector::new(a.clone());
+        for i in 1..=4u64 {
+            let next = if i % 2 == 0 { a.clone() } else { b.clone() };
+            assert_eq!(fleet.swap_ensemble(next), i);
+        }
+        assert_eq!(fleet.swap_count(), 4);
+        assert_eq!(fleet.model_generation(), 4);
+        assert!(Arc::ptr_eq(fleet.ensemble(), &a));
+    }
+
+    #[test]
+    #[should_panic(expected = "swap_ensemble window")]
+    fn swap_rejects_mismatched_window() {
+        let a = fitted_ensemble();
+        let series = TimeSeries::univariate((0..200).map(|t| wave(t, 0.0)).collect());
+        let mut other = CaeEnsemble::new(
+            CaeConfig::new(1).embed_dim(8).window(16).layers(1),
+            EnsembleConfig::new()
+                .num_models(1)
+                .epochs_per_model(1)
+                .batch_size(16)
+                .train_stride(2)
+                .seed(9),
+        );
+        other.fit(&series);
+        FleetDetector::new(a.clone()).swap_ensemble(other);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a fitted ensemble")]
+    fn swap_rejects_unfitted_ensemble() {
+        let a = fitted_ensemble();
+        let unfitted = CaeEnsemble::new(
+            CaeConfig::new(1).embed_dim(8).window(8).layers(1),
+            EnsembleConfig::new(),
+        );
+        FleetDetector::new(a.clone()).swap_ensemble(unfitted);
     }
 }

@@ -23,6 +23,10 @@ use cae_ensemble_repro::prelude::*;
 use std::collections::HashMap;
 use std::time::Instant;
 
+/// Fixed RNG seed: training is deterministic, so repeated runs produce
+/// bit-identical checkpoints and scores.
+const SEED: u64 = 11;
+
 /// 16 distinct signal phases shared by 64 streams each: 1024 sessions.
 const PHASES: usize = 16;
 const STREAMS_PER_PHASE: usize = 64;
@@ -39,7 +43,7 @@ fn main() {
         EnsembleConfig::new()
             .num_models(3)
             .epochs_per_model(4)
-            .seed(11),
+            .seed(SEED),
     );
     println!("offline training…");
     detector.fit(&train);
@@ -75,7 +79,8 @@ fn main() {
         .map(|p| TimeSeries::univariate((0..len).map(|t| wave(t, phase_of(p))).collect()))
         .collect();
 
-    let mut fleet = FleetDetector::new(&ensemble);
+    let ensemble = std::sync::Arc::new(ensemble);
+    let mut fleet = FleetDetector::new(ensemble.clone());
     let ids: Vec<StreamId> = (0..PHASES * STREAMS_PER_PHASE)
         .map(|_| fleet.add_stream())
         .collect();

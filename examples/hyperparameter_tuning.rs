@@ -9,8 +9,12 @@
 use cae_ensemble_repro::core::hyper::{select_hyperparameters, HyperRanges};
 use cae_ensemble_repro::prelude::*;
 
+/// Fixed RNG seed for the dataset, the search RNG, and every trial's
+/// training run: the printed trial log is fully reproducible.
+const SEED: u64 = 21;
+
 fn main() {
-    let ds = DatasetKind::Ecg.generate(Scale::Quick, 21);
+    let ds = DatasetKind::Ecg.generate(Scale::Quick, SEED);
     println!(
         "dataset: {} ({} train observations, no labels used)",
         ds.name,
@@ -22,7 +26,7 @@ fn main() {
         .num_models(2)
         .epochs_per_model(2)
         .train_stride(8)
-        .seed(21);
+        .seed(SEED);
     let ranges = HyperRanges {
         windows: vec![8, 16, 32],
         betas: vec![0.2, 0.5, 0.8],
@@ -30,7 +34,7 @@ fn main() {
         random_trials: 4,
     };
 
-    let sel = select_hyperparameters(&ds.train, &model, &ens, &ranges, 21);
+    let sel = select_hyperparameters(&ds.train, &model, &ens, &ranges, SEED);
 
     println!("\nrandom-search phase (defaults = median recon error):");
     for t in &sel.random_trials {

@@ -8,6 +8,10 @@
 
 use cae_ensemble_repro::prelude::*;
 
+/// Fixed RNG seed: training is deterministic, so repeated runs raise the
+/// same alerts.
+const SEED: u64 = 11;
+
 fn main() {
     // Offline phase: train on a clean periodic signal.
     let train = TimeSeries::univariate((0..1500).map(|t| (t as f32 * 0.25).sin()).collect());
@@ -16,7 +20,7 @@ fn main() {
         EnsembleConfig::new()
             .num_models(3)
             .epochs_per_model(5)
-            .seed(11),
+            .seed(SEED),
     );
     println!("offline training…");
     detector.fit(&train);

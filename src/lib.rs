@@ -9,7 +9,9 @@
 //!
 //! * [`core`] — the CAE-Ensemble detector (the paper's contribution);
 //! * [`serve`] — checkpoint-backed serving: many concurrent streams
-//!   batched against one trained ensemble;
+//!   batched against one trained ensemble, with hot ensemble swap;
+//! * [`adapt`] — online adaptation: drift detection, background
+//!   warm-start re-fit, atomic checkpointing and swap publishing;
 //! * [`baselines`] — the eleven comparison methods of the evaluation;
 //! * [`data`] — time series containers, pre-processing, synthetic datasets;
 //! * [`metrics`] — PR/ROC AUC and F1 evaluation suites;
@@ -18,6 +20,7 @@
 //! See `README.md` for a quickstart and `DESIGN.md` for the
 //! paper-to-code map.
 
+pub use cae_adapt as adapt;
 pub use cae_autograd as autograd;
 pub use cae_baselines as baselines;
 pub use cae_core as core;
@@ -29,8 +32,14 @@ pub use cae_tensor as tensor;
 
 /// Convenience prelude importing the types most programs need.
 pub mod prelude {
-    pub use cae_core::{CaeConfig, CaeEnsemble, EnsembleConfig, PersistError, StreamingDetector};
-    pub use cae_data::{Dataset, DatasetKind, Detector, Scale, Scaler, TimeSeries};
+    pub use cae_adapt::{AdaptationConfig, AdaptationController};
+    pub use cae_core::{
+        CaeConfig, CaeEnsemble, EnsembleConfig, PersistError, RefitOptions, StreamingDetector,
+    };
+    pub use cae_data::{
+        Dataset, DatasetKind, Detector, DriftMonitor, ObservationReservoir, Scale, Scaler,
+        TimeSeries,
+    };
     pub use cae_metrics::EvalReport;
     pub use cae_serve::{FleetDetector, StreamId};
 }
@@ -43,8 +52,9 @@ mod tests {
     #[test]
     fn prelude_names_resolve_and_construct() {
         use crate::prelude::{
-            CaeConfig, CaeEnsemble, Dataset, DatasetKind, Detector, EnsembleConfig, EvalReport,
-            FleetDetector, Scale, Scaler, StreamingDetector, TimeSeries,
+            AdaptationConfig, AdaptationController, CaeConfig, CaeEnsemble, Dataset, DatasetKind,
+            Detector, DriftMonitor, EnsembleConfig, EvalReport, FleetDetector,
+            ObservationReservoir, RefitOptions, Scale, Scaler, StreamingDetector, TimeSeries,
         };
 
         let series = TimeSeries::univariate((0..64).map(|t| (t as f32 * 0.3).sin()).collect());
@@ -73,12 +83,27 @@ mod tests {
         let s = streaming.push(&[0.5]);
         assert!(s.is_none_or(|v| v.is_finite()));
 
-        let mut fleet = FleetDetector::new(&ens);
+        let mut fleet = FleetDetector::new(ens);
         let id = fleet.add_stream();
         fleet.push(id, &[0.5]);
         let mut ticked = Vec::new();
         fleet.tick(&mut ticked);
         assert!(ticked.iter().all(|(_, v)| v.is_finite()));
+
+        let mut reservoir = ObservationReservoir::new(1, 8);
+        reservoir.push(&[0.5]);
+        let mut monitor = DriftMonitor::from_baseline_scores(&scores, 0.1, 4.0);
+        let _ = monitor.observe(0.1);
+        let _ = RefitOptions::warm(1, 0);
+        let mut adapt = AdaptationController::new(
+            fleet.ensemble(),
+            &scores,
+            AdaptationConfig::new()
+                .min_observations(16)
+                .reservoir_capacity(32),
+        );
+        let _ = adapt.observe(fleet.ensemble(), &[0.5], 0.1);
+        assert!(adapt.poll().is_none());
     }
 
     #[test]
@@ -91,6 +116,7 @@ mod tests {
         let _ = crate::baselines::MovingAverage::with_defaults();
         let _ = crate::core::ReconstructionTarget::Raw;
         let _ = crate::serve::FLEET_BATCH;
+        let _ = crate::adapt::AdaptationStats::default();
         assert_eq!(t.dims(), &[2, 2]);
     }
 }

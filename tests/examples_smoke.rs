@@ -1,18 +1,19 @@
 //! Smoke coverage for the `examples/` directory.
 //!
-//! Compilation of all five examples is enforced by CI (`cargo build
+//! Compilation of every example is enforced by CI (`cargo build
 //! --examples`; see `.github/workflows/ci.yml`), and the release job runs
-//! `examples/quickstart.rs` end-to-end. This test keeps a fast local
-//! equivalent: it drives the exact quickstart pipeline — synthesize, inject
-//! outliers, fit, score, evaluate — on a tiny series so `cargo test -q`
-//! exercises the same API surface in well under a second.
+//! `examples/quickstart.rs` end-to-end. This test keeps fast local
+//! equivalents: miniatures of the quickstart, fleet-serving and
+//! online-adaptation pipelines small enough for `cargo test -q` to
+//! exercise the same API surfaces in seconds.
 
 use cae_ensemble_repro::prelude::*;
 
 /// The examples CI builds; `quickstart` is additionally run end-to-end.
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
     "fleet_serving",
     "hyperparameter_tuning",
+    "online_adaptation",
     "quickstart",
     "server_monitoring",
     "spacecraft_telemetry",
@@ -122,7 +123,7 @@ fn fleet_serving_pipeline_runs_on_a_tiny_fleet() {
         .map(|k| TimeSeries::univariate((0..len).map(|t| wave(t, k as f32 * 0.09)).collect()))
         .collect();
 
-    let mut fleet = FleetDetector::new(&ensemble);
+    let mut fleet = FleetDetector::new(ensemble);
     let ids: Vec<StreamId> = (0..64).map(|_| fleet.add_stream()).collect();
     let mut out = Vec::new();
     let mut per_stream: Vec<Vec<f32>> = vec![Vec::new(); 64];
@@ -145,4 +146,73 @@ fn fleet_serving_pipeline_runs_on_a_tiny_fleet() {
             "fleet stream {k} diverged from the trained ensemble's batch scorer"
         );
     }
+}
+
+#[test]
+fn online_adaptation_pipeline_adapts_to_drift() {
+    // Miniature of examples/online_adaptation.rs: train → serve → drift →
+    // background warm re-fit → hot swap → recovery, on a ~5x smaller
+    // model so it runs in seconds under `cargo test -q`.
+    let wave = |t: usize, drifted: bool| {
+        let (f1, scale, level) = if drifted {
+            (0.34, 1.5, 0.6)
+        } else {
+            (0.25, 1.0, 0.0)
+        };
+        scale * ((t as f32 * f1).sin() + 0.5 * (t as f32 * 0.07).sin() + level)
+    };
+    let train = TimeSeries::univariate((0..300).map(|t| wave(t, false)).collect());
+    let mut detector = CaeEnsemble::new(
+        CaeConfig::new(1).embed_dim(8).window(8).layers(1),
+        EnsembleConfig::new()
+            .num_models(2)
+            .epochs_per_model(3)
+            .batch_size(16)
+            .train_stride(2)
+            .seed(29),
+    );
+    detector.fit(&train);
+    let baseline = detector.score(&train);
+
+    let mut fleet = FleetDetector::new(detector);
+    let id = fleet.add_stream();
+    let mut adapt = AdaptationController::new(
+        fleet.ensemble(),
+        &baseline[8..],
+        AdaptationConfig::new()
+            .reservoir_capacity(160)
+            .min_observations(120)
+            .ewma_alpha(0.1)
+            .band_sigma(1.5)
+            .refit(RefitOptions::warm(2, 29)),
+    );
+
+    let mut out = Vec::new();
+    let mut started = false;
+    for t in 0..400 {
+        fleet.push(id, &[wave(t, t >= 150)]);
+        fleet.tick(&mut out);
+        if t >= fleet.window() - 1 {
+            assert_eq!(out.len(), 1, "serving missed a tick at t={t}");
+        }
+        for &(_, score) in &out {
+            started |= adapt.observe(fleet.ensemble(), &[wave(t, t >= 150)], score);
+        }
+        if started {
+            break;
+        }
+    }
+    assert!(started, "drift never tripped a background re-fit");
+    let adapted = adapt.wait().expect("re-fit publishes an ensemble");
+    fleet.swap_ensemble(adapted);
+    assert_eq!(fleet.swap_count(), 1);
+
+    let drifted = TimeSeries::univariate((0..120).map(|t| wave(t, true)).collect());
+    let mean = |s: &[f32]| s.iter().sum::<f32>() / s.len() as f32;
+    let stale = mean(&fleet.retired_ensemble().expect("swapped").score(&drifted));
+    let fresh = mean(&fleet.ensemble().score(&drifted));
+    assert!(
+        fresh < stale,
+        "adapted model must score the drifted regime lower: {fresh} vs {stale}"
+    );
 }
