@@ -208,6 +208,18 @@ pub struct AdaptationController {
     last_checkpoint_error: Option<String>,
 }
 
+impl std::fmt::Debug for AdaptationController {
+    /// Operational state only — the reservoir holds raw observations.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptationController")
+            .field("cfg", &self.cfg)
+            .field("observed", &self.observed)
+            .field("refit_running", &self.worker.is_some())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
 impl AdaptationController {
     /// A controller for a fleet served by `live`, with the drift band
     /// calibrated from `baseline_scores` — the live ensemble's scores on
@@ -307,7 +319,7 @@ impl AdaptationController {
         let recent = self.reservoir.series();
         let opts = self.cfg.refit.clone();
         let checkpoint_path = self.cfg.checkpoint_path.clone();
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("cae-adapt-refit".to_string())
             .spawn(move || {
                 let adapted = snapshot.refit(&recent, &opts);
@@ -320,8 +332,16 @@ impl AdaptationController {
                 let checkpoint =
                     checkpoint_path.map(|path| adapted.save(&path).map_err(|e| e.to_string()));
                 (adapted, baseline, checkpoint)
-            })
-            .expect("failed to spawn the re-fit thread");
+            });
+        let handle = match spawned {
+            Ok(h) => h,
+            // Thread exhaustion must not take down the serving loop: the
+            // live ensemble keeps scoring, and a later tick retries.
+            Err(_) => {
+                self.stats.refits_failed += 1;
+                return false;
+            }
+        };
         self.worker = Some(handle);
         self.stats.refits_started += 1;
         self.last_refit_at = Some(self.observed);
@@ -349,6 +369,8 @@ impl AdaptationController {
     }
 
     fn finish(&mut self) -> Option<Arc<CaeEnsemble>> {
+        // cae-lint: allow(E1) — both callers (`poll`, `wait`) return
+        // early unless `self.worker` is `Some`.
         let handle = self.worker.take().expect("caller checked a worker exists");
         match handle.join() {
             Ok((adapted, baseline, checkpoint)) => {

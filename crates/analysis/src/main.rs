@@ -1,0 +1,130 @@
+//! `cae-lint`: the workspace safety/concurrency lint gate.
+//!
+//! Exit status: 0 when no rule fires, 1 on any finding, 2 on usage or
+//! I/O errors. See the crate docs ([`cae_analysis`]) for the rule set.
+
+use cae_analysis::{
+    find_workspace_root, findings_to_json, lint_file, workspace_rs_files, Finding, RULES,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    workspace: bool,
+    json: bool,
+    rules: bool,
+    root: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: cae-lint [--workspace] [--json] [--rules] [--root DIR] [FILE…]\n\
+     \n\
+     --workspace   lint every .rs file of the enclosing cargo workspace\n\
+     --json        machine-readable output (stable shape, see lib docs)\n\
+     --rules       print the rule catalog and exit\n\
+     --root DIR    anchor workspace-relative paths at DIR (default: the\n\
+                   nearest ancestor Cargo.toml with a [workspace] table)\n\
+     FILE…         lint specific files instead of the whole workspace"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        workspace: false,
+        json: false,
+        rules: false,
+        root: None,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--json" => opts.json = true,
+            "--rules" => opts.rules = true,
+            "--root" => {
+                let dir = args.next().ok_or("--root requires a directory")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    if !opts.rules && !opts.workspace && opts.files.is_empty() {
+        return Err("nothing to lint: pass --workspace or file paths".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("cae-lint: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.rules {
+        for rule in RULES {
+            println!("{:3}  {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = std::env::current_dir().expect("cwd");
+    let root = opts
+        .root
+        .clone()
+        .or_else(|| find_workspace_root(&cwd))
+        .unwrap_or(cwd);
+
+    let files = if opts.workspace {
+        match workspace_rs_files(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cae-lint: walking {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        opts.files.clone()
+    };
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for file in &files {
+        match lint_file(&root, file) {
+            Ok(found) => findings.extend(found),
+            Err(e) => {
+                eprintln!("cae-lint: {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    if opts.json {
+        println!("{}", findings_to_json(&findings, files.len()));
+    } else {
+        for f in &findings {
+            println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        }
+        println!(
+            "cae-lint: {} finding(s) across {} file(s)",
+            findings.len(),
+            files.len()
+        );
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

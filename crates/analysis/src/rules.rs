@@ -1,0 +1,601 @@
+//! The repo-specific lint rules.
+//!
+//! Each rule has a stable ID used in diagnostics, in the JSON output and
+//! in the `// cae-lint: allow(<rule>)` escape hatch. The rules encode the
+//! safety discipline the performance core (PRs 2–5) established by
+//! convention; see the README's "Static analysis & safety" section for
+//! the rationale of each.
+//!
+//! Path scoping uses workspace-relative paths with `/` separators. A
+//! fixture (or any file) can override its effective path for scoping
+//! with a `// cae-lint: path=<workspace-relative path>` directive on its
+//! first lines — the lint-tool test fixtures use this to exercise
+//! path-scoped rules from `crates/analysis/tests/fixtures/`.
+
+use crate::lexer::{lex, Lexed};
+
+/// A single rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule ID (`U1`, `U2`, `U3`, `C1`, `C2`, `E1`, `D1`).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Rule catalog entry, for `--rules` and the README table.
+#[derive(Debug)]
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+}
+
+/// Every rule the engine enforces, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "U1",
+        summary: "every `unsafe` block/fn/impl carries a `// SAFETY:` comment (or `# Safety` doc section)",
+    },
+    RuleInfo {
+        id: "U2",
+        summary: "core::arch / _mm* intrinsics only in cae-tensor's simd.rs and gemm.rs",
+    },
+    RuleInfo {
+        id: "U3",
+        summary: "no transmute, static mut, or mem::uninitialized anywhere",
+    },
+    RuleInfo {
+        id: "C1",
+        summary: "thread spawns only in the sanctioned modules (tensor::par, cae-adapt)",
+    },
+    RuleInfo {
+        id: "C2",
+        summary: "no Mutex/RwLock acquisition inside par-pool job closures",
+    },
+    RuleInfo {
+        id: "E1",
+        summary: "no unwrap/expect/panic in serving-path library code (cae-serve, cae-adapt, cae-core::persist)",
+    },
+    RuleInfo {
+        id: "D1",
+        summary: "no Instant::now/SystemTime in scoring/tick hot paths",
+    },
+];
+
+/// Lints one source file. `rel_path` is the workspace-relative path used
+/// for rule scoping and diagnostics (a `// cae-lint: path=…` directive in
+/// the source overrides it for scoping, keeping the real path in the
+/// diagnostics).
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let scope_path = path_override(src).unwrap_or_else(|| rel_path.to_string());
+    let allows = allow_lines(&lexed);
+    let mut findings = Vec::new();
+
+    rule_u1_safety_comments(&lexed, rel_path, &mut findings);
+    rule_u2_intrinsics_confined(&lexed, &scope_path, rel_path, &mut findings);
+    rule_u3_forbidden_constructs(&lexed, rel_path, &mut findings);
+    rule_c1_thread_spawn(&lexed, &scope_path, rel_path, &mut findings);
+    rule_c2_locks_in_pool_jobs(&lexed, &scope_path, rel_path, &mut findings);
+    rule_e1_no_panic_serving(&lexed, &scope_path, rel_path, &mut findings);
+    rule_d1_no_wall_clock(&lexed, &scope_path, rel_path, &mut findings);
+
+    findings.retain(|f| !allows.get(f.line).is_some_and(|a| allows_rule(a, f.rule)));
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings.dedup();
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Directives
+// ---------------------------------------------------------------------
+
+/// `// cae-lint: path=…` on one of the first lines of the file.
+fn path_override(src: &str) -> Option<String> {
+    for line in src.lines().take(5) {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("// cae-lint: path=") {
+            return Some(rest.trim().to_string());
+        }
+    }
+    None
+}
+
+/// For each line, the rules allowed on it.
+///
+/// A `// cae-lint: allow(R1, R2)` directive suppresses findings on its
+/// own line (trailing comment) and — when it sits on a pure-comment line
+/// — on the next line that has code (chained through further comment
+/// lines, so a reason can follow on its own comment line).
+fn allow_lines(lexed: &Lexed<'_>) -> Vec<Vec<String>> {
+    let n = lexed.lines.len();
+    let mut per_line: Vec<Vec<String>> = vec![Vec::new(); n];
+    for (i, info) in lexed.lines.iter().enumerate() {
+        let Some(rules) = parse_allow(&info.comment) else {
+            continue;
+        };
+        per_line[i].extend(rules.iter().cloned());
+        if info.pure_comment {
+            // Propagate to the next code line.
+            let mut j = i + 1;
+            while j < n && !lexed.lines[j].has_code {
+                j += 1;
+            }
+            if j < n {
+                per_line[j].extend(rules);
+            }
+        }
+    }
+    per_line
+}
+
+fn parse_allow(comment: &str) -> Option<Vec<String>> {
+    let at = comment.find("cae-lint: allow(")?;
+    let rest = &comment[at + "cae-lint: allow(".len()..];
+    let close = rest.find(')')?;
+    Some(
+        rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect(),
+    )
+}
+
+fn allows_rule(allowed: &[String], rule: &str) -> bool {
+    allowed.iter().any(|a| a == rule || a == "all")
+}
+
+// ---------------------------------------------------------------------
+// Path scoping helpers
+// ---------------------------------------------------------------------
+
+/// Test-ish file locations: integration tests, examples, benches, bins.
+/// Rules about production panics/spawns don't apply there.
+fn is_test_path(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    p.contains("/tests/")
+        || p.starts_with("tests/")
+        || p.contains("/examples/")
+        || p.starts_with("examples/")
+        || p.contains("/benches/")
+        || p.contains("/src/bin/")
+}
+
+fn is_intrinsics_sanctioned(path: &str) -> bool {
+    path == "crates/tensor/src/simd.rs" || path == "crates/tensor/src/gemm.rs"
+}
+
+fn is_spawn_sanctioned(path: &str) -> bool {
+    path == "crates/tensor/src/par.rs" || path.starts_with("crates/adapt/src/")
+}
+
+/// Serving-path library code: panics here take down a serving loop or
+/// corrupt a checkpoint load, so failures must be typed or allowlisted.
+fn is_serving_path(path: &str) -> bool {
+    path.starts_with("crates/serve/src/")
+        || path.starts_with("crates/adapt/src/")
+        || path == "crates/core/src/persist.rs"
+}
+
+/// Scoring/tick hot paths: wall-clock reads here make scores depend on
+/// the host's clock and break bit-exact replay.
+fn is_hot_path(path: &str) -> bool {
+    path.starts_with("crates/serve/src/")
+        || path.starts_with("crates/adapt/src/")
+        || path == "crates/core/src/streaming.rs"
+        || path == "crates/core/src/score.rs"
+        || path == "crates/data/src/detector.rs"
+        || path == "crates/data/src/drift.rs"
+}
+
+// ---------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------
+
+/// U1: every `unsafe` token must carry a `// SAFETY:` comment — on the
+/// same line, on the code line directly above (trailing comment), or as
+/// the comment block immediately above (attribute lines in between are
+/// skipped, blank lines are not).
+fn rule_u1_safety_comments(lexed: &Lexed<'_>, path: &str, findings: &mut Vec<Finding>) {
+    let mut last_flagged = 0usize;
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if t.text != "unsafe" || t.line == last_flagged {
+            continue;
+        }
+        // `unsafe fn(...)` — a fn-pointer *type*, not an unsafe
+        // operation: the contract lives at the call sites.
+        if lexed.tokens.get(i + 1).is_some_and(|n| n.text == "fn")
+            && lexed.tokens.get(i + 2).is_some_and(|n| n.text == "(")
+        {
+            continue;
+        }
+        if has_safety_comment(lexed, t.line) {
+            continue;
+        }
+        last_flagged = t.line;
+        findings.push(Finding {
+            rule: "U1",
+            path: path.to_string(),
+            line: t.line,
+            message: "`unsafe` without an immediately preceding `// SAFETY:` comment stating the invariant relied on".to_string(),
+        });
+    }
+}
+
+/// `// SAFETY: …` for blocks/impls, or the conventional `# Safety` doc
+/// section for `unsafe fn` declarations.
+fn is_safety_text(comment: &str) -> bool {
+    comment.contains("SAFETY:") || comment.contains("# Safety")
+}
+
+fn has_safety_comment(lexed: &Lexed<'_>, line: usize) -> bool {
+    if is_safety_text(&lexed.lines[line].comment) {
+        return true;
+    }
+    // Walk up: skip attribute lines, then require a contiguous comment
+    // block whose text mentions the safety contract.
+    let mut l = line.saturating_sub(1);
+    while l >= 1 && lexed.lines[l].attr_only {
+        l -= 1;
+    }
+    if l >= 1 && !lexed.lines[l].pure_comment {
+        // Code line directly above with a trailing SAFETY comment.
+        return is_safety_text(&lexed.lines[l].comment);
+    }
+    while l >= 1 && lexed.lines[l].pure_comment {
+        if is_safety_text(&lexed.lines[l].comment) {
+            return true;
+        }
+        l -= 1;
+    }
+    false
+}
+
+/// U2: SIMD intrinsics and `core::arch`/`std::arch` imports are confined
+/// to the two kernel modules.
+fn rule_u2_intrinsics_confined(
+    lexed: &Lexed<'_>,
+    scope_path: &str,
+    path: &str,
+    findings: &mut Vec<Finding>,
+) {
+    if is_intrinsics_sanctioned(scope_path) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let arch_path = t.text == "arch"
+            && i >= 3
+            && toks[i - 1].text == ":"
+            && toks[i - 2].text == ":"
+            && matches!(toks[i - 3].text, "core" | "std");
+        let intrinsic = t.text.starts_with("_mm") && t.is_ident();
+        if intrinsic || arch_path {
+            findings.push(Finding {
+                rule: "U2",
+                path: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` outside the sanctioned SIMD modules (crates/tensor/src/{{simd,gemm}}.rs)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// U3: constructs that are banned workspace-wide, tests included.
+fn rule_u3_forbidden_constructs(lexed: &Lexed<'_>, path: &str, findings: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let bad = match t.text {
+            "transmute" | "transmute_copy" => Some("mem::transmute bypasses every type-level invariant; use typed conversions or raw-pointer casts with a SAFETY contract"),
+            "uninitialized" => Some("mem::uninitialized is instant UB; use MaybeUninit"),
+            "static" if toks.get(i + 1).is_some_and(|n| n.text == "mut") => {
+                Some("static mut is unsynchronized shared mutable state; use atomics or OnceLock")
+            }
+            _ => None,
+        };
+        if let Some(why) = bad {
+            findings.push(Finding {
+                rule: "U3",
+                path: path.to_string(),
+                line: t.line,
+                message: format!("forbidden construct `{}`: {why}", t.text),
+            });
+        }
+    }
+}
+
+/// C1: thread spawns (`thread::spawn`, `Builder::spawn`) only in the
+/// sanctioned modules. Test code may spawn freely.
+fn rule_c1_thread_spawn(
+    lexed: &Lexed<'_>,
+    scope_path: &str,
+    path: &str,
+    findings: &mut Vec<Finding>,
+) {
+    if is_spawn_sanctioned(scope_path) || is_test_path(scope_path) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "spawn" || t.in_test {
+            continue;
+        }
+        // A call: `spawn` preceded by `.` or `::` and followed by `(`.
+        let called = toks.get(i + 1).is_some_and(|n| n.text == "(");
+        let reached = i >= 1 && matches!(toks[i - 1].text, "." | ":");
+        if called && reached {
+            findings.push(Finding {
+                rule: "C1",
+                path: path.to_string(),
+                line: t.line,
+                message: "thread spawn outside the sanctioned modules (cae_tensor::par, cae-adapt); route parallelism through the worker pool".to_string(),
+            });
+        }
+    }
+}
+
+/// C2: no lock acquisition inside par-pool job closures. The pool runs
+/// one job at a time and the submitter participates; a lock shared with
+/// the submitting side inverts the pool's ordering assumptions and can
+/// deadlock (and any contended lock serializes the fan-out).
+fn rule_c2_locks_in_pool_jobs(
+    lexed: &Lexed<'_>,
+    scope_path: &str,
+    path: &str,
+    findings: &mut Vec<Finding>,
+) {
+    // The pool implementation itself synchronizes with its own mutex —
+    // outside job closures — and is reviewed under U1/U3 instead.
+    if scope_path == "crates/tensor/src/par.rs" || is_test_path(scope_path) {
+        return;
+    }
+    const FAN_OUT: &[&str] = &[
+        "for_each_chunk",
+        "for_each_index",
+        "map_indexed",
+        "map_indexed_min",
+    ];
+    let toks = &lexed.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = toks[i];
+        if !(FAN_OUT.contains(&t.text) && toks.get(i + 1).is_some_and(|n| n.text == "(")) {
+            i += 1;
+            continue;
+        }
+        // Span of the call's argument list (matching paren).
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < toks.len() {
+            match toks[j].text {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for k in i + 2..j {
+            let tk = toks[k];
+            let lock_call = tk.text == "lock"
+                && k >= 1
+                && toks[k - 1].text == "."
+                && toks.get(k + 1).is_some_and(|n| n.text == "(");
+            let lock_type = matches!(tk.text, "Mutex" | "RwLock");
+            if lock_call || lock_type {
+                findings.push(Finding {
+                    rule: "C2",
+                    path: path.to_string(),
+                    line: tk.line,
+                    message: format!(
+                        "`{}` inside a `{}` pool-job closure: pool jobs must write disjoint outputs, not synchronize",
+                        tk.text, t.text
+                    ),
+                });
+            }
+        }
+        i = j + 1;
+    }
+}
+
+/// E1: serving-path library code must not panic on fallible paths.
+fn rule_e1_no_panic_serving(
+    lexed: &Lexed<'_>,
+    scope_path: &str,
+    path: &str,
+    findings: &mut Vec<Finding>,
+) {
+    if !is_serving_path(scope_path) || is_test_path(scope_path) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let method = matches!(t.text, "unwrap" | "expect")
+            && i >= 1
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|n| n.text == "(");
+        let macro_panic = matches!(t.text, "panic" | "unreachable" | "todo" | "unimplemented")
+            && toks.get(i + 1).is_some_and(|n| n.text == "!");
+        if method || macro_panic {
+            findings.push(Finding {
+                rule: "E1",
+                path: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` in serving-path library code: return a typed error, or allowlist with `// cae-lint: allow(E1)` and the invariant that makes it infallible",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// D1: no wall-clock reads in scoring/tick hot paths.
+fn rule_d1_no_wall_clock(
+    lexed: &Lexed<'_>,
+    scope_path: &str,
+    path: &str,
+    findings: &mut Vec<Finding>,
+) {
+    if !is_hot_path(scope_path) || is_test_path(scope_path) {
+        return;
+    }
+    for t in &lexed.tokens {
+        if t.in_test {
+            continue;
+        }
+        if matches!(t.text, "Instant" | "SystemTime") {
+            findings.push(Finding {
+                rule: "D1",
+                path: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` in a scoring/tick hot path: wall-clock reads break deterministic replay; thread timestamps in from the caller",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(path: &str, src: &str) -> Vec<(&'static str, usize)> {
+        lint_source(path, src)
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn u1_flags_bare_unsafe_and_accepts_safety() {
+        let bad = "fn f() {\n    unsafe { work() }\n}\n";
+        assert_eq!(rules_of("crates/x/src/lib.rs", bad), vec![("U1", 2)]);
+
+        let good = "fn f() {\n    // SAFETY: work() is sound because …\n    unsafe { work() }\n}\n";
+        assert!(rules_of("crates/x/src/lib.rs", good).is_empty());
+
+        let with_attr = "// SAFETY: caller detected avx2\n#[target_feature(enable = \"avx2\")]\nunsafe fn g() {}\n";
+        assert!(rules_of("crates/x/src/lib.rs", with_attr).is_empty());
+
+        let blank_line_breaks = "// SAFETY: stale\n\nfn f() { unsafe { w() } }\n";
+        assert_eq!(
+            rules_of("crates/x/src/lib.rs", blank_line_breaks),
+            vec![("U1", 3)]
+        );
+
+        // An `unsafe fn(...)` fn-pointer *type* is not an operation.
+        let fn_ptr_type = "struct S {\n    hook: unsafe fn(*const (), usize),\n}\n";
+        assert!(rules_of("crates/x/src/lib.rs", fn_ptr_type).is_empty());
+
+        // A `# Safety` doc section satisfies U1 for unsafe fn decls.
+        let doc_section = "/// Does things.\n///\n/// # Safety\n///\n/// Caller must check X.\nunsafe fn g() {}\n";
+        assert!(rules_of("crates/x/src/lib.rs", doc_section).is_empty());
+    }
+
+    #[test]
+    fn u2_scopes_to_kernel_modules() {
+        let src = "use core::arch::x86_64::*;\nfn f() { let v = _mm256_setzero_ps(); }\n";
+        let found = rules_of("crates/nn/src/linear.rs", src);
+        assert_eq!(found, vec![("U2", 1), ("U2", 2)]);
+        assert!(rules_of("crates/tensor/src/simd.rs", src).is_empty());
+        assert!(rules_of("crates/tensor/src/gemm.rs", src).is_empty());
+    }
+
+    #[test]
+    fn u3_flags_the_banned_constructs() {
+        let src =
+            "static mut G: u32 = 0;\nfn f() { let x = std::mem::transmute::<u32, f32>(1); }\n";
+        let found = rules_of("crates/x/src/lib.rs", src);
+        assert!(found.contains(&("U3", 1)));
+        assert!(found.contains(&("U3", 2)));
+    }
+
+    #[test]
+    fn c1_exempts_sanctioned_modules_and_tests() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(
+            rules_of("crates/core/src/ensemble.rs", src),
+            vec![("C1", 1)]
+        );
+        assert!(rules_of("crates/tensor/src/par.rs", src).is_empty());
+        assert!(rules_of("crates/adapt/src/lib.rs", src).is_empty());
+        assert!(rules_of("crates/serve/tests/race_stress.rs", src).is_empty());
+
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(rules_of("crates/core/src/ensemble.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn c2_flags_locks_inside_fan_out_closures() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) {\n    par::for_each_index(4, |i| {\n        let _g = m.lock();\n    });\n}\n";
+        assert_eq!(
+            rules_of("crates/baselines/src/lof.rs", src),
+            vec![("C2", 3)]
+        );
+        // A lock outside the closure span is fine.
+        let outside = "fn f(m: &std::sync::Mutex<u32>) {\n    let _g = m.lock();\n    par::for_each_index(4, |i| { work(i); });\n}\n";
+        assert!(rules_of("crates/baselines/src/lof.rs", outside).is_empty());
+    }
+
+    #[test]
+    fn e1_scopes_to_serving_path_crates() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rules_of("crates/serve/src/lib.rs", src), vec![("E1", 1)]);
+        assert_eq!(rules_of("crates/core/src/persist.rs", src), vec![("E1", 1)]);
+        assert!(rules_of("crates/core/src/ensemble.rs", src).is_empty());
+        assert!(rules_of("crates/metrics/src/auc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d1_scopes_to_hot_paths() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(rules_of("crates/serve/src/lib.rs", src), vec![("D1", 1)]);
+        assert_eq!(
+            rules_of("crates/core/src/streaming.rs", src),
+            vec![("D1", 1)]
+        );
+        assert!(rules_of("crates/bench/src/bin/perf_report.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_trailing_and_next_line() {
+        let trailing =
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() } // cae-lint: allow(E1) slot checked\n";
+        assert!(rules_of("crates/serve/src/lib.rs", trailing).is_empty());
+
+        let above = "// cae-lint: allow(E1) — generation tag proves liveness\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(rules_of("crates/serve/src/lib.rs", above).is_empty());
+
+        // The wrong rule ID does not suppress.
+        let wrong = "// cae-lint: allow(U1)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rules_of("crates/serve/src/lib.rs", wrong), vec![("E1", 2)]);
+    }
+
+    #[test]
+    fn path_directive_overrides_scoping_but_not_diagnostics() {
+        let src = "// cae-lint: path=crates/serve/src/lib.rs\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let found = lint_source("crates/analysis/tests/fixtures/e1.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "E1");
+        assert_eq!(found[0].line, 2);
+        assert_eq!(found[0].path, "crates/analysis/tests/fixtures/e1.rs");
+    }
+}

@@ -1,0 +1,7 @@
+// cae-lint: path=crates/metrics/src/lib.rs
+//! C1 fixture: a thread spawn outside the sanctioned modules.
+
+pub fn fan_out() -> u32 {
+    let worker = std::thread::spawn(|| 1 + 1);
+    worker.join().unwrap_or(0)
+}

@@ -1,0 +1,9 @@
+// cae-lint: path=crates/core/src/ensemble.rs
+//! C2 fixture: lock acquisition inside a par-pool job closure.
+
+pub fn accumulate(totals: &std::sync::Mutex<f32>) {
+    par::map_indexed(8, |i| {
+        let mut guard = totals.lock();
+        *guard += i as f32;
+    });
+}

@@ -1,0 +1,7 @@
+// cae-lint: path=crates/core/src/streaming.rs
+//! D1 fixture: a wall-clock read in a scoring hot path.
+
+pub fn tick_micros() -> u64 {
+    let t0 = std::time::Instant::now();
+    u64::from(t0.elapsed().subsec_micros())
+}

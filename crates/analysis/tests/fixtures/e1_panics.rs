@@ -1,0 +1,10 @@
+// cae-lint: path=crates/serve/src/lib.rs
+//! E1 fixture: panicking calls in serving-path library code.
+
+pub fn head(xs: &[f32]) -> f32 {
+    let first = *xs.first().unwrap();
+    if !first.is_finite() {
+        panic!("non-finite head");
+    }
+    first
+}

@@ -1,0 +1,6 @@
+// cae-lint: path=crates/demo/src/lib.rs
+//! U1 fixture: a bare `unsafe` block with no SAFETY comment.
+
+pub fn first(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}

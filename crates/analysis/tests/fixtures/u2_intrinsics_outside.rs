@@ -1,0 +1,7 @@
+// cae-lint: path=crates/core/src/score.rs
+//! U2 fixture: an AVX2 intrinsic named outside simd.rs/gemm.rs.
+
+pub fn zero() -> f32 {
+    let _setzero = _mm256_setzero_ps;
+    0.0
+}

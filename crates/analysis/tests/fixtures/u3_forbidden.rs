@@ -1,0 +1,9 @@
+// cae-lint: path=crates/demo/src/lib.rs
+//! U3 fixture: forbidden constructs.
+
+static mut COUNTER: u32 = 0;
+
+pub fn reinterpret(x: u32) -> f32 {
+    // SAFETY: fixture text only — this file is never compiled.
+    unsafe { std::mem::transmute(x) }
+}

@@ -1,0 +1,142 @@
+//! End-to-end fixture tests for `cae-lint`.
+//!
+//! Each fixture under `tests/fixtures/` seeds exactly the violations its
+//! name describes (the directory is excluded from `--workspace` walks for
+//! that reason) and redirects rule scoping to a production path with a
+//! `// cae-lint: path=…` directive on its first line. The tests pin the
+//! exact rule IDs and line numbers, the JSON document shape, the allow
+//! suppression semantics, and the binary's exit codes.
+
+use cae_analysis::{find_workspace_root, findings_to_json, lint_file};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+}
+
+/// `(rule, line)` pairs for one fixture, in report order.
+fn lint(name: &str) -> Vec<(&'static str, usize)> {
+    lint_file(&workspace_root(), &fixture(name))
+        .expect("fixture readable")
+        .iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    assert_eq!(lint("clean.rs"), []);
+}
+
+#[test]
+fn each_rule_fires_at_its_seeded_line() {
+    assert_eq!(lint("u1_missing_safety.rs"), [("U1", 5)]);
+    assert_eq!(lint("u2_intrinsics_outside.rs"), [("U2", 5)]);
+    assert_eq!(lint("u3_forbidden.rs"), [("U3", 4), ("U3", 8)]);
+    assert_eq!(lint("c1_spawn.rs"), [("C1", 5)]);
+    assert_eq!(lint("c2_lock_in_job.rs"), [("C2", 6)]);
+    assert_eq!(lint("e1_panics.rs"), [("E1", 5), ("E1", 7)]);
+    assert_eq!(lint("d1_wall_clock.rs"), [("D1", 5)]);
+}
+
+#[test]
+fn allow_directive_suppresses_trailing_and_preceding_but_not_mismatched() {
+    // Lines 6 and 12 are allowed (trailing / preceding comment chain);
+    // line 17's `allow(U1)` names the wrong rule, so E1 still fires.
+    assert_eq!(lint("allow_suppression.rs"), [("E1", 17)]);
+}
+
+#[test]
+fn findings_report_the_real_file_path_not_the_override() {
+    let findings = lint_file(&workspace_root(), &fixture("e1_panics.rs")).expect("readable");
+    for f in &findings {
+        assert_eq!(f.path, "crates/analysis/tests/fixtures/e1_panics.rs");
+    }
+}
+
+#[test]
+fn json_document_has_the_stable_shape() {
+    let findings = lint_file(&workspace_root(), &fixture("e1_panics.rs")).expect("readable");
+    let json = findings_to_json(&findings, 1);
+    assert!(json.contains("\"files_scanned\": 1"), "{json}");
+    assert!(json.contains("\"rule\": \"E1\""), "{json}");
+    assert!(json.contains("\"line\": 5"), "{json}");
+    assert!(json.contains("\"line\": 7"), "{json}");
+    assert!(
+        json.contains("\"path\": \"crates/analysis/tests/fixtures/e1_panics.rs\""),
+        "{json}"
+    );
+}
+
+fn run_lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cae-lint"))
+        .current_dir(workspace_root())
+        .args(args)
+        .output()
+        .expect("cae-lint runs")
+}
+
+#[test]
+fn binary_exits_zero_on_clean_input() {
+    let clean = fixture("clean.rs");
+    let out = run_lint(&[clean.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("0 finding(s) across 1 file(s)"), "{stdout}");
+}
+
+#[test]
+fn binary_exits_one_on_findings_with_file_line_diagnostics() {
+    let bad = fixture("e1_panics.rs");
+    let out = run_lint(&[bad.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(
+        stdout.contains("crates/analysis/tests/fixtures/e1_panics.rs:5: [E1]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("2 finding(s) across 1 file(s)"), "{stdout}");
+}
+
+#[test]
+fn binary_json_mode_emits_the_document() {
+    let bad = fixture("e1_panics.rs");
+    let out = run_lint(&["--json", bad.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"findings\": ["), "{stdout}");
+    assert!(stdout.contains("\"rule\": \"E1\""), "{stdout}");
+}
+
+#[test]
+fn binary_exits_two_on_usage_errors() {
+    assert_eq!(run_lint(&["--no-such-flag"]).status.code(), Some(2));
+    assert_eq!(run_lint(&[]).status.code(), Some(2));
+}
+
+#[test]
+fn binary_rules_catalog_lists_every_rule() {
+    let out = run_lint(&["--rules"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    for id in ["U1", "U2", "U3", "C1", "C2", "E1", "D1"] {
+        assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
+    }
+}
+
+/// The real workspace must stay lint-clean: this is the same gate CI runs
+/// via `cargo run -p cae-analysis -- --workspace`.
+#[test]
+fn workspace_is_lint_clean() {
+    let out = run_lint(&["--workspace"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "findings:\n{stdout}");
+}

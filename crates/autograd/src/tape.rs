@@ -87,6 +87,16 @@ pub struct Tape {
     pub(crate) grads: Vec<Option<Tensor>>,
 }
 
+impl std::fmt::Debug for Tape {
+    /// Arena sizes only — a tape holds every intermediate tensor of a pass.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tape")
+            .field("nodes", &self.values.len())
+            .field("grads", &self.grads.iter().filter(|g| g.is_some()).count())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Default for Tape {
     fn default() -> Self {
         Self::new()

@@ -129,6 +129,16 @@ pub struct AeEnsemble {
     members: Vec<Member>,
 }
 
+impl std::fmt::Debug for AeEnsemble {
+    /// Config and member count only — members hold full parameter sets.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AeEnsemble")
+            .field("cfg", &self.cfg)
+            .field("members", &self.members.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl AeEnsemble {
     /// An ensemble with the given configuration.
     pub fn new(cfg: AeEnsembleConfig) -> Self {

@@ -125,6 +125,17 @@ pub struct IsolationForest {
     subsample: usize,
 }
 
+impl std::fmt::Debug for IsolationForest {
+    /// Config and forest size only — trees are deep recursive structures.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IsolationForest")
+            .field("cfg", &self.cfg)
+            .field("trees", &self.trees.len())
+            .field("subsample", &self.subsample)
+            .finish_non_exhaustive()
+    }
+}
+
 impl IsolationForest {
     /// A forest with the given configuration.
     pub fn new(cfg: IsolationForestConfig) -> Self {

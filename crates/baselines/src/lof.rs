@@ -55,6 +55,18 @@ pub struct LocalOutlierFactor {
     k_dist: Vec<f64>,
 }
 
+impl std::fmt::Debug for LocalOutlierFactor {
+    /// Config and reference-set size only — the reference matrix is the
+    /// training data itself.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalOutlierFactor")
+            .field("cfg", &self.cfg)
+            .field("reference_points", &self.lrd.len())
+            .field("dim", &self.dim)
+            .finish_non_exhaustive()
+    }
+}
+
 impl LocalOutlierFactor {
     /// LOF with the given configuration.
     pub fn new(cfg: LofConfig) -> Self {
@@ -149,7 +161,7 @@ impl Detector for LocalOutlierFactor {
         // worker instead of waking the whole pool for tiny point sets.
         let k_dist: Vec<f64> = par::map_indexed_min(m, MIN_POINTS_PER_WORKER, |i| {
             let nb = self.knn(self.point(i), Some(i));
-            nb.last().map(|&(d, _)| d).unwrap_or(0.0)
+            nb.last().map_or(0.0, |&(d, _)| d)
         });
         self.k_dist = k_dist;
 

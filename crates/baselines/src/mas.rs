@@ -21,6 +21,7 @@ impl Default for MovingAverageConfig {
 }
 
 /// The MAS baseline.
+#[derive(Debug)]
 pub struct MovingAverage {
     cfg: MovingAverageConfig,
     scaler: Option<Scaler>,

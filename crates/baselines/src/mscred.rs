@@ -71,6 +71,18 @@ pub struct Mscred {
     store: ParamStore,
 }
 
+impl std::fmt::Debug for Mscred {
+    /// Config and signature channels only — the store holds the full
+    /// encoder/decoder parameter set.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mscred")
+            .field("cfg", &self.cfg)
+            .field("channels", &self.channels)
+            .field("fitted", &self.encoder.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Mscred {
     /// MSCRED with the given configuration.
     pub fn new(cfg: MscredConfig) -> Self {

@@ -62,6 +62,17 @@ pub struct OneClassSvm {
     dim: usize,
 }
 
+impl std::fmt::Debug for OneClassSvm {
+    /// Config and model shape only — the RFF projection is `R × D` floats.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OneClassSvm")
+            .field("cfg", &self.cfg)
+            .field("rho", &self.rho)
+            .field("dim", &self.dim)
+            .finish_non_exhaustive()
+    }
+}
+
 impl OneClassSvm {
     /// OCSVM with the given configuration.
     pub fn new(cfg: OcsvmConfig) -> Self {

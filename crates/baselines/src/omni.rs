@@ -185,6 +185,16 @@ pub struct OmniAnomaly {
     net: Option<(OmniNet, ParamStore)>,
 }
 
+impl std::fmt::Debug for OmniAnomaly {
+    /// Config and fit state only — the net holds a full parameter set.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OmniAnomaly")
+            .field("cfg", &self.cfg)
+            .field("fitted", &self.net.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl OmniAnomaly {
     /// OmniAnomaly with the given configuration.
     pub fn new(cfg: OmniConfig) -> Self {

@@ -257,6 +257,16 @@ pub struct Rae {
     member: Option<(RaeNet, ParamStore)>,
 }
 
+impl std::fmt::Debug for Rae {
+    /// Config and fit state only — the member holds a full parameter set.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rae")
+            .field("cfg", &self.cfg)
+            .field("fitted", &self.member.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Rae {
     /// An RAE with the given configuration.
     pub fn new(cfg: RaeConfig) -> Self {
@@ -340,6 +350,16 @@ pub struct RaeEnsemble {
     cfg: RaeEnsembleConfig,
     scaler: Option<Scaler>,
     members: Vec<(RaeNet, ParamStore)>,
+}
+
+impl std::fmt::Debug for RaeEnsemble {
+    /// Config and member count only — members hold full parameter sets.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RaeEnsemble")
+            .field("cfg", &self.cfg)
+            .field("members", &self.members.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl RaeEnsemble {

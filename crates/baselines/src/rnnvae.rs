@@ -208,6 +208,16 @@ pub struct RnnVae {
     net: Option<(VaeNet, ParamStore)>,
 }
 
+impl std::fmt::Debug for RnnVae {
+    /// Config and fit state only — the net holds a full parameter set.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RnnVae")
+            .field("cfg", &self.cfg)
+            .field("fitted", &self.net.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl RnnVae {
     /// RNNVAE with the given configuration.
     pub fn new(cfg: RnnVaeConfig) -> Self {

@@ -19,7 +19,7 @@ fn bench_median_aggregation(c: &mut Criterion) {
     cae_bench::init_parallelism();
     let per_model = random_scores(8, 10_000, 1);
     c.bench_function("median_scores_8x10k", |bench| {
-        bench.iter(|| black_box(median_scores(black_box(&per_model))))
+        bench.iter(|| black_box(median_scores(black_box(&per_model))));
     });
 }
 
@@ -36,7 +36,7 @@ fn bench_window_protocol(c: &mut Criterion) {
                 n_win,
                 w,
             ))
-        })
+        });
     });
 }
 
@@ -44,10 +44,10 @@ fn bench_diversity_metric(c: &mut Criterion) {
     cae_bench::init_parallelism();
     let outputs = random_scores(8, 50_000, 3);
     c.bench_function("pairwise_diversity_50k", |bench| {
-        bench.iter(|| black_box(pairwise_diversity(black_box(&outputs[0]), &outputs[1])))
+        bench.iter(|| black_box(pairwise_diversity(black_box(&outputs[0]), &outputs[1])));
     });
     c.bench_function("ensemble_diversity_8x50k", |bench| {
-        bench.iter(|| black_box(ensemble_diversity(black_box(&outputs))))
+        bench.iter(|| black_box(ensemble_diversity(black_box(&outputs))));
     });
 }
 

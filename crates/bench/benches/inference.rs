@@ -54,7 +54,7 @@ fn bench_batch_scoring(c: &mut Criterion) {
     let ens = fitted(8, 5);
     let series = train_series(8, 256);
     c.bench_function("batch_score_256_obs", |bench| {
-        bench.iter(|| black_box(ens.score(black_box(&series))))
+        bench.iter(|| black_box(ens.score(black_box(&series))));
     });
 }
 

@@ -14,13 +14,13 @@ fn bench_matmul(c: &mut Criterion) {
     let a = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
     let b = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
     c.bench_function("matmul_64x64", |bench| {
-        bench.iter(|| black_box(a.matmul(black_box(&b))))
+        bench.iter(|| black_box(a.matmul(black_box(&b))));
     });
 
     let big_a = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut rng);
     let big_b = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut rng);
     c.bench_function("matmul_256x256", |bench| {
-        bench.iter(|| black_box(big_a.matmul(black_box(&big_b))))
+        bench.iter(|| black_box(big_a.matmul(black_box(&big_b))));
     });
 }
 
@@ -31,11 +31,11 @@ fn bench_bmm(c: &mut Criterion) {
     let z = Tensor::rand_uniform(&[32, 16, 32], -1.0, 1.0, &mut rng);
     let e = Tensor::rand_uniform(&[32, 16, 32], -1.0, 1.0, &mut rng);
     c.bench_function("bmm_nt_attention_scores", |bench| {
-        bench.iter(|| black_box(z.bmm_nt(black_box(&e))))
+        bench.iter(|| black_box(z.bmm_nt(black_box(&e))));
     });
     let scores = Tensor::rand_uniform(&[32, 16, 16], -1.0, 1.0, &mut rng).softmax_last();
     c.bench_function("bmm_attention_context", |bench| {
-        bench.iter(|| black_box(scores.bmm(black_box(&e))))
+        bench.iter(|| black_box(scores.bmm(black_box(&e))));
     });
 }
 
@@ -46,15 +46,15 @@ fn bench_conv1d(c: &mut Criterion) {
     let x = Tensor::rand_uniform(&[32, 32, 16], -1.0, 1.0, &mut rng);
     let w = Tensor::rand_uniform(&[32, 32, 3], -1.0, 1.0, &mut rng);
     c.bench_function("conv1d_same_forward", |bench| {
-        bench.iter(|| black_box(x.conv1d(black_box(&w), Padding::Same)))
+        bench.iter(|| black_box(x.conv1d(black_box(&w), Padding::Same)));
     });
     c.bench_function("conv1d_causal_forward", |bench| {
-        bench.iter(|| black_box(x.conv1d(black_box(&w), Padding::Causal)))
+        bench.iter(|| black_box(x.conv1d(black_box(&w), Padding::Causal)));
     });
 
     let g = Tensor::rand_uniform(&[32, 32, 16], -1.0, 1.0, &mut rng);
     c.bench_function("conv1d_input_grad", |bench| {
-        bench.iter(|| black_box(Tensor::conv1d_input_grad(black_box(&g), &w, Padding::Same)))
+        bench.iter(|| black_box(Tensor::conv1d_input_grad(black_box(&g), &w, Padding::Same)));
     });
     c.bench_function("conv1d_kernel_grad", |bench| {
         bench.iter(|| {
@@ -64,7 +64,7 @@ fn bench_conv1d(c: &mut Criterion) {
                 3,
                 Padding::Same,
             ))
-        })
+        });
     });
 }
 
@@ -73,7 +73,7 @@ fn bench_softmax(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     let x = Tensor::rand_uniform(&[32, 16, 16], -5.0, 5.0, &mut rng);
     c.bench_function("softmax_last_attention", |bench| {
-        bench.iter(|| black_box(black_box(&x).softmax_last()))
+        bench.iter(|| black_box(black_box(&x).softmax_last()));
     });
 }
 

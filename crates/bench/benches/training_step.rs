@@ -37,7 +37,7 @@ fn bench_single_model_epoch(c: &mut Criterion) {
             let mut ens = CaeEnsemble::new(mc, ec);
             ens.fit(black_box(&series));
             black_box(ens.num_members())
-        })
+        });
     });
 
     c.bench_function("rae_train_1_epoch", |bench| {
@@ -51,8 +51,8 @@ fn bench_single_model_epoch(c: &mut Criterion) {
                 ..RaeConfig::default()
             });
             rae.fit(black_box(&series));
-            black_box(())
-        })
+            black_box(());
+        });
     });
 }
 
@@ -74,7 +74,7 @@ fn bench_parameter_transfer_effect(c: &mut Criterion) {
                 let mut ens = CaeEnsemble::new(mc, ec);
                 ens.fit(black_box(&series));
                 black_box(ens.num_members())
-            })
+            });
         });
     }
 }

@@ -216,9 +216,7 @@ fn main() {
         simd::set_force_scalar(true);
     }
     let budget = Duration::from_millis(
-        arg_value("--budget-ms")
-            .map(|v| v.parse::<u64>().expect("invalid --budget-ms"))
-            .unwrap_or(100),
+        arg_value("--budget-ms").map_or(100, |v| v.parse::<u64>().expect("invalid --budget-ms")),
     );
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_tensor.json".to_string());
     let threads = par::threads();
@@ -482,9 +480,9 @@ fn main() {
 
     // --- Optional regression gate ----------------------------------------
     if let Some(baseline_path) = arg_value("--baseline") {
-        let max_regress_pct = arg_value("--max-regress-pct")
-            .map(|v| v.parse::<f64>().expect("invalid --max-regress-pct"))
-            .unwrap_or(15.0);
+        let max_regress_pct = arg_value("--max-regress-pct").map_or(15.0, |v| {
+            v.parse::<f64>().expect("invalid --max-regress-pct")
+        });
         if compare_to_baseline(&results, &baseline_path, max_regress_pct) {
             eprintln!("perf regression beyond {max_regress_pct}% detected");
             std::process::exit(1);

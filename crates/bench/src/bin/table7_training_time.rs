@@ -94,6 +94,6 @@ fn main() {
     rows.push(rae_ratio);
     rows.push(cae_ratio);
 
-    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     print_table("Table 7 — training time (seconds)", &header_refs, &rows);
 }

@@ -57,7 +57,7 @@ fn main() {
         println!("  {} done", kind.name());
     }
 
-    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     print_table(
         "Table 8 — online inference time per window (ms)",
         &header_refs,

@@ -185,6 +185,15 @@ pub struct Named<D: Detector> {
     inner: D,
 }
 
+impl<D: Detector> std::fmt::Debug for Named<D> {
+    /// Display name only — `Detector` does not require `Debug`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Named")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<D: Detector> Named<D> {
     /// Renames `inner` for table output.
     pub fn new(name: impl Into<String>, inner: D) -> Self {
@@ -245,11 +254,11 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut out = String::new();
         for (w, cell) in widths.iter().zip(cells.iter()) {
-            out.push_str(&format!("{cell:<width$}  ", width = w));
+            out.push_str(&format!("{cell:<w$}  "));
         }
         println!("{}", out.trim_end());
     };
-    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&header.iter().map(ToString::to_string).collect::<Vec<_>>());
     line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);

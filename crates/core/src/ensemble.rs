@@ -86,6 +86,17 @@ pub struct CaeEnsemble {
     loss_trace: Vec<(usize, usize, f32, f32)>,
 }
 
+impl std::fmt::Debug for CaeEnsemble {
+    /// Configs and member count only — members hold full parameter sets.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaeEnsemble")
+            .field("model_cfg", &self.model_cfg)
+            .field("cfg", &self.cfg)
+            .field("members", &self.members.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl CaeEnsemble {
     /// A detector with the given architecture and training configuration.
     pub fn new(model_cfg: CaeConfig, cfg: EnsembleConfig) -> Self {
@@ -221,7 +232,7 @@ impl CaeEnsemble {
                 let mut k_val = 0.0f32;
                 let loss = if let Some(mean_recon) = anchor {
                     // F(X) for this batch, from the anchor cache.
-                    let mut f = cae_tensor::scratch::take_zeroed(chunk.len() * w * rd);
+                    let mut f = scratch::take_zeroed(chunk.len() * w * rd);
                     for (row, &i) in chunk.iter().enumerate() {
                         f[row * w * rd..(row + 1) * w * rd]
                             .copy_from_slice(&mean_recon[i * w * rd..(i + 1) * w * rd]);
@@ -805,7 +816,7 @@ mod tests {
         let per = ens.member_scores(&series);
         assert_eq!(per.len(), 3);
         let median = ens.score(&series);
-        let manual = crate::score::median_scores(&per);
+        let manual = median_scores(&per);
         assert_eq!(median, manual);
         let partial = ens.score_with_first_members(&series, 2);
         assert_eq!(partial.len(), 120);

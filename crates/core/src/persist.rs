@@ -330,6 +330,7 @@ impl<'a> Cursor<'a> {
 
     fn u64(&mut self, what: &str) -> Result<u64, PersistError> {
         let b = self.bytes(8, what)?;
+        // cae-lint: allow(E1) — `bytes(8, …)` returned exactly 8 bytes.
         Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
     }
 
@@ -341,11 +342,13 @@ impl<'a> Cursor<'a> {
 
     fn f32(&mut self, what: &str) -> Result<f32, PersistError> {
         let b = self.bytes(4, what)?;
+        // cae-lint: allow(E1) — `bytes(4, …)` returned exactly 4 bytes.
         Ok(f32::from_le_bytes(b.try_into().expect("4-byte slice")))
     }
 
     fn f64(&mut self, what: &str) -> Result<f64, PersistError> {
         let b = self.bytes(8, what)?;
+        // cae-lint: allow(E1) — `bytes(8, …)` returned exactly 8 bytes.
         Ok(f64::from_le_bytes(b.try_into().expect("8-byte slice")))
     }
 
@@ -360,6 +363,7 @@ impl<'a> Cursor<'a> {
         )?;
         Ok(raw
             .chunks_exact(4)
+            // cae-lint: allow(E1) — `chunks_exact(4)` yields 4-byte chunks.
             .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
             .collect())
     }
@@ -445,11 +449,13 @@ pub(crate) fn decode_ensemble(buf: &[u8]) -> Result<EnsembleParts, PersistError>
     if buf[..MAGIC.len()] != MAGIC {
         return Err(PersistError::BadMagic);
     }
+    // cae-lint: allow(E1) — `buf[4..8]` is exactly 4 bytes (length checked above).
     let version = u32::from_le_bytes(buf[4..8].try_into().expect("4-byte slice"));
     if version > FORMAT_VERSION {
         return Err(PersistError::UnsupportedVersion(version));
     }
     let body_end = buf.len() - 8;
+    // cae-lint: allow(E1) — `buf[body_end..]` is exactly the 8 trailing checksum bytes.
     let stored = u64::from_le_bytes(buf[body_end..].try_into().expect("8-byte slice"));
     if fnv1a(&buf[..body_end]) != stored {
         return Err(PersistError::ChecksumMismatch);

@@ -37,6 +37,15 @@ pub struct StreamingDetector<'a> {
     score_buf: Vec<f32>,
 }
 
+impl std::fmt::Debug for StreamingDetector<'_> {
+    /// Fill level only — the ensemble and tape summarize poorly.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingDetector")
+            .field("buffered", &self.buffer.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> StreamingDetector<'a> {
     /// A streaming scorer over a **fitted** ensemble.
     pub fn new(ensemble: &'a CaeEnsemble) -> Self {

@@ -48,6 +48,17 @@ pub struct WindowIter<'a> {
     count: usize,
 }
 
+impl std::fmt::Debug for WindowIter<'_> {
+    /// Cursor state only — the borrowed series is the full data set.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowIter")
+            .field("w", &self.w)
+            .field("next", &self.next)
+            .field("count", &self.count)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> Iterator for WindowIter<'a> {
     type Item = &'a [f32];
 

@@ -22,6 +22,13 @@ pub trait Initializer {
 /// used by every layer's `new` constructor.
 pub struct XavierInit<'a, R: Rng + ?Sized>(pub &'a mut R);
 
+impl<R: Rng + ?Sized> std::fmt::Debug for XavierInit<'_, R> {
+    /// Marker only — `Rng` does not require `Debug`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("XavierInit").finish_non_exhaustive()
+    }
+}
+
 impl<R: Rng + ?Sized> Initializer for XavierInit<'_, R> {
     fn weight(&mut self, dims: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
         Tensor::xavier_uniform(dims, fan_in, fan_out, self.0)
@@ -30,6 +37,7 @@ impl<R: Rng + ?Sized> Initializer for XavierInit<'_, R> {
 
 /// All-zeros initialization for models whose parameters are about to be
 /// overwritten (checkpoint loading).
+#[derive(Debug)]
 pub struct ZerosInit;
 
 impl Initializer for ZerosInit {

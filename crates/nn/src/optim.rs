@@ -19,6 +19,7 @@ pub trait Optimizer {
 
 /// Adam (Kingma & Ba) — the optimizer used by the paper
 /// ("We use Adam … The learning rate is set to 0.001", Section 4.1.5).
+#[derive(Debug)]
 pub struct Adam {
     lr: f32,
     beta1: f32,
@@ -97,6 +98,7 @@ impl Optimizer for Adam {
 }
 
 /// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug)]
 pub struct Sgd {
     lr: f32,
     momentum: f32,

@@ -121,6 +121,20 @@ pub struct FleetDetector {
     scores: Vec<f32>,
 }
 
+impl std::fmt::Debug for FleetDetector {
+    /// Fleet shape and generation only — the ensemble and per-stream
+    /// buffers are summarized by their counts.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetDetector")
+            .field("model_generation", &self.model_generation)
+            .field("window", &self.window)
+            .field("dim", &self.dim)
+            .field("active_streams", &self.active)
+            .field("retired_generation_held", &self.retired.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl FleetDetector {
     /// A fleet scorer over a **fitted** ensemble.
     ///
@@ -365,6 +379,9 @@ impl FleetDetector {
     }
 
     fn slot(&self, id: StreamId) -> &StreamSlot {
+        // cae-lint: allow(E1) — panicking on a forged or stale StreamId
+        // is the documented contract of the id-based API: ids are only
+        // minted by `add_stream` and checked against the generation tag.
         let s = self.slots.get(id.slot).expect("invalid StreamId");
         assert!(
             s.active && s.generation == id.generation,
@@ -374,6 +391,8 @@ impl FleetDetector {
     }
 
     fn slot_mut(&mut self, id: StreamId) -> &mut StreamSlot {
+        // cae-lint: allow(E1) — same documented panicking contract as
+        // `slot` above.
         let s = self.slots.get_mut(id.slot).expect("invalid StreamId");
         assert!(
             s.active && s.generation == id.generation,

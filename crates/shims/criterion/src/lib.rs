@@ -22,6 +22,7 @@ pub fn black_box<T>(x: T) -> T {
 }
 
 /// Benchmark driver configured per group; see the crate docs for modes.
+#[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
@@ -92,6 +93,7 @@ impl Criterion {
     }
 }
 
+#[derive(Debug)]
 enum Mode {
     /// `cargo test`: run the routine once.
     Smoke,
@@ -104,6 +106,7 @@ enum Mode {
 }
 
 /// Handle passed to each benchmark closure.
+#[derive(Debug)]
 pub struct Bencher {
     mode: Mode,
     report: Option<(u64, Duration)>,

@@ -14,6 +14,12 @@ pub struct Scope<'scope, 'env: 'scope> {
     inner: &'scope std::thread::Scope<'scope, 'env>,
 }
 
+impl std::fmt::Debug for Scope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope").finish_non_exhaustive()
+    }
+}
+
 impl<'scope, 'env> Scope<'scope, 'env> {
     /// Spawns a scoped thread; the closure receives the scope itself.
     pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
@@ -22,6 +28,8 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         T: Send + 'scope,
     {
         let child = Scope { inner: self.inner };
+        // cae-lint: allow(C1) — this shim *is* the structured-spawn
+        // primitive it wraps; its call sites are linted individually.
         self.inner.spawn(move || f(&child))
     }
 }

@@ -41,6 +41,15 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
+impl<S> std::fmt::Debug for VecStrategy<S> {
+    /// Size bounds only — element strategies summarize poorly.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VecStrategy")
+            .field("size", &self.size)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<S: Strategy> Strategy for VecStrategy<S> {
     type Value = Vec<S::Value>;
 

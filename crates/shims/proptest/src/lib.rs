@@ -126,6 +126,13 @@ pub struct Map<S, F> {
     f: F,
 }
 
+impl<S, F> std::fmt::Debug for Map<S, F> {
+    /// Combinator marker only — strategies and closures summarize poorly.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Map").finish_non_exhaustive()
+    }
+}
+
 impl<S, O, F> Strategy for Map<S, F>
 where
     S: Strategy,
@@ -141,6 +148,13 @@ where
 pub struct FlatMap<S, F> {
     inner: S,
     f: F,
+}
+
+impl<S, F> std::fmt::Debug for FlatMap<S, F> {
+    /// Combinator marker only — strategies and closures summarize poorly.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlatMap").finish_non_exhaustive()
+    }
 }
 
 impl<S, T, F> Strategy for FlatMap<S, F>
@@ -160,6 +174,13 @@ where
 pub struct Filter<S, F> {
     inner: S,
     f: F,
+}
+
+impl<S, F> std::fmt::Debug for Filter<S, F> {
+    /// Combinator marker only — strategies and closures summarize poorly.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Filter").finish_non_exhaustive()
+    }
 }
 
 impl<S, F> Strategy for Filter<S, F>
@@ -274,6 +295,13 @@ impl Arbitrary for f64 {
 
 /// Strategy over all values of `T`; see [`any`].
 pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> std::fmt::Debug for AnyStrategy<T> {
+    /// Marker only — avoids a spurious `T: Debug` bound.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnyStrategy").finish_non_exhaustive()
+    }
+}
 
 impl<T: Arbitrary> Strategy for AnyStrategy<T> {
     type Value = T;

@@ -305,6 +305,8 @@ pub(crate) fn gemm<A: APanelSrc, B: BPanelSrc>(
             for jp in 0..npanels {
                 let j0 = jp * NR;
                 let w = NR.min(n - j0);
+                // SAFETY: `i0 < m` and `j0 < n`, so the offset stays
+                // inside `out` (length `m*n`, asserted above).
                 let c = unsafe { base.get().add(i0 * n + j0) };
                 // SAFETY: `enabled()` gated dispatch on runtime AVX2+FMA
                 // detection; the packed panels are `kc*MR` / `kc*NR` long
@@ -348,6 +350,13 @@ pub(crate) fn gemm<A: APanelSrc, B: BPanelSrc>(
 /// Full or edge 6×16 tile over `kc` depth steps. `accumulate` selects
 /// `C += PA·PB` (later depth slabs) versus a plain store (the first —
 /// and usually only — slab, saving a full read of C).
+///
+/// # Safety
+///
+/// The caller must have verified AVX2+FMA at runtime and must pass
+/// packed panels of at least `MR*kc` (`pa`) and `NR*kc` (`pb`) floats,
+/// plus a C pointer with `h` rows of stride `ldc` and `w` writable
+/// columns (`h ≤ MR`, `w ≤ NR`, `w ≤ ldc`).
 #[target_feature(enable = "avx2,fma")]
 #[allow(clippy::too_many_arguments)]
 unsafe fn microkernel(
@@ -360,20 +369,32 @@ unsafe fn microkernel(
     w: usize,
     accumulate: bool,
 ) {
+    debug_assert!(
+        0 < h && h <= MR && 0 < w && w <= NR && w <= ldc,
+        "tile {h}x{w} (ldc {ldc}) outside the {MR}x{NR} microkernel shape"
+    );
     if h == MR && w == NR {
-        kernel_6x16(pa, pb, kc, c, ldc, accumulate);
+        // SAFETY: the full tile writes exactly MR rows × NR columns,
+        // which the caller contract declares writable at stride `ldc`.
+        unsafe { kernel_6x16(pa, pb, kc, c, ldc, accumulate) };
     } else {
         // Edge tile: run the full kernel into a stack tile, then fold the
         // live `h × w` corner into C.
         let mut tile = [0.0f32; MR * NR];
-        kernel_6x16(pa, pb, kc, tile.as_mut_ptr(), NR, false);
+        // SAFETY: the stack tile is exactly MR×NR at stride NR — the
+        // kernel's full-tile shape; panels per the caller contract.
+        unsafe { kernel_6x16(pa, pb, kc, tile.as_mut_ptr(), NR, false) };
         for r in 0..h {
-            let crow = c.add(r * ldc);
-            for j in 0..w {
-                if accumulate {
-                    *crow.add(j) += tile[r * NR + j];
-                } else {
-                    *crow.add(j) = tile[r * NR + j];
+            // SAFETY: rows `r < h` at stride `ldc` with `w` columns are
+            // writable per the caller contract.
+            unsafe {
+                let crow = c.add(r * ldc);
+                for j in 0..w {
+                    if accumulate {
+                        *crow.add(j) += tile[r * NR + j];
+                    } else {
+                        *crow.add(j) = tile[r * NR + j];
+                    }
                 }
             }
         }
@@ -385,6 +406,13 @@ unsafe fn microkernel(
 /// (one per packed row stream) and 12 FMAs — the FMA-port-bound shape on
 /// AVX2. The depth loop is unrolled four deep with indexed addressing so
 /// the pointers advance once per group.
+///
+/// # Safety
+///
+/// AVX2+FMA must be runtime-verified; `pa` must hold `MR*kc` floats
+/// (row-major row streams), `pb` must hold `kc*NR` floats (depth-major
+/// panel), and `c` must have MR full rows of NR writable floats at
+/// stride `ldc`.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn kernel_6x16(
     pa: *const f32,
@@ -409,46 +437,63 @@ unsafe fn kernel_6x16(
 
     // One pointer per packed A row stream; each advances by one float
     // per depth step.
-    let mut pa0 = pa;
-    let mut pa1 = pa.add(kc);
-    let mut pa2 = pa.add(2 * kc);
-    let mut pa3 = pa.add(3 * kc);
-    let mut pa4 = pa.add(4 * kc);
-    let mut pa5 = pa.add(5 * kc);
+    // SAFETY: `pa` holds `MR*kc` floats (caller contract), so the six
+    // row-stream bases at `r*kc` are all in bounds.
+    let (mut pa0, mut pa1, mut pa2, mut pa3, mut pa4, mut pa5) = unsafe {
+        (
+            pa,
+            pa.add(kc),
+            pa.add(2 * kc),
+            pa.add(3 * kc),
+            pa.add(4 * kc),
+            pa.add(5 * kc),
+        )
+    };
 
     macro_rules! step {
         ($u:expr) => {
-            let b0 = _mm256_loadu_ps(pb.add($u * NR));
-            let b1 = _mm256_loadu_ps(pb.add($u * NR + 8));
-            let a0 = _mm256_broadcast_ss(&*pa0.add($u));
+            // SAFETY: the loops below keep `d + $u < kc`, so the B panel
+            // row at `pb + $u*NR` has NR in-bounds floats and each A row
+            // stream still has its `$u`-th float.
+            let (b0, b1, a0, a1, a2, a3, a4, a5) = unsafe {
+                (
+                    _mm256_loadu_ps(pb.add($u * NR)),
+                    _mm256_loadu_ps(pb.add($u * NR + 8)),
+                    _mm256_broadcast_ss(&*pa0.add($u)),
+                    _mm256_broadcast_ss(&*pa1.add($u)),
+                    _mm256_broadcast_ss(&*pa2.add($u)),
+                    _mm256_broadcast_ss(&*pa3.add($u)),
+                    _mm256_broadcast_ss(&*pa4.add($u)),
+                    _mm256_broadcast_ss(&*pa5.add($u)),
+                )
+            };
             c00 = _mm256_fmadd_ps(a0, b0, c00);
             c01 = _mm256_fmadd_ps(a0, b1, c01);
-            let a1 = _mm256_broadcast_ss(&*pa1.add($u));
             c10 = _mm256_fmadd_ps(a1, b0, c10);
             c11 = _mm256_fmadd_ps(a1, b1, c11);
-            let a2 = _mm256_broadcast_ss(&*pa2.add($u));
             c20 = _mm256_fmadd_ps(a2, b0, c20);
             c21 = _mm256_fmadd_ps(a2, b1, c21);
-            let a3 = _mm256_broadcast_ss(&*pa3.add($u));
             c30 = _mm256_fmadd_ps(a3, b0, c30);
             c31 = _mm256_fmadd_ps(a3, b1, c31);
-            let a4 = _mm256_broadcast_ss(&*pa4.add($u));
             c40 = _mm256_fmadd_ps(a4, b0, c40);
             c41 = _mm256_fmadd_ps(a4, b1, c41);
-            let a5 = _mm256_broadcast_ss(&*pa5.add($u));
             c50 = _mm256_fmadd_ps(a5, b0, c50);
             c51 = _mm256_fmadd_ps(a5, b1, c51);
         };
     }
     macro_rules! advance {
         ($by:expr) => {
-            pa0 = pa0.add($by);
-            pa1 = pa1.add($by);
-            pa2 = pa2.add($by);
-            pa3 = pa3.add($by);
-            pa4 = pa4.add($by);
-            pa5 = pa5.add($by);
-            pb = pb.add($by * NR);
+            // SAFETY: the depth loops advance each stream at most to one
+            // past its final element — a valid one-past-the-end pointer.
+            unsafe {
+                pa0 = pa0.add($by);
+                pa1 = pa1.add($by);
+                pa2 = pa2.add($by);
+                pa3 = pa3.add($by);
+                pa4 = pa4.add($by);
+                pa5 = pa5.add($by);
+                pb = pb.add($by * NR);
+            }
         };
     }
 
@@ -469,16 +514,20 @@ unsafe fn kernel_6x16(
 
     macro_rules! store_row {
         ($r:expr, $v0:expr, $v1:expr) => {
-            let crow = c.add($r * ldc);
-            if accumulate {
-                _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), $v0));
-                _mm256_storeu_ps(
-                    crow.add(8),
-                    _mm256_add_ps(_mm256_loadu_ps(crow.add(8)), $v1),
-                );
-            } else {
-                _mm256_storeu_ps(crow, $v0);
-                _mm256_storeu_ps(crow.add(8), $v1);
+            // SAFETY: row `$r < MR` of C has NR writable floats at
+            // stride `ldc` (full-tile caller contract).
+            unsafe {
+                let crow = c.add($r * ldc);
+                if accumulate {
+                    _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), $v0));
+                    _mm256_storeu_ps(
+                        crow.add(8),
+                        _mm256_add_ps(_mm256_loadu_ps(crow.add(8)), $v1),
+                    );
+                } else {
+                    _mm256_storeu_ps(crow, $v0);
+                    _mm256_storeu_ps(crow.add(8), $v1);
+                }
             }
         };
     }

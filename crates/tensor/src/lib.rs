@@ -53,6 +53,12 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+// Every unsafe operation inside an `unsafe fn` must sit in its own
+// `unsafe` block with a SAFETY comment — keeps the per-operation
+// invariants of the SIMD kernels and the worker pool auditable (and
+// machine-checked by `cae-lint` rule U1).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod activate;
 mod conv;
 #[cfg(target_arch = "x86_64")]

@@ -54,9 +54,7 @@ pub fn threads() -> usize {
 
 /// Convenience: set threads to the machine's available parallelism.
 pub fn use_all_cores() {
-    let n = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let n = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     set_threads(n);
 }
 
@@ -81,20 +79,60 @@ pub fn pool_threads_spawned() -> usize {
 // Pool internals
 // ---------------------------------------------------------------------
 
-/// Lifetime-erased reference to the job closure. The submitter guarantees
-/// the referent outlives the job (it blocks until every task has
-/// finished), so handing the reference to workers is sound.
+/// Lifetime- and type-erased pointer to the job closure: a thin data
+/// pointer plus a monomorphized trampoline that casts it back. The
+/// submitter guarantees the referent outlives the job (it blocks until
+/// every task has finished), so handing the pointer to workers is sound.
+/// Erasing through a raw pointer (rather than a transmuted `&'static`)
+/// keeps the lifetime laundering visible: every use goes through
+/// [`TaskPtr::call`], whose safety contract states the liveness
+/// requirement.
 #[derive(Clone, Copy)]
-struct TaskPtr(&'static (dyn Fn(usize) + Sync));
+struct TaskPtr {
+    data: *const (),
+    trampoline: unsafe fn(*const (), usize),
+}
+
+// SAFETY: the pointee is `Sync` (the `F: Sync` bound on `erase` permits
+// concurrent `&`-calls from any thread) and the submitting thread blocks
+// in `run_tasks` until every task has finished, so no thread can observe
+// the pointer after the referent's borrow ends.
+unsafe impl Send for TaskPtr {}
+// SAFETY: same argument — sharing the pointer only enables shared calls
+// on a `Sync` closure whose liveness the submitter enforces by blocking.
+unsafe impl Sync for TaskPtr {}
 
 impl TaskPtr {
-    /// Erases the closure's lifetime. Callers must not run the task after
-    /// the original borrow ends — `run_tasks` enforces this by blocking
-    /// until the job's finished count reaches its total.
-    fn erase(f: &(dyn Fn(usize) + Sync)) -> Self {
-        TaskPtr(unsafe {
-            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
-        })
+    /// Erases the closure's type and lifetime. Callers must not run the
+    /// task after the original borrow ends — `run_tasks` enforces this by
+    /// blocking until the job's finished count reaches its total.
+    fn erase<F: Fn(usize) + Sync>(f: &F) -> Self {
+        /// # Safety
+        ///
+        /// `data` must point to a live `F` (see [`TaskPtr::call`]).
+        unsafe fn trampoline<F: Fn(usize) + Sync>(data: *const (), i: usize) {
+            // SAFETY: `data` came from `erase::<F>` and the caller
+            // contract guarantees the referent is still alive.
+            unsafe { (*data.cast::<F>())(i) }
+        }
+        TaskPtr {
+            data: (f as *const F).cast(),
+            trampoline: trampoline::<F>,
+        }
+    }
+
+    /// Runs task `i` through the erased closure.
+    ///
+    /// # Safety
+    ///
+    /// The closure passed to [`TaskPtr::erase`] must still be borrowed by
+    /// the submitter. This holds for every call issued while the owning
+    /// [`Job`] is published: the submitter keeps the closure alive until
+    /// `finished` reaches `total`, and tasks are only claimed before that.
+    unsafe fn call(&self, i: usize) {
+        // SAFETY: liveness is guaranteed by the caller contract above;
+        // the referent is `Sync`, so concurrent shared calls are fine.
+        unsafe { (self.trampoline)(self.data, i) }
     }
 }
 
@@ -121,7 +159,10 @@ impl Job {
                 return finished_last;
             }
             let task = self.task;
-            if catch_unwind(AssertUnwindSafe(|| (task.0)(i))).is_err() {
+            // SAFETY: we claimed task `i` before `finished` reached
+            // `total`, so the job is still published and the submitter is
+            // still blocking with the closure borrowed.
+            if catch_unwind(AssertUnwindSafe(|| unsafe { task.call(i) })).is_err() {
                 self.panicked.store(true, Ordering::Relaxed);
             }
             let done = self.finished.fetch_add(1, Ordering::AcqRel) + 1;
@@ -226,11 +267,11 @@ fn ensure_workers(pool: &'static Pool, wanted: usize) {
 ///
 /// Falls back to a plain sequential loop when the pool would not help:
 /// one task, one configured thread, or a nested call from inside a job.
-fn run_tasks(total: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
+fn run_tasks<F: Fn(usize) + Sync>(total: usize, workers: usize, f: &F) {
     if total == 0 {
         return;
     }
-    if total == 1 || workers <= 1 || IN_POOL.with(|g| g.get()) {
+    if total == 1 || workers <= 1 || IN_POOL.with(std::cell::Cell::get) {
         for i in 0..total {
             f(i);
         }
@@ -286,7 +327,13 @@ fn run_tasks(total: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
 /// Shared with the packed GEMM driver, which fans row blocks out the
 /// same way.
 pub(crate) struct SyncMutPtr<T>(pub(crate) *mut T);
+// SAFETY: every user writes only a task-private, disjoint index range
+// through the pointer, and the allocation outlives the job because the
+// submitter blocks until all tasks finish — so shared access never
+// aliases a live mutable write.
 unsafe impl<T> Sync for SyncMutPtr<T> {}
+// SAFETY: same disjointness/liveness argument; moving the wrapper across
+// threads transfers no ownership of the pointee.
 unsafe impl<T> Send for SyncMutPtr<T> {}
 
 impl<T> SyncMutPtr<T> {
@@ -333,13 +380,17 @@ where
     // One contiguous span of chunks per worker.
     let per = batches.div_ceil(workers);
     let spans = batches.div_ceil(per);
+    let out_len = out.len();
     let base = SyncMutPtr(out.as_mut_ptr());
     run_tasks(spans, workers, &|s| {
         let lo = s * per;
         let hi = (lo + per).min(batches);
+        debug_assert!(hi <= batches && (hi - lo) * chunk_len <= out_len);
         for bi in lo..hi {
-            // Disjoint per task: spans never overlap and the submitter
-            // blocks until every task is done.
+            // SAFETY: `bi * chunk_len + chunk_len <= out.len()` (checked
+            // by the multiple-of assert above and `hi <= batches`), spans
+            // never overlap across tasks, and the submitter blocks until
+            // every task is done, so `out` outlives every write.
             let chunk = unsafe {
                 std::slice::from_raw_parts_mut(base.get().add(bi * chunk_len), chunk_len)
             };
@@ -398,8 +449,11 @@ where
     run_tasks(spans, workers, &|s| {
         let lo = s * per;
         let hi = (lo + per).min(n);
+        debug_assert!(hi <= n, "span [{lo}, {hi}) exceeds slot count {n}");
         for i in lo..hi {
-            // Disjoint per task (spans never overlap).
+            // SAFETY: `i < n == slots.len()` and spans are disjoint per
+            // task, so each slot is written by exactly one thread while
+            // the submitter keeps `slots` alive by blocking.
             unsafe { *base.get().add(i) = Some(f(i)) };
         }
     });
@@ -538,7 +592,7 @@ mod tests {
     fn worker_panic_propagates() {
         let _gate = lock();
         set_threads(2);
-        let caught = std::panic::catch_unwind(|| {
+        let caught = catch_unwind(|| {
             let mut out = vec![0.0f32; 2 * PAR_THRESHOLD];
             for_each_chunk(&mut out, PAR_THRESHOLD, |bi, _| {
                 if bi == 1 {

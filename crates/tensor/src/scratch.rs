@@ -62,7 +62,7 @@ impl ScratchPool {
         }
         best.map(|(i, _)| {
             let buf = self.bufs.swap_remove(i);
-            self.bytes -= buf.capacity() * std::mem::size_of::<f32>();
+            self.bytes -= buf.capacity() * size_of::<f32>();
             buf
         })
     }
@@ -129,7 +129,7 @@ pub fn take_copied(src: &[f32]) -> Vec<f32> {
 /// full, the retained-bytes budget is spent, or the buffer is outside the
 /// pooled size range).
 pub fn recycle(buf: Vec<f32>) {
-    let bytes = buf.capacity() * std::mem::size_of::<f32>();
+    let bytes = buf.capacity() * size_of::<f32>();
     if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_LEN {
         return;
     }
@@ -236,7 +236,7 @@ mod tests {
         std::thread::spawn(|| {
             // Recycling more than the byte budget keeps only what fits.
             let buf_len = MAX_POOLED_LEN / 2;
-            let per_buf_bytes = buf_len * std::mem::size_of::<f32>();
+            let per_buf_bytes = buf_len * size_of::<f32>();
             for _ in 0..(MAX_POOLED_BYTES / per_buf_bytes + 4) {
                 recycle(Vec::with_capacity(buf_len));
             }

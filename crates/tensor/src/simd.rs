@@ -54,8 +54,7 @@ fn env_force_scalar() -> bool {
     static ENV: OnceLock<bool> = OnceLock::new();
     *ENV.get_or_init(|| {
         std::env::var("CAE_TENSOR_FORCE_SCALAR")
-            .map(|v| !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"))
-            .unwrap_or(false)
+            .is_ok_and(|v| !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"))
     })
 }
 
@@ -317,15 +316,24 @@ mod avx2 {
         };
     }
 
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified (the dispatch macros do), and
+    /// `dst.len() >= src.len()`.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn relu(dst: &mut [f32], src: &[f32]) {
+        debug_assert!(dst.len() >= src.len());
         let zero = _mm256_setzero_ps();
         lanes!(
             src.len(),
             i,
             {
-                let v = _mm256_loadu_ps(src.as_ptr().add(i));
-                _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_max_ps(v, zero));
+                // SAFETY: `i + 8 <= src.len() <= dst.len()` per the
+                // lanes! loop bound and the length contract.
+                unsafe {
+                    let v = _mm256_loadu_ps(src.as_ptr().add(i));
+                    _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_max_ps(v, zero));
+                }
             },
             t,
             {
@@ -334,19 +342,27 @@ mod avx2 {
         );
     }
 
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified, and `dst.len() >= src.len()`.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn leaky_relu(dst: &mut [f32], src: &[f32], alpha: f32) {
+        debug_assert!(dst.len() >= src.len());
         let a = _mm256_set1_ps(alpha);
         let zero = _mm256_setzero_ps();
         lanes!(
             src.len(),
             i,
             {
-                let v = _mm256_loadu_ps(src.as_ptr().add(i));
-                let neg = _mm256_mul_ps(v, a);
-                // x >= 0 ? x : alpha·x
-                let mask = _mm256_cmp_ps(v, zero, _CMP_GE_OQ);
-                _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_blendv_ps(neg, v, mask));
+                // SAFETY: `i + 8 <= src.len() <= dst.len()` per the
+                // lanes! loop bound and the length contract.
+                unsafe {
+                    let v = _mm256_loadu_ps(src.as_ptr().add(i));
+                    let neg = _mm256_mul_ps(v, a);
+                    // x >= 0 ? x : alpha·x
+                    let mask = _mm256_cmp_ps(v, zero, _CMP_GE_OQ);
+                    _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_blendv_ps(neg, v, mask));
+                }
             },
             t,
             {
@@ -360,6 +376,11 @@ mod avx2 {
     /// of two, degree-5 polynomial on the remainder). Inputs are clamped
     /// to the finite range of `f32` exponentials; relative error is
     /// ≈1e-7, far inside the crate's 1e-4 cross-path tolerance.
+    ///
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified; the body is pure lane
+    /// arithmetic (no memory access).
     #[target_feature(enable = "avx2,fma")]
     #[allow(clippy::excessive_precision)]
     unsafe fn exp_ps(x: __m256) -> __m256 {
@@ -408,26 +429,39 @@ mod avx2 {
 
     /// 8-lane stable sigmoid: `s = 1 / (1 + exp(−|x|))`, mirrored to
     /// `1 − s` for negative inputs (`σ(−a) = 1 − σ(a)`).
+    ///
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified; pure lane arithmetic.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn sigmoid_ps(v: __m256) -> __m256 {
         let sign_mask = _mm256_set1_ps(-0.0);
         let one = _mm256_set1_ps(1.0);
         let absv = _mm256_andnot_ps(sign_mask, v);
-        let e = exp_ps(_mm256_sub_ps(_mm256_setzero_ps(), absv));
+        // SAFETY: this fn's own contract already requires AVX2+FMA.
+        let e = unsafe { exp_ps(_mm256_sub_ps(_mm256_setzero_ps(), absv)) };
         let s = _mm256_div_ps(one, _mm256_add_ps(one, e));
         let mirrored = _mm256_sub_ps(one, s);
         let neg = _mm256_cmp_ps(v, _mm256_setzero_ps(), _CMP_LT_OQ);
         _mm256_blendv_ps(s, mirrored, neg)
     }
 
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified, and `dst.len() >= src.len()`.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn sigmoid(dst: &mut [f32], src: &[f32]) {
+        debug_assert!(dst.len() >= src.len());
         lanes!(
             src.len(),
             i,
             {
-                let v = _mm256_loadu_ps(src.as_ptr().add(i));
-                _mm256_storeu_ps(dst.as_mut_ptr().add(i), sigmoid_ps(v));
+                // SAFETY: `i + 8 <= src.len() <= dst.len()` per the
+                // lanes! loop bound and the length contract.
+                unsafe {
+                    let v = _mm256_loadu_ps(src.as_ptr().add(i));
+                    _mm256_storeu_ps(dst.as_mut_ptr().add(i), sigmoid_ps(v));
+                }
             },
             t,
             {
@@ -436,8 +470,12 @@ mod avx2 {
         );
     }
 
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified, and `dst.len() >= src.len()`.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn tanh(dst: &mut [f32], src: &[f32]) {
+        debug_assert!(dst.len() >= src.len());
         // tanh(x) = 2·σ(2x) − 1
         let two = _mm256_set1_ps(2.0);
         let one = _mm256_set1_ps(1.0);
@@ -445,9 +483,13 @@ mod avx2 {
             src.len(),
             i,
             {
-                let v = _mm256_loadu_ps(src.as_ptr().add(i));
-                let s = sigmoid_ps(_mm256_mul_ps(v, two));
-                _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_fmsub_ps(two, s, one));
+                // SAFETY: `i + 8 <= src.len() <= dst.len()` per the
+                // lanes! loop bound and the length contract.
+                unsafe {
+                    let v = _mm256_loadu_ps(src.as_ptr().add(i));
+                    let s = sigmoid_ps(_mm256_mul_ps(v, two));
+                    _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_fmsub_ps(two, s, one));
+                }
             },
             t,
             {
@@ -456,17 +498,26 @@ mod avx2 {
         );
     }
 
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified, and `y`/`g` must be at least
+    /// `dst.len()` long.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn relu_grad(dst: &mut [f32], y: &[f32], g: &[f32]) {
+        debug_assert!(y.len() >= dst.len() && g.len() >= dst.len());
         let zero = _mm256_setzero_ps();
         lanes!(
             dst.len(),
             i,
             {
-                let yv = _mm256_loadu_ps(y.as_ptr().add(i));
-                let gv = _mm256_loadu_ps(g.as_ptr().add(i));
-                let mask = _mm256_cmp_ps(yv, zero, _CMP_GT_OQ);
-                _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_and_ps(gv, mask));
+                // SAFETY: `i + 8 <= dst.len() <= y.len(), g.len()` per
+                // the lanes! loop bound and the length contract.
+                unsafe {
+                    let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+                    let gv = _mm256_loadu_ps(g.as_ptr().add(i));
+                    let mask = _mm256_cmp_ps(yv, zero, _CMP_GT_OQ);
+                    _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_and_ps(gv, mask));
+                }
             },
             t,
             {
@@ -475,17 +526,26 @@ mod avx2 {
         );
     }
 
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified, and `y`/`g` must be at least
+    /// `dst.len()` long.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn sigmoid_grad(dst: &mut [f32], y: &[f32], g: &[f32]) {
+        debug_assert!(y.len() >= dst.len() && g.len() >= dst.len());
         let one = _mm256_set1_ps(1.0);
         lanes!(
             dst.len(),
             i,
             {
-                let yv = _mm256_loadu_ps(y.as_ptr().add(i));
-                let gv = _mm256_loadu_ps(g.as_ptr().add(i));
-                let d = _mm256_mul_ps(_mm256_mul_ps(gv, yv), _mm256_sub_ps(one, yv));
-                _mm256_storeu_ps(dst.as_mut_ptr().add(i), d);
+                // SAFETY: `i + 8 <= dst.len() <= y.len(), g.len()` per
+                // the lanes! loop bound and the length contract.
+                unsafe {
+                    let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+                    let gv = _mm256_loadu_ps(g.as_ptr().add(i));
+                    let d = _mm256_mul_ps(_mm256_mul_ps(gv, yv), _mm256_sub_ps(one, yv));
+                    _mm256_storeu_ps(dst.as_mut_ptr().add(i), d);
+                }
             },
             t,
             {
@@ -494,17 +554,26 @@ mod avx2 {
         );
     }
 
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified, and `y`/`g` must be at least
+    /// `dst.len()` long.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn tanh_grad(dst: &mut [f32], y: &[f32], g: &[f32]) {
+        debug_assert!(y.len() >= dst.len() && g.len() >= dst.len());
         let one = _mm256_set1_ps(1.0);
         lanes!(
             dst.len(),
             i,
             {
-                let yv = _mm256_loadu_ps(y.as_ptr().add(i));
-                let gv = _mm256_loadu_ps(g.as_ptr().add(i));
-                let d = _mm256_mul_ps(gv, _mm256_fnmadd_ps(yv, yv, one));
-                _mm256_storeu_ps(dst.as_mut_ptr().add(i), d);
+                // SAFETY: `i + 8 <= dst.len() <= y.len(), g.len()` per
+                // the lanes! loop bound and the length contract.
+                unsafe {
+                    let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+                    let gv = _mm256_loadu_ps(g.as_ptr().add(i));
+                    let d = _mm256_mul_ps(gv, _mm256_fnmadd_ps(yv, yv, one));
+                    _mm256_storeu_ps(dst.as_mut_ptr().add(i), d);
+                }
             },
             t,
             {
@@ -514,6 +583,10 @@ mod avx2 {
     }
 
     /// Horizontal sum of the 8 lanes.
+    ///
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified; pure lane arithmetic.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn hsum(v: __m256) -> f32 {
         let lo = _mm256_castps256_ps128(v);
@@ -524,6 +597,9 @@ mod avx2 {
         _mm_cvtss_f32(s)
     }
 
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn sum(x: &[f32]) -> f32 {
         let mut acc = _mm256_setzero_ps();
@@ -532,16 +608,21 @@ mod avx2 {
             x.len(),
             i,
             {
-                acc = _mm256_add_ps(acc, _mm256_loadu_ps(x.as_ptr().add(i)));
+                // SAFETY: `i + 8 <= x.len()` per the lanes! loop bound.
+                acc = unsafe { _mm256_add_ps(acc, _mm256_loadu_ps(x.as_ptr().add(i))) };
             },
             t,
             {
                 tail += x[t];
             }
         );
-        hsum(acc) + tail
+        // SAFETY: this fn's own contract already requires AVX2+FMA.
+        unsafe { hsum(acc) + tail }
     }
 
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn sq_sum(x: &[f32]) -> f32 {
         let mut acc = _mm256_setzero_ps();
@@ -550,30 +631,42 @@ mod avx2 {
             x.len(),
             i,
             {
-                let v = _mm256_loadu_ps(x.as_ptr().add(i));
-                acc = _mm256_fmadd_ps(v, v, acc);
+                // SAFETY: `i + 8 <= x.len()` per the lanes! loop bound.
+                unsafe {
+                    let v = _mm256_loadu_ps(x.as_ptr().add(i));
+                    acc = _mm256_fmadd_ps(v, v, acc);
+                }
             },
             t,
             {
                 tail += x[t] * x[t];
             }
         );
-        hsum(acc) + tail
+        // SAFETY: this fn's own contract already requires AVX2+FMA.
+        unsafe { hsum(acc) + tail }
     }
 
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified, and `b.len() >= a.len()`.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn sq_diff_sum(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert!(b.len() >= a.len());
         let mut acc = _mm256_setzero_ps();
         let mut tail = 0.0f32;
         lanes!(
             a.len(),
             i,
             {
-                let d = _mm256_sub_ps(
-                    _mm256_loadu_ps(a.as_ptr().add(i)),
-                    _mm256_loadu_ps(b.as_ptr().add(i)),
-                );
-                acc = _mm256_fmadd_ps(d, d, acc);
+                // SAFETY: `i + 8 <= a.len() <= b.len()` per the lanes!
+                // loop bound and the length contract.
+                unsafe {
+                    let d = _mm256_sub_ps(
+                        _mm256_loadu_ps(a.as_ptr().add(i)),
+                        _mm256_loadu_ps(b.as_ptr().add(i)),
+                    );
+                    acc = _mm256_fmadd_ps(d, d, acc);
+                }
             },
             t,
             {
@@ -581,10 +674,15 @@ mod avx2 {
                 tail += d * d;
             }
         );
-        hsum(acc) + tail
+        // SAFETY: this fn's own contract already requires AVX2+FMA.
+        unsafe { hsum(acc) + tail }
     }
 
     /// Horizontal max of the 8 lanes.
+    ///
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified; pure lane arithmetic.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn hmax(v: __m256) -> f32 {
         let lo = _mm256_castps256_ps128(v);
@@ -595,6 +693,9 @@ mod avx2 {
         _mm_cvtss_f32(m)
     }
 
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn max(x: &[f32]) -> f32 {
         let mut acc = _mm256_set1_ps(f32::NEG_INFINITY);
@@ -603,16 +704,21 @@ mod avx2 {
             x.len(),
             i,
             {
-                acc = _mm256_max_ps(acc, _mm256_loadu_ps(x.as_ptr().add(i)));
+                // SAFETY: `i + 8 <= x.len()` per the lanes! loop bound.
+                acc = unsafe { _mm256_max_ps(acc, _mm256_loadu_ps(x.as_ptr().add(i))) };
             },
             t,
             {
                 tail = tail.max(x[t]);
             }
         );
-        hmax(acc).max(tail)
+        // SAFETY: this fn's own contract already requires AVX2+FMA.
+        unsafe { hmax(acc).max(tail) }
     }
 
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn min(x: &[f32]) -> f32 {
         let mut acc = _mm256_set1_ps(f32::INFINITY);
@@ -621,7 +727,8 @@ mod avx2 {
             x.len(),
             i,
             {
-                acc = _mm256_min_ps(acc, _mm256_loadu_ps(x.as_ptr().add(i)));
+                // SAFETY: `i + 8 <= x.len()` per the lanes! loop bound.
+                acc = unsafe { _mm256_min_ps(acc, _mm256_loadu_ps(x.as_ptr().add(i))) };
             },
             t,
             {
@@ -637,15 +744,23 @@ mod avx2 {
         _mm_cvtss_f32(m).min(tail)
     }
 
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified, and `x.len() >= acc.len()`.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn add_assign(acc: &mut [f32], x: &[f32]) {
+        debug_assert!(x.len() >= acc.len());
         lanes!(
             acc.len(),
             i,
             {
-                let a = _mm256_loadu_ps(acc.as_ptr().add(i));
-                let v = _mm256_loadu_ps(x.as_ptr().add(i));
-                _mm256_storeu_ps(acc.as_mut_ptr().add(i), _mm256_add_ps(a, v));
+                // SAFETY: `i + 8 <= acc.len() <= x.len()` per the lanes!
+                // loop bound and the length contract.
+                unsafe {
+                    let a = _mm256_loadu_ps(acc.as_ptr().add(i));
+                    let v = _mm256_loadu_ps(x.as_ptr().add(i));
+                    _mm256_storeu_ps(acc.as_mut_ptr().add(i), _mm256_add_ps(a, v));
+                }
             },
             t,
             {
@@ -654,16 +769,24 @@ mod avx2 {
         );
     }
 
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified, and `x.len() >= acc.len()`.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn axpy(acc: &mut [f32], x: &[f32], scale: f32) {
+        debug_assert!(x.len() >= acc.len());
         let s = _mm256_set1_ps(scale);
         lanes!(
             acc.len(),
             i,
             {
-                let a = _mm256_loadu_ps(acc.as_ptr().add(i));
-                let v = _mm256_loadu_ps(x.as_ptr().add(i));
-                _mm256_storeu_ps(acc.as_mut_ptr().add(i), _mm256_fmadd_ps(v, s, a));
+                // SAFETY: `i + 8 <= acc.len() <= x.len()` per the lanes!
+                // loop bound and the length contract.
+                unsafe {
+                    let a = _mm256_loadu_ps(acc.as_ptr().add(i));
+                    let v = _mm256_loadu_ps(x.as_ptr().add(i));
+                    _mm256_storeu_ps(acc.as_mut_ptr().add(i), _mm256_fmadd_ps(v, s, a));
+                }
             },
             t,
             {
@@ -672,6 +795,9 @@ mod avx2 {
         );
     }
 
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn scale_in_place(x: &mut [f32], scale: f32) {
         let s = _mm256_set1_ps(scale);
@@ -679,8 +805,11 @@ mod avx2 {
             x.len(),
             i,
             {
-                let v = _mm256_loadu_ps(x.as_ptr().add(i));
-                _mm256_storeu_ps(x.as_mut_ptr().add(i), _mm256_mul_ps(v, s));
+                // SAFETY: `i + 8 <= x.len()` per the lanes! loop bound.
+                unsafe {
+                    let v = _mm256_loadu_ps(x.as_ptr().add(i));
+                    _mm256_storeu_ps(x.as_mut_ptr().add(i), _mm256_mul_ps(v, s));
+                }
             },
             t,
             {
@@ -689,9 +818,14 @@ mod avx2 {
         );
     }
 
+    /// # Safety
+    ///
+    /// AVX2+FMA must be runtime-verified.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn softmax_row(row: &mut [f32]) {
-        let m = max(row);
+        // SAFETY: this fn's own contract already requires AVX2+FMA (the
+        // sibling kernels called below inherit the same argument).
+        let m = unsafe { max(row) };
         let mv = _mm256_set1_ps(m);
         let mut acc = _mm256_setzero_ps();
         let mut tail = 0.0f32;
@@ -699,22 +833,32 @@ mod avx2 {
             row.len(),
             i,
             {
-                let v = exp_ps(_mm256_sub_ps(_mm256_loadu_ps(row.as_ptr().add(i)), mv));
-                _mm256_storeu_ps(row.as_mut_ptr().add(i), v);
-                acc = _mm256_add_ps(acc, v);
+                // SAFETY: `i + 8 <= row.len()` per the lanes! loop bound.
+                unsafe {
+                    let v = exp_ps(_mm256_sub_ps(_mm256_loadu_ps(row.as_ptr().add(i)), mv));
+                    _mm256_storeu_ps(row.as_mut_ptr().add(i), v);
+                    acc = _mm256_add_ps(acc, v);
+                }
             },
             t,
             {
                 // Keep the tail on the same polynomial as the lanes so the
                 // row is internally consistent.
                 let mut one = [0.0f32; 8];
-                _mm256_storeu_ps(one.as_mut_ptr(), exp_ps(_mm256_set1_ps(row[t] - m)));
+                // SAFETY: `one` is a stack array of exactly 8 floats.
+                unsafe {
+                    _mm256_storeu_ps(one.as_mut_ptr(), exp_ps(_mm256_set1_ps(row[t] - m)));
+                }
                 row[t] = one[0];
                 tail += one[0];
             }
         );
-        let inv = 1.0 / (hsum(acc) + tail);
-        scale_in_place(row, inv);
+        // SAFETY: AVX2+FMA per this fn's contract; `scale_in_place`
+        // stays inside `row`.
+        unsafe {
+            let inv = 1.0 / (hsum(acc) + tail);
+            scale_in_place(row, inv);
+        }
     }
 }
 

@@ -81,7 +81,7 @@ mod tests {
 
         let mut streaming = StreamingDetector::new(&ens);
         let s = streaming.push(&[0.5]);
-        assert!(s.is_none_or(|v| v.is_finite()));
+        assert!(s.is_none_or(f32::is_finite));
 
         let mut fleet = FleetDetector::new(ens);
         let id = fleet.add_stream();
