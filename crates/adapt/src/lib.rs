@@ -65,11 +65,15 @@
 //! }
 //! ```
 
-use cae_core::{CaeEnsemble, RefitOptions};
-use cae_data::{Detector, DriftMonitor, ObservationReservoir};
+use cae_chaos as chaos;
+use cae_chaos::HealthReport;
+use cae_core::{CaeEnsemble, PersistError, RefitOptions};
+use cae_data::{Detector, DriftMonitor, ObservationReservoir, TimeSeries};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Configuration of an [`AdaptationController`].
 #[derive(Clone, Debug)]
@@ -95,6 +99,17 @@ pub struct AdaptationConfig {
     /// temp-file + rename) before being published. `None` publishes
     /// in-memory only.
     pub checkpoint_path: Option<PathBuf>,
+    /// Additional attempts when a re-fit fails or its worker panics,
+    /// before the re-fit is abandoned (the live ensemble keeps serving).
+    pub refit_retries: u32,
+    /// Additional attempts when a checkpoint write fails, before the
+    /// publish falls back to in-memory only.
+    pub checkpoint_retries: u32,
+    /// First checkpoint-retry backoff; each further retry doubles it up
+    /// to [`AdaptationConfig::backoff_cap_ms`].
+    pub backoff_base_ms: u64,
+    /// Upper bound on a single checkpoint-retry backoff.
+    pub backoff_cap_ms: u64,
 }
 
 impl Default for AdaptationConfig {
@@ -106,7 +121,8 @@ impl Default for AdaptationConfig {
 impl AdaptationConfig {
     /// Defaults: 512-observation reservoir, re-fit after ≥ 256 buffered,
     /// EWMA α 0.05 with a 4σ band, 512-observation cooldown, 4 warm
-    /// epochs, no checkpoint.
+    /// epochs, no checkpoint; 2 re-fit retries and 3 checkpoint retries
+    /// with 10 ms → 1 s capped exponential backoff.
     pub fn new() -> Self {
         AdaptationConfig {
             reservoir_capacity: 512,
@@ -116,6 +132,10 @@ impl AdaptationConfig {
             cooldown: 512,
             refit: RefitOptions::warm(4, 0x5eed),
             checkpoint_path: None,
+            refit_retries: 2,
+            checkpoint_retries: 3,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 1000,
         }
     }
 
@@ -161,6 +181,56 @@ impl AdaptationConfig {
         self.checkpoint_path = Some(path.into());
         self
     }
+
+    /// Sets the re-fit retry budget.
+    pub fn refit_retries(mut self, n: u32) -> Self {
+        self.refit_retries = n;
+        self
+    }
+
+    /// Sets the checkpoint-write retry budget.
+    pub fn checkpoint_retries(mut self, n: u32) -> Self {
+        self.checkpoint_retries = n;
+        self
+    }
+
+    /// Sets the checkpoint-retry backoff range (first delay, cap).
+    pub fn backoff_ms(mut self, base: u64, cap: u64) -> Self {
+        self.backoff_base_ms = base;
+        self.backoff_cap_ms = cap;
+        self
+    }
+}
+
+/// Why (and after how much effort) the last checkpoint write gave up.
+///
+/// Retained whole — typed [`PersistError`] plus the retry/backoff
+/// spent — so operators can distinguish a full disk from a corrupt
+/// directory entry without parsing strings.
+#[derive(Debug)]
+pub struct CheckpointFailure {
+    /// The final attempt's error.
+    pub error: PersistError,
+    /// Write attempts retried before giving up.
+    pub retries: u32,
+    /// Total scheduled backoff across those retries, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+impl std::fmt::Display for CheckpointFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "checkpoint write failed after {} retries ({} ms backoff): {}",
+            self.retries, self.backoff_ms, self.error
+        )
+    }
+}
+
+impl std::error::Error for CheckpointFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
 }
 
 /// Operational counters of one [`AdaptationController`].
@@ -173,16 +243,98 @@ pub struct AdaptationStats {
     pub refits_started: u64,
     /// Re-fits that finished and were published.
     pub refits_completed: u64,
-    /// Re-fits whose worker thread panicked.
+    /// Re-fits abandoned: every attempt failed or panicked, or the
+    /// adapted model diverged outright.
     pub refits_failed: u64,
+    /// Re-fit attempts retried after a failure or panic (a re-fit that
+    /// succeeds on its second attempt counts one retry and no failure).
+    pub refit_retries: u64,
+    /// Re-fit launches lost to worker-thread spawn failure.
+    pub spawn_failures: u64,
     /// Checkpoints written for published ensembles.
     pub checkpoints_written: u64,
+    /// Checkpoint writes retried after an I/O failure.
+    pub checkpoint_retries: u64,
+    /// Publishes that proceeded in-memory-only after every checkpoint
+    /// write attempt failed.
+    pub checkpoint_fallbacks: u64,
+    /// Total scheduled checkpoint-retry backoff, in milliseconds.
+    pub backoff_ms: u64,
 }
 
-/// What the background worker hands back: the adapted ensemble, its own
-/// scores on the reservoir series (for re-baselining the monitor), and
-/// the checkpoint write result (`None` when no path is configured).
-type RefitOutcome = (CaeEnsemble, Vec<f32>, Option<Result<(), String>>);
+/// What the background worker hands back.
+struct RefitReport {
+    /// The adapted ensemble and its own scores on the reservoir series
+    /// (for re-baselining the monitor) — or why every attempt failed.
+    outcome: Result<(CaeEnsemble, Vec<f32>), String>,
+    /// Attempts retried before the outcome was settled.
+    refit_retries: u64,
+    /// Checkpoint write result (`None` when no path is configured or the
+    /// re-fit itself failed).
+    checkpoint: Option<Result<(), CheckpointFailure>>,
+    /// Write attempts retried.
+    checkpoint_retries: u64,
+    /// Scheduled backoff spent on those retries, in milliseconds.
+    backoff_ms: u64,
+}
+
+/// One supervised re-fit attempt: panics (the worker's own or one
+/// injected through the `adapt.refit` failpoint) are caught and
+/// converted into a retryable error.
+fn attempt_refit(
+    snapshot: &Arc<CaeEnsemble>,
+    recent: &TimeSeries,
+    opts: &RefitOptions,
+) -> Result<CaeEnsemble, String> {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        if chaos::sites::ADAPT_REFIT.fire().is_some() {
+            return Err("chaos: injected re-fit failure".to_string());
+        }
+        Ok(snapshot.refit(recent, opts))
+    }));
+    match caught {
+        Ok(outcome) => outcome,
+        Err(_) => Err("re-fit worker panicked".to_string()),
+    }
+}
+
+/// Retrying checkpoint write with capped exponential backoff. Returns
+/// the result plus (retries, scheduled backoff ms).
+fn write_checkpoint(
+    adapted: &CaeEnsemble,
+    path: &std::path::Path,
+    cfg: &AdaptationConfig,
+) -> (Result<(), CheckpointFailure>, u64, u64) {
+    let mut retries = 0u64;
+    let mut backoff_total = 0u64;
+    let mut delay = cfg.backoff_base_ms;
+    let mut last_err: Option<PersistError> = None;
+    for attempt in 0..=cfg.checkpoint_retries {
+        match adapted.save(path) {
+            Ok(()) => return (Ok(()), retries, backoff_total),
+            Err(e) => {
+                last_err = Some(e);
+                if attempt < cfg.checkpoint_retries {
+                    retries += 1;
+                    backoff_total += delay;
+                    std::thread::sleep(Duration::from_millis(delay));
+                    delay = (delay * 2).min(cfg.backoff_cap_ms);
+                }
+            }
+        }
+    }
+    let failure = last_err.map(|error| CheckpointFailure {
+        error,
+        retries: retries as u32,
+        backoff_ms: backoff_total,
+    });
+    match failure {
+        Some(f) => (Err(f), retries, backoff_total),
+        // Unreachable (the loop runs at least once), but a quiet Ok is
+        // the safe answer if the retry budget arithmetic ever changes.
+        None => (Ok(()), retries, backoff_total),
+    }
+}
 
 /// Watches a served ensemble's outlier scores for drift and maintains a
 /// warm-start re-fit pipeline: reservoir → drift trip → background
@@ -195,7 +347,7 @@ pub struct AdaptationController {
     cfg: AdaptationConfig,
     reservoir: ObservationReservoir,
     monitor: DriftMonitor,
-    worker: Option<JoinHandle<RefitOutcome>>,
+    worker: Option<JoinHandle<RefitReport>>,
     stats: AdaptationStats,
     /// Observations seen over the controller's lifetime.
     observed: u64,
@@ -205,7 +357,10 @@ pub struct AdaptationController {
     was_drifted: bool,
     /// Why the last checkpoint write failed, if it did (the publish still
     /// proceeds in-memory — a failed disk write must not block a swap).
-    last_checkpoint_error: Option<String>,
+    last_checkpoint_error: Option<CheckpointFailure>,
+    /// The most recent known-good ensemble: the construction-time live
+    /// model until a re-fit publishes, then the latest published one.
+    last_good: Arc<CaeEnsemble>,
 }
 
 impl std::fmt::Debug for AdaptationController {
@@ -255,6 +410,7 @@ impl AdaptationController {
             last_refit_at: None,
             was_drifted: false,
             last_checkpoint_error: None,
+            last_good: Arc::clone(live),
         }
     }
 
@@ -278,9 +434,36 @@ impl AdaptationController {
         self.worker.is_some()
     }
 
-    /// Why the most recent checkpoint write failed, if it did.
-    pub fn last_checkpoint_error(&self) -> Option<&str> {
-        self.last_checkpoint_error.as_deref()
+    /// Why the most recent checkpoint write failed, if it did — the full
+    /// [`CheckpointFailure`] chain: typed [`PersistError`] kind, retry
+    /// count and backoff spent. Cleared by the next successful write.
+    pub fn last_checkpoint_error(&self) -> Option<&CheckpointFailure> {
+        self.last_checkpoint_error.as_ref()
+    }
+
+    /// The most recent known-good ensemble: the construction-time live
+    /// model until a re-fit publishes, then the latest published one.
+    /// When a re-fit is abandoned (all retries failed, or the adapted
+    /// model diverged) this is the model to keep serving — or to
+    /// re-install after a bad swap.
+    pub fn last_good_ensemble(&self) -> &Arc<CaeEnsemble> {
+        &self.last_good
+    }
+
+    /// Degradation summary of the adaptation tier: retry, spawn-failure,
+    /// fallback and backoff counters. The serving-tier fields stay zero;
+    /// merge with `FleetDetector::health_report` (crate `cae-serve`) for
+    /// the full picture.
+    pub fn health_report(&self) -> HealthReport {
+        HealthReport {
+            refit_retries: self.stats.refit_retries,
+            refits_failed: self.stats.refits_failed,
+            spawn_failures: self.stats.spawn_failures,
+            checkpoint_retries: self.stats.checkpoint_retries,
+            checkpoint_fallbacks: self.stats.checkpoint_fallbacks,
+            backoff_ms: self.stats.backoff_ms,
+            ..HealthReport::default()
+        }
     }
 
     /// Feeds one scored observation: the raw observation goes into the
@@ -315,30 +498,59 @@ impl AdaptationController {
             return false;
         }
 
+        // Thread exhaustion (real, or injected through `adapt.spawn`)
+        // must not take down the serving loop: the live ensemble keeps
+        // scoring, and a later drifted observation retries the launch.
+        if chaos::sites::ADAPT_SPAWN.fire().is_some() {
+            self.stats.spawn_failures += 1;
+            return false;
+        }
         let snapshot = Arc::clone(live);
         let recent = self.reservoir.series();
-        let opts = self.cfg.refit.clone();
-        let checkpoint_path = self.cfg.checkpoint_path.clone();
+        let cfg = self.cfg.clone();
         let spawned = std::thread::Builder::new()
             .name("cae-adapt-refit".to_string())
             .spawn(move || {
-                let adapted = snapshot.refit(&recent, &opts);
-                // Score the reservoir and write the checkpoint while
-                // still off the serving thread: poll() then publishes
-                // without paying inference or disk I/O between ticks.
-                // `save` stages into a temp file and renames, so a crash
-                // mid-write can never destroy the previous checkpoint.
-                let baseline = adapted.score(&recent);
-                let checkpoint =
-                    checkpoint_path.map(|path| adapted.save(&path).map_err(|e| e.to_string()));
-                (adapted, baseline, checkpoint)
+                // Supervised re-fit: failures and panics are caught and
+                // retried up to the configured budget.
+                let mut refit_retries = 0u64;
+                let mut outcome = attempt_refit(&snapshot, &recent, &cfg.refit);
+                while outcome.is_err() && refit_retries < u64::from(cfg.refit_retries) {
+                    refit_retries += 1;
+                    outcome = attempt_refit(&snapshot, &recent, &cfg.refit);
+                }
+                let mut report = RefitReport {
+                    outcome: Err(String::new()),
+                    refit_retries,
+                    checkpoint: None,
+                    checkpoint_retries: 0,
+                    backoff_ms: 0,
+                };
+                match outcome {
+                    Err(why) => report.outcome = Err(why),
+                    Ok(adapted) => {
+                        // Score the reservoir and write the checkpoint
+                        // while still off the serving thread: poll() then
+                        // publishes without paying inference or disk I/O
+                        // between ticks. `save` stages into a temp file
+                        // and renames, so a crash mid-write can never
+                        // destroy the previous checkpoint.
+                        let baseline = adapted.score(&recent);
+                        if let Some(path) = &cfg.checkpoint_path {
+                            let (result, retries, backoff) = write_checkpoint(&adapted, path, &cfg);
+                            report.checkpoint = Some(result);
+                            report.checkpoint_retries = retries;
+                            report.backoff_ms = backoff;
+                        }
+                        report.outcome = Ok((adapted, baseline));
+                    }
+                }
+                report
             });
         let handle = match spawned {
             Ok(h) => h,
-            // Thread exhaustion must not take down the serving loop: the
-            // live ensemble keeps scoring, and a later tick retries.
             Err(_) => {
-                self.stats.refits_failed += 1;
+                self.stats.spawn_failures += 1;
                 return false;
             }
         };
@@ -372,43 +584,63 @@ impl AdaptationController {
         // cae-lint: allow(E1) — both callers (`poll`, `wait`) return
         // early unless `self.worker` is `Some`.
         let handle = self.worker.take().expect("caller checked a worker exists");
-        match handle.join() {
-            Ok((adapted, baseline, checkpoint)) => {
-                self.stats.refits_completed += 1;
-                // The worker already wrote the checkpoint (off the
-                // serving thread); a failed write is recorded but does
-                // not block the in-memory publish.
-                match checkpoint {
-                    Some(Ok(())) => {
-                        self.stats.checkpoints_written += 1;
-                        self.last_checkpoint_error = None;
-                    }
-                    Some(Err(e)) => self.last_checkpoint_error = Some(e),
-                    None => {}
-                }
-                // Re-calibrate the drift band to the adapted model,
-                // ignoring non-finite scores. An adapted model that
-                // produced *no* finite score on its own training
-                // reservoir has diverged outright — publishing it would
-                // replace a working model with one that emits NaN for
-                // every stream, and since the monitor ignores non-finite
-                // scores it could never accumulate evidence against it.
-                // Treat that as a failed re-fit instead.
-                let finite: Vec<f32> = baseline.into_iter().filter(|s| s.is_finite()).collect();
-                if finite.is_empty() {
-                    self.stats.refits_completed -= 1;
-                    self.stats.refits_failed += 1;
-                    return None;
-                }
-                self.monitor.rebaseline(&finite);
-                self.was_drifted = false;
-                Some(Arc::new(adapted))
-            }
+        let report = match handle.join() {
+            Ok(report) => report,
+            // The worker itself is supervised (`attempt_refit` catches
+            // unwinds), so a join error means a panic outside the
+            // supervised section — count it and fall back to the
+            // last-good ensemble, which is still serving.
             Err(_) => {
                 self.stats.refits_failed += 1;
-                None
+                return None;
             }
+        };
+        self.stats.refit_retries += report.refit_retries;
+        self.stats.checkpoint_retries += report.checkpoint_retries;
+        self.stats.backoff_ms += report.backoff_ms;
+        let (adapted, baseline) = match report.outcome {
+            Ok(pair) => pair,
+            // Every attempt failed: keep serving the last-good ensemble.
+            Err(_) => {
+                self.stats.refits_failed += 1;
+                return None;
+            }
+        };
+        self.stats.refits_completed += 1;
+        // The worker already wrote the checkpoint (off the serving
+        // thread); a failed write is recorded — kind, retries, backoff —
+        // and the publish proceeds in-memory. A failed disk write must
+        // not block a swap.
+        match report.checkpoint {
+            Some(Ok(())) => {
+                self.stats.checkpoints_written += 1;
+                self.last_checkpoint_error = None;
+            }
+            Some(Err(failure)) => {
+                self.stats.checkpoint_fallbacks += 1;
+                self.last_checkpoint_error = Some(failure);
+            }
+            None => {}
         }
+        // Re-calibrate the drift band to the adapted model, ignoring
+        // non-finite scores. An adapted model that produced *no* finite
+        // score on its own training reservoir has diverged outright —
+        // publishing it would replace a working model with one that
+        // emits NaN for every stream, and since the monitor ignores
+        // non-finite scores it could never accumulate evidence against
+        // it. Treat that as a failed re-fit instead; the last-good
+        // ensemble keeps serving.
+        let finite: Vec<f32> = baseline.into_iter().filter(|s| s.is_finite()).collect();
+        if finite.is_empty() {
+            self.stats.refits_completed -= 1;
+            self.stats.refits_failed += 1;
+            return None;
+        }
+        self.monitor.rebaseline(&finite);
+        self.was_drifted = false;
+        let adapted = Arc::new(adapted);
+        self.last_good = Arc::clone(&adapted);
+        Some(adapted)
     }
 }
 
@@ -490,7 +722,7 @@ mod tests {
         for t in 0..400 {
             // Drifted regime from the start of the loop.
             let obs = [drift_wave(t, 0.29, 1.2, 0.3)];
-            fleet.push(id, &obs);
+            fleet.push(id, &obs).expect("live stream");
             fleet.tick(&mut out);
             // Serving never misses a tick while the re-fit runs in the
             // background.
@@ -511,7 +743,7 @@ mod tests {
         let mut t = 400;
         let adapted = loop {
             let obs = [drift_wave(t, 0.29, 1.2, 0.3)];
-            fleet.push(id, &obs);
+            fleet.push(id, &obs).expect("live stream");
             fleet.tick(&mut out);
             assert_eq!(out.len(), 1, "missed tick at t={t}");
             t += 1;
@@ -628,5 +860,129 @@ mod tests {
     fn rejects_unfitted_ensemble() {
         let live = Arc::new(CaeEnsemble::new(CaeConfig::new(1), EnsembleConfig::new()));
         AdaptationController::new(&live, &[0.1], AdaptationConfig::new());
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & graceful degradation
+    // ------------------------------------------------------------------
+
+    /// A controller primed to trip immediately: tiny band, saturated
+    /// reservoir. Returns it with the live ensemble.
+    fn primed(cfg: AdaptationConfig) -> (AdaptationController, Arc<CaeEnsemble>) {
+        let live = trained_on_regime_a();
+        let mut ctl = AdaptationController::new(&live, &[0.01; 64], cfg);
+        for t in 0..119 {
+            let obs = [drift_wave(t, 0.29, 1.2, 0.3)];
+            assert!(!ctl.observe(&live, &obs, 10.0));
+        }
+        (ctl, live)
+    }
+
+    #[test]
+    fn spawn_failure_is_absorbed_and_the_next_drift_retries() {
+        let _guard = cae_chaos::exclusive();
+        let (mut ctl, live) = primed(small_cfg().refit(RefitOptions::warm(1, 7)));
+        cae_chaos::sites::ADAPT_SPAWN.arm(cae_chaos::Schedule::nth(0));
+        assert!(
+            !ctl.observe(&live, &[0.0], 10.0),
+            "spawn failure must not report a started re-fit"
+        );
+        assert_eq!(ctl.stats().spawn_failures, 1);
+        assert_eq!(ctl.stats().refits_started, 0);
+        assert!(!ctl.refit_in_progress());
+        assert_eq!(ctl.health_report().spawn_failures, 1);
+        // The failpoint fired once; the next drifted observation launches.
+        assert!(ctl.observe(&live, &[0.0], 10.0), "launch must retry");
+        assert!(ctl.wait().is_some());
+    }
+
+    #[test]
+    fn failed_refit_attempts_are_retried_within_budget() {
+        let _guard = cae_chaos::exclusive();
+        let (mut ctl, live) = primed(small_cfg().refit(RefitOptions::warm(1, 7)).refit_retries(2));
+        // First two attempts fail; the third (last budgeted) succeeds.
+        cae_chaos::sites::ADAPT_REFIT.arm(cae_chaos::Schedule::always().times(2));
+        assert!(ctl.observe(&live, &[0.0], 10.0));
+        let published = ctl.wait();
+        assert!(published.is_some(), "re-fit must succeed within budget");
+        assert_eq!(ctl.stats().refit_retries, 2);
+        assert_eq!(ctl.stats().refits_failed, 0);
+        assert_eq!(ctl.stats().refits_completed, 1);
+    }
+
+    #[test]
+    fn panicking_refit_is_supervised_and_exhaustion_falls_back_to_last_good() {
+        let _guard = cae_chaos::exclusive();
+        let (mut ctl, live) = primed(small_cfg().refit(RefitOptions::warm(1, 7)).refit_retries(1));
+        // Every attempt panics: 1 try + 1 retry, then abandoned.
+        cae_chaos::sites::ADAPT_REFIT.arm(cae_chaos::Schedule::always().panicking());
+        assert!(ctl.observe(&live, &[0.0], 10.0));
+        assert!(ctl.wait().is_none(), "exhausted re-fit must not publish");
+        assert_eq!(ctl.stats().refit_retries, 1);
+        assert_eq!(ctl.stats().refits_failed, 1);
+        assert_eq!(ctl.stats().refits_completed, 0);
+        // The fallback is the model that was serving all along.
+        assert!(Arc::ptr_eq(ctl.last_good_ensemble(), &live));
+        assert!(ctl.health_report().degraded());
+    }
+
+    #[test]
+    fn checkpoint_write_failures_retry_with_backoff_then_fall_back_to_in_memory() {
+        let _guard = cae_chaos::exclusive();
+        let path =
+            std::env::temp_dir().join(format!("cae_adapt_chaos_ckpt_{}.caee", std::process::id()));
+        let (mut ctl, live) = primed(
+            small_cfg()
+                .refit(RefitOptions::warm(1, 7))
+                .checkpoint_path(&path)
+                .checkpoint_retries(2)
+                .backoff_ms(1, 4),
+        );
+        // Every write attempt fails: 1 try + 2 retries, then the publish
+        // proceeds without a checkpoint.
+        cae_chaos::sites::PERSIST_WRITE.arm(cae_chaos::Schedule::always());
+        assert!(ctl.observe(&live, &[0.0], 10.0));
+        let published = ctl.wait();
+        cae_chaos::disarm_all();
+        assert!(published.is_some(), "publish must survive checkpoint loss");
+        assert!(!path.exists(), "no checkpoint may have landed");
+        let failure = ctl.last_checkpoint_error().expect("failure retained");
+        assert!(matches!(failure.error, PersistError::Io(_)));
+        assert_eq!(failure.retries, 2);
+        assert_eq!(failure.backoff_ms, 1 + 2, "1 ms then doubled to 2 ms");
+        let stats = ctl.stats();
+        assert_eq!(stats.checkpoint_fallbacks, 1);
+        assert_eq!(stats.checkpoint_retries, 2);
+        assert_eq!(stats.checkpoints_written, 0);
+        assert_eq!(stats.backoff_ms, 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn transient_checkpoint_failure_recovers_within_the_retry_budget() {
+        let _guard = cae_chaos::exclusive();
+        let path = std::env::temp_dir().join(format!(
+            "cae_adapt_chaos_ckpt_transient_{}.caee",
+            std::process::id()
+        ));
+        let (mut ctl, live) = primed(
+            small_cfg()
+                .refit(RefitOptions::warm(1, 7))
+                .checkpoint_path(&path)
+                .checkpoint_retries(3)
+                .backoff_ms(1, 4),
+        );
+        // The first write attempt tears, the retry succeeds.
+        cae_chaos::sites::PERSIST_WRITE.arm(cae_chaos::Schedule::nth(0).payload(10));
+        assert!(ctl.observe(&live, &[0.0], 10.0));
+        let published = ctl.wait();
+        cae_chaos::disarm_all();
+        assert!(published.is_some());
+        assert!(ctl.last_checkpoint_error().is_none(), "success clears it");
+        assert_eq!(ctl.stats().checkpoint_retries, 1);
+        assert_eq!(ctl.stats().checkpoints_written, 1);
+        let loaded = CaeEnsemble::load(&path).expect("retried checkpoint loads");
+        assert_eq!(loaded.num_members(), live.num_members());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -17,7 +17,7 @@ use crate::lexer::{lex, Lexed};
 /// A single rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Stable rule ID (`U1`, `U2`, `U3`, `C1`, `C2`, `E1`, `D1`).
+    /// Stable rule ID (`U1`, `U2`, `U3`, `C1`, `C2`, `E1`, `D1`, `R1`).
     pub rule: &'static str,
     /// Workspace-relative path of the offending file.
     pub path: String,
@@ -64,6 +64,10 @@ pub const RULES: &[RuleInfo] = &[
         id: "D1",
         summary: "no Instant::now/SystemTime in scoring/tick hot paths",
     },
+    RuleInfo {
+        id: "R1",
+        summary: "no unwrap/expect inside Result-returning functions in recovery-path code (cae-chaos, cae-serve, cae-adapt)",
+    },
 ];
 
 /// Lints one source file. `rel_path` is the workspace-relative path used
@@ -83,6 +87,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
     rule_c2_locks_in_pool_jobs(&lexed, &scope_path, rel_path, &mut findings);
     rule_e1_no_panic_serving(&lexed, &scope_path, rel_path, &mut findings);
     rule_d1_no_wall_clock(&lexed, &scope_path, rel_path, &mut findings);
+    rule_r1_no_unwrap_in_result_fns(&lexed, &scope_path, rel_path, &mut findings);
 
     findings.retain(|f| !allows.get(f.line).is_some_and(|a| allows_rule(a, f.rule)));
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
@@ -191,6 +196,16 @@ fn is_hot_path(path: &str) -> bool {
         || path == "crates/core/src/score.rs"
         || path == "crates/data/src/detector.rs"
         || path == "crates/data/src/drift.rs"
+}
+
+/// Recovery-path code: the fault-injection crate and the two tiers that
+/// degrade gracefully through it. A function here that already returns
+/// `Result` has a typed error channel; an `unwrap`/`expect` inside it is
+/// a latent panic on exactly the paths the fault matrix exercises.
+fn is_recovery_path(path: &str) -> bool {
+    path.starts_with("crates/chaos/src/")
+        || path.starts_with("crates/serve/src/")
+        || path.starts_with("crates/adapt/src/")
 }
 
 // ---------------------------------------------------------------------
@@ -473,6 +488,92 @@ fn rule_d1_no_wall_clock(
     }
 }
 
+/// R1: inside a `Result`-returning function in recovery-path code
+/// (cae-chaos, cae-serve, cae-adapt), `.unwrap()` / `.expect(…)` is a
+/// latent panic on a path that already has a typed error channel —
+/// propagate with `?` instead. Complements E1: E1 bans panics across the
+/// whole serving surface, R1 additionally covers the chaos crate and
+/// names the sharper fix where a `Result` is in scope.
+fn rule_r1_no_unwrap_in_result_fns(
+    lexed: &Lexed<'_>,
+    scope_path: &str,
+    path: &str,
+    findings: &mut Vec<Finding>,
+) {
+    if !is_recovery_path(scope_path) || is_test_path(scope_path) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = toks[i];
+        if t.text != "fn" || t.in_test {
+            i += 1;
+            continue;
+        }
+        let depth = t.depth;
+        // Signature span: up to the body `{` at the fn's own depth. A `;`
+        // first means a bodyless declaration (trait method) — skip it.
+        let mut open = None;
+        let mut j = i + 1;
+        while j < toks.len() {
+            let s = toks[j];
+            if s.depth == depth && s.text == ";" {
+                break;
+            }
+            if s.depth == depth && s.text == "{" {
+                open = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        // `Result` after the *last* `->` of the signature (the last one
+        // is the fn's own return arrow; earlier ones belong to fn-typed
+        // parameters).
+        let arrow = (i + 1..open)
+            .rev()
+            .find(|&k| toks[k].text == ">" && k >= 1 && toks[k - 1].text == "-");
+        let returns_result = arrow.is_some_and(|a| (a + 1..open).any(|k| toks[k].text == "Result"));
+        if !returns_result {
+            i = open + 1;
+            continue;
+        }
+        // Body span: to the matching `}` (same depth as the opener).
+        let mut close = open + 1;
+        while close < toks.len() && !(toks[close].text == "}" && toks[close].depth == depth) {
+            close += 1;
+        }
+        for k in open + 1..close {
+            let tk = toks[k];
+            if tk.in_test {
+                continue;
+            }
+            let panicky = matches!(tk.text, "unwrap" | "expect")
+                && k >= 1
+                && toks[k - 1].text == "."
+                && toks.get(k + 1).is_some_and(|n| n.text == "(");
+            if panicky {
+                findings.push(Finding {
+                    rule: "R1",
+                    path: path.to_string(),
+                    line: tk.line,
+                    message: format!(
+                        "`{}` inside a Result-returning recovery-path function: propagate the error with `?` (or allowlist with `// cae-lint: allow(R1)` and the invariant that makes it infallible)",
+                        tk.text
+                    ),
+                });
+            }
+        }
+        // Continue *inside* the body so nested fns are analyzed on their
+        // own terms too (duplicates collapse in the final dedup).
+        i = open + 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,6 +674,48 @@ mod tests {
             vec![("D1", 1)]
         );
         assert!(rules_of("crates/bench/src/bin/perf_report.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r1_scopes_to_result_fns_in_recovery_crates() {
+        // Inside a Result-returning fn in a recovery crate: flagged.
+        let bad = "fn f() -> Result<u32, E> {\n    let v = g().unwrap();\n    Ok(v)\n}\n";
+        assert_eq!(
+            rules_of("crates/chaos/src/failpoint.rs", bad),
+            vec![("R1", 2)]
+        );
+
+        // Same code outside the recovery crates: clean.
+        assert!(rules_of("crates/core/src/ensemble.rs", bad).is_empty());
+
+        // A non-Result fn in a recovery crate: R1 stays quiet (cae-chaos
+        // is not E1 territory, so fully clean).
+        let opt = "fn f() -> Option<u32> {\n    Some(g().unwrap())\n}\n";
+        assert!(rules_of("crates/chaos/src/rng.rs", opt).is_empty());
+
+        // In cae-serve, E1 fires regardless and R1 adds the sharper
+        // finding only when a Result is in scope.
+        let serve = rules_of("crates/serve/src/lib.rs", bad);
+        assert_eq!(serve, vec![("E1", 2), ("R1", 2)]);
+        assert_eq!(rules_of("crates/serve/src/lib.rs", opt), vec![("E1", 2)]);
+
+        // The *last* arrow decides: a fn-typed parameter returning
+        // Result does not make the outer fn Result-returning.
+        let param = "fn f(g: fn() -> Result<u32, E>) -> u32 {\n    g().unwrap()\n}\n";
+        assert!(rules_of("crates/chaos/src/input.rs", param).is_empty());
+
+        // Bodyless trait declarations are skipped; the impl is not.
+        let traits = "trait T {\n    fn f() -> Result<u32, E>;\n}\nimpl T for S {\n    fn f() -> Result<u32, E> {\n        Ok(g().unwrap())\n    }\n}\n";
+        assert_eq!(
+            rules_of("crates/chaos/src/failpoint.rs", traits),
+            vec![("R1", 6)]
+        );
+
+        // Test code is exempt, and allow(R1) suppresses.
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() -> Result<u32, E> {\n        Ok(g().unwrap())\n    }\n}\n";
+        assert!(rules_of("crates/chaos/src/failpoint.rs", in_test).is_empty());
+        let allowed = "fn f() -> Result<u32, E> {\n    // cae-lint: allow(R1) — g() is infallible here\n    let v = g().unwrap();\n    Ok(v)\n}\n";
+        assert!(rules_of("crates/chaos/src/failpoint.rs", allowed).is_empty());
     }
 
     #[test]

@@ -1,0 +1,13 @@
+// cae-lint: path=crates/chaos/src/failpoint.rs
+//! Seeds exactly one R1 violation: an `unwrap` inside a Result-returning
+//! function in recovery-path code. The Option-returning neighbor stays
+//! clean (cae-chaos is outside E1's scope).
+
+fn armed_payload() -> Result<u64, ParseError> {
+    let raw = std::env::var("CHAOS_PAYLOAD").unwrap(); // line 7: R1
+    raw.parse().map_err(ParseError::from)
+}
+
+fn armed_payload_opt() -> Option<u64> {
+    std::env::var("CHAOS_PAYLOAD").ok()?.parse().ok()
+}

@@ -44,6 +44,7 @@ fn each_rule_fires_at_its_seeded_line() {
     assert_eq!(lint("c2_lock_in_job.rs"), [("C2", 6)]);
     assert_eq!(lint("e1_panics.rs"), [("E1", 5), ("E1", 7)]);
     assert_eq!(lint("d1_wall_clock.rs"), [("D1", 5)]);
+    assert_eq!(lint("r1_recovery_unwrap.rs"), [("R1", 7)]);
 }
 
 #[test]
@@ -127,7 +128,7 @@ fn binary_rules_catalog_lists_every_rule() {
     let out = run_lint(&["--rules"]);
     assert_eq!(out.status.code(), Some(0), "{out:?}");
     let stdout = String::from_utf8(out.stdout).expect("utf8");
-    for id in ["U1", "U2", "U3", "C1", "C2", "E1", "D1"] {
+    for id in ["U1", "U2", "U3", "C1", "C2", "E1", "D1", "R1"] {
         assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
     }
 }

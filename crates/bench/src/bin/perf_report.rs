@@ -392,7 +392,7 @@ fn main() {
         ft += 1;
         for (k, &id) in ids.iter().enumerate() {
             fleet_obs(ft, k, &mut obs);
-            fleet.push(id, &obs);
+            fleet.push(id, &obs).expect("live stream");
         }
         fleet.tick(&mut out);
     }
@@ -404,7 +404,7 @@ fn main() {
             ft += 1;
             for (k, &id) in ids.iter().enumerate() {
                 fleet_obs(ft, k, &mut obs);
-                fleet.push(id, &obs);
+                fleet.push(id, &obs).expect("live stream");
             }
             fleet.tick(&mut out);
             std::hint::black_box(out.len());

@@ -1,0 +1,241 @@
+//! Seeded synthesis of mixed-fleet input pathologies.
+//!
+//! The ensemble-techniques survey (arXiv:2308.03171) catalogs why
+//! single-model happy-path detectors fail in deployment: real fleets see
+//! NaN storms, sensors that freeze at their last reading, lossy and
+//! duplicating transports, and malformed rows from misconfigured
+//! upstreams. A [`StreamFaultInjector`] wraps one stream's clean
+//! observation sequence and replays exactly those pathologies over a
+//! scheduled window, deterministically per seed, so fleet tests can
+//! assert degradation *and recovery* bit-exactly.
+
+use crate::rng::SplitMix64;
+
+/// One input-fault family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputFault {
+    /// Every component replaced by a non-finite value (NaN or ±∞).
+    NanStorm,
+    /// The sensor freezes: the value at fault onset repeats verbatim.
+    FlatLine,
+    /// Observations are lost in transport.
+    Dropout,
+    /// Observations are delivered twice.
+    Duplicate,
+    /// Rows arrive with the wrong dimensionality.
+    DimGarble,
+}
+
+impl InputFault {
+    /// Every fault family, for matrix sweeps.
+    pub const ALL: [InputFault; 5] = [
+        InputFault::NanStorm,
+        InputFault::FlatLine,
+        InputFault::Dropout,
+        InputFault::Duplicate,
+        InputFault::DimGarble,
+    ];
+}
+
+/// A fault family active over the half-open tick range `[from, to)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// The fault family injected inside the window.
+    pub kind: InputFault,
+    /// First faulty tick (inclusive).
+    pub from: usize,
+    /// First clean tick after the fault (exclusive end).
+    pub to: usize,
+}
+
+impl FaultWindow {
+    /// A window of `kind` over `[from, to)`.
+    pub fn new(kind: InputFault, from: usize, to: usize) -> Self {
+        assert!(from <= to, "fault window [{from}, {to}) is inverted");
+        FaultWindow { kind, from, to }
+    }
+
+    /// Whether tick `t` falls inside the fault window.
+    pub fn active(&self, t: usize) -> bool {
+        t >= self.from && t < self.to
+    }
+}
+
+/// What the transport delivers for one tick after fault injection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Delivery {
+    /// One observation (clean or corrupted).
+    Deliver(Vec<f32>),
+    /// The same observation delivered twice back to back.
+    DeliverTwice(Vec<f32>),
+    /// The observation was lost.
+    Dropped,
+}
+
+/// Applies one [`FaultWindow`] to one stream's clean observations.
+///
+/// Stateful where the pathology is (a flat-lined sensor freezes at its
+/// *onset* value), seeded where it is random (which non-finite value a
+/// NaN storm emits, how a garbled row is malformed) — equal seeds replay
+/// identical corruption.
+#[derive(Clone, Debug)]
+pub struct StreamFaultInjector {
+    window: FaultWindow,
+    rng: SplitMix64,
+    /// The reading the sensor froze at (captured at fault onset).
+    frozen: Option<Vec<f32>>,
+}
+
+impl StreamFaultInjector {
+    /// An injector replaying `window` with corruption drawn from `seed`.
+    pub fn new(window: FaultWindow, seed: u64) -> Self {
+        StreamFaultInjector {
+            window,
+            rng: SplitMix64::new(seed),
+            frozen: None,
+        }
+    }
+
+    /// The configured fault window.
+    pub fn window(&self) -> FaultWindow {
+        self.window
+    }
+
+    /// What the transport delivers at tick `t` for the clean observation
+    /// `clean`. Outside the fault window this is always
+    /// `Deliver(clean)`.
+    pub fn next(&mut self, t: usize, clean: &[f32]) -> Delivery {
+        if !self.window.active(t) {
+            self.frozen = None;
+            return Delivery::Deliver(clean.to_vec());
+        }
+        match self.window.kind {
+            InputFault::NanStorm => {
+                let storm = clean
+                    .iter()
+                    .map(|_| match self.rng.next_below(4) {
+                        0 => f32::INFINITY,
+                        1 => f32::NEG_INFINITY,
+                        _ => f32::NAN,
+                    })
+                    .collect();
+                Delivery::Deliver(storm)
+            }
+            InputFault::FlatLine => {
+                let frozen = self.frozen.get_or_insert_with(|| clean.to_vec());
+                Delivery::Deliver(frozen.clone())
+            }
+            InputFault::Dropout => Delivery::Dropped,
+            InputFault::Duplicate => Delivery::DeliverTwice(clean.to_vec()),
+            InputFault::DimGarble => {
+                // Wrong dimensionality: truncated, extended, or empty.
+                let garbled_len = match self.rng.next_below(3) {
+                    0 => 0,
+                    1 => clean.len().saturating_sub(1),
+                    _ => clean.len() + 1 + self.rng.next_below(3) as usize,
+                };
+                let mut row: Vec<f32> = clean.iter().copied().cycle().take(garbled_len).collect();
+                if row.len() == clean.len() {
+                    // `saturating_sub` on a 1-dim stream can collide with
+                    // the clean length 0… never deliver a well-formed row.
+                    row.push(0.0);
+                }
+                Delivery::Deliver(row)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean(t: usize) -> Vec<f32> {
+        vec![(t as f32 * 0.3).sin(), (t as f32 * 0.1).cos()]
+    }
+
+    fn run(kind: InputFault, seed: u64) -> Vec<Delivery> {
+        let mut inj = StreamFaultInjector::new(FaultWindow::new(kind, 4, 10), seed);
+        (0..14).map(|t| inj.next(t, &clean(t))).collect()
+    }
+
+    #[test]
+    fn outside_the_window_is_clean_passthrough() {
+        for kind in InputFault::ALL {
+            let deliveries = run(kind, 3);
+            for (t, d) in deliveries.iter().enumerate() {
+                if !(4..10).contains(&t) {
+                    assert_eq!(d, &Delivery::Deliver(clean(t)), "{kind:?} t={t}");
+                }
+            }
+        }
+    }
+
+    /// Bitwise image of a delivery sequence — NaN-safe equality.
+    fn bits(deliveries: &[Delivery]) -> Vec<Vec<u32>> {
+        deliveries
+            .iter()
+            .map(|d| match d {
+                Delivery::Deliver(r) | Delivery::DeliverTwice(r) => {
+                    r.iter().map(|v| v.to_bits()).collect()
+                }
+                Delivery::Dropped => Vec::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nan_storm_is_entirely_non_finite_and_seed_replayable() {
+        let a = run(InputFault::NanStorm, 7);
+        assert_eq!(
+            bits(&a),
+            bits(&run(InputFault::NanStorm, 7)),
+            "seed must replay bit-identically"
+        );
+        for d in &a[4..10] {
+            let Delivery::Deliver(row) = d else {
+                panic!("NaN storm still delivers rows")
+            };
+            assert_eq!(row.len(), 2);
+            assert!(row.iter().all(|v| !v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn flat_line_freezes_the_onset_value() {
+        let deliveries = run(InputFault::FlatLine, 5);
+        let frozen = clean(4);
+        for (t, d) in deliveries.iter().enumerate().take(10).skip(4) {
+            assert_eq!(d, &Delivery::Deliver(frozen.clone()), "t={t}");
+        }
+        // After the window the live value resumes.
+        assert_eq!(deliveries[10], Delivery::Deliver(clean(10)));
+    }
+
+    #[test]
+    fn dropout_and_duplicate_shape_the_transport() {
+        for d in &run(InputFault::Dropout, 9)[4..10] {
+            assert_eq!(d, &Delivery::Dropped);
+        }
+        for (t, d) in run(InputFault::Duplicate, 9)
+            .iter()
+            .enumerate()
+            .take(10)
+            .skip(4)
+        {
+            assert_eq!(d, &Delivery::DeliverTwice(clean(t)), "t={t}");
+        }
+    }
+
+    #[test]
+    fn dim_garble_never_delivers_a_well_formed_row() {
+        for seed in 0..16 {
+            for d in &run(InputFault::DimGarble, seed)[4..10] {
+                let Delivery::Deliver(row) = d else {
+                    panic!("garble delivers rows")
+                };
+                assert_ne!(row.len(), 2, "seed {seed}: garbled row has the clean dim");
+            }
+        }
+    }
+}

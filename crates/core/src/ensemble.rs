@@ -3,7 +3,7 @@
 use crate::config::{CaeConfig, EnsembleConfig};
 use crate::diversity;
 use crate::model::Cae;
-use crate::persist::{self, PersistError};
+use crate::persist::{self, FallbackExhausted, PersistError, RecoveredLoad};
 use crate::score::{median, median_scores, series_scores_from_window_errors};
 use cae_autograd::{transfer_fraction, ParamStore, Tape};
 use cae_data::{num_windows, Detector, Scaler, TimeSeries};
@@ -447,6 +447,31 @@ impl CaeEnsemble {
     pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
         let (model_cfg, cfg, scaler, members) = persist::load_ensemble(path.as_ref())?;
         Ok(Self::from_loaded_parts(model_cfg, cfg, scaler, members))
+    }
+
+    /// Loads `primary`, falling back to the `last_good` checkpoint when
+    /// the primary is missing, torn, or corrupt. On fallback the primary's
+    /// rejection reason is preserved in
+    /// [`RecoveredLoad::primary_error`] so callers can log *why* the
+    /// fleet started from an older ensemble. Only when both checkpoints
+    /// fail does the load error out, with both reasons.
+    pub fn load_with_fallback(
+        primary: impl AsRef<Path>,
+        last_good: impl AsRef<Path>,
+    ) -> Result<RecoveredLoad<Self>, FallbackExhausted> {
+        match Self::load(primary) {
+            Ok(ensemble) => Ok(RecoveredLoad {
+                value: ensemble,
+                primary_error: None,
+            }),
+            Err(primary) => match Self::load(last_good) {
+                Ok(ensemble) => Ok(RecoveredLoad {
+                    value: ensemble,
+                    primary_error: Some(primary),
+                }),
+                Err(fallback) => Err(FallbackExhausted { primary, fallback }),
+            },
+        }
     }
 
     /// Warm-started re-fit on recent observations: the online-adaptation

@@ -66,6 +66,6 @@ pub use config::{CaeConfig, EnsembleConfig, ReconstructionTarget};
 pub use ensemble::{CaeEnsemble, RefitOptions};
 pub use hyper::{select_hyperparameters, HyperRanges, HyperSelection, TrialRecord};
 pub use model::Cae;
-pub use persist::PersistError;
+pub use persist::{FallbackExhausted, PersistError, RecoveredLoad};
 pub use repair::{repair_series, RepairReport};
 pub use streaming::StreamingDetector;

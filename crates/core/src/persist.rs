@@ -31,6 +31,7 @@
 use crate::config::{CaeConfig, EnsembleConfig, ReconstructionTarget};
 use crate::model::Cae;
 use cae_autograd::ParamStore;
+use cae_chaos as chaos;
 use cae_data::Scaler;
 use cae_nn::Activation;
 use cae_tensor::Tensor;
@@ -264,7 +265,21 @@ pub(crate) fn encode_ensemble(
     buf
 }
 
+/// The injected I/O failure a tripped persist failpoint surfaces.
+fn injected_io(site: &str, stage: &str) -> PersistError {
+    PersistError::Io(io::Error::other(format!(
+        "chaos: injected fault at `{site}` ({stage})"
+    )))
+}
+
 /// Writes the ensemble's trained state to `path` (format v1).
+///
+/// Fault-injection: the `persist.write` failpoint is evaluated twice per
+/// save — once guarding the temp-file write (a trip payload of `k` tears
+/// the write after `k` bytes, `None` aborts before writing) and once
+/// between write and rename (a trip simulates a crash with a complete
+/// temp file that never reached the final path). In every injected
+/// outcome the artifact previously at `path` is untouched.
 pub(crate) fn save_ensemble(
     path: &Path,
     model_cfg: &CaeConfig,
@@ -278,7 +293,23 @@ pub(crate) fn save_ensemble(
     // rename over the target instead — rename within a directory is
     // atomic on the platforms this targets.
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    std::fs::write(&tmp, encode_ensemble(model_cfg, cfg, scaler, members))?;
+    let bytes = encode_ensemble(model_cfg, cfg, scaler, members);
+    if let Some(payload) = chaos::sites::PERSIST_WRITE.fire() {
+        // Torn write: k bytes reach the temp file before the failure —
+        // exactly what a crash or full disk mid-write leaves behind.
+        if let Some(k) = payload {
+            let torn = (k as usize).min(bytes.len());
+            let _ = std::fs::write(&tmp, &bytes[..torn]);
+        }
+        return Err(injected_io("persist.write", "temp-file write"));
+    }
+    std::fs::write(&tmp, &bytes)?;
+    if chaos::sites::PERSIST_WRITE.fire().is_some() {
+        // Crash between write and rename: the finished temp file never
+        // reaches the final path.
+        let _ = std::fs::remove_file(&tmp);
+        return Err(injected_io("persist.write", "pre-rename"));
+    }
     std::fs::rename(&tmp, path).inspect_err(|_| {
         let _ = std::fs::remove_file(&tmp);
     })?;
@@ -562,9 +593,52 @@ pub(crate) fn decode_ensemble(buf: &[u8]) -> Result<EnsembleParts, PersistError>
 }
 
 /// Reads an ensemble checkpoint from `path`.
+///
+/// Fault-injection: a `persist.read` trip with payload `Some(k)` decodes
+/// only the first `k` bytes (a truncated/corrupt read surfacing the
+/// format's typed errors); `None` fails the read itself with an I/O
+/// error.
 pub(crate) fn load_ensemble(path: &Path) -> Result<EnsembleParts, PersistError> {
-    decode_ensemble(&std::fs::read(path)?)
+    let bytes = std::fs::read(path)?;
+    if let Some(payload) = chaos::sites::PERSIST_READ.fire() {
+        return match payload {
+            Some(k) => decode_ensemble(&bytes[..(k as usize).min(bytes.len())]),
+            None => Err(injected_io("persist.read", "file read")),
+        };
+    }
+    decode_ensemble(&bytes)
 }
+
+/// A load that succeeded, possibly only via the fallback checkpoint.
+#[derive(Debug)]
+pub struct RecoveredLoad<T> {
+    /// The loaded value.
+    pub value: T,
+    /// Why the primary checkpoint was rejected, when the fallback had to
+    /// be used. `None` means the primary loaded cleanly.
+    pub primary_error: Option<PersistError>,
+}
+
+/// Neither the primary nor the last-good checkpoint could be loaded.
+#[derive(Debug)]
+pub struct FallbackExhausted {
+    /// Why the primary checkpoint was rejected.
+    pub primary: PersistError,
+    /// Why the last-good checkpoint was rejected too.
+    pub fallback: PersistError,
+}
+
+impl fmt::Display for FallbackExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "primary checkpoint failed ({}) and last-good fallback failed ({})",
+            self.primary, self.fallback
+        )
+    }
+}
+
+impl std::error::Error for FallbackExhausted {}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,184 @@
+//! Crash-during-checkpoint sweep: a save may die at *any* byte offset of
+//! the temp-file write, or between write and rename, and the checkpoint
+//! previously at the final path must survive untouched and loadable.
+//!
+//! This is the durability half of the fault matrix (`tests/chaos_matrix.rs`
+//! at the workspace root covers the serving half): the `persist.write`
+//! failpoint is armed with a torn-write payload for every offset of the
+//! encoded artifact, so the sweep covers truncation inside the magic, the
+//! header, the member payloads and the trailing checksum.
+
+use cae_chaos as chaos;
+use cae_core::{CaeConfig, CaeEnsemble, EnsembleConfig, PersistError};
+use cae_data::{Detector, TimeSeries};
+use std::path::{Path, PathBuf};
+
+fn fitted(seed: u64) -> CaeEnsemble {
+    let series = TimeSeries::univariate((0..160).map(|t| (t as f32 * 0.3).sin()).collect());
+    let mut ens = CaeEnsemble::new(
+        CaeConfig::new(1).embed_dim(4).window(8).layers(1),
+        EnsembleConfig::new()
+            .num_models(2)
+            .epochs_per_model(1)
+            .batch_size(16)
+            .train_stride(2)
+            .seed(seed),
+    );
+    ens.fit(&series);
+    ens
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cae_ckpt_crash_{tag}_{}.caee", std::process::id()))
+}
+
+/// No temp files may be left next to `path` after a failed save.
+fn assert_no_debris(path: &Path) {
+    let dir = path.parent().expect("temp path has a parent");
+    let stem = path
+        .file_stem()
+        .expect("temp path has a stem")
+        .to_string_lossy()
+        .into_owned();
+    let debris: Vec<String> = std::fs::read_dir(dir)
+        .expect("tmp dir listing")
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with(&stem) && n.contains(".tmp."))
+        .collect();
+    // A torn temp file is exactly what a real crash leaves behind; the
+    // *next* successful save reuses the same temp name and renames over
+    // it, so debris is tolerated — but it must never shadow the final
+    // path. This assertion documents the contract rather than forbidding
+    // debris outright.
+    for name in &debris {
+        assert_ne!(
+            name,
+            &path
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned(),
+            "torn temp write must never land on the final path"
+        );
+    }
+}
+
+#[test]
+fn a_crash_at_every_write_offset_preserves_the_prior_checkpoint() {
+    let _guard = chaos::exclusive();
+    let path = tmp_path("sweep");
+    let _ = std::fs::remove_file(&path);
+
+    // Lay down a good generation-0 checkpoint and remember its bytes.
+    let good = fitted(11);
+    good.save(&path).expect("baseline checkpoint");
+    let good_bytes = std::fs::read(&path).expect("baseline bytes");
+
+    // A different ensemble whose save we will keep crashing.
+    let replacement = fitted(29);
+    let encoded_len = {
+        let probe = tmp_path("probe");
+        replacement.save(&probe).expect("probe save");
+        let len = std::fs::metadata(&probe).expect("probe metadata").len() as usize;
+        let _ = std::fs::remove_file(&probe);
+        len
+    };
+
+    // Crash the temp-file write at every offset of the artifact,
+    // including offset 0 (nothing written) and full length (complete
+    // temp file that never renames).
+    for offset in 0..=encoded_len {
+        chaos::sites::PERSIST_WRITE.arm(chaos::Schedule::nth(0).payload(offset as u64));
+        let err = replacement
+            .save(&path)
+            .expect_err("armed save must report the crash");
+        assert!(
+            matches!(err, PersistError::Io(_)),
+            "offset {offset}: injected failure must surface as Io, got {err:?}"
+        );
+        // Cheap invariant per offset: the final path's bytes are the
+        // prior generation, bit for bit.
+        let now = std::fs::read(&path).expect("prior checkpoint readable");
+        assert_eq!(
+            now, good_bytes,
+            "offset {offset}: torn write corrupted the prior checkpoint"
+        );
+        assert_no_debris(&path);
+    }
+
+    // Crash between write and rename: the finished temp file is
+    // discarded, the prior checkpoint stays.
+    chaos::sites::PERSIST_WRITE.arm(chaos::Schedule::nth(1));
+    let err = replacement
+        .save(&path)
+        .expect_err("pre-rename crash must report");
+    assert!(matches!(err, PersistError::Io(_)));
+    assert_eq!(std::fs::read(&path).expect("readable"), good_bytes);
+
+    // Decode once at the end: the surviving artifact is the *loadable*
+    // generation-0 ensemble, scoring bit-identically to the original.
+    chaos::disarm_all();
+    let survivor = CaeEnsemble::load(&path).expect("prior checkpoint loads");
+    let probe_series = TimeSeries::univariate((0..64).map(|t| (t as f32 * 0.21).cos()).collect());
+    assert_eq!(survivor.score(&probe_series), good.score(&probe_series));
+
+    // And with chaos disarmed the replacement finally lands.
+    replacement.save(&path).expect("clean save succeeds");
+    let landed = CaeEnsemble::load(&path).expect("replacement loads");
+    assert_eq!(
+        landed.score(&probe_series),
+        replacement.score(&probe_series)
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn torn_reads_surface_typed_errors_and_load_with_fallback_recovers() {
+    let _guard = chaos::exclusive();
+    let primary = tmp_path("primary");
+    let last_good = tmp_path("last_good");
+    let good = fitted(47);
+    good.save(&primary).expect("primary checkpoint");
+    good.save(&last_good).expect("last-good checkpoint");
+    let len = std::fs::metadata(&primary).expect("metadata").len() as usize;
+
+    // Sample truncation offsets across the artifact (every offset is the
+    // write-sweep's job; reads only need the error taxonomy).
+    for offset in (0..len).step_by(37) {
+        chaos::sites::PERSIST_READ.arm(chaos::Schedule::nth(0).payload(offset as u64));
+        let err = CaeEnsemble::load(&primary).expect_err("truncated read must fail");
+        assert!(
+            matches!(
+                err,
+                PersistError::Corrupt(_) | PersistError::BadMagic | PersistError::ChecksumMismatch
+            ),
+            "offset {offset}: unexpected error {err:?}"
+        );
+        // The same fault on the primary leaves the fallback path intact:
+        // the one-shot failpoint already fired, so the second load reads
+        // clean and recovery succeeds with the primary's error retained.
+        chaos::sites::PERSIST_READ.arm(chaos::Schedule::nth(0).payload(offset as u64));
+        let recovered =
+            CaeEnsemble::load_with_fallback(&primary, &last_good).expect("fallback must recover");
+        assert!(
+            recovered.primary_error.is_some(),
+            "offset {offset}: fallback load must retain the primary's error"
+        );
+    }
+
+    // Both checkpoints failing reports both reasons.
+    chaos::sites::PERSIST_READ.arm(chaos::Schedule::always());
+    let exhausted = CaeEnsemble::load_with_fallback(&primary, &last_good)
+        .expect_err("both paths failing must error");
+    assert!(matches!(exhausted.primary, PersistError::Io(_)));
+    assert!(matches!(exhausted.fallback, PersistError::Io(_)));
+    let shown = exhausted.to_string();
+    assert!(shown.contains("primary checkpoint failed"));
+
+    chaos::disarm_all();
+    let clean = CaeEnsemble::load_with_fallback(&primary, &last_good).expect("clean load");
+    assert!(clean.primary_error.is_none());
+    let _ = std::fs::remove_file(&primary);
+    let _ = std::fs::remove_file(&last_good);
+}

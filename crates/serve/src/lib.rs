@@ -15,6 +15,20 @@
 //! double-buffered pointer swap that takes effect at the next tick and
 //! never disturbs per-stream warm-up rings.
 //!
+//! Real fleets misbehave: sensors emit NaN storms, freeze at their last
+//! reading, or deliver garbled rows. Each stream therefore carries a
+//! [`StreamHealth`] state machine (Healthy → Suspect → Quarantined →
+//! Recovering) that rejects faulty observations before they reach the
+//! scoring path, quarantines persistently faulty streams so they stop
+//! consuming tick budget, and probes them back to health once clean
+//! readings resume — with a pinned recovery latency, so operators can
+//! bound the blind window. [`FleetDetector::push`] reports malformed
+//! input as a typed [`PushError`] instead of panicking, and
+//! [`FleetDetector::tick`] enforces an optional per-tick window budget,
+//! shedding (and round-robin rotating) excess load rather than blowing
+//! its deadline. Everything degraded is counted in
+//! [`FleetDetector::health_report`].
+//!
 //! ```no_run
 //! use cae_core::CaeEnsemble;
 //! use cae_serve::FleetDetector;
@@ -27,7 +41,7 @@
 //! let mut scores = Vec::new();
 //! loop {
 //!     for &id in &sensors {
-//!         fleet.push(id, &[0.0 /* latest observation */]);
+//!         fleet.push(id, &[0.0 /* latest observation */]).expect("live stream");
 //!     }
 //!     fleet.tick(&mut scores);
 //!     for (id, score) in &scores { /* alerting… */ }
@@ -36,6 +50,8 @@
 //! ```
 
 use cae_autograd::Tape;
+use cae_chaos as chaos;
+use cae_chaos::HealthReport;
 use cae_core::CaeEnsemble;
 use cae_tensor::{scratch, Tensor};
 use std::sync::Arc;
@@ -50,11 +66,143 @@ pub const FLEET_BATCH: usize = 64;
 ///
 /// Ids are generation-tagged: after [`FleetDetector::remove_stream`] the
 /// slot is recycled for future sessions, but the stale id can never
-/// silently read another stream — using it panics.
+/// silently read another stream — [`FleetDetector::push`] returns
+/// [`PushError::UnknownStream`], and the inspection APIs
+/// ([`buffered`](FleetDetector::buffered), …) panic.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct StreamId {
     slot: usize,
     generation: u64,
+}
+
+/// Why [`FleetDetector::push`] rejected an observation outright.
+///
+/// These are *caller* errors (wrong id, wrong shape) — input pathologies
+/// on a valid stream (non-finite values, flat-lines) are absorbed by the
+/// health state machine instead and reported as
+/// [`PushOutcome::Discarded`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The id does not name a live stream: it was forged, or the stream
+    /// was removed and the slot possibly recycled.
+    UnknownStream,
+    /// The observation's dimensionality disagrees with the model's. The
+    /// stream itself is charged with a fault (garbled rows from a
+    /// misconfigured upstream count toward quarantine).
+    DimMismatch {
+        /// Length of the rejected observation.
+        got: usize,
+        /// Observation dimensionality `D` the model expects.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::UnknownStream => write!(f, "unknown or removed stream id"),
+            PushError::DimMismatch { got, expected } => {
+                write!(f, "observation dim {got} != model dim {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+/// What [`FleetDetector::push`] did with a well-addressed observation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The observation entered the stream's warm-up ring.
+    Stored,
+    /// The observation was absorbed without entering the ring: it was
+    /// faulty (non-finite, flat-lined past the threshold) or the stream
+    /// is quarantined and still probing for recovery.
+    Discarded,
+}
+
+/// Per-stream health state (see [`HealthConfig`] for the thresholds that
+/// drive the transitions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamHealth {
+    /// Scoring normally.
+    Healthy,
+    /// Recent consecutive faults; still scoring, one step from
+    /// quarantine.
+    Suspect,
+    /// Persistently faulty: the ring is cleared, no scores are emitted,
+    /// and the stream consumes no tick budget. Clean observations are
+    /// counted as recovery probes but not stored.
+    Quarantined,
+    /// Probation after quarantine: clean observations refill the ring;
+    /// the stream returns to [`StreamHealth::Healthy`] (and to scoring)
+    /// once the ring is full. Any fault sends it straight back to
+    /// quarantine.
+    Recovering,
+}
+
+/// Thresholds for the per-stream health state machine.
+///
+/// With window size `w`, a quarantined stream whose input turns clean
+/// returns to scoring after exactly
+/// [`probe_after`](HealthConfig::probe_after)` − 1 + w` clean pushes
+/// ([`HealthConfig::recovery_pushes`]) — a pinned recovery latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive faults before a healthy stream turns `Suspect`.
+    pub suspect_after: u32,
+    /// Consecutive faults before a suspect stream is quarantined.
+    pub quarantine_after: u32,
+    /// Consecutive bitwise-identical observations before the stream
+    /// counts as flat-lined (a frozen sensor).
+    pub flatline_after: u32,
+    /// Consecutive clean observations a quarantined stream must show
+    /// before its ring starts refilling.
+    pub probe_after: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            suspect_after: 2,
+            quarantine_after: 6,
+            flatline_after: 32,
+            probe_after: 3,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Sets [`HealthConfig::suspect_after`].
+    pub fn suspect_after(mut self, n: u32) -> Self {
+        self.suspect_after = n;
+        self
+    }
+
+    /// Sets [`HealthConfig::quarantine_after`].
+    pub fn quarantine_after(mut self, n: u32) -> Self {
+        self.quarantine_after = n;
+        self
+    }
+
+    /// Sets [`HealthConfig::flatline_after`].
+    pub fn flatline_after(mut self, n: u32) -> Self {
+        self.flatline_after = n;
+        self
+    }
+
+    /// Sets [`HealthConfig::probe_after`].
+    pub fn probe_after(mut self, n: u32) -> Self {
+        self.probe_after = n;
+        self
+    }
+
+    /// Clean pushes a quarantined stream needs to score again under
+    /// window size `window`: `probe_after − 1` discarded probes plus
+    /// `window` ring-refilling observations.
+    pub fn recovery_pushes(&self, window: usize) -> usize {
+        self.probe_after as usize - 1 + window
+    }
 }
 
 struct StreamSlot {
@@ -69,6 +217,16 @@ struct StreamSlot {
     filled: usize,
     /// Whether a new observation arrived since the last tick.
     fresh: bool,
+    state: StreamHealth,
+    /// Consecutive faulty observations (resets on any clean one).
+    consecutive_faults: u32,
+    /// Consecutive observations bitwise-identical to their predecessor.
+    flat_run: u32,
+    /// Consecutive clean observations seen while quarantined.
+    probe_goods: u32,
+    /// Previous well-formed observation, for flat-line detection.
+    prev: Vec<f32>,
+    has_prev: bool,
 }
 
 impl StreamSlot {
@@ -77,6 +235,59 @@ impl StreamSlot {
         self.filled = 0;
         self.fresh = false;
     }
+
+    fn reset_health(&mut self) {
+        self.state = StreamHealth::Healthy;
+        self.consecutive_faults = 0;
+        self.flat_run = 0;
+        self.probe_goods = 0;
+        self.has_prev = false;
+    }
+}
+
+/// Advances `s` through one faulty observation. Returns `true` when the
+/// stream was newly quarantined by this fault (the caller owns the
+/// fleet-level event counter).
+fn escalate_fault(s: &mut StreamSlot, cfg: &HealthConfig) -> bool {
+    s.consecutive_faults += 1;
+    match s.state {
+        StreamHealth::Healthy => {
+            if s.consecutive_faults >= cfg.suspect_after {
+                s.state = StreamHealth::Suspect;
+            }
+            // A single threshold can skip the Suspect stop-over entirely.
+            if s.consecutive_faults >= cfg.quarantine_after {
+                quarantine(s);
+                return true;
+            }
+            false
+        }
+        StreamHealth::Suspect => {
+            if s.consecutive_faults >= cfg.quarantine_after {
+                quarantine(s);
+                return true;
+            }
+            false
+        }
+        // Any fault during probation voids it: the ring may only ever
+        // hold a contiguous run of clean observations.
+        StreamHealth::Recovering => {
+            quarantine(s);
+            true
+        }
+        StreamHealth::Quarantined => {
+            s.probe_goods = 0;
+            false
+        }
+    }
+}
+
+fn quarantine(s: &mut StreamSlot) {
+    s.state = StreamHealth::Quarantined;
+    s.probe_goods = 0;
+    // Drop the buffered window: it mixes pre-fault readings with the
+    // gap the rejected observations left.
+    s.reset();
 }
 
 /// Scores many concurrent observation streams against one **fitted**
@@ -119,6 +330,18 @@ pub struct FleetDetector {
     ready: Vec<usize>,
     /// Per-chunk score output (retained).
     scores: Vec<f32>,
+    health_cfg: HealthConfig,
+    /// Max windows scored per tick; excess ready streams are shed.
+    tick_budget: usize,
+    /// Slot index the ready scan starts from. Only advances when a tick
+    /// sheds load, so an unloaded fleet keeps strict slot order (and its
+    /// bit-exact chunking).
+    scan_from: usize,
+    quarantine_events: u64,
+    recoveries: u64,
+    faulty_observations: u64,
+    shed_windows: u64,
+    suppressed_scores: u64,
 }
 
 impl std::fmt::Debug for FleetDetector {
@@ -143,10 +366,26 @@ impl FleetDetector {
     /// an adaptation controller — needs concurrent read access to the
     /// live model).
     pub fn new(ensemble: impl Into<Arc<CaeEnsemble>>) -> Self {
+        Self::with_health(ensemble, HealthConfig::default())
+    }
+
+    /// A fleet scorer with explicit health-machine thresholds (see
+    /// [`FleetDetector::new`] for the ensemble contract).
+    pub fn with_health(ensemble: impl Into<Arc<CaeEnsemble>>, health: HealthConfig) -> Self {
         let ensemble = ensemble.into();
         assert!(
             ensemble.num_members() > 0,
             "FleetDetector requires a fitted ensemble"
+        );
+        assert!(
+            health.suspect_after >= 1 && health.probe_after >= 1,
+            "health thresholds must be at least 1"
+        );
+        assert!(
+            health.quarantine_after >= health.suspect_after,
+            "quarantine_after {} < suspect_after {}",
+            health.quarantine_after,
+            health.suspect_after
         );
         let window = ensemble.model_config().window;
         let dim = ensemble.model_config().dim;
@@ -163,6 +402,14 @@ impl FleetDetector {
             tape: Tape::new(),
             ready: Vec::new(),
             scores: Vec::new(),
+            health_cfg: health,
+            tick_budget: usize::MAX,
+            scan_from: 0,
+            quarantine_events: 0,
+            recoveries: 0,
+            faulty_observations: 0,
+            shed_windows: 0,
+            suppressed_scores: 0,
         }
     }
 
@@ -262,6 +509,7 @@ impl FleetDetector {
                 s.generation = generation;
                 s.active = true;
                 s.reset();
+                s.reset_health();
                 i
             }
             None => {
@@ -272,6 +520,12 @@ impl FleetDetector {
                     head: 0,
                     filled: 0,
                     fresh: false,
+                    state: StreamHealth::Healthy,
+                    consecutive_faults: 0,
+                    flat_run: 0,
+                    probe_goods: 0,
+                    prev: vec![0.0; self.dim],
+                    has_prev: false,
                 });
                 self.slots.len() - 1
             }
@@ -290,11 +544,14 @@ impl FleetDetector {
         self.active -= 1;
     }
 
-    /// Clears a stream's warm-up buffer (e.g. after a gap in its feed);
-    /// the session stays open and scores again after `w` fresh
-    /// observations.
+    /// Clears a stream's warm-up buffer and health tracking (e.g. after
+    /// a gap in its feed or an operator-confirmed sensor repair); the
+    /// session stays open, starts back at [`StreamHealth::Healthy`], and
+    /// scores again after `w` fresh observations.
     pub fn reset_stream(&mut self, id: StreamId) {
-        self.slot_mut(id).reset();
+        let s = self.slot_mut(id);
+        s.reset();
+        s.reset_health();
     }
 
     /// Observations currently buffered for a stream (saturates at `w`).
@@ -307,21 +564,76 @@ impl FleetDetector {
     /// at each stream's **most recent** observation, so push once per
     /// stream between ticks for per-observation scores (pushing more
     /// often skips the intermediate windows).
-    pub fn push(&mut self, id: StreamId, observation: &[f32]) {
-        assert_eq!(
-            observation.len(),
-            self.dim,
-            "observation dim {} != model dim {}",
-            observation.len(),
-            self.dim
-        );
+    ///
+    /// Misaddressed or misshapen input is a typed [`PushError`], never a
+    /// panic. Faulty-but-well-addressed observations (non-finite values,
+    /// a flat-lined sensor) return [`PushOutcome::Discarded`] and drive
+    /// the stream's [`StreamHealth`] machine instead of entering the
+    /// ring — the scoring path only ever sees finite, live data.
+    pub fn push(&mut self, id: StreamId, observation: &[f32]) -> Result<PushOutcome, PushError> {
         let dim = self.dim;
         let window = self.window;
-        let slot = self.slot_mut(id);
-        slot.ring[slot.head * dim..(slot.head + 1) * dim].copy_from_slice(observation);
-        slot.head = (slot.head + 1) % window;
-        slot.filled = (slot.filled + 1).min(window);
-        slot.fresh = true;
+        let cfg = self.health_cfg;
+        let Some(s) = self.slots.get_mut(id.slot) else {
+            return Err(PushError::UnknownStream);
+        };
+        if !s.active || s.generation != id.generation {
+            return Err(PushError::UnknownStream);
+        }
+        if observation.len() != dim {
+            self.faulty_observations += 1;
+            if escalate_fault(s, &cfg) {
+                self.quarantine_events += 1;
+            }
+            return Err(PushError::DimMismatch {
+                got: observation.len(),
+                expected: dim,
+            });
+        }
+
+        // Flat-line tracking: bitwise comparison, so frozen NaN payloads
+        // count too and float equality pitfalls don't apply.
+        let repeats = s.has_prev
+            && observation
+                .iter()
+                .zip(s.prev.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        s.flat_run = if repeats { s.flat_run + 1 } else { 0 };
+        s.prev.copy_from_slice(observation);
+        s.has_prev = true;
+
+        let non_finite = observation.iter().any(|v| !v.is_finite());
+        if non_finite || s.flat_run >= cfg.flatline_after {
+            self.faulty_observations += 1;
+            if escalate_fault(s, &cfg) {
+                self.quarantine_events += 1;
+            }
+            return Ok(PushOutcome::Discarded);
+        }
+
+        // Clean observation: recover state first, then (maybe) store.
+        s.consecutive_faults = 0;
+        match s.state {
+            StreamHealth::Suspect => s.state = StreamHealth::Healthy,
+            StreamHealth::Quarantined => {
+                s.probe_goods += 1;
+                if s.probe_goods < cfg.probe_after {
+                    return Ok(PushOutcome::Discarded);
+                }
+                // Probation granted: this observation starts the refill.
+                s.state = StreamHealth::Recovering;
+            }
+            StreamHealth::Healthy | StreamHealth::Recovering => {}
+        }
+        s.ring[s.head * dim..(s.head + 1) * dim].copy_from_slice(observation);
+        s.head = (s.head + 1) % window;
+        s.filled = (s.filled + 1).min(window);
+        s.fresh = true;
+        if s.state == StreamHealth::Recovering && s.filled == window {
+            s.state = StreamHealth::Healthy;
+            self.recoveries += 1;
+        }
+        Ok(PushOutcome::Stored)
     }
 
     /// Scores every stream that received an observation since the last
@@ -333,19 +645,48 @@ impl FleetDetector {
     /// [`StreamingDetector::push`](cae_core::StreamingDetector::push)
     /// returns for the same observations, but computed for up to
     /// [`FLEET_BATCH`] streams per member forward pass.
+    ///
+    /// When more streams are ready than the [tick
+    /// budget](FleetDetector::set_tick_budget) allows, the excess is shed
+    /// (counted in [`FleetDetector::health_report`]) and the next tick's
+    /// scan starts at the first shed stream, so persistent overload
+    /// round-robins instead of starving high-numbered slots. Non-finite
+    /// scores are suppressed — never emitted — and charged to the
+    /// producing stream as a fault.
     pub fn tick(&mut self, out: &mut Vec<(StreamId, f32)>) {
         out.clear();
         let (window, dim) = (self.window, self.dim);
+        let cfg = self.health_cfg;
+        let budget = match chaos::sites::SERVE_TICK_DEADLINE.fire() {
+            // A tripped deadline clamps this tick's budget: the payload is
+            // the number of windows that still fit, `None` sheds the tick.
+            Some(payload) => payload.map_or(0, |k| k as usize).min(self.tick_budget),
+            None => self.tick_budget,
+        };
         let mut ready = std::mem::take(&mut self.ready);
         ready.clear();
-        ready.extend(
-            self.slots
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.active && s.fresh && s.filled == window)
-                .map(|(i, _)| i),
-        );
+        let n = self.slots.len();
+        let start = if self.scan_from < n {
+            self.scan_from
+        } else {
+            0
+        };
+        for off in 0..n {
+            let i = (start + off) % n;
+            let s = &self.slots[i];
+            if s.active && s.fresh && s.filled == window {
+                ready.push(i);
+            }
+        }
+        if ready.len() > budget {
+            self.shed_windows += (ready.len() - budget) as u64;
+            // Unscored streams keep `fresh`; resume the scan at the first
+            // one so repeated overload rotates fairly.
+            self.scan_from = ready[budget];
+            ready.truncate(budget);
+        }
 
+        let mut scores = std::mem::take(&mut self.scores);
         for chunk in ready.chunks(FLEET_BATCH) {
             let mut data = scratch::take(chunk.len() * window * dim);
             for &i in chunk {
@@ -359,23 +700,81 @@ impl FleetDetector {
                 scaler.apply_in_place(&mut data);
             }
             let batch = Tensor::from_vec(data, &[chunk.len(), window, dim]);
-            self.scores.clear();
+            scores.clear();
             self.ensemble
-                .score_scaled_windows_into(&mut self.tape, &batch, &mut self.scores);
+                .score_scaled_windows_into(&mut self.tape, &batch, &mut scores);
             batch.recycle();
-            for (&i, &score) in chunk.iter().zip(self.scores.iter()) {
+            for (k, &i) in chunk.iter().enumerate() {
+                let score = scores[k];
                 let s = &mut self.slots[i];
                 s.fresh = false;
-                out.push((
-                    StreamId {
-                        slot: i,
-                        generation: s.generation,
-                    },
-                    score,
-                ));
+                if score.is_finite() {
+                    out.push((
+                        StreamId {
+                            slot: i,
+                            generation: s.generation,
+                        },
+                        score,
+                    ));
+                } else {
+                    // The window was finite but the model overflowed on
+                    // it: suppress the score and charge the stream.
+                    self.suppressed_scores += 1;
+                    if escalate_fault(s, &cfg) {
+                        self.quarantine_events += 1;
+                    }
+                }
             }
         }
+        self.scores = scores;
         self.ready = ready;
+    }
+
+    /// Caps the number of windows scored per [`FleetDetector::tick`];
+    /// excess ready streams are shed to the next tick. Defaults to
+    /// unlimited (`usize::MAX`).
+    pub fn set_tick_budget(&mut self, windows: usize) {
+        self.tick_budget = windows;
+    }
+
+    /// The current per-tick window budget.
+    pub fn tick_budget(&self) -> usize {
+        self.tick_budget
+    }
+
+    /// The health thresholds this fleet runs under.
+    pub fn health_config(&self) -> HealthConfig {
+        self.health_cfg
+    }
+
+    /// The health state of one live stream.
+    pub fn stream_health(&self, id: StreamId) -> StreamHealth {
+        self.slot(id).state
+    }
+
+    /// Degradation summary: a point-in-time census of stream health plus
+    /// the fleet's lifetime fault/shed/suppression counters. The
+    /// adaptation-tier fields stay zero; merge with
+    /// `AdaptationController::health_report` (crate `cae-adapt`) for the
+    /// full picture.
+    pub fn health_report(&self) -> HealthReport {
+        let mut report = HealthReport {
+            quarantine_events: self.quarantine_events,
+            recoveries: self.recoveries,
+            faulty_observations: self.faulty_observations,
+            shed_windows: self.shed_windows,
+            suppressed_scores: self.suppressed_scores,
+            ..HealthReport::default()
+        };
+        for s in self.slots.iter().filter(|s| s.active) {
+            match s.state {
+                StreamHealth::Healthy => report.streams_healthy += 1,
+                StreamHealth::Suspect => report.streams_suspect += 1,
+                StreamHealth::Quarantined => report.streams_quarantined += 1,
+                StreamHealth::Recovering => report.streams_recovering += 1,
+            }
+        }
+        report
     }
 
     fn slot(&self, id: StreamId) -> &StreamSlot {
@@ -434,11 +833,11 @@ mod tests {
         let id = fleet.add_stream();
         let mut out = Vec::new();
         for t in 0..w - 1 {
-            fleet.push(id, &[wave(t, 0.0)]);
+            fleet.push(id, &[wave(t, 0.0)]).unwrap();
             fleet.tick(&mut out);
             assert!(out.is_empty(), "scored during warm-up at t={t}");
         }
-        fleet.push(id, &[wave(w - 1, 0.0)]);
+        fleet.push(id, &[wave(w - 1, 0.0)]).unwrap();
         fleet.tick(&mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, id);
@@ -457,7 +856,7 @@ mod tests {
         for t in 0..40 {
             let obs = [wave(t, 0.4)];
             let expected = stream.push(&obs);
-            fleet.push(id, &obs);
+            fleet.push(id, &obs).unwrap();
             fleet.tick(&mut out);
             match expected {
                 Some(score) => assert_eq!(out, [(id, score)], "t={t}"),
@@ -487,7 +886,7 @@ mod tests {
         let mut per_stream: Vec<Vec<f32>> = vec![Vec::new(); 64];
         for t in 0..len {
             for (k, &id) in ids.iter().enumerate() {
-                fleet.push(id, series[k].observation(t));
+                fleet.push(id, series[k].observation(t)).unwrap();
             }
             fleet.tick(&mut out);
             for &(id, score) in &out {
@@ -513,7 +912,7 @@ mod tests {
         let id = fleet.add_stream();
         let mut out = Vec::new();
         for t in 0..w {
-            fleet.push(id, &[wave(t, 0.0)]);
+            fleet.push(id, &[wave(t, 0.0)]).unwrap();
         }
         fleet.tick(&mut out);
         assert_eq!(out.len(), 1);
@@ -532,8 +931,8 @@ mod tests {
 
         let mut out = Vec::new();
         for t in 0..w {
-            fleet.push(a, &[wave(t, 0.0)]);
-            fleet.push(b, &[wave(t, 1.0)]);
+            fleet.push(a, &[wave(t, 0.0)]).unwrap();
+            fleet.push(b, &[wave(t, 1.0)]).unwrap();
         }
         fleet.remove_stream(b);
         assert_eq!(fleet.num_streams(), 1);
@@ -549,19 +948,42 @@ mod tests {
 
         fleet.reset_stream(a);
         assert_eq!(fleet.buffered(a), 0);
-        fleet.push(a, &[0.0]);
+        fleet.push(a, &[0.0]).unwrap();
         fleet.tick(&mut out);
         assert!(out.is_empty(), "reset stream must warm up again");
     }
 
     #[test]
-    #[should_panic(expected = "stale StreamId")]
-    fn stale_id_panics() {
+    fn stale_and_forged_ids_are_typed_push_errors() {
         let ens = fitted_ensemble();
         let mut fleet = FleetDetector::new(ens.clone());
         let id = fleet.add_stream();
         fleet.remove_stream(id);
-        fleet.push(id, &[0.0]);
+        assert_eq!(fleet.push(id, &[0.0]), Err(PushError::UnknownStream));
+        // A recycled slot rejects the old generation but accepts the new.
+        let next = fleet.add_stream();
+        assert_eq!(fleet.push(id, &[0.0]), Err(PushError::UnknownStream));
+        assert_eq!(fleet.push(next, &[0.0]), Ok(PushOutcome::Stored));
+    }
+
+    #[test]
+    fn dim_mismatch_is_a_typed_push_error_and_counts_as_a_fault() {
+        let ens = fitted_ensemble();
+        let mut fleet = FleetDetector::new(ens.clone());
+        let id = fleet.add_stream();
+        assert_eq!(
+            fleet.push(id, &[0.0, 1.0]),
+            Err(PushError::DimMismatch {
+                got: 2,
+                expected: 1
+            })
+        );
+        assert_eq!(fleet.health_report().faulty_observations, 1);
+        // Garbled rows escalate like any other fault family.
+        for _ in 0..fleet.health_config().quarantine_after {
+            let _ = fleet.push(id, &[]);
+        }
+        assert_eq!(fleet.stream_health(id), StreamHealth::Quarantined);
     }
 
     #[test]
@@ -611,9 +1033,9 @@ mod tests {
         let swap_at = w + 3;
         for t in 0..w + 8 {
             let obs = [wave(t, 0.5)];
-            on_a.push(ia, &obs);
-            on_b.push(ib, &obs);
-            swapping.push(is, &obs);
+            on_a.push(ia, &obs).unwrap();
+            on_b.push(ib, &obs).unwrap();
+            swapping.push(is, &obs).unwrap();
             if t == swap_at {
                 let generation = swapping.swap_ensemble(b.clone());
                 assert_eq!(generation, 1);
@@ -663,7 +1085,7 @@ mod tests {
         let mut out = Vec::new();
         // Serve under the old model past warm-up, then hot-swap.
         for t in 0..w + 5 {
-            veteran.push(vid, &[wave(t, 0.9)]);
+            veteran.push(vid, &[wave(t, 0.9)]).unwrap();
             veteran.tick(&mut out);
         }
         veteran.swap_ensemble(b.clone());
@@ -675,9 +1097,9 @@ mod tests {
         let mut fresh_out = Vec::new();
         for t in w + 5..2 * w + 5 {
             let obs = [wave(t, 0.9)];
-            veteran.push(vid, &obs);
+            veteran.push(vid, &obs).unwrap();
             veteran.tick(&mut out);
-            fresh.push(fid, &obs);
+            fresh.push(fid, &obs).unwrap();
             fresh.tick(&mut fresh_out);
             if t >= w + 5 + w - 1 {
                 // Both rings now hold the same w observations.
@@ -695,8 +1117,8 @@ mod tests {
         let mut fleet = FleetDetector::new(a.clone());
         let keep = fleet.add_stream();
         let drop = fleet.add_stream();
-        fleet.push(keep, &[0.4]);
-        fleet.push(drop, &[0.4]);
+        fleet.push(keep, &[0.4]).unwrap();
+        fleet.push(drop, &[0.4]).unwrap();
         fleet.remove_stream(drop);
         fleet.swap_ensemble(b.clone());
         // Live session: buffered progress intact, slot still addressable.
@@ -753,5 +1175,200 @@ mod tests {
             EnsembleConfig::new(),
         );
         FleetDetector::new(a.clone()).swap_ensemble(unfitted);
+    }
+
+    // ------------------------------------------------------------------
+    // Stream health & graceful degradation
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn non_finite_observations_never_reach_the_ring_or_the_scores() {
+        let ens = fitted_ensemble();
+        let w = ens.model_config().window;
+        let mut fleet = FleetDetector::new(ens.clone());
+        let id = fleet.add_stream();
+        let mut out = Vec::new();
+        for t in 0..w {
+            fleet.push(id, &[wave(t, 0.0)]).unwrap();
+        }
+        fleet.tick(&mut out); // drain the clean warm-up window
+        assert_eq!(out.len(), 1);
+        assert_eq!(fleet.push(id, &[f32::NAN]), Ok(PushOutcome::Discarded));
+        assert_eq!(fleet.buffered(id), w, "NaN must not enter the ring");
+        fleet.tick(&mut out);
+        // The NaN did not set `fresh`; the stale window is not re-scored.
+        assert!(out.is_empty(), "a discarded observation must not score");
+        assert_eq!(fleet.push(id, &[f32::INFINITY]), Ok(PushOutcome::Discarded));
+        assert_eq!(fleet.stream_health(id), StreamHealth::Suspect);
+        let report = fleet.health_report();
+        assert_eq!(report.faulty_observations, 2);
+        assert_eq!(report.streams_suspect, 1);
+        assert!(report.degraded());
+    }
+
+    #[test]
+    fn one_clean_observation_clears_suspicion() {
+        let ens = fitted_ensemble();
+        let mut fleet = FleetDetector::new(ens.clone());
+        let id = fleet.add_stream();
+        fleet.push(id, &[f32::NAN]).unwrap();
+        fleet.push(id, &[f32::NAN]).unwrap();
+        assert_eq!(fleet.stream_health(id), StreamHealth::Suspect);
+        fleet.push(id, &[0.5]).unwrap();
+        assert_eq!(fleet.stream_health(id), StreamHealth::Healthy);
+    }
+
+    #[test]
+    fn sustained_faults_quarantine_and_clean_input_recovers_on_schedule() {
+        let ens = fitted_ensemble();
+        let w = ens.model_config().window;
+        let mut fleet = FleetDetector::new(ens.clone());
+        let cfg = fleet.health_config();
+        let id = fleet.add_stream();
+        let mut out = Vec::new();
+
+        // Warm up clean, then storm until quarantined.
+        for t in 0..w {
+            fleet.push(id, &[wave(t, 0.0)]).unwrap();
+        }
+        for _ in 0..cfg.quarantine_after {
+            fleet.push(id, &[f32::NAN]).unwrap();
+        }
+        assert_eq!(fleet.stream_health(id), StreamHealth::Quarantined);
+        assert_eq!(fleet.buffered(id), 0, "quarantine clears the ring");
+        let report = fleet.health_report();
+        assert_eq!(report.quarantine_events, 1);
+        assert_eq!(report.streams_quarantined, 1);
+
+        // Clean input returns the stream to scoring after exactly
+        // `recovery_pushes(w)` observations — the pinned latency.
+        let budget = cfg.recovery_pushes(w);
+        for k in 0..budget {
+            assert!(fleet.buffered(id) < w, "early score at push {k}");
+            fleet.push(id, &[wave(k, 0.3)]).unwrap();
+        }
+        assert_eq!(fleet.stream_health(id), StreamHealth::Healthy);
+        fleet.tick(&mut out);
+        assert_eq!(out.len(), 1, "recovered stream scores again");
+        assert!(out[0].1.is_finite());
+        assert_eq!(fleet.health_report().recoveries, 1);
+    }
+
+    #[test]
+    fn recovered_stream_scores_bit_exactly_like_an_always_clean_one() {
+        // After recovery the ring holds only post-fault observations, so
+        // the recovered stream must score bit-identically to a clean
+        // stream fed the same suffix.
+        let ens = fitted_ensemble();
+        let w = ens.model_config().window;
+        let mut faulty = FleetDetector::new(ens.clone());
+        let mut clean = FleetDetector::new(ens.clone());
+        let fid = faulty.add_stream();
+        let cid = clean.add_stream();
+        let cfg = faulty.health_config();
+        let (mut fo, mut co) = (Vec::new(), Vec::new());
+
+        let mut t = 0usize;
+        for _ in 0..w {
+            faulty.push(fid, &[wave(t, 0.7)]).unwrap();
+            clean.push(cid, &[wave(t, 0.7)]).unwrap();
+            t += 1;
+        }
+        // Fault window hits only the faulty fleet; the clean fleet sees
+        // the true signal throughout.
+        for _ in 0..cfg.quarantine_after + 2 {
+            faulty.push(fid, &[f32::NAN]).unwrap();
+            clean.push(cid, &[wave(t, 0.7)]).unwrap();
+            t += 1;
+        }
+        // Shared clean tail long enough for both rings to hold the same
+        // w observations.
+        for k in 0..cfg.recovery_pushes(w) + 3 {
+            faulty.push(fid, &[wave(t, 0.7)]).unwrap();
+            clean.push(cid, &[wave(t, 0.7)]).unwrap();
+            t += 1;
+            faulty.tick(&mut fo);
+            clean.tick(&mut co);
+            if k >= cfg.recovery_pushes(w) - 1 {
+                assert_eq!(fo.len(), 1, "k={k}");
+                assert_eq!(fo[0].1, co[0].1, "k={k}: scores must be bit-equal");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_lined_sensor_is_quarantined_and_live_signal_recovers_it() {
+        let ens = fitted_ensemble();
+        let w = ens.model_config().window;
+        // Tight thresholds keep the test short.
+        let cfg = HealthConfig::default()
+            .flatline_after(4)
+            .suspect_after(1)
+            .quarantine_after(3)
+            .probe_after(2);
+        let mut fleet = FleetDetector::with_health(ens.clone(), cfg);
+        let id = fleet.add_stream();
+        // A frozen sensor: the same bit pattern forever.
+        for _ in 0..cfg.flatline_after + cfg.quarantine_after {
+            fleet.push(id, &[0.625]).unwrap();
+        }
+        assert_eq!(fleet.stream_health(id), StreamHealth::Quarantined);
+        // The signal comes back alive.
+        for k in 0..cfg.recovery_pushes(w) {
+            fleet.push(id, &[wave(k, 0.2)]).unwrap();
+        }
+        assert_eq!(fleet.stream_health(id), StreamHealth::Healthy);
+    }
+
+    #[test]
+    fn tick_budget_sheds_excess_load_and_rotates_fairly() {
+        let ens = fitted_ensemble();
+        let w = ens.model_config().window;
+        let mut fleet = FleetDetector::new(ens.clone());
+        let ids: Vec<StreamId> = (0..6).map(|_| fleet.add_stream()).collect();
+        fleet.set_tick_budget(4);
+        assert_eq!(fleet.tick_budget(), 4);
+        let mut out = Vec::new();
+        for t in 0..w {
+            for (k, &id) in ids.iter().enumerate() {
+                fleet.push(id, &[wave(t, k as f32)]).unwrap();
+            }
+        }
+        fleet.tick(&mut out);
+        // Only 4 of 6 ready streams fit the budget; the first tick serves
+        // slots 0..4 and sheds 4, 5.
+        let scored: Vec<StreamId> = out.iter().map(|&(id, _)| id).collect();
+        assert_eq!(scored, ids[..4], "first tick serves the slot prefix");
+        assert_eq!(fleet.health_report().shed_windows, 2);
+        // The shed streams stayed fresh: the next tick starts at the
+        // first shed slot and serves them without a new push.
+        fleet.tick(&mut out);
+        let scored: Vec<StreamId> = out.iter().map(|&(id, _)| id).collect();
+        assert_eq!(scored, ids[4..], "second tick resumes at the shed point");
+        fleet.tick(&mut out);
+        assert!(out.is_empty(), "no stream left fresh");
+    }
+
+    #[test]
+    fn deadline_failpoint_sheds_the_tick_deterministically() {
+        let _guard = chaos::exclusive();
+        let ens = fitted_ensemble();
+        let w = ens.model_config().window;
+        let mut fleet = FleetDetector::new(ens.clone());
+        let ids: Vec<StreamId> = (0..3).map(|_| fleet.add_stream()).collect();
+        let mut out = Vec::new();
+        for t in 0..w {
+            for (k, &id) in ids.iter().enumerate() {
+                fleet.push(id, &[wave(t, k as f32)]).unwrap();
+            }
+        }
+        // First tick blows its deadline with budget for one window.
+        chaos::sites::SERVE_TICK_DEADLINE.arm(chaos::Schedule::nth(0).payload(1));
+        fleet.tick(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(fleet.health_report().shed_windows, 2);
+        // The deadline recovers; the deferred streams drain next tick.
+        fleet.tick(&mut out);
+        assert_eq!(out.len(), 2);
     }
 }

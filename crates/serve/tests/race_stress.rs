@@ -100,7 +100,7 @@ fn pinned_readers_survive_randomized_swaps() {
             }
 
             for t in 0..ticks_before {
-                fleet.push(id, &[wave(t, 0.5)]);
+                fleet.push(id, &[wave(t, 0.5)]).expect("live stream");
                 fleet.tick(&mut out);
             }
             fleet.swap_ensemble(gen_b.clone());
@@ -121,7 +121,7 @@ fn pinned_readers_survive_randomized_swaps() {
             // Serving continues mid-race; warm streams never miss a tick.
             for t in 0..ticks_after {
                 let at = ticks_before + t;
-                fleet.push(id, &[wave(at, 0.5)]);
+                fleet.push(id, &[wave(at, 0.5)]).expect("live stream");
                 fleet.tick(&mut out);
                 if at >= fleet.window() - 1 {
                     assert_eq!(out.len(), 1, "seed {seed}: missed tick at {at}");

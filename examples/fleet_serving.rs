@@ -94,7 +94,9 @@ fn main() {
     let mut scored = 0usize;
     for t in 0..len {
         for (k, &id) in ids.iter().enumerate() {
-            fleet.push(id, phase_series[k % PHASES].observation(t));
+            fleet
+                .push(id, phase_series[k % PHASES].observation(t))
+                .expect("live stream");
         }
         fleet.tick(&mut out);
         scored += out.len();

@@ -104,7 +104,7 @@ fn main() {
             if id == canary {
                 canary_obs = obs;
             }
-            fleet.push(id, &obs);
+            fleet.push(id, &obs).expect("live stream");
         }
         fleet.tick(&mut out);
 

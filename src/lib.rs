@@ -12,6 +12,8 @@
 //!   batched against one trained ensemble, with hot ensemble swap;
 //! * [`adapt`] — online adaptation: drift detection, background
 //!   warm-start re-fit, atomic checkpointing and swap publishing;
+//! * [`chaos`] — deterministic fault injection: seeded failpoints and
+//!   input-fault generators for chaos-testing the serving stack;
 //! * [`baselines`] — the eleven comparison methods of the evaluation;
 //! * [`data`] — time series containers, pre-processing, synthetic datasets;
 //! * [`metrics`] — PR/ROC AUC and F1 evaluation suites;
@@ -23,6 +25,7 @@
 pub use cae_adapt as adapt;
 pub use cae_autograd as autograd;
 pub use cae_baselines as baselines;
+pub use cae_chaos as chaos;
 pub use cae_core as core;
 pub use cae_data as data;
 pub use cae_metrics as metrics;
@@ -32,7 +35,8 @@ pub use cae_tensor as tensor;
 
 /// Convenience prelude importing the types most programs need.
 pub mod prelude {
-    pub use cae_adapt::{AdaptationConfig, AdaptationController};
+    pub use cae_adapt::{AdaptationConfig, AdaptationController, CheckpointFailure};
+    pub use cae_chaos::HealthReport;
     pub use cae_core::{
         CaeConfig, CaeEnsemble, EnsembleConfig, PersistError, RefitOptions, StreamingDetector,
     };
@@ -41,7 +45,9 @@ pub mod prelude {
         TimeSeries,
     };
     pub use cae_metrics::EvalReport;
-    pub use cae_serve::{FleetDetector, StreamId};
+    pub use cae_serve::{
+        FleetDetector, HealthConfig, PushError, PushOutcome, StreamHealth, StreamId,
+    };
 }
 
 #[cfg(test)]
@@ -52,9 +58,10 @@ mod tests {
     #[test]
     fn prelude_names_resolve_and_construct() {
         use crate::prelude::{
-            AdaptationConfig, AdaptationController, CaeConfig, CaeEnsemble, Dataset, DatasetKind,
-            Detector, DriftMonitor, EnsembleConfig, EvalReport, FleetDetector,
-            ObservationReservoir, RefitOptions, Scale, Scaler, StreamingDetector, TimeSeries,
+            AdaptationConfig, AdaptationController, CaeConfig, CaeEnsemble, CheckpointFailure,
+            Dataset, DatasetKind, Detector, DriftMonitor, EnsembleConfig, EvalReport,
+            FleetDetector, HealthConfig, HealthReport, ObservationReservoir, PushError,
+            PushOutcome, RefitOptions, Scale, Scaler, StreamHealth, StreamingDetector, TimeSeries,
         };
 
         let series = TimeSeries::univariate((0..64).map(|t| (t as f32 * 0.3).sin()).collect());
@@ -83,12 +90,22 @@ mod tests {
         let s = streaming.push(&[0.5]);
         assert!(s.is_none_or(f32::is_finite));
 
-        let mut fleet = FleetDetector::new(ens);
+        let mut fleet = FleetDetector::with_health(ens, HealthConfig::default());
         let id = fleet.add_stream();
-        fleet.push(id, &[0.5]);
+        assert_eq!(fleet.push(id, &[0.5]), Ok(PushOutcome::Stored));
+        assert_eq!(fleet.stream_health(id), StreamHealth::Healthy);
+        assert_eq!(
+            fleet.push(id, &[0.5, 0.5]),
+            Err(PushError::DimMismatch {
+                got: 2,
+                expected: 1
+            })
+        );
         let mut ticked = Vec::new();
         fleet.tick(&mut ticked);
         assert!(ticked.iter().all(|(_, v)| v.is_finite()));
+        let mut report: HealthReport = fleet.health_report();
+        assert!(report.degraded());
 
         let mut reservoir = ObservationReservoir::new(1, 8);
         reservoir.push(&[0.5]);
@@ -104,6 +121,8 @@ mod tests {
         );
         let _ = adapt.observe(fleet.ensemble(), &[0.5], 0.1);
         assert!(adapt.poll().is_none());
+        report.merge(&adapt.health_report());
+        let _: Option<&CheckpointFailure> = adapt.last_checkpoint_error();
     }
 
     #[test]
@@ -117,6 +136,8 @@ mod tests {
         let _ = crate::core::ReconstructionTarget::Raw;
         let _ = crate::serve::FLEET_BATCH;
         let _ = crate::adapt::AdaptationStats::default();
+        let _ = crate::chaos::SplitMix64::new(7);
+        let _ = crate::chaos::InputFault::ALL;
         assert_eq!(t.dims(), &[2, 2]);
     }
 }

@@ -1,0 +1,342 @@
+//! The seeded chaos suite: ≥500 deterministic fault scenarios across the
+//! serving and persistence tiers.
+//!
+//! Three matrices, each replayable from its scenario seed:
+//!
+//! * **Input faults** (400 scenarios): every [`InputFault`] family ×
+//!   seeds × health configs × fault-window lengths, driven through a
+//!   4-stream fleet against a clean reference fleet. Invariants: no
+//!   panic, no non-finite score ever emitted, and bit-exact convergence
+//!   with the reference within the pinned recovery budget once the fault
+//!   clears.
+//! * **Persistence faults** (≈130 scenarios): torn checkpoint writes at
+//!   swept offsets, pre-rename crashes, probabilistic write storms, and
+//!   truncated reads — the prior checkpoint always survives, errors are
+//!   typed, `load_with_fallback` recovers.
+//! * **Adaptation faults** (21 scenarios): injected re-fit failures,
+//!   worker panics and spawn failures — retries stay within budget,
+//!   exhaustion falls back to the last-good ensemble, serving never
+//!   stops.
+
+use cae_ensemble_repro::adapt::{AdaptationConfig, AdaptationController};
+use cae_ensemble_repro::chaos::{
+    self, Delivery, FaultWindow, InputFault, Schedule, StreamFaultInjector,
+};
+use cae_ensemble_repro::core::{
+    CaeConfig, CaeEnsemble, EnsembleConfig, PersistError, RefitOptions,
+};
+use cae_ensemble_repro::data::{Detector, TimeSeries};
+use cae_ensemble_repro::serve::{FleetDetector, HealthConfig, PushError, StreamId};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const STREAMS: usize = 4;
+
+fn clean(t: usize, k: usize) -> f32 {
+    (t as f32 * 0.3 + k as f32 * 0.9).sin() + 0.2 * (t as f32 * 0.07).cos()
+}
+
+fn fitted(seed: u64) -> Arc<CaeEnsemble> {
+    let series = TimeSeries::univariate((0..160).map(|t| clean(t, 0)).collect());
+    let mut ens = CaeEnsemble::new(
+        CaeConfig::new(1).embed_dim(4).window(8).layers(1),
+        EnsembleConfig::new()
+            .num_models(2)
+            .epochs_per_model(1)
+            .batch_size(16)
+            .train_stride(2)
+            .seed(seed),
+    );
+    ens.fit(&series);
+    Arc::new(ens)
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cae_chaos_matrix_{tag}_{}.caee",
+        std::process::id()
+    ))
+}
+
+/// One input-fault scenario: all four streams hit by the same fault
+/// family over the same window, each with its own corruption seed.
+/// Returns the number of faulty observations the fleet recorded.
+fn run_input_scenario(
+    ens: &Arc<CaeEnsemble>,
+    kind: InputFault,
+    scenario_seed: u64,
+    health: HealthConfig,
+    fault_len: usize,
+) -> u64 {
+    let w = ens.model_config().window;
+    let fault_from = w + 4;
+    let fault_to = fault_from + fault_len;
+    let converge_at = fault_to + health.recovery_pushes(w) - 1;
+    let ticks = converge_at + 10;
+
+    let mut faulty = FleetDetector::with_health(ens.clone(), health);
+    let mut reference = FleetDetector::with_health(ens.clone(), health);
+    let f_ids: Vec<StreamId> = (0..STREAMS).map(|_| faulty.add_stream()).collect();
+    let r_ids: Vec<StreamId> = (0..STREAMS).map(|_| reference.add_stream()).collect();
+    assert_eq!(f_ids, r_ids, "both fleets mint identical session ids");
+
+    let window = FaultWindow::new(kind, fault_from, fault_to);
+    let mut injectors: Vec<StreamFaultInjector> = (0..STREAMS)
+        .map(|k| StreamFaultInjector::new(window, scenario_seed ^ (k as u64).wrapping_mul(0x9e37)))
+        .collect();
+
+    let (mut fo, mut ro) = (Vec::new(), Vec::new());
+    for t in 0..ticks {
+        for k in 0..STREAMS {
+            let obs = [clean(t, k)];
+            match injectors[k].next(t, &obs) {
+                Delivery::Deliver(row) => match faulty.push(f_ids[k], &row) {
+                    Ok(_) => {}
+                    Err(PushError::DimMismatch { .. }) => {
+                        assert_eq!(kind, InputFault::DimGarble, "t={t} k={k}");
+                    }
+                    Err(e) => panic!("unexpected push error {e} at t={t} k={k}"),
+                },
+                Delivery::DeliverTwice(row) => {
+                    faulty.push(f_ids[k], &row).expect("duplicate delivery");
+                    faulty.push(f_ids[k], &row).expect("duplicate delivery");
+                }
+                Delivery::Dropped => {}
+            }
+            reference.push(r_ids[k], &obs).expect("reference push");
+        }
+        faulty.tick(&mut fo);
+        reference.tick(&mut ro);
+        for &(id, score) in &fo {
+            assert!(
+                score.is_finite(),
+                "{kind:?} seed={scenario_seed} t={t}: non-finite score on {id:?}"
+            );
+        }
+        if t >= converge_at {
+            assert_eq!(
+                fo, ro,
+                "{kind:?} seed={scenario_seed} len={fault_len} t={t}: \
+                 not bit-exact after the pinned recovery budget (tick {converge_at})"
+            );
+        }
+    }
+    let report = faulty.health_report();
+    assert_eq!(
+        report.streams_healthy, STREAMS as u64,
+        "{kind:?} seed={scenario_seed}: all streams must end healthy"
+    );
+    report.faulty_observations
+}
+
+#[test]
+fn input_fault_matrix_400_scenarios_never_panic_and_reconverge_bit_exactly() {
+    let ens = fitted(17);
+    // Two health regimes: near-default (flat-line threshold lowered so
+    // ≤24-tick windows can trip it) and a hair-trigger one.
+    let configs = [
+        HealthConfig::default().flatline_after(6),
+        HealthConfig::default()
+            .suspect_after(1)
+            .quarantine_after(3)
+            .flatline_after(4)
+            .probe_after(2),
+    ];
+    let fault_lens = [1usize, 5, 12, 24];
+    let mut scenarios = 0u64;
+    for kind in InputFault::ALL {
+        for seed in 0..10u64 {
+            for (ci, &health) in configs.iter().enumerate() {
+                for &len in &fault_lens {
+                    let scenario_seed =
+                        seed ^ ((ci as u64) << 32) ^ ((len as u64) << 40) ^ (scenarios << 48);
+                    let faults = run_input_scenario(&ens, kind, scenario_seed, health, len);
+                    // Dropout and Duplicate shape the transport without
+                    // producing a faulty observation; the other families
+                    // must be detected.
+                    match kind {
+                        InputFault::Dropout | InputFault::Duplicate => {
+                            assert_eq!(faults, 0, "{kind:?} must not be charged as faulty");
+                        }
+                        InputFault::NanStorm | InputFault::DimGarble => {
+                            assert!(faults > 0, "{kind:?} went undetected");
+                        }
+                        InputFault::FlatLine => {
+                            // Detected only when the freeze outlasts the
+                            // flat-line threshold.
+                            if (len as u32) > health.flatline_after {
+                                assert!(faults > 0, "long flat-line went undetected");
+                            }
+                        }
+                    }
+                    scenarios += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(scenarios, 400);
+}
+
+#[test]
+fn persistence_fault_matrix_survives_every_schedule() {
+    let _guard = chaos::exclusive();
+    let path = tmp_path("persist");
+    let _ = std::fs::remove_file(&path);
+    let good = fitted(23);
+    let replacement = fitted(31);
+    good.save(&path).expect("baseline checkpoint");
+    let good_bytes = std::fs::read(&path).expect("baseline bytes");
+    let len = good_bytes.len();
+    let mut scenarios = 0u64;
+
+    // Torn writes at ~60 swept offsets plus the pre-rename crash.
+    let step = (len / 60).max(1);
+    for offset in (0..=len).step_by(step) {
+        chaos::sites::PERSIST_WRITE.arm(Schedule::nth(0).payload(offset as u64));
+        assert!(
+            matches!(replacement.save(&path), Err(PersistError::Io(_))),
+            "offset {offset}: torn write must surface as Io"
+        );
+        assert_eq!(
+            std::fs::read(&path).expect("prior readable"),
+            good_bytes,
+            "offset {offset}: prior checkpoint corrupted"
+        );
+        scenarios += 1;
+    }
+    chaos::sites::PERSIST_WRITE.arm(Schedule::nth(1));
+    assert!(matches!(replacement.save(&path), Err(PersistError::Io(_))));
+    assert_eq!(std::fs::read(&path).expect("prior readable"), good_bytes);
+    scenarios += 1;
+
+    // Probabilistic write storms: keep retrying until a save lands; the
+    // final path is only ever the prior or the new artifact, whole.
+    for seed in 0..30u64 {
+        good.save(&path).expect("reset baseline");
+        chaos::sites::PERSIST_WRITE.arm(Schedule::probability(0.7, seed).payload(seed % 97));
+        let mut landed = false;
+        for _ in 0..64 {
+            match replacement.save(&path) {
+                Ok(()) => {
+                    landed = true;
+                    break;
+                }
+                Err(PersistError::Io(_)) => {
+                    assert_eq!(
+                        std::fs::read(&path).expect("prior readable"),
+                        good_bytes,
+                        "seed {seed}: storm corrupted the prior checkpoint"
+                    );
+                }
+                Err(e) => panic!("seed {seed}: unexpected error {e}"),
+            }
+        }
+        chaos::sites::PERSIST_WRITE.disarm();
+        if !landed {
+            replacement.save(&path).expect("clean save");
+        }
+        CaeEnsemble::load(&path).expect("post-storm checkpoint loads");
+        scenarios += 1;
+    }
+
+    // Truncated reads at ~40 swept offsets: typed errors only, and the
+    // last-good fallback recovers every time.
+    let last_good = tmp_path("persist_last_good");
+    good.save(&path).expect("reset baseline");
+    good.save(&last_good).expect("fallback checkpoint");
+    let read_step = (len / 40).max(1);
+    for offset in (0..len).step_by(read_step) {
+        chaos::sites::PERSIST_READ.arm(Schedule::nth(0).payload(offset as u64));
+        let err = CaeEnsemble::load(&path).expect_err("truncated read must fail");
+        assert!(
+            matches!(
+                err,
+                PersistError::Corrupt(_) | PersistError::BadMagic | PersistError::ChecksumMismatch
+            ),
+            "offset {offset}: unexpected error {err:?}"
+        );
+        chaos::sites::PERSIST_READ.arm(Schedule::nth(0).payload(offset as u64));
+        let recovered =
+            CaeEnsemble::load_with_fallback(&path, &last_good).expect("fallback recovers");
+        assert!(recovered.primary_error.is_some());
+        scenarios += 1;
+    }
+
+    assert!(scenarios >= 130, "only {scenarios} persistence scenarios");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&last_good);
+}
+
+#[test]
+fn adaptation_fault_matrix_retries_and_falls_back() {
+    let _guard = chaos::exclusive();
+    let live = fitted(41);
+    let mut scenarios = 0u64;
+
+    let primed = |live: &Arc<CaeEnsemble>| {
+        let mut ctl = AdaptationController::new(
+            live,
+            &[0.01; 32],
+            AdaptationConfig::new()
+                .reservoir_capacity(32)
+                .min_observations(16)
+                .cooldown(1)
+                .refit(RefitOptions::warm(1, 7))
+                .refit_retries(2),
+        );
+        for t in 0..15 {
+            assert!(!ctl.observe(live, &[clean(t, 0)], 10.0));
+        }
+        ctl
+    };
+
+    // Injected re-fit failures and panics: within the 2-retry budget the
+    // publish still happens; beyond it the last-good ensemble remains.
+    for seed in 0..3u64 {
+        for panicking in [false, true] {
+            for failures in [1u64, 2, 3] {
+                let mut ctl = primed(&live);
+                let schedule = if panicking {
+                    Schedule::always().times(failures).panicking()
+                } else {
+                    Schedule::always().times(failures)
+                };
+                chaos::sites::ADAPT_REFIT.arm(schedule);
+                assert!(ctl.observe(&live, &[clean(seed as usize, 0)], 10.0));
+                let published = ctl.wait();
+                chaos::disarm_all();
+                if failures <= 2 {
+                    assert!(
+                        published.is_some(),
+                        "seed={seed} panicking={panicking} failures={failures}: \
+                         must succeed within the retry budget"
+                    );
+                    assert_eq!(ctl.stats().refit_retries, failures);
+                    assert_eq!(ctl.stats().refits_failed, 0);
+                } else {
+                    assert!(published.is_none(), "exhausted budget must not publish");
+                    assert_eq!(ctl.stats().refits_failed, 1);
+                    assert!(
+                        Arc::ptr_eq(ctl.last_good_ensemble(), &live),
+                        "fallback must be the pre-fault ensemble"
+                    );
+                }
+                scenarios += 1;
+            }
+        }
+    }
+
+    // Spawn failures: absorbed, counted, and retried on the next drift.
+    for seed in 0..3u64 {
+        let mut ctl = primed(&live);
+        chaos::sites::ADAPT_SPAWN.arm(Schedule::nth(0));
+        assert!(!ctl.observe(&live, &[clean(seed as usize, 1)], 10.0));
+        assert_eq!(ctl.stats().spawn_failures, 1);
+        assert!(ctl.observe(&live, &[clean(seed as usize, 2)], 10.0));
+        assert!(ctl.wait().is_some(), "seed {seed}: relaunch must succeed");
+        chaos::disarm_all();
+        scenarios += 1;
+    }
+
+    assert_eq!(scenarios, 21);
+}

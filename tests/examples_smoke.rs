@@ -10,7 +10,8 @@
 use cae_ensemble_repro::prelude::*;
 
 /// The examples CI builds; `quickstart` is additionally run end-to-end.
-const EXAMPLES: [&str; 7] = [
+const EXAMPLES: [&str; 8] = [
+    "fault_tolerant_fleet",
     "fleet_serving",
     "hyperparameter_tuning",
     "online_adaptation",
@@ -129,7 +130,9 @@ fn fleet_serving_pipeline_runs_on_a_tiny_fleet() {
     let mut per_stream: Vec<Vec<f32>> = vec![Vec::new(); 64];
     for t in 0..len {
         for (k, &id) in ids.iter().enumerate() {
-            fleet.push(id, series[k].observation(t));
+            fleet
+                .push(id, series[k].observation(t))
+                .expect("live stream");
         }
         fleet.tick(&mut out);
         for &(id, score) in &out {
@@ -146,6 +149,114 @@ fn fleet_serving_pipeline_runs_on_a_tiny_fleet() {
             "fleet stream {k} diverged from the trained ensemble's batch scorer"
         );
     }
+}
+
+#[test]
+fn fault_tolerant_fleet_pipeline_quarantines_and_recovers() {
+    // Miniature of examples/fault_tolerant_fleet.rs: a NaN-storming
+    // stream is quarantined, recovers on the pinned schedule once the
+    // input turns clean, and then scores bit-exactly like a stream that
+    // was never faulty; a torn primary checkpoint is recovered from the
+    // last-good copy.
+    use cae_ensemble_repro::chaos::{
+        self, Delivery, FaultWindow, InputFault, Schedule, StreamFaultInjector,
+    };
+
+    let wave = |t: usize| (t as f32 * 0.23).sin() + 0.3 * (t as f32 * 0.05).cos();
+    let train = TimeSeries::univariate((0..260).map(wave).collect());
+    let mut detector = CaeEnsemble::new(
+        CaeConfig::new(1).embed_dim(4).window(8).layers(1),
+        EnsembleConfig::new()
+            .num_models(2)
+            .epochs_per_model(1)
+            .batch_size(16)
+            .train_stride(2)
+            .seed(43),
+    );
+    detector.fit(&train);
+
+    // Torn primary checkpoint → last-good fallback, with the primary's
+    // typed error retained.
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let primary = dir.join(format!("cae_examples_smoke_fault_primary_{pid}.caee"));
+    let last_good = dir.join(format!("cae_examples_smoke_fault_last_good_{pid}.caee"));
+    detector.save(&primary).expect("primary checkpoint");
+    detector.save(&last_good).expect("last-good checkpoint");
+    let _chaos = chaos::exclusive();
+    chaos::sites::PERSIST_READ.arm(Schedule::nth(0).payload(16));
+    let recovered =
+        CaeEnsemble::load_with_fallback(&primary, &last_good).expect("fallback recovers");
+    assert!(recovered.primary_error.is_some(), "primary error retained");
+    let _ = std::fs::remove_file(&primary);
+    let _ = std::fs::remove_file(&last_good);
+    let ensemble = std::sync::Arc::new(recovered.value);
+
+    // Serve one faulty and one clean stream in separate fleets so the
+    // convergence comparison is exact.
+    let health = HealthConfig::default();
+    let w = ensemble.model_config().window;
+    let (from, to) = (w + 4, w + 14);
+    let converge_at = to + health.recovery_pushes(w) - 1;
+    let mut faulty = FleetDetector::with_health(ensemble.clone(), health);
+    let mut clean = FleetDetector::with_health(ensemble, health);
+    let f_id = faulty.add_stream();
+    let c_id = clean.add_stream();
+    assert_eq!(f_id, c_id);
+
+    let mut inj = StreamFaultInjector::new(FaultWindow::new(InputFault::NanStorm, from, to), 5);
+    let (mut fo, mut co) = (Vec::new(), Vec::new());
+    let mut quarantined_seen = false;
+    for t in 0..converge_at + 8 {
+        let obs = [wave(t)];
+        match inj.next(t, &obs) {
+            Delivery::Deliver(row) => {
+                faulty.push(f_id, &row).expect("well-formed row");
+            }
+            other => panic!("NaN storm always delivers: {other:?}"),
+        }
+        clean.push(c_id, &obs).expect("live stream");
+        faulty.tick(&mut fo);
+        clean.tick(&mut co);
+        assert!(fo.iter().all(|&(_, s)| s.is_finite()), "t={t}");
+        quarantined_seen |= faulty.stream_health(f_id) == StreamHealth::Quarantined;
+        if t >= converge_at {
+            assert_eq!(fo, co, "t={t}: not bit-exact after the pinned recovery");
+        }
+    }
+    assert!(quarantined_seen, "the storm must quarantine the stream");
+    let report = faulty.health_report();
+    assert_eq!(report.quarantine_events, 1);
+    assert_eq!(report.recoveries, 1);
+    assert!(report.faulty_observations >= (to - from) as u64);
+    assert_eq!(report.streams_healthy, 1);
+
+    // Checkpoint failure mid-re-fit: retried with backoff, then the
+    // publish falls back to in-memory and the error chain is retained.
+    let ckpt = dir.join(format!("cae_examples_smoke_fault_ckpt_{pid}.caee"));
+    let mut adapt = AdaptationController::new(
+        faulty.ensemble(),
+        &[0.01; 32], // tiny drift band: every probe score trips it
+        AdaptationConfig::new()
+            .reservoir_capacity(32)
+            .min_observations(16)
+            .refit(RefitOptions::warm(1, 5))
+            .checkpoint_path(ckpt.clone())
+            .checkpoint_retries(1)
+            .backoff_ms(1, 2),
+    );
+    chaos::sites::PERSIST_WRITE.arm(Schedule::always());
+    let mut launched = false;
+    for t in 0..20 {
+        launched |= adapt.observe(faulty.ensemble(), &[wave(t)], 10.0);
+    }
+    assert!(launched, "drift must trip the re-fit");
+    let published = adapt.wait();
+    chaos::sites::PERSIST_WRITE.disarm();
+    assert!(published.is_some(), "must publish despite the dead disk");
+    assert!(adapt.last_checkpoint_error().is_some(), "chain retained");
+    assert_eq!(adapt.stats().checkpoint_fallbacks, 1);
+    assert!(!ckpt.exists(), "no torn artifact at the final path");
 }
 
 #[test]
@@ -190,7 +301,7 @@ fn online_adaptation_pipeline_adapts_to_drift() {
     let mut out = Vec::new();
     let mut started = false;
     for t in 0..400 {
-        fleet.push(id, &[wave(t, t >= 150)]);
+        fleet.push(id, &[wave(t, t >= 150)]).expect("live stream");
         fleet.tick(&mut out);
         if t >= fleet.window() - 1 {
             assert_eq!(out.len(), 1, "serving missed a tick at t={t}");
