@@ -75,6 +75,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+pub mod state;
+pub use state::AdaptationState;
+
 /// Configuration of an [`AdaptationController`].
 #[derive(Clone, Debug)]
 pub struct AdaptationConfig {

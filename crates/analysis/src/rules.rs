@@ -66,7 +66,7 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "R1",
-        summary: "no unwrap/expect inside Result-returning functions in recovery-path code (cae-chaos, cae-serve, cae-adapt)",
+        summary: "no unwrap/expect inside Result-returning functions in recovery-path code (cae-chaos, cae-serve, cae-adapt, cae-core::persist, cae-data::journal)",
     },
 ];
 
@@ -198,14 +198,18 @@ fn is_hot_path(path: &str) -> bool {
         || path == "crates/data/src/drift.rs"
 }
 
-/// Recovery-path code: the fault-injection crate and the two tiers that
-/// degrade gracefully through it. A function here that already returns
+/// Recovery-path code: the fault-injection crate, the two tiers that
+/// degrade gracefully through it, and the durability layer (checkpoint
+/// wire format and write-ahead journal) whose whole contract is typed
+/// errors on corrupt input. A function here that already returns
 /// `Result` has a typed error channel; an `unwrap`/`expect` inside it is
 /// a latent panic on exactly the paths the fault matrix exercises.
 fn is_recovery_path(path: &str) -> bool {
     path.starts_with("crates/chaos/src/")
         || path.starts_with("crates/serve/src/")
         || path.starts_with("crates/adapt/src/")
+        || path == "crates/core/src/persist.rs"
+        || path == "crates/data/src/journal.rs"
 }
 
 // ---------------------------------------------------------------------
@@ -489,7 +493,8 @@ fn rule_d1_no_wall_clock(
 }
 
 /// R1: inside a `Result`-returning function in recovery-path code
-/// (cae-chaos, cae-serve, cae-adapt), `.unwrap()` / `.expect(…)` is a
+/// (cae-chaos, cae-serve, cae-adapt, the checkpoint wire format and the
+/// observation journal), `.unwrap()` / `.expect(…)` is a
 /// latent panic on a path that already has a typed error channel —
 /// propagate with `?` instead. Complements E1: E1 bans panics across the
 /// whole serving surface, R1 additionally covers the chaos crate and

@@ -45,6 +45,7 @@ fn each_rule_fires_at_its_seeded_line() {
     assert_eq!(lint("e1_panics.rs"), [("E1", 5), ("E1", 7)]);
     assert_eq!(lint("d1_wall_clock.rs"), [("D1", 5)]);
     assert_eq!(lint("r1_recovery_unwrap.rs"), [("R1", 7)]);
+    assert_eq!(lint("r1_journal_unwrap.rs"), [("R1", 8)]);
 }
 
 #[test]

@@ -435,6 +435,44 @@ fn main() {
         std::hint::black_box(fleet.swap_ensemble(next.clone()));
     }));
 
+    // --- Durability: write-ahead journal and snapshot restore ------------
+    // journal_append is the WAL hot path every served observation crosses
+    // under the journal-then-apply discipline: frame encode + checksum +
+    // buffered write, OS-flushed (the default policy; fsync cadence is a
+    // deployment knob). fleet_restore is the recovery-time cost of
+    // rebuilding the full 64-stream fleet — rings, health machines,
+    // counters — from a decoded snapshot; it bounds restart latency
+    // together with journal replay.
+    {
+        use cae_data::{JournalConfig, JournalRecord, ObservationJournal};
+        let dir = std::env::temp_dir().join(format!("cae_perf_journal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut journal =
+            ObservationJournal::open(&dir, JournalConfig::new()).expect("bench journal");
+        let record = JournalRecord::Observation {
+            slot: 7,
+            generation: 3,
+            values: vec![0.25, -0.5, 0.75, -1.0],
+        };
+        results.push(bench(
+            "journal_append",
+            "obs dim4, 1MiB seg",
+            budget,
+            || {
+                std::hint::black_box(journal.append(&record).expect("bench append"));
+            },
+        ));
+        drop(journal);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let snap = fleet.snapshot();
+        results.push(bench("fleet_restore", "64 streams", budget, || {
+            std::hint::black_box(
+                FleetDetector::restore(next.clone(), &snap).expect("bench restore"),
+            );
+        }));
+    }
+
     // The serving headline: per-observation throughput of the batched
     // fleet path relative to per-stream pushes over the same 64 streams.
     {

@@ -284,6 +284,9 @@ impl FailPoint {
 /// | `adapt.spawn`   | re-fit worker thread spawn | — |
 /// | `adapt.refit`   | the re-fit computation itself | — |
 /// | `serve.tick_deadline` | fleet tick budget | surviving window budget (`None` = shed everything) |
+/// | `journal.append` | observation journal frame append | bytes written before the tear (`None` = fail before writing) |
+/// | `journal.fsync` | observation journal fsync | — |
+/// | `snapshot.write` | fleet snapshot temp-write and rename | bytes written before the tear (`None` = fail before writing) |
 pub mod sites {
     use super::FailPoint;
 
@@ -300,15 +303,26 @@ pub mod sites {
     /// Fleet tick deadline: trips clamp the tick's window budget,
     /// forcing load shedding.
     pub static SERVE_TICK_DEADLINE: FailPoint = FailPoint::new("serve.tick_deadline");
+    /// Observation-journal appends: trips tear the frame mid-write or
+    /// abort before any byte lands.
+    pub static JOURNAL_APPEND: FailPoint = FailPoint::new("journal.append");
+    /// Observation-journal fsync: trips fail the durability barrier.
+    pub static JOURNAL_FSYNC: FailPoint = FailPoint::new("journal.fsync");
+    /// Fleet-snapshot writes: trips tear or abort the temp-file write,
+    /// or abort between write and rename.
+    pub static SNAPSHOT_WRITE: FailPoint = FailPoint::new("snapshot.write");
 
     /// Every registered site, for sweeping and diagnostics.
-    pub fn all() -> [&'static FailPoint; 5] {
+    pub fn all() -> [&'static FailPoint; 8] {
         [
             &PERSIST_WRITE,
             &PERSIST_READ,
             &ADAPT_SPAWN,
             &ADAPT_REFIT,
             &SERVE_TICK_DEADLINE,
+            &JOURNAL_APPEND,
+            &JOURNAL_FSYNC,
+            &SNAPSHOT_WRITE,
         ]
     }
 
@@ -443,7 +457,7 @@ mod tests {
     #[test]
     fn registry_names_resolve() {
         let _chaos = exclusive();
-        assert_eq!(sites::all().len(), 5);
+        assert_eq!(sites::all().len(), 8);
         for site in sites::all() {
             assert!(std::ptr::eq(
                 sites::by_name(site.name()).expect("registered"),

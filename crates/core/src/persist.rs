@@ -105,15 +105,332 @@ impl From<io::Error> for PersistError {
     }
 }
 
-/// FNV-1a 64 over `bytes` — the checkpoint's integrity checksum.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+pub mod wire {
+    //! Shared little-endian framing primitives behind every durable
+    //! artifact in the workspace.
+    //!
+    //! The checkpoint format v1 established the on-disk discipline —
+    //! magic + version header, fixed-order little-endian fields, a
+    //! trailing FNV-1a 64 checksum, atomic temp+rename writes, typed
+    //! errors for every malformed input. The fleet snapshot (`cae-serve`)
+    //! and adaptation state (`cae-adapt`) reuse exactly that machinery
+    //! through this module instead of re-implementing it: a [`Writer`]
+    //! builds a checksummed frame, [`Reader::framed`] validates and opens
+    //! one, and [`write_atomic`] stages bytes through a sibling temp file
+    //! with a chaos failpoint guarding both the write and the rename.
+
+    use super::PersistError;
+    use cae_chaos::FailPoint;
+    use std::io;
+    use std::path::Path;
+
+    /// FNV-1a 64 over `bytes` — the integrity checksum every framed
+    /// artifact (checkpoint, fleet snapshot, journal frame) trails with.
+    pub fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
     }
-    h
+
+    /// The injected I/O failure a tripped persistence failpoint surfaces.
+    pub fn injected_io(site: &str, stage: &str) -> PersistError {
+        PersistError::Io(io::Error::other(format!(
+            "chaos: injected fault at `{site}` ({stage})"
+        )))
+    }
+
+    /// Builds a little-endian byte frame field by field.
+    #[derive(Debug, Default)]
+    pub struct Writer {
+        buf: Vec<u8>,
+    }
+
+    impl Writer {
+        /// An empty frame body (no header).
+        pub fn new() -> Self {
+            Writer { buf: Vec::new() }
+        }
+
+        /// A frame opened with `magic` and a `version` header — the
+        /// layout [`Reader::framed`] validates.
+        pub fn framed(magic: [u8; 4], version: u32) -> Self {
+            let mut w = Writer::new();
+            w.buf.extend_from_slice(&magic);
+            w.u32(version);
+            w
+        }
+
+        /// Bytes written so far.
+        pub fn len(&self) -> usize {
+            self.buf.len()
+        }
+
+        /// Whether nothing has been written yet.
+        pub fn is_empty(&self) -> bool {
+            self.buf.is_empty()
+        }
+
+        /// Appends one byte.
+        pub fn u8(&mut self, v: u8) {
+            self.buf.push(v);
+        }
+
+        /// Appends a bool as one byte (0 or 1).
+        pub fn bool(&mut self, v: bool) {
+            self.buf.push(u8::from(v));
+        }
+
+        /// Appends a little-endian u32.
+        pub fn u32(&mut self, v: u32) {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+
+        /// Appends a little-endian u64.
+        pub fn u64(&mut self, v: u64) {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+
+        /// Appends a usize as a little-endian u64.
+        pub fn usize(&mut self, v: usize) {
+            self.u64(v as u64);
+        }
+
+        /// Appends an f32 as its exact IEEE-754 little-endian bytes.
+        pub fn f32(&mut self, v: f32) {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+
+        /// Appends an f64 as its exact IEEE-754 little-endian bytes.
+        pub fn f64(&mut self, v: f64) {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+
+        /// Appends every value in order (no length prefix).
+        pub fn f32_slice(&mut self, values: &[f32]) {
+            self.buf.reserve(values.len() * 4);
+            for &v in values {
+                self.f32(v);
+            }
+        }
+
+        /// Appends a u64 length prefix followed by the UTF-8 bytes.
+        pub fn str(&mut self, s: &str) {
+            self.usize(s.len());
+            self.buf.extend_from_slice(s.as_bytes());
+        }
+
+        /// Appends raw bytes verbatim (no length prefix).
+        pub fn raw(&mut self, bytes: &[u8]) {
+            self.buf.extend_from_slice(bytes);
+        }
+
+        /// The frame body without a checksum.
+        pub fn into_bytes(self) -> Vec<u8> {
+            self.buf
+        }
+
+        /// Seals the frame: appends the FNV-1a 64 of everything written
+        /// and returns the finished bytes.
+        pub fn finish(mut self) -> Vec<u8> {
+            let checksum = fnv1a(&self.buf);
+            self.u64(checksum);
+            self.buf
+        }
+    }
+
+    /// Bounds-checked reader over a byte frame; every short read or
+    /// invalid encoding surfaces as a typed [`PersistError`].
+    #[derive(Debug)]
+    pub struct Reader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        /// A reader over raw frame-body bytes (no header validation).
+        pub fn new(buf: &'a [u8]) -> Self {
+            Reader { buf, pos: 0 }
+        }
+
+        /// Validates a full frame — magic, version no newer than
+        /// `max_version`, trailing checksum — and returns the stored
+        /// version plus a reader over the body between header and
+        /// checksum.
+        pub fn framed(
+            buf: &'a [u8],
+            magic: [u8; 4],
+            max_version: u32,
+        ) -> Result<(u32, Reader<'a>), PersistError> {
+            if buf.len() < magic.len() + 4 + 8 {
+                return Err(PersistError::Corrupt(
+                    "file shorter than header plus checksum".to_string(),
+                ));
+            }
+            if buf[..magic.len()] != magic {
+                return Err(PersistError::BadMagic);
+            }
+            let version = u32::from_le_bytes(
+                buf[4..8]
+                    .try_into()
+                    // cae-lint: allow(E1, R1) — `buf[4..8]` is exactly 4 bytes (length checked above).
+                    .expect("4-byte slice"),
+            );
+            if version > max_version {
+                return Err(PersistError::UnsupportedVersion(version));
+            }
+            let body_end = buf.len() - 8;
+            let stored = u64::from_le_bytes(
+                buf[body_end..]
+                    .try_into()
+                    // cae-lint: allow(E1, R1) — `buf[body_end..]` is exactly the 8 trailing checksum bytes.
+                    .expect("8-byte slice"),
+            );
+            if fnv1a(&buf[..body_end]) != stored {
+                return Err(PersistError::ChecksumMismatch);
+            }
+            Ok((version, Reader::new(&buf[8..body_end])))
+        }
+
+        /// Bytes not yet consumed.
+        pub fn remaining(&self) -> usize {
+            self.buf.len() - self.pos
+        }
+
+        /// Consumes the next `n` bytes; `what` names the field in the
+        /// truncation error.
+        pub fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], PersistError> {
+            if self.remaining() < n {
+                return Err(PersistError::Corrupt(format!(
+                    "truncated while reading {what}: need {n} bytes, {} left",
+                    self.remaining()
+                )));
+            }
+            let out = &self.buf[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(out)
+        }
+
+        /// Reads one byte.
+        pub fn u8(&mut self, what: &str) -> Result<u8, PersistError> {
+            Ok(self.bytes(1, what)?[0])
+        }
+
+        /// Reads a bool; any byte other than 0/1 is corrupt.
+        pub fn bool(&mut self, what: &str) -> Result<bool, PersistError> {
+            match self.u8(what)? {
+                0 => Ok(false),
+                1 => Ok(true),
+                b => Err(PersistError::Corrupt(format!("invalid {what} flag {b}"))),
+            }
+        }
+
+        /// Reads a little-endian u32.
+        pub fn u32(&mut self, what: &str) -> Result<u32, PersistError> {
+            let b = self.bytes(4, what)?;
+            // cae-lint: allow(E1, R1) — `bytes(4, …)` returned exactly 4 bytes.
+            Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+        }
+
+        /// Reads a little-endian u64.
+        pub fn u64(&mut self, what: &str) -> Result<u64, PersistError> {
+            let b = self.bytes(8, what)?;
+            // cae-lint: allow(E1, R1) — `bytes(8, …)` returned exactly 8 bytes.
+            Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+        }
+
+        /// Reads a u64 and narrows it to usize with a typed error.
+        pub fn usize(&mut self, what: &str) -> Result<usize, PersistError> {
+            let v = self.u64(what)?;
+            usize::try_from(v)
+                .map_err(|_| PersistError::Corrupt(format!("{what} value {v} overflows usize")))
+        }
+
+        /// Reads an f32 from its exact IEEE-754 little-endian bytes.
+        pub fn f32(&mut self, what: &str) -> Result<f32, PersistError> {
+            let b = self.bytes(4, what)?;
+            // cae-lint: allow(E1, R1) — `bytes(4, …)` returned exactly 4 bytes.
+            Ok(f32::from_le_bytes(b.try_into().expect("4-byte slice")))
+        }
+
+        /// Reads an f64 from its exact IEEE-754 little-endian bytes.
+        pub fn f64(&mut self, what: &str) -> Result<f64, PersistError> {
+            let b = self.bytes(8, what)?;
+            // cae-lint: allow(E1, R1) — `bytes(8, …)` returned exactly 8 bytes.
+            Ok(f64::from_le_bytes(b.try_into().expect("8-byte slice")))
+        }
+
+        /// Reads `len` f32 values. The length was itself read from the
+        /// file, so it is validated against the remaining bytes
+        /// **before** any allocation — a corrupt length cannot trigger a
+        /// huge allocation.
+        pub fn f32_vec(&mut self, len: usize, what: &str) -> Result<Vec<f32>, PersistError> {
+            let raw = self.bytes(
+                len.checked_mul(4).ok_or_else(|| {
+                    PersistError::Corrupt(format!("{what} length {len} overflows"))
+                })?,
+                what,
+            )?;
+            Ok(raw
+                .chunks_exact(4)
+                // cae-lint: allow(E1, R1) — `chunks_exact(4)` yields 4-byte chunks.
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                .collect())
+        }
+
+        /// Reads a u64-length-prefixed UTF-8 string.
+        pub fn string(&mut self, what: &str) -> Result<String, PersistError> {
+            let len = self.usize(what)?;
+            let raw = self.bytes(len, what)?;
+            String::from_utf8(raw.to_vec())
+                .map_err(|_| PersistError::Corrupt(format!("{what} is not valid UTF-8")))
+        }
+    }
+
+    /// Writes `bytes` to `path` crash-safely: stage into a sibling temp
+    /// file and rename over the target — rename within a directory is
+    /// atomic on the platforms this targets, so a failure mid-save (full
+    /// disk, crash) never destroys an existing good artifact.
+    ///
+    /// Fault-injection: `site` is evaluated twice per save — once
+    /// guarding the temp-file write (a trip payload of `k` tears the
+    /// write after `k` bytes, `None` aborts before writing) and once
+    /// between write and rename (a trip simulates a crash with a
+    /// complete temp file that never reached the final path). In every
+    /// injected outcome the artifact previously at `path` is untouched.
+    pub fn write_atomic(
+        path: &Path,
+        bytes: &[u8],
+        site: &'static FailPoint,
+    ) -> Result<(), PersistError> {
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if let Some(payload) = site.fire() {
+            // Torn write: k bytes reach the temp file before the failure
+            // — exactly what a crash or full disk mid-write leaves
+            // behind.
+            if let Some(k) = payload {
+                let torn = (k as usize).min(bytes.len());
+                let _ = std::fs::write(&tmp, &bytes[..torn]);
+            }
+            return Err(injected_io(site.name(), "temp-file write"));
+        }
+        std::fs::write(&tmp, bytes)?;
+        if site.fire().is_some() {
+            // Crash between write and rename: the finished temp file
+            // never reaches the final path.
+            let _ = std::fs::remove_file(&tmp);
+            return Err(injected_io(site.name(), "pre-rename"));
+        }
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })?;
+        Ok(())
+    }
 }
+
+use wire::{Reader, Writer};
 
 fn activation_tag(a: Activation) -> u8 {
     match a {
@@ -157,74 +474,34 @@ fn target_from_tag(tag: u8) -> Result<ReconstructionTarget, PersistError> {
 // Writer
 // ----------------------------------------------------------------------
 
-fn push_u8(buf: &mut Vec<u8>, v: u8) {
-    buf.push(v);
+fn write_model_config(w: &mut Writer, cfg: &CaeConfig) {
+    w.usize(cfg.dim);
+    w.usize(cfg.embed_dim);
+    w.usize(cfg.window);
+    w.usize(cfg.layers);
+    w.usize(cfg.kernel_size);
+    w.bool(cfg.attention);
+    w.u8(activation_tag(cfg.embed_activation));
+    w.u8(activation_tag(cfg.conv_activation));
+    w.u8(activation_tag(cfg.recon_activation));
+    w.u8(target_tag(cfg.target));
 }
 
-fn push_bool(buf: &mut Vec<u8>, v: bool) {
-    buf.push(u8::from(v));
-}
-
-fn push_u32(buf: &mut Vec<u8>, v: u32) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn push_u64(buf: &mut Vec<u8>, v: u64) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn push_usize(buf: &mut Vec<u8>, v: usize) {
-    push_u64(buf, v as u64);
-}
-
-fn push_f32(buf: &mut Vec<u8>, v: f32) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn push_f64(buf: &mut Vec<u8>, v: f64) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn push_f32_slice(buf: &mut Vec<u8>, values: &[f32]) {
-    buf.reserve(values.len() * 4);
-    for &v in values {
-        push_f32(buf, v);
-    }
-}
-
-fn push_str(buf: &mut Vec<u8>, s: &str) {
-    push_usize(buf, s.len());
-    buf.extend_from_slice(s.as_bytes());
-}
-
-fn write_model_config(buf: &mut Vec<u8>, cfg: &CaeConfig) {
-    push_usize(buf, cfg.dim);
-    push_usize(buf, cfg.embed_dim);
-    push_usize(buf, cfg.window);
-    push_usize(buf, cfg.layers);
-    push_usize(buf, cfg.kernel_size);
-    push_bool(buf, cfg.attention);
-    push_u8(buf, activation_tag(cfg.embed_activation));
-    push_u8(buf, activation_tag(cfg.conv_activation));
-    push_u8(buf, activation_tag(cfg.recon_activation));
-    push_u8(buf, target_tag(cfg.target));
-}
-
-fn write_ensemble_config(buf: &mut Vec<u8>, cfg: &EnsembleConfig) {
-    push_usize(buf, cfg.num_models);
-    push_usize(buf, cfg.epochs_per_model);
-    push_f32(buf, cfg.lambda);
-    push_f64(buf, cfg.beta);
-    push_f32(buf, cfg.learning_rate);
-    push_usize(buf, cfg.batch_size);
-    push_usize(buf, cfg.train_stride);
-    push_bool(buf, cfg.diversity_driven);
-    push_f32(buf, cfg.diversity_cap);
-    push_f32(buf, cfg.grad_clip);
-    push_f32(buf, cfg.denoise_std);
-    push_f32(buf, cfg.early_stop_rel_tol);
-    push_bool(buf, cfg.rescale);
-    push_u64(buf, cfg.seed);
+fn write_ensemble_config(w: &mut Writer, cfg: &EnsembleConfig) {
+    w.usize(cfg.num_models);
+    w.usize(cfg.epochs_per_model);
+    w.f32(cfg.lambda);
+    w.f64(cfg.beta);
+    w.f32(cfg.learning_rate);
+    w.usize(cfg.batch_size);
+    w.usize(cfg.train_stride);
+    w.bool(cfg.diversity_driven);
+    w.f32(cfg.diversity_cap);
+    w.f32(cfg.grad_clip);
+    w.f32(cfg.denoise_std);
+    w.f32(cfg.early_stop_rel_tol);
+    w.bool(cfg.rescale);
+    w.u64(cfg.seed);
 }
 
 /// Serializes an ensemble's trained state into format-v1 bytes.
@@ -234,52 +511,39 @@ pub(crate) fn encode_ensemble(
     scaler: Option<&Scaler>,
     members: &[(Cae, ParamStore)],
 ) -> Vec<u8> {
-    let mut buf = Vec::new();
-    buf.extend_from_slice(&MAGIC);
-    push_u32(&mut buf, FORMAT_VERSION);
-    write_model_config(&mut buf, model_cfg);
-    write_ensemble_config(&mut buf, cfg);
+    let mut w = Writer::framed(MAGIC, FORMAT_VERSION);
+    write_model_config(&mut w, model_cfg);
+    write_ensemble_config(&mut w, cfg);
     match scaler {
         Some(s) => {
-            push_bool(&mut buf, true);
-            push_usize(&mut buf, s.dim());
-            push_f32_slice(&mut buf, s.mean());
-            push_f32_slice(&mut buf, s.std());
+            w.bool(true);
+            w.usize(s.dim());
+            w.f32_slice(s.mean());
+            w.f32_slice(s.std());
         }
-        None => push_bool(&mut buf, false),
+        None => w.bool(false),
     }
-    push_usize(&mut buf, members.len());
+    w.usize(members.len());
     for (_, store) in members {
-        push_usize(&mut buf, store.len());
+        w.usize(store.len());
         for (name, value) in store.iter() {
-            push_str(&mut buf, name);
-            push_usize(&mut buf, value.rank());
+            w.str(name);
+            w.usize(value.rank());
             for &d in value.dims() {
-                push_usize(&mut buf, d);
+                w.usize(d);
             }
-            push_f32_slice(&mut buf, value.data());
+            w.f32_slice(value.data());
         }
     }
-    let checksum = fnv1a(&buf);
-    push_u64(&mut buf, checksum);
-    buf
-}
-
-/// The injected I/O failure a tripped persist failpoint surfaces.
-fn injected_io(site: &str, stage: &str) -> PersistError {
-    PersistError::Io(io::Error::other(format!(
-        "chaos: injected fault at `{site}` ({stage})"
-    )))
+    w.finish()
 }
 
 /// Writes the ensemble's trained state to `path` (format v1).
 ///
-/// Fault-injection: the `persist.write` failpoint is evaluated twice per
-/// save — once guarding the temp-file write (a trip payload of `k` tears
-/// the write after `k` bytes, `None` aborts before writing) and once
-/// between write and rename (a trip simulates a crash with a complete
-/// temp file that never reached the final path). In every injected
-/// outcome the artifact previously at `path` is untouched.
+/// Fault-injection: the `persist.write` failpoint guards both the
+/// temp-file write and the pre-rename window (see [`wire::write_atomic`]).
+/// In every injected outcome the artifact previously at `path` is
+/// untouched.
 pub(crate) fn save_ensemble(
     path: &Path,
     model_cfg: &CaeConfig,
@@ -287,127 +551,15 @@ pub(crate) fn save_ensemble(
     scaler: Option<&Scaler>,
     members: &[(Cae, ParamStore)],
 ) -> Result<(), PersistError> {
-    // Crash-safe write: `fs::write` truncates the destination before
-    // writing, so a failure mid-save (full disk, crash) would destroy an
-    // existing good checkpoint. Stage into a sibling temp file and
-    // rename over the target instead — rename within a directory is
-    // atomic on the platforms this targets.
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     let bytes = encode_ensemble(model_cfg, cfg, scaler, members);
-    if let Some(payload) = chaos::sites::PERSIST_WRITE.fire() {
-        // Torn write: k bytes reach the temp file before the failure —
-        // exactly what a crash or full disk mid-write leaves behind.
-        if let Some(k) = payload {
-            let torn = (k as usize).min(bytes.len());
-            let _ = std::fs::write(&tmp, &bytes[..torn]);
-        }
-        return Err(injected_io("persist.write", "temp-file write"));
-    }
-    std::fs::write(&tmp, &bytes)?;
-    if chaos::sites::PERSIST_WRITE.fire().is_some() {
-        // Crash between write and rename: the finished temp file never
-        // reaches the final path.
-        let _ = std::fs::remove_file(&tmp);
-        return Err(injected_io("persist.write", "pre-rename"));
-    }
-    std::fs::rename(&tmp, path).inspect_err(|_| {
-        let _ = std::fs::remove_file(&tmp);
-    })?;
-    Ok(())
+    wire::write_atomic(path, &bytes, &chaos::sites::PERSIST_WRITE)
 }
 
 // ----------------------------------------------------------------------
 // Reader
 // ----------------------------------------------------------------------
 
-/// Bounds-checked reader over the checksummed body of a checkpoint.
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Cursor { buf, pos: 0 }
-    }
-
-    fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-
-    fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], PersistError> {
-        if self.remaining() < n {
-            return Err(PersistError::Corrupt(format!(
-                "truncated while reading {what}: need {n} bytes, {} left",
-                self.remaining()
-            )));
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(out)
-    }
-
-    fn u8(&mut self, what: &str) -> Result<u8, PersistError> {
-        Ok(self.bytes(1, what)?[0])
-    }
-
-    fn bool(&mut self, what: &str) -> Result<bool, PersistError> {
-        match self.u8(what)? {
-            0 => Ok(false),
-            1 => Ok(true),
-            b => Err(PersistError::Corrupt(format!("invalid {what} flag {b}"))),
-        }
-    }
-
-    fn u64(&mut self, what: &str) -> Result<u64, PersistError> {
-        let b = self.bytes(8, what)?;
-        // cae-lint: allow(E1) — `bytes(8, …)` returned exactly 8 bytes.
-        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
-    }
-
-    fn usize(&mut self, what: &str) -> Result<usize, PersistError> {
-        let v = self.u64(what)?;
-        usize::try_from(v)
-            .map_err(|_| PersistError::Corrupt(format!("{what} value {v} overflows usize")))
-    }
-
-    fn f32(&mut self, what: &str) -> Result<f32, PersistError> {
-        let b = self.bytes(4, what)?;
-        // cae-lint: allow(E1) — `bytes(4, …)` returned exactly 4 bytes.
-        Ok(f32::from_le_bytes(b.try_into().expect("4-byte slice")))
-    }
-
-    fn f64(&mut self, what: &str) -> Result<f64, PersistError> {
-        let b = self.bytes(8, what)?;
-        // cae-lint: allow(E1) — `bytes(8, …)` returned exactly 8 bytes.
-        Ok(f64::from_le_bytes(b.try_into().expect("8-byte slice")))
-    }
-
-    /// Reads `len` f32 values. The length was itself read from the file,
-    /// so it is validated against the remaining bytes **before** any
-    /// allocation — a corrupt length cannot trigger a huge allocation.
-    fn f32_vec(&mut self, len: usize, what: &str) -> Result<Vec<f32>, PersistError> {
-        let raw = self.bytes(
-            len.checked_mul(4)
-                .ok_or_else(|| PersistError::Corrupt(format!("{what} length {len} overflows")))?,
-            what,
-        )?;
-        Ok(raw
-            .chunks_exact(4)
-            // cae-lint: allow(E1) — `chunks_exact(4)` yields 4-byte chunks.
-            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
-            .collect())
-    }
-
-    fn string(&mut self, what: &str) -> Result<String, PersistError> {
-        let len = self.usize(what)?;
-        let raw = self.bytes(len, what)?;
-        String::from_utf8(raw.to_vec())
-            .map_err(|_| PersistError::Corrupt(format!("{what} is not valid UTF-8")))
-    }
-}
-
-fn read_model_config(c: &mut Cursor<'_>) -> Result<CaeConfig, PersistError> {
+fn read_model_config(c: &mut Reader<'_>) -> Result<CaeConfig, PersistError> {
     Ok(CaeConfig {
         dim: c.usize("model dim")?,
         embed_dim: c.usize("embed dim")?,
@@ -422,7 +574,7 @@ fn read_model_config(c: &mut Cursor<'_>) -> Result<CaeConfig, PersistError> {
     })
 }
 
-fn read_ensemble_config(c: &mut Cursor<'_>) -> Result<EnsembleConfig, PersistError> {
+fn read_ensemble_config(c: &mut Reader<'_>) -> Result<EnsembleConfig, PersistError> {
     Ok(EnsembleConfig {
         num_models: c.usize("num models")?,
         epochs_per_model: c.usize("epochs per model")?,
@@ -472,27 +624,7 @@ pub(crate) type EnsembleParts = (
 /// Parses format-v1 bytes back into ensemble parts.
 pub(crate) fn decode_ensemble(buf: &[u8]) -> Result<EnsembleParts, PersistError> {
     // Header: magic, version, and the trailing checksum frame the body.
-    if buf.len() < MAGIC.len() + 4 + 8 {
-        return Err(PersistError::Corrupt(
-            "file shorter than header plus checksum".to_string(),
-        ));
-    }
-    if buf[..MAGIC.len()] != MAGIC {
-        return Err(PersistError::BadMagic);
-    }
-    // cae-lint: allow(E1) — `buf[4..8]` is exactly 4 bytes (length checked above).
-    let version = u32::from_le_bytes(buf[4..8].try_into().expect("4-byte slice"));
-    if version > FORMAT_VERSION {
-        return Err(PersistError::UnsupportedVersion(version));
-    }
-    let body_end = buf.len() - 8;
-    // cae-lint: allow(E1) — `buf[body_end..]` is exactly the 8 trailing checksum bytes.
-    let stored = u64::from_le_bytes(buf[body_end..].try_into().expect("8-byte slice"));
-    if fnv1a(&buf[..body_end]) != stored {
-        return Err(PersistError::ChecksumMismatch);
-    }
-
-    let mut c = Cursor::new(&buf[8..body_end]);
+    let (_version, mut c) = Reader::framed(buf, MAGIC, FORMAT_VERSION)?;
     let model_cfg = read_model_config(&mut c)?;
     check_reasonable(model_cfg.dim, "model dim")?;
     check_reasonable(model_cfg.embed_dim, "embed dim")?;
@@ -603,7 +735,7 @@ pub(crate) fn load_ensemble(path: &Path) -> Result<EnsembleParts, PersistError> 
     if let Some(payload) = chaos::sites::PERSIST_READ.fire() {
         return match payload {
             Some(k) => decode_ensemble(&bytes[..(k as usize).min(bytes.len())]),
-            None => Err(injected_io("persist.read", "file read")),
+            None => Err(wire::injected_io("persist.read", "file read")),
         };
     }
     decode_ensemble(&bytes)
@@ -689,7 +821,7 @@ mod tests {
     /// test reaches the structural validation behind the checksum gate.
     fn rechecksum(buf: &mut [u8]) {
         let body_end = buf.len() - 8;
-        let sum = fnv1a(&buf[..body_end]);
+        let sum = wire::fnv1a(&buf[..body_end]);
         buf[body_end..].copy_from_slice(&sum.to_le_bytes());
     }
 

@@ -129,6 +129,80 @@ impl ObservationReservoir {
         }
         TimeSeries::new(data, d)
     }
+
+    /// The reservoir's full mutable state, for durable snapshots.
+    pub fn state(&self) -> ReservoirState {
+        ReservoirState {
+            dim: self.dim,
+            capacity: self.capacity,
+            ring: self.ring.clone(),
+            head: self.head,
+            filled: self.filled,
+        }
+    }
+
+    /// Rebuilds a reservoir from snapshotted state. A restored reservoir
+    /// is bit-identical to the one [`ObservationReservoir::state`] was
+    /// called on — the ring layout (head position, eviction order) is
+    /// preserved exactly. Structurally inconsistent state is rejected
+    /// with a description instead of panicking, mirroring
+    /// `Scaler::from_parts`.
+    pub fn from_state(state: ReservoirState) -> Result<Self, String> {
+        if state.dim < 1 {
+            return Err("reservoir dim must be at least 1".to_string());
+        }
+        if state.capacity < 1 {
+            return Err("reservoir capacity must be at least 1".to_string());
+        }
+        if state.ring.len() != state.capacity * state.dim {
+            return Err(format!(
+                "reservoir ring holds {} values but capacity {} × dim {} requires {}",
+                state.ring.len(),
+                state.capacity,
+                state.dim,
+                state.capacity * state.dim
+            ));
+        }
+        if state.head >= state.capacity {
+            return Err(format!(
+                "reservoir head {} outside capacity {}",
+                state.head, state.capacity
+            ));
+        }
+        if state.filled > state.capacity {
+            return Err(format!(
+                "reservoir filled {} exceeds capacity {}",
+                state.filled, state.capacity
+            ));
+        }
+        Ok(ObservationReservoir {
+            dim: state.dim,
+            capacity: state.capacity,
+            ring: state.ring,
+            head: state.head,
+            filled: state.filled,
+        })
+    }
+}
+
+/// Snapshot of an [`ObservationReservoir`]'s full mutable state.
+///
+/// Produced by [`ObservationReservoir::state`] and consumed by
+/// [`ObservationReservoir::from_state`]; serialization to bytes lives
+/// with the snapshot formats (`cae-adapt`), keeping this crate free of
+/// on-disk concerns beyond the journal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReservoirState {
+    /// Observation dimensionality `D`.
+    pub dim: usize,
+    /// Maximum observations retained.
+    pub capacity: usize,
+    /// The raw ring storage, `capacity × dim` values.
+    pub ring: Vec<f32>,
+    /// Next observation slot to write.
+    pub head: usize,
+    /// Observations buffered (saturated at `capacity`).
+    pub filled: usize,
 }
 
 /// EWMA drift statistic over live outlier scores, compared against a
@@ -270,6 +344,75 @@ impl DriftMonitor {
         self.ewma = None;
         self.observed = 0;
     }
+
+    /// The monitor's full mutable state, for durable snapshots.
+    pub fn state(&self) -> DriftMonitorState {
+        DriftMonitorState {
+            baseline_mean: self.baseline_mean,
+            baseline_std: self.baseline_std,
+            alpha: self.alpha,
+            sigma_threshold: self.sigma_threshold,
+            ewma: self.ewma,
+            observed: self.observed,
+        }
+    }
+
+    /// Rebuilds a monitor from snapshotted state — bit-identical to the
+    /// monitor [`DriftMonitor::state`] was called on, EWMA and
+    /// observation count included. The constructor invariants of
+    /// [`DriftMonitor::new`] are re-checked, but as a typed rejection
+    /// (the state came from a file) instead of a panic.
+    pub fn from_state(state: DriftMonitorState) -> Result<Self, String> {
+        if !(state.alpha > 0.0 && state.alpha <= 1.0) {
+            return Err(format!("EWMA alpha {} outside (0, 1]", state.alpha));
+        }
+        if !(state.sigma_threshold >= 0.0 && state.sigma_threshold.is_finite()) {
+            return Err(format!(
+                "sigma threshold {} must be finite and non-negative",
+                state.sigma_threshold
+            ));
+        }
+        if !(state.baseline_mean.is_finite()
+            && state.baseline_std.is_finite()
+            && state.baseline_std >= 0.0)
+        {
+            return Err(format!(
+                "baseline band (mean {}, std {}) must be finite with non-negative spread",
+                state.baseline_mean, state.baseline_std
+            ));
+        }
+        if matches!(state.ewma, Some(e) if !e.is_finite()) {
+            return Err("stored EWMA must be finite".to_string());
+        }
+        Ok(DriftMonitor {
+            baseline_mean: state.baseline_mean,
+            baseline_std: state.baseline_std,
+            alpha: state.alpha,
+            sigma_threshold: state.sigma_threshold,
+            ewma: state.ewma,
+            observed: state.observed,
+        })
+    }
+}
+
+/// Snapshot of a [`DriftMonitor`]'s full mutable state.
+///
+/// Produced by [`DriftMonitor::state`] and consumed by
+/// [`DriftMonitor::from_state`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftMonitorState {
+    /// Baseline band mean `μ`.
+    pub baseline_mean: f32,
+    /// Baseline band spread `σ`.
+    pub baseline_std: f32,
+    /// EWMA smoothing factor in `(0, 1]`.
+    pub alpha: f32,
+    /// Band half-width in baseline standard deviations.
+    pub sigma_threshold: f32,
+    /// Current EWMA (`None` before the first observation).
+    pub ewma: Option<f32>,
+    /// Scores observed since construction or the last re-baseline.
+    pub observed: u64,
 }
 
 #[cfg(test)]
@@ -445,5 +588,70 @@ mod tests {
     #[should_panic(expected = "at least one finite score")]
     fn rejects_all_non_finite_calibration() {
         DriftMonitor::from_baseline_scores(&[f32::NAN, f32::INFINITY], 0.2, 2.0);
+    }
+
+    // ------------------------------------------------------------------
+    // State export / import
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn reservoir_state_round_trips_bit_exactly() {
+        let mut r = ObservationReservoir::new(2, 3);
+        for t in 0..5 {
+            r.push(&[t as f32, -(t as f32)]);
+        }
+        let restored = ObservationReservoir::from_state(r.state()).expect("valid state");
+        assert_eq!(restored.state(), r.state());
+        assert_eq!(restored.series().data(), r.series().data());
+        // Mutation after restore stays in lockstep (head/eviction order
+        // preserved, not just contents).
+        let (mut a, mut b) = (r, restored);
+        a.push(&[9.0, 9.0]);
+        b.push(&[9.0, 9.0]);
+        assert_eq!(a.series().data(), b.series().data());
+    }
+
+    #[test]
+    fn reservoir_rejects_inconsistent_state() {
+        let good = ObservationReservoir::new(2, 3).state();
+        let mut bad = good.clone();
+        bad.ring.pop();
+        assert!(ObservationReservoir::from_state(bad).is_err());
+        let mut bad = good.clone();
+        bad.head = 3;
+        assert!(ObservationReservoir::from_state(bad).is_err());
+        let mut bad = good;
+        bad.filled = 4;
+        assert!(ObservationReservoir::from_state(bad).is_err());
+    }
+
+    #[test]
+    fn monitor_state_round_trips_bit_exactly() {
+        let mut m = DriftMonitor::from_baseline_scores(&[1.0, 1.2, 0.9], 0.05, 3.0);
+        for _ in 0..17 {
+            m.observe(1.3);
+        }
+        let restored = DriftMonitor::from_state(m.state()).expect("valid state");
+        assert_eq!(restored.state(), m.state());
+        // The restored monitor trips on exactly the same future score
+        // sequence.
+        let (mut a, mut b) = (m, restored);
+        for _ in 0..200 {
+            assert_eq!(a.observe(2.5), b.observe(2.5));
+        }
+    }
+
+    #[test]
+    fn monitor_rejects_inconsistent_state() {
+        let good = DriftMonitor::new(1.0, 0.2, 0.3, 3.0).state();
+        let mut bad = good;
+        bad.alpha = 0.0;
+        assert!(DriftMonitor::from_state(bad).is_err());
+        let mut bad = good;
+        bad.baseline_std = f32::NAN;
+        assert!(DriftMonitor::from_state(bad).is_err());
+        let mut bad = good;
+        bad.ewma = Some(f32::INFINITY);
+        assert!(DriftMonitor::from_state(bad).is_err());
     }
 }

@@ -10,6 +10,9 @@
 //! * [`ObservationReservoir`] / [`DriftMonitor`] — the data-side
 //!   primitives of drift-aware re-fitting: a bounded ring of recent raw
 //!   observations and a score-EWMA drift statistic;
+//! * [`journal`] — the segmented write-ahead observation journal behind
+//!   durable fleet state: checksummed per-record frames, size-based
+//!   segment rotation, torn-tail truncation on recovery;
 //! * [`windows`] — sliding windows of size `w` with stride 1;
 //! * [`Dataset`] — a named train/test pair with test-time ground-truth
 //!   labels (used exclusively for evaluation, never for training);
@@ -23,6 +26,7 @@ pub mod csv;
 pub mod datasets;
 mod detector;
 mod drift;
+pub mod journal;
 mod scaler;
 pub mod scoring;
 mod series;
@@ -30,7 +34,10 @@ mod window;
 
 pub use datasets::{DatasetKind, Scale};
 pub use detector::Detector;
-pub use drift::{DriftMonitor, ObservationReservoir};
+pub use drift::{DriftMonitor, DriftMonitorState, ObservationReservoir, ReservoirState};
+pub use journal::{
+    JournalConfig, JournalError, JournalPosition, JournalRecord, ObservationJournal,
+};
 pub use scaler::Scaler;
 pub use series::{Dataset, TimeSeries};
 pub use window::{num_windows, window, windows, WindowIter};

@@ -1,0 +1,360 @@
+//! Crash-during-append sweep for the write-ahead journal: an append may
+//! die at *any* byte offset of the frame, a rotation may die mid-header,
+//! and recovery must always land on the last complete frame — with every
+//! record up to there intact and every malformation in *sealed* segments
+//! surfacing as a typed error instead of silent data loss.
+//!
+//! Mirrors `crates/core/tests/checkpoint_crash.rs`, which plays the same
+//! game with the checkpoint's atomic temp+rename write.
+
+use cae_chaos as chaos;
+use cae_data::{JournalConfig, JournalError, JournalPosition, JournalRecord, ObservationJournal};
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cae_journal_crash_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn obs(slot: u64, t: u64) -> JournalRecord {
+    JournalRecord::Observation {
+        slot,
+        generation: 1,
+        values: vec![(t as f32 * 0.3).sin()],
+    }
+}
+
+/// A small scripted history: two opens, interleaved observations and
+/// ticks, one close.
+fn history(n: usize) -> Vec<JournalRecord> {
+    let mut records = vec![
+        JournalRecord::StreamOpened {
+            slot: 0,
+            generation: 1,
+        },
+        JournalRecord::StreamOpened {
+            slot: 1,
+            generation: 2,
+        },
+    ];
+    for t in 0..n as u64 {
+        records.push(obs(0, t));
+        records.push(obs(1, t));
+        records.push(JournalRecord::Tick);
+    }
+    records.push(JournalRecord::StreamClosed {
+        slot: 1,
+        generation: 2,
+    });
+    records
+}
+
+#[test]
+fn a_torn_append_at_every_offset_recovers_to_the_last_frame() {
+    let _guard = chaos::exclusive();
+    let dir = tmp_dir("tear_sweep");
+
+    // The committed prefix that every recovery must preserve.
+    let committed = history(4);
+    // One frame of the record we keep tearing, to size the sweep.
+    let victim = obs(0, 99);
+    let frame_len = {
+        let probe = tmp_dir("tear_probe");
+        let mut j = ObservationJournal::open(&probe, JournalConfig::new()).expect("probe open");
+        let before = j.position().offset;
+        j.append(&victim).expect("probe append");
+        let len = j.position().offset - before;
+        let _ = std::fs::remove_dir_all(&probe);
+        len
+    };
+
+    for offset in 0..=frame_len {
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut journal = ObservationJournal::open(&dir, JournalConfig::new()).expect("clean open");
+        for r in &committed {
+            journal.append(r).expect("committed append");
+        }
+        journal.sync().expect("baseline sync");
+
+        // Crash: the frame tears after `offset` bytes.
+        chaos::sites::JOURNAL_APPEND.arm(chaos::Schedule::nth(0).payload(offset));
+        let err = journal.append(&victim).expect_err("armed append must fail");
+        assert!(
+            matches!(err, JournalError::Io(_)),
+            "offset {offset}: injected tear must surface as Io, got {err:?}"
+        );
+        // The journal is poisoned: appending over an unknown partial
+        // write would corrupt the log mid-sequence.
+        let err = journal
+            .append(&victim)
+            .expect_err("poisoned append must refuse");
+        assert!(matches!(err, JournalError::Io(_)));
+        drop(journal);
+        chaos::disarm_all();
+
+        // Recovery: re-open truncates the torn tail — unless the tear
+        // happened to cover the whole frame, in which case the record is
+        // simply durable.
+        let recovered = ObservationJournal::open(&dir, JournalConfig::new()).expect("re-open");
+        let replayed = recovered
+            .replay_from(JournalPosition::origin())
+            .expect("replay after recovery");
+        if offset == frame_len {
+            assert_eq!(recovered.truncated_bytes(), 0, "full frame must be kept");
+            let mut expected = committed.clone();
+            expected.push(victim.clone());
+            assert_eq!(replayed, expected);
+        } else {
+            assert_eq!(
+                recovered.truncated_bytes(),
+                offset,
+                "exactly the torn bytes must be discarded"
+            );
+            assert_eq!(
+                replayed, committed,
+                "offset {offset}: committed prefix lost"
+            );
+        }
+
+        // And the recovered journal appends normally again.
+        let mut recovered = recovered;
+        recovered.append(&victim).expect("append after recovery");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_crash_mid_rotation_resumes_in_the_sealed_segment() {
+    let _guard = chaos::exclusive();
+    let dir = tmp_dir("rotation");
+    // Tiny segments: a handful of frames per segment forces rotations.
+    let cfg = JournalConfig::new().segment_bytes(160);
+    let mut journal = ObservationJournal::open(&dir, cfg).expect("open");
+    let committed = history(6);
+    for r in &committed {
+        journal.append(r).expect("append");
+    }
+    let last = journal.position();
+    assert!(last.segment >= 2, "workload must span several segments");
+    drop(journal);
+
+    // Crash mid-header of a rotation: the next segment file exists but
+    // holds fewer bytes than a header. Recovery drops it and resumes at
+    // the end of the sealed predecessor.
+    for torn_header_len in [0u64, 1, 7, 15] {
+        let next = dir.join(format!("seg-{:08}.caej", last.segment + 1));
+        std::fs::write(&next, vec![0xAB; torn_header_len as usize]).expect("torn header");
+        let recovered = ObservationJournal::open(&dir, cfg).expect("re-open");
+        assert_eq!(recovered.position(), last, "must resume at the sealed end");
+        assert_eq!(recovered.truncated_bytes(), torn_header_len);
+        assert_eq!(
+            recovered
+                .replay_from(JournalPosition::origin())
+                .expect("replay"),
+            committed
+        );
+    }
+
+    // An fsync failure during rotation fails the append without
+    // poisoning: nothing was written, so the next append just retries.
+    let mut journal = ObservationJournal::open(&dir, cfg).expect("re-open");
+    let mut filler = 0u64;
+    loop {
+        // Walk to the rotation boundary.
+        if journal.position().offset + 160 > cfg.segment_bytes {
+            break;
+        }
+        journal.append(&obs(0, filler)).expect("filler");
+        filler += 1;
+    }
+    chaos::sites::JOURNAL_FSYNC.arm(chaos::Schedule::nth(0));
+    let err = journal
+        .append(&obs(0, 1000))
+        .expect_err("rotation sync must fail armed");
+    assert!(matches!(err, JournalError::Io(_)));
+    chaos::disarm_all();
+    journal
+        .append(&obs(0, 1000))
+        .expect("retry after sync failure");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sealed_segment_damage_is_typed_never_truncated() {
+    let _guard = chaos::exclusive();
+    let dir = tmp_dir("sealed");
+    let cfg = JournalConfig::new().segment_bytes(160);
+    let mut journal = ObservationJournal::open(&dir, cfg).expect("open");
+    for r in &history(6) {
+        journal.append(r).expect("append");
+    }
+    assert!(journal.position().segment >= 2);
+    drop(journal);
+
+    let sealed = dir.join("seg-00000001.caej");
+    let good = std::fs::read(&sealed).expect("sealed bytes");
+
+    // Truncating a sealed segment is corruption, not a torn tail.
+    std::fs::write(&sealed, &good[..good.len() - 5]).expect("truncate sealed");
+    assert!(matches!(
+        ObservationJournal::open(&dir, cfg),
+        Err(JournalError::Corrupt { segment: 1, .. })
+    ));
+
+    // So is flipping a byte inside a frame body.
+    let mut flipped = good.clone();
+    let mid = 16 + (good.len() - 16) / 2;
+    flipped[mid] ^= 0x40;
+    std::fs::write(&sealed, &flipped).expect("flip sealed");
+    assert!(matches!(
+        ObservationJournal::open(&dir, cfg),
+        Err(JournalError::Corrupt { segment: 1, .. })
+    ));
+
+    // Damaged magic and a future version have their own taxonomy.
+    let mut bad_magic = good.clone();
+    bad_magic[0] = b'X';
+    std::fs::write(&sealed, &bad_magic).expect("bad magic");
+    assert!(matches!(
+        ObservationJournal::open(&dir, cfg),
+        Err(JournalError::BadMagic { segment: 1 })
+    ));
+
+    let mut future = good.clone();
+    future[4] = 9;
+    std::fs::write(&sealed, &future).expect("future version");
+    assert!(matches!(
+        ObservationJournal::open(&dir, cfg),
+        Err(JournalError::UnsupportedVersion(9))
+    ));
+
+    // A missing sealed segment is a gap in the sequence.
+    std::fs::write(&sealed, &good).expect("restore sealed");
+    std::fs::remove_file(dir.join("seg-00000001.caej")).expect("remove sealed");
+    assert!(matches!(
+        ObservationJournal::open(&dir, cfg),
+        Err(JournalError::SegmentGap {
+            expected: 1,
+            found: 2
+        })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_torn_tail_of_every_length_replays_the_committed_prefix() {
+    let _guard = chaos::exclusive();
+    let dir = tmp_dir("tail_sweep");
+    let committed = history(3);
+    let mut journal = ObservationJournal::open(&dir, JournalConfig::new()).expect("open");
+    for r in &committed {
+        journal.append(r).expect("append");
+    }
+    let end = journal.position();
+    drop(journal);
+    let seg_path = dir.join("seg-00000000.caej");
+    let good = std::fs::read(&seg_path).expect("segment bytes");
+
+    // A crash leaves a prefix of the next frame; sweep every prefix of a
+    // real frame plus a stretch of raw garbage.
+    let mut tails: Vec<Vec<u8>> = Vec::new();
+    let frame = {
+        let probe = tmp_dir("tail_probe");
+        let mut j = ObservationJournal::open(&probe, JournalConfig::new()).expect("probe");
+        let before = j.position().offset as usize;
+        j.append(&obs(0, 7)).expect("probe append");
+        drop(j);
+        let bytes = std::fs::read(probe.join("seg-00000000.caej")).expect("probe bytes");
+        let _ = std::fs::remove_dir_all(&probe);
+        bytes[before..].to_vec()
+    };
+    for len in 1..frame.len() {
+        tails.push(frame[..len].to_vec());
+    }
+    tails.push(vec![0xFF; 64]);
+
+    for tail in &tails {
+        let mut torn = good.clone();
+        torn.extend_from_slice(tail);
+        std::fs::write(&seg_path, &torn).expect("write torn tail");
+        let recovered = ObservationJournal::open(&dir, JournalConfig::new()).expect("re-open");
+        assert_eq!(recovered.truncated_bytes(), tail.len() as u64);
+        assert_eq!(recovered.position(), end);
+        assert_eq!(
+            recovered
+                .replay_from(JournalPosition::origin())
+                .expect("replay"),
+            committed
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replay_positions_are_validated() {
+    let dir = tmp_dir("positions");
+    let committed = history(2);
+    let mut journal = ObservationJournal::open(&dir, JournalConfig::new()).expect("open");
+    let mut positions = Vec::new();
+    for r in &committed {
+        positions.push(journal.append(r).expect("append"));
+    }
+
+    // Every appended position replays its own suffix.
+    for (i, &at) in positions.iter().enumerate() {
+        let suffix = journal.replay_from(at).expect("replay from frame boundary");
+        assert_eq!(suffix, committed[i..]);
+    }
+    // The journal's end position replays nothing.
+    assert_eq!(journal.replay_from(journal.position()).expect("end"), []);
+
+    // A mid-frame offset and an out-of-range segment are typed errors.
+    let mid = JournalPosition {
+        segment: 0,
+        offset: positions[1].offset + 1,
+    };
+    assert!(matches!(
+        journal.replay_from(mid),
+        Err(JournalError::Corrupt { .. })
+    ));
+    let beyond = JournalPosition {
+        segment: 7,
+        offset: 16,
+    };
+    assert!(matches!(
+        journal.replay_from(beyond),
+        Err(JournalError::Corrupt { segment: 7, .. })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsync_cadence_and_explicit_sync_honor_the_failpoint() {
+    let _guard = chaos::exclusive();
+    let dir = tmp_dir("fsync");
+    let mut journal =
+        ObservationJournal::open(&dir, JournalConfig::new().fsync_every(2)).expect("open");
+
+    // The cadence syncs on every second append; fail that barrier.
+    chaos::sites::JOURNAL_FSYNC.arm(chaos::Schedule::always());
+    journal
+        .append(&obs(0, 0))
+        .expect("first append skips the barrier");
+    let err = journal
+        .append(&obs(0, 1))
+        .expect_err("second append hits the failing barrier");
+    assert!(matches!(err, JournalError::Io(_)));
+    let err = journal.sync().expect_err("explicit sync fails armed");
+    assert!(matches!(err, JournalError::Io(_)));
+    chaos::disarm_all();
+
+    // A failed sync does not poison: the bytes are written, only the
+    // durability barrier failed. Both records are on disk.
+    journal.sync().expect("clean sync");
+    let replayed = journal
+        .replay_from(JournalPosition::origin())
+        .expect("replay");
+    assert_eq!(replayed, vec![obs(0, 0), obs(0, 1)]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

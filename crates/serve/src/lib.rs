@@ -56,6 +56,10 @@ use cae_core::CaeEnsemble;
 use cae_tensor::{scratch, Tensor};
 use std::sync::Arc;
 
+pub mod snapshot;
+
+pub use snapshot::{FleetSnapshot, ReplayError, ReplaySummary, RestoreError};
+
 /// Windows scored per member forward pass. Matches the batch scorer's
 /// inference chunk (`INFERENCE_BATCH` in `cae-core`): identical batch
 /// shapes dispatch through identical kernels, so a fleet whose full
@@ -73,6 +77,27 @@ pub const FLEET_BATCH: usize = 64;
 pub struct StreamId {
     slot: usize,
     generation: u64,
+}
+
+impl StreamId {
+    /// The id's `(slot, generation)` pair — the durable wire form a
+    /// journal record carries.
+    pub fn raw_parts(self) -> (u64, u64) {
+        (self.slot as u64, self.generation)
+    }
+
+    /// Rebuilds an id from its journaled `(slot, generation)` pair.
+    ///
+    /// This does not mint a session: an id that does not name a live
+    /// stream behaves exactly like a stale one ([`FleetDetector::push`]
+    /// returns [`PushError::UnknownStream`]). Intended for journal replay
+    /// and for glue that persists ids across restarts.
+    pub fn from_raw_parts(slot: u64, generation: u64) -> StreamId {
+        StreamId {
+            slot: slot as usize,
+            generation,
+        }
+    }
 }
 
 /// Why [`FleetDetector::push`] rejected an observation outright.
@@ -205,6 +230,7 @@ impl HealthConfig {
     }
 }
 
+#[derive(Clone)]
 struct StreamSlot {
     generation: u64,
     active: bool,

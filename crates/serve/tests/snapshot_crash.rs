@@ -1,0 +1,129 @@
+//! Crash-during-snapshot sweep: a fleet snapshot save may die at *any*
+//! byte offset of the temp-file write, or between write and rename, and
+//! the snapshot previously at the final path must survive untouched,
+//! loadable, and restorable. Mirrors the checkpoint sweep in
+//! `crates/core/tests/checkpoint_crash.rs`, on the `snapshot.write`
+//! failpoint.
+
+use cae_chaos as chaos;
+use cae_core::{CaeConfig, CaeEnsemble, EnsembleConfig, PersistError};
+use cae_data::{Detector, TimeSeries};
+use cae_serve::{FleetDetector, FleetSnapshot};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn wave(t: usize, phase: f32) -> f32 {
+    (t as f32 * 0.3 + phase).sin()
+}
+
+fn fitted_ensemble() -> Arc<CaeEnsemble> {
+    let series = TimeSeries::univariate((0..200).map(|t| wave(t, 0.0)).collect());
+    let mut ens = CaeEnsemble::new(
+        CaeConfig::new(1).embed_dim(8).window(8).layers(1),
+        EnsembleConfig::new()
+            .num_models(2)
+            .epochs_per_model(1)
+            .batch_size(16)
+            .train_stride(2)
+            .seed(23),
+    );
+    ens.fit(&series);
+    Arc::new(ens)
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cae_snap_crash_{tag}_{}.caef", std::process::id()))
+}
+
+/// A fleet driven `steps` pushes deep, so successive snapshots differ.
+fn driven_fleet(ens: &Arc<CaeEnsemble>, steps: usize) -> FleetDetector {
+    let mut fleet = FleetDetector::new(ens.clone());
+    let a = fleet.add_stream();
+    let b = fleet.add_stream();
+    let mut out = Vec::new();
+    for t in 0..steps {
+        fleet.push(a, &[wave(t, 0.0)]).expect("push a");
+        fleet.push(b, &[wave(t, 1.1)]).expect("push b");
+        fleet.tick(&mut out);
+    }
+    fleet
+}
+
+#[test]
+fn a_crash_at_every_write_offset_preserves_the_prior_snapshot() {
+    let _guard = chaos::exclusive();
+    let ens = fitted_ensemble();
+    let path = tmp_path("sweep");
+    let _ = std::fs::remove_file(&path);
+
+    // Lay down a good generation-0 snapshot and remember its bytes.
+    let good = driven_fleet(&ens, 12).snapshot();
+    good.save(&path).expect("baseline snapshot");
+    let good_bytes = std::fs::read(&path).expect("baseline bytes");
+
+    // A later snapshot whose save we will keep crashing.
+    let replacement = driven_fleet(&ens, 30).snapshot();
+    let encoded_len = replacement.encode().len();
+    assert_ne!(
+        replacement.encode(),
+        good_bytes,
+        "sweep needs distinct states"
+    );
+
+    for offset in 0..=encoded_len {
+        chaos::sites::SNAPSHOT_WRITE.arm(chaos::Schedule::nth(0).payload(offset as u64));
+        let err = replacement
+            .save(&path)
+            .expect_err("armed save must report the crash");
+        assert!(
+            matches!(err, PersistError::Io(_)),
+            "offset {offset}: injected failure must surface as Io, got {err:?}"
+        );
+        let now = std::fs::read(&path).expect("prior snapshot readable");
+        assert_eq!(
+            now, good_bytes,
+            "offset {offset}: torn write corrupted the prior snapshot"
+        );
+    }
+
+    // Crash between write and rename: the finished temp file is
+    // discarded, the prior snapshot stays.
+    chaos::sites::SNAPSHOT_WRITE.arm(chaos::Schedule::nth(1));
+    let err = replacement
+        .save(&path)
+        .expect_err("pre-rename crash must report");
+    assert!(matches!(err, PersistError::Io(_)));
+    assert_eq!(std::fs::read(&path).expect("readable"), good_bytes);
+
+    // The survivor is the *restorable* generation-0 snapshot.
+    chaos::disarm_all();
+    let survivor = FleetSnapshot::load(&path).expect("prior snapshot loads");
+    let restored = FleetDetector::restore(ens.clone(), &survivor).expect("restores");
+    assert_eq!(restored.snapshot().encode(), good.encode());
+
+    // And with chaos disarmed the replacement finally lands.
+    replacement.save(&path).expect("clean save succeeds");
+    let landed = FleetSnapshot::load(&path).expect("replacement loads");
+    assert_eq!(landed.encode(), replacement.encode());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn every_truncation_of_a_snapshot_fails_typed_and_never_panics() {
+    let ens = fitted_ensemble();
+    let bytes = driven_fleet(&ens, 10).snapshot().encode();
+    for len in 0..bytes.len() {
+        let err =
+            FleetSnapshot::decode(&bytes[..len]).expect_err("truncated snapshot must not decode");
+        assert!(
+            matches!(
+                err,
+                PersistError::Corrupt(_)
+                    | PersistError::BadMagic
+                    | PersistError::ChecksumMismatch
+                    | PersistError::UnsupportedVersion(_)
+            ),
+            "len {len}: unexpected error {err:?}"
+        );
+    }
+}

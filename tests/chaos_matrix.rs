@@ -17,6 +17,13 @@
 //!   worker panics and spawn failures — retries stay within budget,
 //!   exhaustion falls back to the last-good ensemble, serving never
 //!   stops.
+//! * **Durability faults** (≥60 scenarios): journal append tears and
+//!   fsync failures under probabilistic storms, torn fleet-snapshot
+//!   writes — every failure is typed, every re-open truncates back to a
+//!   frame boundary, and the committed prefix replays intact. (The
+//!   every-offset sweeps live in `crates/data/tests/journal_crash.rs`
+//!   and `crates/serve/tests/snapshot_crash.rs`; the end-to-end
+//!   restart-parity proof in `tests/restart_recovery.rs`.)
 
 use cae_ensemble_repro::adapt::{AdaptationConfig, AdaptationController};
 use cae_ensemble_repro::chaos::{
@@ -339,4 +346,136 @@ fn adaptation_fault_matrix_retries_and_falls_back() {
     }
 
     assert_eq!(scenarios, 21);
+}
+
+#[test]
+fn durability_fault_matrix_recovers_from_every_storm() {
+    use cae_ensemble_repro::data::{
+        JournalConfig, JournalError, JournalPosition, JournalRecord, ObservationJournal,
+    };
+
+    let _guard = chaos::exclusive();
+    let dir = std::env::temp_dir().join(format!("cae_chaos_journal_{}", std::process::id()));
+    let mut scenarios = 0u64;
+
+    let record = |t: u64| JournalRecord::Observation {
+        slot: 0,
+        generation: 1,
+        values: vec![(t as f32 * 0.3).sin()],
+    };
+
+    // Probabilistic append storms: each failed append poisons the
+    // journal; a re-open truncates the torn tail and the committed
+    // prefix survives bit for bit. 30 seeds × verified replay each.
+    for seed in 0..30u64 {
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = JournalConfig::new().segment_bytes(256);
+        let mut journal = ObservationJournal::open(&dir, cfg).expect("open");
+        let mut committed = 0u64;
+        chaos::sites::JOURNAL_APPEND.arm(Schedule::probability(0.4, seed).payload(seed % 53));
+        for t in 0..60u64 {
+            match journal.append(&record(t)) {
+                Ok(_) => committed += 1,
+                Err(JournalError::Io(_)) => {
+                    // Poisoned: the only way forward is a re-open, which
+                    // must land exactly on the committed prefix.
+                    chaos::sites::JOURNAL_APPEND.disarm();
+                    drop(journal);
+                    journal = ObservationJournal::open(&dir, cfg).expect("re-open");
+                    let replayed = journal
+                        .replay_from(JournalPosition::origin())
+                        .expect("replay after storm");
+                    assert_eq!(
+                        replayed.len() as u64,
+                        committed,
+                        "seed {seed} t={t}: committed prefix lost or over-recovered"
+                    );
+                    chaos::sites::JOURNAL_APPEND
+                        .arm(Schedule::probability(0.4, seed).payload(seed % 53));
+                }
+                Err(e) => panic!("seed {seed}: unexpected error {e}"),
+            }
+        }
+        chaos::disarm_all();
+        scenarios += 1;
+    }
+
+    // Fsync storms under a cadence: appends keep landing (the data is
+    // written; only the durability barrier fails) and a final clean sync
+    // drains the backlog.
+    for seed in 0..15u64 {
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut journal =
+            ObservationJournal::open(&dir, JournalConfig::new().fsync_every(3)).expect("open");
+        chaos::sites::JOURNAL_FSYNC.arm(Schedule::probability(0.5, seed));
+        let mut landed = 0u64;
+        for t in 0..30u64 {
+            match journal.append(&record(t)) {
+                Ok(_) => landed += 1,
+                Err(JournalError::Io(_)) => landed += 1, // written, barrier failed
+                Err(e) => panic!("seed {seed}: unexpected error {e}"),
+            }
+        }
+        chaos::disarm_all();
+        journal.sync().expect("clean sync drains");
+        assert_eq!(landed, 30);
+        assert_eq!(
+            journal
+                .replay_from(JournalPosition::origin())
+                .expect("replay")
+                .len(),
+            30
+        );
+        scenarios += 1;
+    }
+
+    // Snapshot-write storms: the prior snapshot always survives, whole.
+    let ens = fitted(53);
+    let mut fleet = FleetDetector::new(ens.clone());
+    let id = fleet.add_stream();
+    let mut out = Vec::new();
+    for t in 0..20 {
+        fleet.push(id, &[clean(t, 0)]).expect("push");
+        fleet.tick(&mut out);
+    }
+    let snap_path =
+        std::env::temp_dir().join(format!("cae_chaos_snapshot_{}.caef", std::process::id()));
+    let good = fleet.snapshot();
+    good.save(&snap_path).expect("baseline snapshot");
+    let good_bytes = std::fs::read(&snap_path).expect("baseline bytes");
+    for t in 20..35 {
+        fleet.push(id, &[clean(t, 0)]).expect("push");
+        fleet.tick(&mut out);
+    }
+    let next = fleet.snapshot();
+    for seed in 0..15u64 {
+        chaos::sites::SNAPSHOT_WRITE.arm(Schedule::probability(0.8, seed).payload(seed * 13));
+        let mut landed = false;
+        for _ in 0..64 {
+            match next.save(&snap_path) {
+                Ok(()) => {
+                    landed = true;
+                    break;
+                }
+                Err(PersistError::Io(_)) => {
+                    assert_eq!(
+                        std::fs::read(&snap_path).expect("prior readable"),
+                        good_bytes,
+                        "seed {seed}: storm corrupted the prior snapshot"
+                    );
+                }
+                Err(e) => panic!("seed {seed}: unexpected error {e}"),
+            }
+        }
+        chaos::disarm_all();
+        if landed {
+            // Reset the baseline for the next seed.
+            good.save(&snap_path).expect("reset baseline");
+        }
+        scenarios += 1;
+    }
+
+    assert!(scenarios >= 60, "only {scenarios} durability scenarios");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&snap_path);
 }

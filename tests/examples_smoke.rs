@@ -10,12 +10,13 @@
 use cae_ensemble_repro::prelude::*;
 
 /// The examples CI builds; `quickstart` is additionally run end-to-end.
-const EXAMPLES: [&str; 8] = [
+const EXAMPLES: [&str; 9] = [
     "fault_tolerant_fleet",
     "fleet_serving",
     "hyperparameter_tuning",
     "online_adaptation",
     "quickstart",
+    "restart_recovery",
     "server_monitoring",
     "spacecraft_telemetry",
     "streaming_detection",
@@ -257,6 +258,156 @@ fn fault_tolerant_fleet_pipeline_quarantines_and_recovers() {
     assert!(adapt.last_checkpoint_error().is_some(), "chain retained");
     assert_eq!(adapt.stats().checkpoint_fallbacks, 1);
     assert!(!ckpt.exists(), "no torn artifact at the final path");
+}
+
+#[test]
+fn restart_recovery_pipeline_reconverges_bit_exactly() {
+    // Miniature of examples/restart_recovery.rs: journal-then-apply
+    // serving, a periodic snapshot carrying the journal position and
+    // adaptation state, a crash that tears an in-flight journal frame,
+    // then recovery via restore + replay — and bit-exact parity with an
+    // uninterrupted run.
+    use cae_ensemble_repro::adapt::AdaptationState;
+    use cae_ensemble_repro::chaos::{self, Schedule};
+    use cae_ensemble_repro::data::{JournalConfig, JournalRecord, ObservationJournal};
+    use cae_ensemble_repro::serve::FleetSnapshot;
+    use std::sync::Arc;
+
+    let wave = |t: usize| (t as f32 * 0.27).sin();
+    let train = TimeSeries::univariate((0..200).map(wave).collect());
+    let mut detector = CaeEnsemble::new(
+        CaeConfig::new(1).embed_dim(4).window(8).layers(1),
+        EnsembleConfig::new()
+            .num_models(2)
+            .epochs_per_model(1)
+            .batch_size(16)
+            .train_stride(2)
+            .seed(47),
+    );
+    detector.fit(&train);
+    let ensemble = Arc::new(detector);
+
+    let adapt_cfg = || {
+        AdaptationConfig::new()
+            .reservoir_capacity(32)
+            .min_observations(16)
+            .band_sigma(1.0e6) // never trips: deterministic bookkeeping only
+    };
+    let baseline = [0.1_f32; 16];
+    let dir =
+        std::env::temp_dir().join(format!("cae_examples_smoke_restart_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // One shared step function keeps the live run, the crashed run and
+    // the recovered run on the identical workload.
+    let step = |t: usize,
+                journal: &mut ObservationJournal,
+                fleet: &mut FleetDetector,
+                ctl: &mut AdaptationController,
+                id: StreamId|
+     -> Result<Vec<(StreamId, f32)>, ()> {
+        let (slot, generation) = id.raw_parts();
+        journal
+            .append(&JournalRecord::Observation {
+                slot,
+                generation,
+                values: vec![wave(t)],
+            })
+            .map_err(|_| ())?;
+        fleet.push(id, &[wave(t)]).expect("live stream");
+        journal.append(&JournalRecord::Tick).map_err(|_| ())?;
+        let mut out = Vec::new();
+        fleet.tick(&mut out);
+        let ens = fleet.ensemble().clone();
+        for &(_, score) in &out {
+            ctl.observe(&ens, &[score], score);
+        }
+        Ok(out)
+    };
+
+    let open_journal = || {
+        ObservationJournal::open(dir.join("journal"), JournalConfig::new().segment_bytes(256))
+            .expect("journal open")
+    };
+    let (snap_at, crash_at, steps) = (12usize, 17usize, 24usize);
+
+    // Live run: journal, snapshot at `snap_at`, tear a frame at
+    // `crash_at`, drop everything.
+    let _chaos = chaos::exclusive();
+    let mut journal = open_journal();
+    let mut fleet = FleetDetector::new(ensemble.clone());
+    let mut ctl = AdaptationController::new(&ensemble, &baseline, adapt_cfg());
+    let id = fleet.add_stream();
+    let (slot, generation) = id.raw_parts();
+    journal
+        .append(&JournalRecord::StreamOpened { slot, generation })
+        .expect("journal open record");
+    let snap_path = dir.join("fleet.caef");
+    for t in 0..crash_at {
+        step(t, &mut journal, &mut fleet, &mut ctl, id).expect("pre-crash step");
+        if t + 1 == snap_at {
+            fleet
+                .snapshot()
+                .with_journal_position(journal.position())
+                .with_adaptation_state(ctl.export_state().encode())
+                .save(&snap_path)
+                .expect("periodic snapshot");
+        }
+    }
+    chaos::sites::JOURNAL_APPEND.arm(Schedule::nth(0).payload(5));
+    assert!(
+        step(crash_at, &mut journal, &mut fleet, &mut ctl, id).is_err(),
+        "armed append must crash"
+    );
+    chaos::disarm_all();
+    drop((journal, fleet, ctl));
+
+    // Recover: snapshot → restore → replay the journal suffix.
+    let mut journal = open_journal();
+    assert_eq!(journal.truncated_bytes(), 5, "torn tail truncated");
+    let snap = FleetSnapshot::load(&snap_path).expect("snapshot load");
+    let mut fleet = FleetDetector::restore(ensemble.clone(), &snap).expect("fleet restore");
+    let state = AdaptationState::decode(snap.adaptation_state().expect("state in snapshot"))
+        .expect("state decode");
+    let mut ctl =
+        AdaptationController::restore(&ensemble, adapt_cfg(), &state).expect("ctl restore");
+    let records = journal
+        .replay_from(snap.journal_position().expect("position in snapshot"))
+        .expect("journal replay");
+    assert_eq!(records.len(), 2 * (crash_at - snap_at), "suffix length");
+    {
+        let ctl = &mut ctl;
+        let live = ensemble.clone();
+        fleet
+            .replay_journal_with(&records, |_, score| {
+                ctl.observe(&live, &[score], score);
+            })
+            .expect("replay through the serving path");
+    }
+
+    // Reference run: same workload, never crashes, scratch journal.
+    let mut ref_journal = ObservationJournal::open(
+        dir.join("reference-journal"),
+        JournalConfig::new().segment_bytes(256),
+    )
+    .expect("reference journal");
+    let mut ref_fleet = FleetDetector::new(ensemble.clone());
+    let mut ref_ctl = AdaptationController::new(&ensemble, &baseline, adapt_cfg());
+    assert_eq!(ref_fleet.add_stream(), id);
+    ref_journal
+        .append(&JournalRecord::StreamOpened { slot, generation })
+        .expect("reference journal");
+    for t in 0..steps {
+        let ref_out =
+            step(t, &mut ref_journal, &mut ref_fleet, &mut ref_ctl, id).expect("reference");
+        if t >= crash_at {
+            let out = step(t, &mut journal, &mut fleet, &mut ctl, id).expect("post-recovery");
+            assert_eq!(out, ref_out, "t={t}: post-recovery scores diverge");
+        }
+    }
+    assert_eq!(fleet.snapshot().encode(), ref_fleet.snapshot().encode());
+    assert_eq!(ctl.export_state(), ref_ctl.export_state());
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

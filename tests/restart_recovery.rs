@@ -1,0 +1,415 @@
+//! Restart-parity proof: snapshot + write-ahead journal replay
+//! reconverges **bit-exactly** with a fleet that never died.
+//!
+//! The harness drives one deterministic serving workload — streams
+//! opening and closing, observations (including faulty ones) pushed,
+//! ticks scoring, an adaptation controller fed by every score, periodic
+//! snapshots — twice:
+//!
+//! 1. a **reference** run that never crashes, recording every score and
+//!    the final state;
+//! 2. one hundred-plus **kill scenarios**, each dying after a different
+//!    prefix of the workload (every third one with a torn in-flight
+//!    journal frame), then recovering via
+//!    `restore(snapshot) + replay(journal after snapshot position)` and
+//!    finishing the workload.
+//!
+//! Every scenario must reproduce the reference's post-crash scores bit
+//! for bit and land on a bit-identical final fleet snapshot and
+//! adaptation state. That is the recovery-parity guarantee the README
+//! advertises.
+
+use cae_adapt::{AdaptationConfig, AdaptationController, AdaptationState};
+use cae_chaos as chaos;
+use cae_core::{CaeConfig, CaeEnsemble, EnsembleConfig};
+use cae_data::{
+    Detector, JournalConfig, JournalPosition, JournalRecord, ObservationJournal, TimeSeries,
+};
+use cae_serve::{FleetDetector, FleetSnapshot, StreamId};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Ops between periodic snapshots.
+const SNAP_EVERY: usize = 37;
+/// Tiny segments so the workload spans several and kills hit rotations.
+const SEGMENT_BYTES: u64 = 512;
+/// Kill scenarios (the acceptance floor is 100).
+const KILL_SCENARIOS: usize = 102;
+
+fn wave(t: usize, phase: f32) -> f32 {
+    (t as f32 * 0.3 + phase).sin()
+}
+
+fn fitted_ensemble() -> Arc<CaeEnsemble> {
+    let series = TimeSeries::univariate((0..200).map(|t| wave(t, 0.0)).collect());
+    let mut ens = CaeEnsemble::new(
+        CaeConfig::new(1).embed_dim(8).window(8).layers(1),
+        EnsembleConfig::new()
+            .num_models(2)
+            .epochs_per_model(1)
+            .batch_size(16)
+            .train_stride(2)
+            .seed(23),
+    );
+    ens.fit(&series);
+    Arc::new(ens)
+}
+
+/// A drift band too wide to ever trip: the controller does pure
+/// deterministic bookkeeping (no background re-fit threads), so its
+/// exported state must be bit-identical across recovery.
+fn adapt_cfg() -> AdaptationConfig {
+    AdaptationConfig::new()
+        .reservoir_capacity(64)
+        .min_observations(16)
+        .band_sigma(1.0e6)
+}
+
+fn baseline_scores() -> Vec<f32> {
+    (0..40).map(|t| 0.1 + wave(t, 0.4).abs() * 0.01).collect()
+}
+
+/// One durable serving pipeline: journal → fleet → adaptation, with
+/// periodic snapshots. Every event is journaled *before* it is applied.
+struct Pipeline {
+    journal: ObservationJournal,
+    fleet: FleetDetector,
+    ctl: AdaptationController,
+    snap_path: PathBuf,
+    ops_applied: usize,
+    ticks: usize,
+    /// `(tick index, slot, generation, score bits)` for parity checks.
+    scores: Vec<(usize, u64, u64, u32)>,
+}
+
+impl Pipeline {
+    fn fresh(ens: &Arc<CaeEnsemble>, dir: &Path) -> Pipeline {
+        Pipeline {
+            journal: ObservationJournal::open(
+                dir.join("journal"),
+                JournalConfig::new().segment_bytes(SEGMENT_BYTES),
+            )
+            .expect("journal open"),
+            fleet: FleetDetector::new(ens.clone()),
+            ctl: AdaptationController::new(ens, &baseline_scores(), adapt_cfg()),
+            snap_path: dir.join("fleet.caef"),
+            ops_applied: 0,
+            ticks: 0,
+            scores: Vec::new(),
+        }
+    }
+
+    /// Journal-then-apply. Returns `Err` only on journal failure (the
+    /// injected crash); push-level faults are part of the workload.
+    fn apply(&mut self, op: &JournalRecord) -> Result<(), ()> {
+        self.journal.append(op).map_err(|_| ())?;
+        self.apply_in_memory(op);
+        self.ops_applied += 1;
+        if self.ops_applied % SNAP_EVERY == 0 {
+            self.snapshot().expect("periodic snapshot");
+        }
+        Ok(())
+    }
+
+    fn apply_in_memory(&mut self, op: &JournalRecord) {
+        match op {
+            JournalRecord::StreamOpened { slot, generation } => {
+                let minted = self.fleet.add_stream();
+                assert_eq!(
+                    minted.raw_parts(),
+                    (*slot, *generation),
+                    "deterministic id minting violated"
+                );
+            }
+            JournalRecord::StreamClosed { slot, generation } => {
+                self.fleet
+                    .remove_stream(StreamId::from_raw_parts(*slot, *generation));
+            }
+            JournalRecord::Observation {
+                slot,
+                generation,
+                values,
+            } => {
+                let _ = self
+                    .fleet
+                    .push(StreamId::from_raw_parts(*slot, *generation), values);
+            }
+            JournalRecord::Tick => {
+                let mut out = Vec::new();
+                self.fleet.tick(&mut out);
+                let (ens, tick) = (self.fleet.ensemble().clone(), self.ticks);
+                for (id, score) in out {
+                    self.ctl.observe(&ens, &[score], score);
+                    let (slot, generation) = id.raw_parts();
+                    self.scores.push((tick, slot, generation, score.to_bits()));
+                }
+                self.ticks += 1;
+            }
+        }
+    }
+
+    fn snapshot(&mut self) -> Result<(), cae_core::PersistError> {
+        self.fleet
+            .snapshot()
+            .with_journal_position(self.journal.position())
+            .with_adaptation_state(self.ctl.export_state().encode())
+            .save(&self.snap_path)
+    }
+
+    /// Crash recovery: load the latest snapshot (if one landed), rebuild
+    /// fleet and controller, replay the journal suffix — re-feeding
+    /// replayed scores to the controller, exactly like live operation.
+    ///
+    /// Returns the pipeline plus the index into `ops` the workload must
+    /// resume from. Usually that is the kill point `k`, but a torn
+    /// append whose tear covered the whole frame leaves op `k` durable
+    /// *without* the dead process having applied it — replay applies it,
+    /// so the resume point is `k + 1`. The journal is the truth; the
+    /// harness derives the resume index from what actually replayed.
+    fn recover(
+        ens: &Arc<CaeEnsemble>,
+        dir: &Path,
+        ops: &[JournalRecord],
+        kill: usize,
+    ) -> (Pipeline, usize) {
+        let journal = ObservationJournal::open(
+            dir.join("journal"),
+            JournalConfig::new().segment_bytes(SEGMENT_BYTES),
+        )
+        .expect("journal re-open");
+        let snap_path = dir.join("fleet.caef");
+        let (mut fleet, mut ctl, from, base_ops) = if snap_path.exists() {
+            let snap = FleetSnapshot::load(&snap_path).expect("snapshot load");
+            let fleet = FleetDetector::restore(ens.clone(), &snap).expect("restore");
+            let state = AdaptationState::decode(
+                snap.adaptation_state()
+                    .expect("snapshot carries adapt state"),
+            )
+            .expect("adapt state decode");
+            let ctl =
+                AdaptationController::restore(ens, adapt_cfg(), &state).expect("adapt restore");
+            let from = snap.journal_position().expect("snapshot carries position");
+            // Snapshots land only on SNAP_EVERY boundaries; the latest
+            // one at or before the kill is the replay base.
+            (fleet, ctl, from, (kill / SNAP_EVERY) * SNAP_EVERY)
+        } else {
+            (
+                FleetDetector::new(ens.clone()),
+                AdaptationController::new(ens, &baseline_scores(), adapt_cfg()),
+                JournalPosition::origin(),
+                0,
+            )
+        };
+        let records = journal.replay_from(from).expect("journal replay");
+        let resume = base_ops + records.len();
+        assert!(
+            resume == kill || resume == kill + 1,
+            "journal must hold exactly the ops applied before the kill \
+             (plus at most one fully-torn-in frame): kill {kill}, durable {resume}"
+        );
+        for (replayed, expected) in records.iter().zip(&ops[base_ops..resume]) {
+            assert!(
+                records_bit_equal(replayed, expected),
+                "durable record diverged from the workload: {replayed:?} vs {expected:?}"
+            );
+        }
+        let summary = {
+            let ctl = &mut ctl;
+            let live = ens.clone();
+            fleet
+                .replay_journal_with(&records, |_, score| {
+                    ctl.observe(&live, &[score], score);
+                })
+                .expect("journal replay into fleet")
+        };
+        assert_eq!(summary.records as usize, records.len());
+        let ticks = count_ticks(&ops[..resume]);
+        let pipeline = Pipeline {
+            journal,
+            fleet,
+            ctl,
+            snap_path,
+            ops_applied: resume,
+            ticks,
+            scores: Vec::new(),
+        };
+        (pipeline, resume)
+    }
+}
+
+fn count_ticks(ops: &[JournalRecord]) -> usize {
+    ops.iter()
+        .filter(|op| matches!(op, JournalRecord::Tick))
+        .count()
+}
+
+/// Record equality with NaN-tolerant (bitwise) float comparison — the
+/// workload deliberately journals NaN observations, and `NaN != NaN`
+/// under `PartialEq`.
+fn records_bit_equal(a: &JournalRecord, b: &JournalRecord) -> bool {
+    match (a, b) {
+        (
+            JournalRecord::Observation {
+                slot: sa,
+                generation: ga,
+                values: va,
+            },
+            JournalRecord::Observation {
+                slot: sb,
+                generation: gb,
+                values: vb,
+            },
+        ) => {
+            sa == sb
+                && ga == gb
+                && va.len() == vb.len()
+                && va.iter().zip(vb).all(|(x, y)| x.to_bits() == y.to_bits())
+        }
+        _ => a == b,
+    }
+}
+
+/// Builds the workload against a throwaway fleet, resolving stream ids,
+/// so every scenario replays the identical op list.
+fn build_workload(ens: &Arc<CaeEnsemble>) -> Vec<JournalRecord> {
+    let mut fleet = FleetDetector::new(ens.clone());
+    let mut open: Vec<StreamId> = Vec::new();
+    let mut ops = Vec::new();
+    let mut out = Vec::new();
+    for t in 0..48usize {
+        if t % 15 == 0 && open.len() < 4 {
+            let id = fleet.add_stream();
+            let (slot, generation) = id.raw_parts();
+            ops.push(JournalRecord::StreamOpened { slot, generation });
+            open.push(id);
+        }
+        if t % 21 == 10 && open.len() > 1 {
+            let id = open.remove(t % open.len());
+            let (slot, generation) = id.raw_parts();
+            ops.push(JournalRecord::StreamClosed { slot, generation });
+            fleet.remove_stream(id);
+        }
+        for &id in &open {
+            let (slot, generation) = id.raw_parts();
+            let faulty = (t + slot as usize * 5) % 29 == 0;
+            let v = if faulty {
+                f32::NAN
+            } else {
+                wave(t, slot as f32 * 0.9)
+            };
+            ops.push(JournalRecord::Observation {
+                slot,
+                generation,
+                values: vec![v],
+            });
+            let _ = fleet.push(id, &[v]);
+        }
+        ops.push(JournalRecord::Tick);
+        fleet.tick(&mut out);
+    }
+    ops
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cae_restart_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn every_kill_point_reconverges_bit_exactly_with_the_reference_run() {
+    let _guard = chaos::exclusive();
+    let ens = fitted_ensemble();
+    let ops = build_workload(&ens);
+    assert!(
+        ops.len() > KILL_SCENARIOS,
+        "workload ({} ops) must outnumber the kill scenarios",
+        ops.len()
+    );
+
+    // Reference: the never-killed run.
+    let ref_dir = tmp_dir("reference");
+    let mut reference = Pipeline::fresh(&ens, &ref_dir);
+    for op in &ops {
+        reference.apply(op).expect("reference never crashes");
+    }
+    let ref_scores = reference.scores.clone();
+    let ref_final_fleet = reference.fleet.snapshot().encode();
+    let ref_final_adapt = reference.ctl.export_state();
+    let ref_report = reference.fleet.health_report();
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    for k in 1..=KILL_SCENARIOS {
+        let dir = tmp_dir("scenario");
+        let mut pipeline = Pipeline::fresh(&ens, &dir);
+        for op in &ops[..k] {
+            pipeline.apply(op).expect("pre-kill ops apply cleanly");
+        }
+
+        // The kill. Every third scenario dies *mid-append*: the next
+        // frame tears after k-dependent bytes, leaving a torn tail the
+        // re-open must truncate. The op never applied, so recovery must
+        // reconverge on the state after exactly `k` ops either way.
+        if k % 3 == 0 {
+            chaos::sites::JOURNAL_APPEND.arm(chaos::Schedule::nth(0).payload((k % 48) as u64));
+            pipeline
+                .apply(&ops[k])
+                .expect_err("armed append must crash");
+            chaos::disarm_all();
+        }
+        drop(pipeline);
+
+        // Recovery + the rest of the workload.
+        let (mut recovered, resume) = Pipeline::recover(&ens, &dir, &ops, k);
+        let ticks_at_resume = recovered.ticks;
+        if k % 10 == 0 {
+            // Spot-check mid-run parity: the recovered counters must
+            // match a fleet that simply applied the prefix in memory —
+            // replay must not double- or under-count faults.
+            let probe_dir = tmp_dir("probe");
+            let mut probe = Pipeline::fresh(&ens, &probe_dir);
+            for op in &ops[..resume] {
+                probe.apply_in_memory(op);
+            }
+            assert_eq!(
+                recovered.fleet.health_report(),
+                probe.fleet.health_report(),
+                "kill after {k} ops: recovered counters diverge"
+            );
+            drop(probe);
+            let _ = std::fs::remove_dir_all(&probe_dir);
+        }
+        for op in &ops[resume..] {
+            recovered
+                .apply(op)
+                .expect("post-recovery ops apply cleanly");
+        }
+
+        // Parity 1: every score after the recovery point, bit for bit.
+        let expected: Vec<_> = ref_scores
+            .iter()
+            .filter(|(tick, ..)| *tick >= ticks_at_resume)
+            .copied()
+            .collect();
+        assert_eq!(
+            recovered.scores, expected,
+            "kill after {k} ops: post-recovery scores diverge"
+        );
+
+        // Parity 2: the final fleet state, bit for bit.
+        assert_eq!(
+            recovered.fleet.snapshot().encode(),
+            ref_final_fleet,
+            "kill after {k} ops: final fleet state diverges"
+        );
+        assert_eq!(recovered.fleet.health_report(), ref_report);
+
+        // Parity 3: the adaptation tier, bit for bit.
+        assert_eq!(
+            recovered.ctl.export_state(),
+            ref_final_adapt,
+            "kill after {k} ops: final adaptation state diverges"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
