@@ -291,12 +291,16 @@ fn attempt_refit(
 ) -> Result<CaeEnsemble, String> {
     let caught = catch_unwind(AssertUnwindSafe(|| {
         if chaos::sites::ADAPT_REFIT.fire().is_some() {
+            // cae-lint: allow(H1) — failure-path string on the refit
+            // worker thread, never on the serving thread.
             return Err("chaos: injected re-fit failure".to_string());
         }
         Ok(snapshot.refit(recent, opts))
     }));
     match caught {
         Ok(outcome) => outcome,
+        // cae-lint: allow(H1) — failure-path string on the refit worker
+        // thread, never on the serving thread.
         Err(_) => Err("re-fit worker panicked".to_string()),
     }
 }
@@ -512,6 +516,8 @@ impl AdaptationController {
         let recent = self.reservoir.series();
         let cfg = self.cfg.clone();
         let spawned = std::thread::Builder::new()
+            // cae-lint: allow(H1) — once per refit launch (rare by the
+            // cooldown), amortized against an entire training run.
             .name("cae-adapt-refit".to_string())
             .spawn(move || {
                 // Supervised re-fit: failures and panics are caught and
@@ -633,6 +639,8 @@ impl AdaptationController {
         // non-finite scores it could never accumulate evidence against
         // it. Treat that as a failed re-fit instead; the last-good
         // ensemble keeps serving.
+        // cae-lint: allow(H1) — once per *completed* re-fit (rare), and
+        // the band re-calibration consumes it immediately.
         let finite: Vec<f32> = baseline.into_iter().filter(|s| s.is_finite()).collect();
         if finite.is_empty() {
             self.stats.refits_completed -= 1;

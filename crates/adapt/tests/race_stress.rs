@@ -17,7 +17,16 @@ use cae_serve::FleetDetector;
 use std::sync::Arc;
 
 /// Publish interleavings; every iteration runs one real background re-fit.
+/// Overridable via `CAE_RACE_STRESS_ITERS` for instrumented runs (TSan
+/// costs 10-20x, so CI's sanitizer job dials this down).
 const ITERATIONS: u64 = 384;
+
+fn iterations() -> u64 {
+    std::env::var("CAE_RACE_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(ITERATIONS)
+}
 
 /// SplitMix-style step (same generator as cae-serve's harness).
 fn next(state: &mut u64) -> u64 {
@@ -67,7 +76,7 @@ fn background_publish_races_polling_and_pinned_readers() {
     // Single-threaded reference for the pinned live generation.
     let expect_live = live.score(&probe);
 
-    for seed in 0..ITERATIONS {
+    for seed in 0..iterations() {
         let mut rng = seed;
         let cfg = AdaptationConfig::new()
             .reservoir_capacity(32)

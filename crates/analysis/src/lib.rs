@@ -2,9 +2,11 @@
 //!
 //! The repo's correctness story rests on a small number of sharp edges —
 //! `unsafe` SIMD kernels, a lock-free worker pool, panic-free serving
-//! paths, deterministic scoring — whose discipline was, until this crate,
-//! enforced only by convention. `cae-lint` machine-checks those
-//! conventions with a hand-rolled lexer ([`lexer`]) and a rule engine
+//! paths, deterministic scoring, crash-safe checkpoints — whose
+//! discipline was, until this crate, enforced only by convention.
+//! `cae-lint` machine-checks those conventions with a hand-rolled lexer
+//! ([`lexer`]), a recursive-descent item parser ([`parser`]), a
+//! workspace symbol graph ([`graph`]) and a two-pass rule engine
 //! ([`rules`]), because this build environment is offline and
 //! stable-toolchain-only: no dylint, no custom clippy lints, no
 //! syn/proc-macro stack — just `std`.
@@ -14,7 +16,9 @@
 //! ```text
 //! cargo run -p cae-analysis -- --workspace          # exit 1 on findings
 //! cargo run -p cae-analysis -- --workspace --json   # machine-readable
-//! cargo run -p cae-analysis -- --rules              # rule catalog
+//! cargo run -p cae-analysis -- --list-rules         # rule catalog
+//! cargo run -p cae-analysis -- --workspace --rule A1    # one rule family
+//! cargo run -p cae-analysis -- --workspace --graph-json # symbol graph
 //! cargo run -p cae-analysis -- path/to/file.rs …    # lint specific files
 //! ```
 //!
@@ -29,10 +33,13 @@
 //! See the README's "Static analysis & safety" section for the rule
 //! table.
 
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
-pub use rules::{lint_source, Finding, RuleInfo, RULES};
+pub use graph::SymbolGraph;
+pub use rules::{analyze_source, finish, lint_source, FileAnalysis, Finding, RuleInfo, RULES};
 
 use std::path::{Path, PathBuf};
 
@@ -80,16 +87,34 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     None
 }
 
-/// Lints one file on disk; `root` anchors the workspace-relative path
-/// used for rule scoping and diagnostics.
-pub fn lint_file(root: &Path, file: &Path) -> std::io::Result<Vec<Finding>> {
+/// Pass 1 over one file on disk; `root` anchors the workspace-relative
+/// path used for rule scoping and diagnostics.
+pub fn analyze_file(root: &Path, file: &Path) -> std::io::Result<FileAnalysis> {
     let src = std::fs::read_to_string(file)?;
     let rel = file
         .strip_prefix(root)
         .unwrap_or(file)
         .to_string_lossy()
         .replace('\\', "/");
-    Ok(lint_source(&rel, &src))
+    Ok(analyze_source(&rel, &src))
+}
+
+/// Both passes over a set of files on disk, analyzed as one workspace —
+/// the flow rules see a symbol graph spanning all of them.
+pub fn lint_files(root: &Path, files: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
+    let analyses = analyze_files(root, files)?;
+    Ok(finish(&analyses))
+}
+
+/// Pass 1 over a set of files on disk, in order.
+pub fn analyze_files(root: &Path, files: &[PathBuf]) -> std::io::Result<Vec<FileAnalysis>> {
+    files.iter().map(|f| analyze_file(root, f)).collect()
+}
+
+/// Lints one file on disk as a one-file workspace (cross-file flow-rule
+/// context is limited to that file).
+pub fn lint_file(root: &Path, file: &Path) -> std::io::Result<Vec<Finding>> {
+    lint_files(root, std::slice::from_ref(&file.to_path_buf()))
 }
 
 /// Serializes findings as the stable JSON document the CI gate and the
@@ -131,7 +156,7 @@ pub fn findings_to_json(findings: &[Finding], files_scanned: usize) -> String {
     out
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -4,7 +4,8 @@
 //! I/O errors. See the crate docs ([`cae_analysis`]) for the rule set.
 
 use cae_analysis::{
-    find_workspace_root, findings_to_json, lint_file, workspace_rs_files, Finding, RULES,
+    analyze_files, find_workspace_root, findings_to_json, finish, workspace_rs_files, Finding,
+    SymbolGraph, RULES,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -12,17 +13,23 @@ use std::process::ExitCode;
 struct Options {
     workspace: bool,
     json: bool,
-    rules: bool,
+    list_rules: bool,
+    graph_json: bool,
+    rule_filter: Vec<String>,
     root: Option<PathBuf>,
     files: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: cae-lint [--workspace] [--json] [--rules] [--root DIR] [FILE…]\n\
+    "usage: cae-lint [--workspace] [--json] [--rule ID]… [--list-rules]\n\
+     \x20               [--graph-json] [--root DIR] [FILE…]\n\
      \n\
      --workspace   lint every .rs file of the enclosing cargo workspace\n\
      --json        machine-readable output (stable shape, see lib docs)\n\
-     --rules       print the rule catalog and exit\n\
+     --rule ID     report only this rule (repeatable); exit 2 on an\n\
+                   unknown ID\n\
+     --list-rules  print the rule catalog and exit (alias: --rules)\n\
+     --graph-json  print the workspace symbol graph as JSON and exit 0\n\
      --root DIR    anchor workspace-relative paths at DIR (default: the\n\
                    nearest ancestor Cargo.toml with a [workspace] table)\n\
      FILE…         lint specific files instead of the whole workspace"
@@ -32,7 +39,9 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         workspace: false,
         json: false,
-        rules: false,
+        list_rules: false,
+        graph_json: false,
+        rule_filter: Vec::new(),
         root: None,
         files: Vec::new(),
     };
@@ -41,7 +50,17 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--workspace" => opts.workspace = true,
             "--json" => opts.json = true,
-            "--rules" => opts.rules = true,
+            "--list-rules" | "--rules" => opts.list_rules = true,
+            "--graph-json" => opts.graph_json = true,
+            "--rule" => {
+                let id = args.next().ok_or("--rule requires a rule ID")?;
+                if !RULES.iter().any(|r| r.id == id) {
+                    return Err(format!(
+                        "unknown rule `{id}` (run --list-rules for the catalog)"
+                    ));
+                }
+                opts.rule_filter.push(id);
+            }
             "--root" => {
                 let dir = args.next().ok_or("--root requires a directory")?;
                 opts.root = Some(PathBuf::from(dir));
@@ -53,7 +72,7 @@ fn parse_args() -> Result<Options, String> {
             file => opts.files.push(PathBuf::from(file)),
         }
     }
-    if !opts.rules && !opts.workspace && opts.files.is_empty() {
+    if !opts.list_rules && !opts.workspace && opts.files.is_empty() {
         return Err("nothing to lint: pass --workspace or file paths".to_string());
     }
     Ok(opts)
@@ -72,7 +91,7 @@ fn main() -> ExitCode {
         }
     };
 
-    if opts.rules {
+    if opts.list_rules {
         for rule in RULES {
             println!("{:3}  {}", rule.id, rule.summary);
         }
@@ -98,17 +117,26 @@ fn main() -> ExitCode {
         opts.files.clone()
     };
 
-    let mut findings: Vec<Finding> = Vec::new();
-    for file in &files {
-        match lint_file(&root, file) {
-            Ok(found) => findings.extend(found),
-            Err(e) => {
-                eprintln!("cae-lint: {}: {e}", file.display());
-                return ExitCode::from(2);
-            }
+    // Pass 1 over every file, then pass 2 once over the union so the
+    // flow rules (A1, F1, H1, E1, R1) see the whole symbol graph.
+    let analyses = match analyze_files(&root, &files) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cae-lint: {e}");
+            return ExitCode::from(2);
         }
+    };
+
+    if opts.graph_json {
+        let graph = SymbolGraph::build(&analyses);
+        println!("{}", graph.to_json(&analyses));
+        return ExitCode::SUCCESS;
     }
-    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    let mut findings: Vec<Finding> = finish(&analyses);
+    if !opts.rule_filter.is_empty() {
+        findings.retain(|f| opts.rule_filter.iter().any(|id| id == f.rule));
+    }
 
     if opts.json {
         println!("{}", findings_to_json(&findings, files.len()));

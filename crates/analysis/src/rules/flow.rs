@@ -1,0 +1,428 @@
+//! Pass-2 flow rules: A1, W1, F1, H1 and the call-graph-aware E1/R1.
+//!
+//! These run over the whole-workspace [`SymbolGraph`] after every file
+//! has been analyzed, so they can reason about properties a per-file
+//! token walk cannot see: which functions a spawn's closure transitively
+//! runs (A1), whether a `rename` has a `sync_all` anywhere on its write
+//! path (F1), and which private helpers are actually reachable from the
+//! serving/recovery entry points (H1, E1, R1).
+
+use super::{
+    is_hot_scope, is_reader_path, is_recovery_path, is_serving_path, is_test_path, FileAnalysis,
+    Finding,
+};
+use crate::graph::SymbolGraph;
+use crate::parser::{FnItem, IoOp};
+
+/// Pinned pure-counter allowlist for A1: `(scope path, receiver)` pairs
+/// whose Relaxed read-modify-writes are monotone statistics — no other
+/// memory is published through them, so no ordering is required.
+///
+/// * `par.rs / spawned`: worker-thread count, read only for diagnostics
+///   (`active_workers`); the pool's handshake is `finished` (AcqRel).
+/// * `par.rs / next`: the work-stealing cursor; it only partitions
+///   indices between workers, every slot is written before the
+///   `finished` AcqRel handshake that publishes the results.
+const A1_PURE_COUNTERS: &[(&str, &str)] = &[
+    ("crates/tensor/src/par.rs", "spawned"),
+    ("crates/tensor/src/par.rs", "next"),
+];
+
+/// Entry points whose transitive callees form the scoring hot path:
+/// per-observation work where a heap allocation or wall-clock read is a
+/// latency/determinism bug. `(impl type, fn name)`.
+const H1_SCORING_ENTRIES: &[(&str, &str)] = &[
+    ("FleetDetector", "push"),
+    ("FleetDetector", "tick"),
+    ("StreamingDetector", "push"),
+];
+
+/// Additional entries audited for wall-clock reads only: the adaptation
+/// observe/poll path runs on the serving thread per observation, but its
+/// refit machinery allocates by design, so allocations are exempt there.
+const H1_CLOCK_ENTRIES: &[(&str, &str)] = &[
+    ("AdaptationController", "observe"),
+    ("AdaptationController", "poll"),
+    ("AdaptationController", "wait"),
+];
+
+/// Runs every flow rule; findings are appended pre-allow-filtering.
+pub fn run(files: &[FileAnalysis], graph: &SymbolGraph, findings: &mut Vec<Finding>) {
+    rule_a1_atomic_ordering(files, graph, findings);
+    rule_w1_wire_safety(files, findings);
+    rule_f1_durability_ordering(files, graph, findings);
+    rule_h1_hot_path_hygiene(files, graph, findings);
+    rule_e1_no_panic_serving(files, graph, findings);
+    rule_r1_no_unwrap_in_result_fns(files, graph, findings);
+}
+
+fn fn_of<'a>(
+    files: &'a [FileAnalysis],
+    graph: &SymbolGraph,
+    id: usize,
+) -> (&'a FileAnalysis, &'a FnItem) {
+    let n = graph.nodes[id];
+    let f = &files[n.file];
+    (f, &f.fns[n.func])
+}
+
+/// A node that participates in production analysis: not `#[cfg(test)]`
+/// and not in a test-ish file location.
+fn is_live(files: &[FileAnalysis], graph: &SymbolGraph, id: usize) -> bool {
+    let (f, item) = fn_of(files, graph, id);
+    !item.is_test && !is_test_path(&f.scope_path)
+}
+
+fn all_caps(name: &str) -> bool {
+    name.len() > 1
+        && name
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+}
+
+/// A1: a `Relaxed` store/rmw on an atomic that other functions also
+/// touch, where the publish is provably cross-thread (an endpoint is
+/// spawn-reachable, or the receiver is an `ALL_CAPS` static — statics
+/// exist to be shared, and fn-pointer dispatch hides some spawn paths
+/// from the call graph). Pure counters are pinned in
+/// [`A1_PURE_COUNTERS`].
+fn rule_a1_atomic_ordering(
+    files: &[FileAnalysis],
+    graph: &SymbolGraph,
+    findings: &mut Vec<Finding>,
+) {
+    // Spawn-origin reachability: everything a spawned closure may run.
+    let seeds: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&id| {
+            is_live(files, graph, id) && !fn_of(files, graph, id).1.sites.spawns.is_empty()
+        })
+        .collect();
+    let spawn_reach = graph.reachable(&seeds);
+
+    // Every live atomic site, tagged with its grouping key: statics
+    // group workspace-wide, field receivers group per file.
+    const GLOBAL: usize = usize::MAX;
+    let mut sites: Vec<(usize, &str, usize, &crate::parser::AtomicSite)> = Vec::new();
+    for id in 0..graph.nodes.len() {
+        if !is_live(files, graph, id) {
+            continue;
+        }
+        let n = graph.nodes[id];
+        let (f, item) = fn_of(files, graph, id);
+        let _ = f;
+        for a in &item.sites.atomics {
+            let key = if all_caps(&a.receiver) {
+                GLOBAL
+            } else {
+                n.file
+            };
+            sites.push((key, a.receiver.as_str(), id, a));
+        }
+    }
+
+    for &(key, recv, id, a) in &sites {
+        if a.ordering != "Relaxed" || a.op == "load" || recv == "<expr>" {
+            continue;
+        }
+        let group: Vec<&(usize, &str, usize, &crate::parser::AtomicSite)> = sites
+            .iter()
+            .filter(|(k, r, _, _)| *k == key && *r == recv)
+            .collect();
+        let multi_fn = group.iter().any(|(_, _, other, _)| *other != id);
+        if !multi_fn {
+            continue;
+        }
+        let cross_thread =
+            key == GLOBAL || group.iter().any(|(_, _, other, _)| spawn_reach[*other]);
+        if !cross_thread {
+            continue;
+        }
+        let (f, _) = fn_of(files, graph, id);
+        if A1_PURE_COUNTERS.contains(&(f.scope_path.as_str(), recv)) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "A1",
+            path: f.path.clone(),
+            line: a.line,
+            message: format!(
+                "`{recv}.{op}(…, Ordering::Relaxed)` publishes to other functions across threads without ordering: use Release (pair the loads with Acquire), pin `{recv}` in the A1 pure-counter allowlist, or `// cae-lint: allow(A1)` with the external-sync invariant",
+                op = a.op
+            ),
+        });
+    }
+}
+
+/// W1: in wire-reader code, an `as usize` value (or a binding derived
+/// from one) used as a slice index without a preceding bounds guard.
+/// The guard vocabulary is a comparison against the value, `.min(…)` /
+/// `.clamp(…)`, or a checked context such as `get(…)`.
+fn rule_w1_wire_safety(files: &[FileAnalysis], findings: &mut Vec<Finding>) {
+    for f in files {
+        if !is_reader_path(&f.scope_path) || is_test_path(&f.scope_path) {
+            continue;
+        }
+        let fn_sites = f
+            .fns
+            .iter()
+            .filter(|item| !item.is_test)
+            .flat_map(|item| item.sites.wire_casts.iter());
+        for c in fn_sites.chain(f.orphans.wire_casts.iter()) {
+            findings.push(Finding {
+                rule: "W1",
+                path: f.path.clone(),
+                line: c.line,
+                message: format!(
+                    "unguarded `as usize` slice index on `{}` in wire-reader code: length/offset fields from disk must be bounds-checked (`get(..)`, `.min(..)`, or an explicit compare) before indexing",
+                    c.what
+                ),
+            });
+        }
+    }
+}
+
+/// F1: a fn that calls `rename` while its write path (itself plus every
+/// reachable callee) wrote file contents must also have a
+/// `sync_all`/`sync_data` on that path — otherwise a crash can persist
+/// the rename but not the data it was supposed to commit.
+fn rule_f1_durability_ordering(
+    files: &[FileAnalysis],
+    graph: &SymbolGraph,
+    findings: &mut Vec<Finding>,
+) {
+    for id in 0..graph.nodes.len() {
+        if !is_live(files, graph, id) {
+            continue;
+        }
+        let (f, item) = fn_of(files, graph, id);
+        let renames: Vec<usize> = item
+            .sites
+            .io
+            .iter()
+            .filter(|io| io.op == IoOp::Rename)
+            .map(|io| io.line)
+            .collect();
+        if renames.is_empty() {
+            continue;
+        }
+        let reach = graph.reachable(&[id]);
+        let mut has_write = false;
+        let mut has_sync = false;
+        for other in 0..graph.nodes.len() {
+            if !reach[other] {
+                continue;
+            }
+            let (_, oitem) = fn_of(files, graph, other);
+            for io in &oitem.sites.io {
+                match io.op {
+                    IoOp::Write => has_write = true,
+                    IoOp::SyncAll | IoOp::SyncData => has_sync = true,
+                    IoOp::Rename => {}
+                }
+            }
+        }
+        if has_write && !has_sync {
+            for line in renames {
+                findings.push(Finding {
+                    rule: "F1",
+                    path: f.path.clone(),
+                    line,
+                    message: "`rename` on a write path with no `sync_all`/`sync_data` before it: a crash can persist the rename but not the written data (torn checkpoint); fsync the temp file first".to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// H1: hot-path hygiene. Heap allocations are findings in serving-tier
+/// fns (cae-serve, cae-adapt) reachable from the scoring entry points
+/// ([`H1_SCORING_ENTRIES`]) — that is where a stray per-observation
+/// alloc shows up directly in tail latency, and the tier's discipline is
+/// retained buffers. The core/data layers amortize through the tensor
+/// scratch pool and their own retained buffers, and their cold surfaces
+/// (training epochs, dataset generators, error constructors) share the
+/// reachable set under this graph's over-approximation, so the alloc
+/// facet does not extend to them. Wall-clock reads are findings across
+/// the whole hot scope (serve/adapt/core/data), additionally seeded from
+/// the adaptation observe/poll path ([`H1_CLOCK_ENTRIES`]) — determinism
+/// breaks no matter which layer reads the clock.
+fn rule_h1_hot_path_hygiene(
+    files: &[FileAnalysis],
+    graph: &SymbolGraph,
+    findings: &mut Vec<Finding>,
+) {
+    let entry_ids = |entries: &[(&str, &str)]| -> Vec<usize> {
+        (0..graph.nodes.len())
+            .filter(|&id| {
+                if !is_live(files, graph, id) {
+                    return false;
+                }
+                let (_, item) = fn_of(files, graph, id);
+                entries
+                    .iter()
+                    .any(|(q, n)| item.qual.as_deref() == Some(*q) && item.name == *n)
+            })
+            .collect()
+    };
+    let scoring = graph.reachable(&entry_ids(H1_SCORING_ENTRIES));
+    let clock_extra = graph.reachable(&entry_ids(H1_CLOCK_ENTRIES));
+
+    for id in 0..graph.nodes.len() {
+        let (f, item) = fn_of(files, graph, id);
+        if !is_live(files, graph, id) || !is_hot_scope(&f.scope_path) {
+            continue;
+        }
+        let serving_tier = f.scope_path.starts_with("crates/serve/src/")
+            || f.scope_path.starts_with("crates/adapt/src/");
+        if scoring[id] && serving_tier {
+            for a in &item.sites.allocs {
+                findings.push(Finding {
+                    rule: "H1",
+                    path: f.path.clone(),
+                    line: a.line,
+                    message: format!(
+                        "heap allocation `{}` in a fn reachable from the scoring hot path (FleetDetector::push/tick, StreamingDetector::push): use the scratch pool or a retained buffer, or `// cae-lint: allow(H1)` with the amortization argument",
+                        a.what
+                    ),
+                });
+            }
+        }
+        if scoring[id] || clock_extra[id] {
+            for w in &item.sites.wall_clock {
+                findings.push(Finding {
+                    rule: "H1",
+                    path: f.path.clone(),
+                    line: w.line,
+                    message: format!(
+                        "`{}` in a fn reachable from the serving hot path: wall-clock reads break deterministic replay; thread timestamps in from the caller",
+                        w.what
+                    ),
+                });
+            }
+        }
+    }
+    // Item-level wall-clock state in hot-scope files (e.g. an `Instant`
+    // struct field) is flagged unconditionally, as D1 did.
+    for f in files {
+        if !is_hot_scope(&f.scope_path) || is_test_path(&f.scope_path) {
+            continue;
+        }
+        if !f.scope_path.starts_with("crates/serve/src/")
+            && !f.scope_path.starts_with("crates/adapt/src/")
+        {
+            continue;
+        }
+        for w in &f.orphans.wall_clock {
+            findings.push(Finding {
+                rule: "H1",
+                path: f.path.clone(),
+                line: w.line,
+                message: format!(
+                    "`{}` in serving-tier item state: wall-clock values in hot-path state break deterministic replay",
+                    w.what
+                ),
+            });
+        }
+    }
+}
+
+/// The audited set for E1/R1: entry points (pub or trait-callable fns in
+/// scope) plus every in-scope fn reachable from one.
+fn reachable_audit_set(
+    files: &[FileAnalysis],
+    graph: &SymbolGraph,
+    in_scope: impl Fn(&str) -> bool,
+) -> Vec<bool> {
+    let entries: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&id| {
+            let (f, item) = fn_of(files, graph, id);
+            is_live(files, graph, id) && in_scope(&f.scope_path) && (item.is_pub || item.trait_impl)
+        })
+        .collect();
+    graph.reachable(&entries)
+}
+
+/// E1v2: panicking calls (`unwrap`/`expect`/`panic!`-family) in
+/// serving-path library code, but only in fns actually reachable from a
+/// public or trait-callable entry point — dead private helpers are not
+/// serving-path hazards. Item-level initializer sites are always
+/// audited.
+fn rule_e1_no_panic_serving(
+    files: &[FileAnalysis],
+    graph: &SymbolGraph,
+    findings: &mut Vec<Finding>,
+) {
+    let reach = reachable_audit_set(files, graph, is_serving_path);
+    for id in 0..graph.nodes.len() {
+        let (f, item) = fn_of(files, graph, id);
+        if !reach[id] || !is_live(files, graph, id) || !is_serving_path(&f.scope_path) {
+            continue;
+        }
+        for p in &item.sites.panics {
+            findings.push(Finding {
+                rule: "E1",
+                path: f.path.clone(),
+                line: p.line,
+                message: format!(
+                    "`{}` in serving-path library code reachable from a public entry point: return a typed error, or allowlist with `// cae-lint: allow(E1)` and the invariant that makes it infallible",
+                    p.what
+                ),
+            });
+        }
+    }
+    for f in files {
+        if !is_serving_path(&f.scope_path) || is_test_path(&f.scope_path) {
+            continue;
+        }
+        for p in &f.orphans.panics {
+            findings.push(Finding {
+                rule: "E1",
+                path: f.path.clone(),
+                line: p.line,
+                message: format!(
+                    "`{}` in a serving-path item initializer: return a typed error, or allowlist with `// cae-lint: allow(E1)` and the invariant that makes it infallible",
+                    p.what
+                ),
+            });
+        }
+    }
+}
+
+/// R1v2: `.unwrap()`/`.expect(…)` inside a `Result`-returning fn in
+/// recovery-path code, but only when the fn is reachable from a public
+/// or trait-callable entry point — the typed error channel is right
+/// there, so propagate with `?` instead. Complements E1: E1 bans panics
+/// across the whole serving surface, R1 additionally covers the chaos
+/// crate and the journal and names the sharper fix where a `Result` is
+/// in scope.
+fn rule_r1_no_unwrap_in_result_fns(
+    files: &[FileAnalysis],
+    graph: &SymbolGraph,
+    findings: &mut Vec<Finding>,
+) {
+    let reach = reachable_audit_set(files, graph, is_recovery_path);
+    for id in 0..graph.nodes.len() {
+        let (f, item) = fn_of(files, graph, id);
+        if !reach[id]
+            || !is_live(files, graph, id)
+            || !is_recovery_path(&f.scope_path)
+            || !item.returns_result
+        {
+            continue;
+        }
+        for p in &item.sites.panics {
+            if p.what != "unwrap" && p.what != "expect" {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "R1",
+                path: f.path.clone(),
+                line: p.line,
+                message: format!(
+                    "`{}` inside a Result-returning recovery-path function: propagate the error with `?` (or allowlist with `// cae-lint: allow(R1)` and the invariant that makes it infallible)",
+                    p.what
+                ),
+            });
+        }
+    }
+}

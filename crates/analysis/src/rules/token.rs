@@ -1,0 +1,230 @@
+//! Pass-1 token rules: U1, U2, U3, C1, C2.
+//!
+//! These need no cross-file context — they fire on token patterns with
+//! at most comment/attribute lookaround — so they run per file during
+//! [`super::analyze_source`]. The flow rules live in [`super::flow`].
+
+use super::{is_intrinsics_sanctioned, is_spawn_sanctioned, is_test_path, Finding};
+use crate::lexer::Lexed;
+
+/// Runs every token rule over one lexed file.
+pub fn run(lexed: &Lexed<'_>, scope_path: &str, path: &str, findings: &mut Vec<Finding>) {
+    rule_u1_safety_comments(lexed, path, findings);
+    rule_u2_intrinsics_confined(lexed, scope_path, path, findings);
+    rule_u3_forbidden_constructs(lexed, path, findings);
+    rule_c1_thread_spawn(lexed, scope_path, path, findings);
+    rule_c2_locks_in_pool_jobs(lexed, scope_path, path, findings);
+}
+
+/// U1: every `unsafe` token must carry a `// SAFETY:` comment — on the
+/// same line, on the code line directly above (trailing comment), or as
+/// the comment block immediately above (attribute lines in between are
+/// skipped, blank lines are not).
+fn rule_u1_safety_comments(lexed: &Lexed<'_>, path: &str, findings: &mut Vec<Finding>) {
+    let mut last_flagged = 0usize;
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if t.text != "unsafe" || t.line == last_flagged {
+            continue;
+        }
+        // `unsafe fn(...)` — a fn-pointer *type*, not an unsafe
+        // operation: the contract lives at the call sites.
+        if lexed.tokens.get(i + 1).is_some_and(|n| n.text == "fn")
+            && lexed.tokens.get(i + 2).is_some_and(|n| n.text == "(")
+        {
+            continue;
+        }
+        if has_safety_comment(lexed, t.line) {
+            continue;
+        }
+        last_flagged = t.line;
+        findings.push(Finding {
+            rule: "U1",
+            path: path.to_string(),
+            line: t.line,
+            message: "`unsafe` without an immediately preceding `// SAFETY:` comment stating the invariant relied on".to_string(),
+        });
+    }
+}
+
+/// `// SAFETY: …` for blocks/impls, or the conventional `# Safety` doc
+/// section for `unsafe fn` declarations.
+fn is_safety_text(comment: &str) -> bool {
+    comment.contains("SAFETY:") || comment.contains("# Safety")
+}
+
+fn has_safety_comment(lexed: &Lexed<'_>, line: usize) -> bool {
+    if is_safety_text(&lexed.lines[line].comment) {
+        return true;
+    }
+    // Walk up: skip attribute lines, then require a contiguous comment
+    // block whose text mentions the safety contract.
+    let mut l = line.saturating_sub(1);
+    while l >= 1 && lexed.lines[l].attr_only {
+        l -= 1;
+    }
+    if l >= 1 && !lexed.lines[l].pure_comment {
+        // Code line directly above with a trailing SAFETY comment.
+        return is_safety_text(&lexed.lines[l].comment);
+    }
+    while l >= 1 && lexed.lines[l].pure_comment {
+        if is_safety_text(&lexed.lines[l].comment) {
+            return true;
+        }
+        l -= 1;
+    }
+    false
+}
+
+/// U2: SIMD intrinsics and `core::arch`/`std::arch` imports are confined
+/// to the two kernel modules.
+fn rule_u2_intrinsics_confined(
+    lexed: &Lexed<'_>,
+    scope_path: &str,
+    path: &str,
+    findings: &mut Vec<Finding>,
+) {
+    if is_intrinsics_sanctioned(scope_path) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let arch_path = t.text == "arch"
+            && i >= 3
+            && toks[i - 1].text == ":"
+            && toks[i - 2].text == ":"
+            && matches!(toks[i - 3].text, "core" | "std");
+        let intrinsic = t.text.starts_with("_mm") && t.is_ident();
+        if intrinsic || arch_path {
+            findings.push(Finding {
+                rule: "U2",
+                path: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` outside the sanctioned SIMD modules (crates/tensor/src/{{simd,gemm}}.rs)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// U3: constructs that are banned workspace-wide, tests included.
+fn rule_u3_forbidden_constructs(lexed: &Lexed<'_>, path: &str, findings: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let bad = match t.text {
+            "transmute" | "transmute_copy" => Some("mem::transmute bypasses every type-level invariant; use typed conversions or raw-pointer casts with a SAFETY contract"),
+            "uninitialized" => Some("mem::uninitialized is instant UB; use MaybeUninit"),
+            "static" if toks.get(i + 1).is_some_and(|n| n.text == "mut") => {
+                Some("static mut is unsynchronized shared mutable state; use atomics or OnceLock")
+            }
+            _ => None,
+        };
+        if let Some(why) = bad {
+            findings.push(Finding {
+                rule: "U3",
+                path: path.to_string(),
+                line: t.line,
+                message: format!("forbidden construct `{}`: {why}", t.text),
+            });
+        }
+    }
+}
+
+/// C1: thread spawns (`thread::spawn`, `Builder::spawn`) only in the
+/// sanctioned modules. Test code may spawn freely.
+fn rule_c1_thread_spawn(
+    lexed: &Lexed<'_>,
+    scope_path: &str,
+    path: &str,
+    findings: &mut Vec<Finding>,
+) {
+    if is_spawn_sanctioned(scope_path) || is_test_path(scope_path) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "spawn" || t.in_test {
+            continue;
+        }
+        // A call: `spawn` preceded by `.` or `::` and followed by `(`.
+        let called = toks.get(i + 1).is_some_and(|n| n.text == "(");
+        let reached = i >= 1 && matches!(toks[i - 1].text, "." | ":");
+        if called && reached {
+            findings.push(Finding {
+                rule: "C1",
+                path: path.to_string(),
+                line: t.line,
+                message: "thread spawn outside the sanctioned modules (cae_tensor::par, cae-adapt); route parallelism through the worker pool".to_string(),
+            });
+        }
+    }
+}
+
+/// C2: no lock acquisition inside par-pool job closures. The pool runs
+/// one job at a time and the submitter participates; a lock shared with
+/// the submitting side inverts the pool's ordering assumptions and can
+/// deadlock (and any contended lock serializes the fan-out).
+fn rule_c2_locks_in_pool_jobs(
+    lexed: &Lexed<'_>,
+    scope_path: &str,
+    path: &str,
+    findings: &mut Vec<Finding>,
+) {
+    // The pool implementation itself synchronizes with its own mutex —
+    // outside job closures — and is reviewed under U1/U3 instead.
+    if scope_path == "crates/tensor/src/par.rs" || is_test_path(scope_path) {
+        return;
+    }
+    const FAN_OUT: &[&str] = &[
+        "for_each_chunk",
+        "for_each_index",
+        "map_indexed",
+        "map_indexed_min",
+    ];
+    let toks = &lexed.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = toks[i];
+        if !(FAN_OUT.contains(&t.text) && toks.get(i + 1).is_some_and(|n| n.text == "(")) {
+            i += 1;
+            continue;
+        }
+        // Span of the call's argument list (matching paren).
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < toks.len() {
+            match toks[j].text {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for k in i + 2..j {
+            let tk = toks[k];
+            let lock_call = tk.text == "lock"
+                && k >= 1
+                && toks[k - 1].text == "."
+                && toks.get(k + 1).is_some_and(|n| n.text == "(");
+            let lock_type = matches!(tk.text, "Mutex" | "RwLock");
+            if lock_call || lock_type {
+                findings.push(Finding {
+                    rule: "C2",
+                    path: path.to_string(),
+                    line: tk.line,
+                    message: format!(
+                        "`{}` inside a `{}` pool-job closure: pool jobs must write disjoint outputs, not synchronize",
+                        tk.text, t.text
+                    ),
+                });
+            }
+        }
+        i = j + 1;
+    }
+}

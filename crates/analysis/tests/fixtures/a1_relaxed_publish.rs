@@ -1,0 +1,31 @@
+// cae-lint: path=crates/tensor/src/pool_state.rs
+//! Seeds exactly one A1 violation: a `Relaxed` store on an `ALL_CAPS`
+//! atomic that another function loads — a cross-thread publish with no
+//! ordering. The Release-paired neighbor pair stays clean, as does the
+//! single-function memoization pattern.
+
+pub fn publish_generation(n: usize) {
+    GENERATION.store(n, Ordering::Relaxed); // line 8: A1
+}
+
+pub fn current_generation() -> usize {
+    GENERATION.load(Ordering::Acquire)
+}
+
+pub fn publish_epoch(n: usize) {
+    EPOCH.store(n, Ordering::Release);
+}
+
+pub fn current_epoch() -> usize {
+    EPOCH.load(Ordering::Acquire)
+}
+
+pub fn probe_once() -> bool {
+    match PROBED.load(Ordering::Relaxed) {
+        0 => {
+            PROBED.store(1, Ordering::Relaxed);
+            true
+        }
+        _ => false,
+    }
+}

@@ -1,0 +1,24 @@
+// cae-lint: path=crates/core/src/persist.rs
+//! Seeds exactly one F1 violation: a checkpoint save that writes a temp
+//! file and renames it into place with no fsync in between — a crash can
+//! persist the rename without the data. The fsynced neighbor and the
+//! pure move stay clean.
+
+pub fn save_torn(path: &Path, tmp: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    std::fs::write(tmp, bytes)?;
+    std::fs::rename(tmp, path)?; // line 9: F1
+    Ok(())
+}
+
+pub fn save_durable(path: &Path, tmp: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let mut f = File::create(tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    std::fs::rename(tmp, path)?;
+    Ok(())
+}
+
+pub fn relocate(from: &Path, to: &Path) -> Result<(), PersistError> {
+    std::fs::rename(from, to)?;
+    Ok(())
+}

@@ -1,0 +1,24 @@
+// cae-lint: path=crates/serve/src/lib.rs
+//! Seeds exactly two H1 violations: a heap allocation in a helper
+//! reachable from `FleetDetector::push`, and a wall-clock read directly
+//! in `FleetDetector::tick`. The cold rebuild fn allocates freely.
+
+impl FleetDetector {
+    pub fn push(&mut self, sample: &[f32]) {
+        stage_scores(sample);
+    }
+
+    pub fn tick(&mut self) {
+        let started = Instant::now(); // line 12: H1
+        self.last_tick = started;
+    }
+}
+
+fn stage_scores(sample: &[f32]) {
+    let staged = sample.to_vec(); // line 18: H1
+    drop(staged);
+}
+
+pub fn rebuild_rings(window: usize, dim: usize) -> Vec<f32> {
+    vec![0.0; window * dim]
+}

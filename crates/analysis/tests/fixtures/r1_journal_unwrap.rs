@@ -4,7 +4,7 @@
 //! recovery-path code (its whole contract is typed errors on corrupt
 //! input) but sits outside E1's serving scope, so only R1 fires.
 
-fn read_frame_len(buf: &[u8]) -> Result<u32, JournalError> {
+pub fn read_frame_len(buf: &[u8]) -> Result<u32, JournalError> {
     let raw: [u8; 4] = buf[..4].try_into().unwrap(); // line 8: R1
     Ok(u32::from_le_bytes(raw))
 }

@@ -3,7 +3,7 @@
 //! function in recovery-path code. The Option-returning neighbor stays
 //! clean (cae-chaos is outside E1's scope).
 
-fn armed_payload() -> Result<u64, ParseError> {
+pub fn armed_payload() -> Result<u64, ParseError> {
     let raw = std::env::var("CHAOS_PAYLOAD").unwrap(); // line 7: R1
     raw.parse().map_err(ParseError::from)
 }

@@ -1,0 +1,30 @@
+// cae-lint: path=crates/data/src/journal.rs
+//! Seeds exactly two W1 violations in wire-reader scope: `as usize`
+//! length fields from disk used as slice indexes with no bounds guard —
+//! directly and through a let binding. The guarded neighbors (explicit
+//! compare, `get(..)`, `.min(..)`) stay clean.
+
+pub fn first_byte(buf: &[u8], len: u32) -> u8 {
+    buf[len as usize] // line 8: W1
+}
+
+pub fn tail_byte(buf: &[u8], off: u32) -> u8 {
+    let at = off as usize;
+    buf[at] // line 13: W1
+}
+
+pub fn first_byte_checked(buf: &[u8], len: u32) -> Option<u8> {
+    buf.get(len as usize).copied()
+}
+
+pub fn first_byte_compared(buf: &[u8], len: u32) -> u8 {
+    if (len as usize) < buf.len() {
+        buf[len as usize]
+    } else {
+        0
+    }
+}
+
+pub fn first_byte_clamped(buf: &[u8], len: u32) -> u8 {
+    buf[(len as usize).min(buf.len() - 1)]
+}

@@ -180,6 +180,11 @@ impl FailPoint {
     /// returns [`Fault::None`]; armed, the schedule decides.
     #[inline]
     pub fn check(&self) -> Fault {
+        // Relaxed is sufficient: `armed` is only a fast-path hint. A
+        // stale `false` skips a just-armed site once (arming is async by
+        // contract); a `true` proceeds to `check_armed`, which locks the
+        // schedule mutex — the mutex, not this load, orders the schedule
+        // contents.
         if !self.armed.load(Ordering::Relaxed) {
             return Fault::None;
         }
@@ -255,6 +260,8 @@ impl FailPoint {
 
     /// Whether a schedule is currently armed.
     pub fn is_armed(&self) -> bool {
+        // Relaxed for the same reason as `check`: a point-in-time hint,
+        // with the schedule itself synchronized by its mutex.
         self.armed.load(Ordering::Relaxed)
     }
 

@@ -241,6 +241,22 @@ pub mod wire {
         }
     }
 
+    /// Re-checks the length and copies into a fixed array: the
+    /// panic-free replacement for `try_into().expect(…)` in decode
+    /// paths. If a call site's bounds reasoning ever rots, the result is
+    /// a typed corruption error on attacker-shaped input, not a panic.
+    fn le_array<const N: usize>(b: &[u8], what: &str) -> Result<[u8; N], PersistError> {
+        if b.len() != N {
+            return Err(PersistError::Corrupt(format!(
+                "{what}: expected {N} bytes, got {}",
+                b.len()
+            )));
+        }
+        let mut a = [0u8; N];
+        a.copy_from_slice(b);
+        Ok(a)
+    }
+
     /// Bounds-checked reader over a byte frame; every short read or
     /// invalid encoding surfaces as a typed [`PersistError`].
     #[derive(Debug)]
@@ -272,22 +288,12 @@ pub mod wire {
             if buf[..magic.len()] != magic {
                 return Err(PersistError::BadMagic);
             }
-            let version = u32::from_le_bytes(
-                buf[4..8]
-                    .try_into()
-                    // cae-lint: allow(E1, R1) — `buf[4..8]` is exactly 4 bytes (length checked above).
-                    .expect("4-byte slice"),
-            );
+            let version = u32::from_le_bytes(le_array(&buf[4..8], "header version")?);
             if version > max_version {
                 return Err(PersistError::UnsupportedVersion(version));
             }
             let body_end = buf.len() - 8;
-            let stored = u64::from_le_bytes(
-                buf[body_end..]
-                    .try_into()
-                    // cae-lint: allow(E1, R1) — `buf[body_end..]` is exactly the 8 trailing checksum bytes.
-                    .expect("8-byte slice"),
-            );
+            let stored = u64::from_le_bytes(le_array(&buf[body_end..], "trailing checksum")?);
             if fnv1a(&buf[..body_end]) != stored {
                 return Err(PersistError::ChecksumMismatch);
             }
@@ -330,15 +336,13 @@ pub mod wire {
         /// Reads a little-endian u32.
         pub fn u32(&mut self, what: &str) -> Result<u32, PersistError> {
             let b = self.bytes(4, what)?;
-            // cae-lint: allow(E1, R1) — `bytes(4, …)` returned exactly 4 bytes.
-            Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+            Ok(u32::from_le_bytes(le_array(b, what)?))
         }
 
         /// Reads a little-endian u64.
         pub fn u64(&mut self, what: &str) -> Result<u64, PersistError> {
             let b = self.bytes(8, what)?;
-            // cae-lint: allow(E1, R1) — `bytes(8, …)` returned exactly 8 bytes.
-            Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+            Ok(u64::from_le_bytes(le_array(b, what)?))
         }
 
         /// Reads a u64 and narrows it to usize with a typed error.
@@ -351,15 +355,13 @@ pub mod wire {
         /// Reads an f32 from its exact IEEE-754 little-endian bytes.
         pub fn f32(&mut self, what: &str) -> Result<f32, PersistError> {
             let b = self.bytes(4, what)?;
-            // cae-lint: allow(E1, R1) — `bytes(4, …)` returned exactly 4 bytes.
-            Ok(f32::from_le_bytes(b.try_into().expect("4-byte slice")))
+            Ok(f32::from_le_bytes(le_array(b, what)?))
         }
 
         /// Reads an f64 from its exact IEEE-754 little-endian bytes.
         pub fn f64(&mut self, what: &str) -> Result<f64, PersistError> {
             let b = self.bytes(8, what)?;
-            // cae-lint: allow(E1, R1) — `bytes(8, …)` returned exactly 8 bytes.
-            Ok(f64::from_le_bytes(b.try_into().expect("8-byte slice")))
+            Ok(f64::from_le_bytes(le_array(b, what)?))
         }
 
         /// Reads `len` f32 values. The length was itself read from the
@@ -373,11 +375,11 @@ pub mod wire {
                 })?,
                 what,
             )?;
-            Ok(raw
-                .chunks_exact(4)
-                // cae-lint: allow(E1, R1) — `chunks_exact(4)` yields 4-byte chunks.
-                .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
-                .collect())
+            let mut out = Vec::with_capacity(len);
+            for c in raw.chunks_exact(4) {
+                out.push(f32::from_le_bytes(le_array(c, what)?));
+            }
+            Ok(out)
         }
 
         /// Reads a u64-length-prefixed UTF-8 string.
@@ -416,7 +418,16 @@ pub mod wire {
             }
             return Err(injected_io(site.name(), "temp-file write"));
         }
-        std::fs::write(&tmp, bytes)?;
+        // Write + fsync the temp file before the rename: `rename` is
+        // atomic with respect to the *name*, not the *contents* — on a
+        // crash the directory entry can land while the data blocks never
+        // did, which replaces a good artifact with a torn one. Durable
+        // contents first, then the atomic name flip.
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            io::Write::write_all(&mut f, bytes)?;
+            f.sync_all()?;
+        }
         if site.fire().is_some() {
             // Crash between write and rename: the finished temp file
             // never reaches the final path.

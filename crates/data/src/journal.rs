@@ -413,6 +413,25 @@ fn corrupt(segment: u64, offset: u64, why: impl Into<String>) -> JournalError {
 /// malformed *tail* — that is reported through [`SegmentScan::tail`] so
 /// the caller can decide between truncation (final segment) and a typed
 /// error (sealed segment). Header-level malformations always fail typed.
+/// Reads a little-endian u32 at `at`, `None` past the end: the
+/// panic-free replacement for `try_into().expect(…)` — if the caller's
+/// bounds reasoning ever rots, a torn read stays a typed decode outcome
+/// instead of a panic on corrupt input.
+fn read_u32_at(b: &[u8], at: usize) -> Option<u32> {
+    let s = b.get(at..at.checked_add(4)?)?;
+    let mut a = [0u8; 4];
+    a.copy_from_slice(s);
+    Some(u32::from_le_bytes(a))
+}
+
+/// Reads a little-endian u64 at `at`, `None` past the end.
+fn read_u64_at(b: &[u8], at: usize) -> Option<u64> {
+    let s = b.get(at..at.checked_add(8)?)?;
+    let mut a = [0u8; 8];
+    a.copy_from_slice(s);
+    Some(u64::from_le_bytes(a))
+}
+
 fn scan_segment(bytes: &[u8], expect_index: u64) -> Result<SegmentScan, JournalError> {
     if bytes.len() < HEADER_LEN as usize {
         return Err(corrupt(
@@ -426,21 +445,13 @@ fn scan_segment(bytes: &[u8], expect_index: u64) -> Result<SegmentScan, JournalE
             segment: expect_index,
         });
     }
-    let version = u32::from_le_bytes(
-        bytes[4..8]
-            .try_into()
-            // cae-lint: allow(E1, R1) — `bytes[4..8]` is exactly 4 bytes (length checked above).
-            .expect("4-byte slice"),
-    );
+    let version = read_u32_at(bytes, 4)
+        .ok_or_else(|| corrupt(expect_index, 4, "short version field".to_string()))?;
     if version > JOURNAL_VERSION {
         return Err(JournalError::UnsupportedVersion(version));
     }
-    let stored_index = u64::from_le_bytes(
-        bytes[8..16]
-            .try_into()
-            // cae-lint: allow(E1, R1) — `bytes[8..16]` is exactly 8 bytes (length checked above).
-            .expect("8-byte slice"),
-    );
+    let stored_index = read_u64_at(bytes, 8)
+        .ok_or_else(|| corrupt(expect_index, 8, "short index field".to_string()))?;
     if stored_index != expect_index {
         return Err(corrupt(
             expect_index,
@@ -464,17 +475,11 @@ fn scan_segment(bytes: &[u8], expect_index: u64) -> Result<SegmentScan, JournalE
             tail: Some(why),
             records: Vec::new(), // placeholder, replaced below
         };
-        let Some(len_bytes) = bytes.get(pos..pos + 4) else {
+        let Some(len) = read_u32_at(bytes, pos) else {
             let mut s = stop("torn frame length prefix".to_string());
             s.records = records;
             return Ok(s);
         };
-        let len = u32::from_le_bytes(
-            len_bytes
-                .try_into()
-                // cae-lint: allow(E1, R1) — `get(pos..pos+4)` returned exactly 4 bytes.
-                .expect("4-byte slice"),
-        );
         if len == 0 || len > MAX_FRAME_BODY {
             let mut s = stop(format!("implausible frame length {len}"));
             s.records = records;
@@ -487,17 +492,11 @@ fn scan_segment(bytes: &[u8], expect_index: u64) -> Result<SegmentScan, JournalE
             s.records = records;
             return Ok(s);
         };
-        let Some(sum_bytes) = bytes.get(sum_at..sum_at + 8) else {
+        let Some(stored) = read_u64_at(bytes, sum_at) else {
             let mut s = stop("torn frame checksum".to_string());
             s.records = records;
             return Ok(s);
         };
-        let stored = u64::from_le_bytes(
-            sum_bytes
-                .try_into()
-                // cae-lint: allow(E1, R1) — `get(sum_at..sum_at+8)` returned exactly 8 bytes.
-                .expect("8-byte slice"),
-        );
         if fnv1a(body) != stored {
             let mut s = stop("frame checksum mismatch".to_string());
             s.records = records;

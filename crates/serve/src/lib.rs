@@ -542,6 +542,9 @@ impl FleetDetector {
                 self.slots.push(StreamSlot {
                     generation,
                     active: true,
+                    // cae-lint: allow(H1) — one-time per stream
+                    // registration, not per observation; the ring is the
+                    // retained buffer every later push reuses.
                     ring: vec![0.0; self.window * self.dim],
                     head: 0,
                     filled: 0,
@@ -550,6 +553,7 @@ impl FleetDetector {
                     consecutive_faults: 0,
                     flat_run: 0,
                     probe_goods: 0,
+                    // cae-lint: allow(H1) — same amortization as `ring`.
                     prev: vec![0.0; self.dim],
                     has_prev: false,
                 });

@@ -19,8 +19,17 @@ use cae_serve::FleetDetector;
 use std::sync::Arc;
 
 /// Interleavings per test; together the two tests exceed the ≥1000
-/// randomized schedules the concurrency gate calls for.
+/// randomized schedules the concurrency gate calls for. Overridable via
+/// `CAE_RACE_STRESS_ITERS` for instrumented runs (TSan costs 10-20x, so
+/// CI's sanitizer job dials this down rather than timing out).
 const ITERATIONS: u64 = 640;
+
+fn iterations() -> u64 {
+    std::env::var("CAE_RACE_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(ITERATIONS)
+}
 
 /// SplitMix-style step: decorrelates consecutive draws far better than a
 /// bare LCG, and the whole schedule is reproducible from the seed.
@@ -73,7 +82,7 @@ fn pinned_readers_survive_randomized_swaps() {
     let expect_b = gen_b.score(&probe);
     assert_ne!(expect_a, expect_b, "generations must be distinguishable");
 
-    for seed in 0..ITERATIONS {
+    for seed in 0..iterations() {
         let mut rng = seed;
         let mut fleet = FleetDetector::new(gen_a.clone());
         let id = fleet.add_stream();
@@ -152,7 +161,7 @@ fn concurrent_pool_submitters_score_bit_exactly() {
     let probe = probe();
     let expect = ens.score(&probe);
 
-    for seed in 0..ITERATIONS {
+    for seed in 0..iterations() {
         let mut rng = seed.wrapping_add(0x5eed);
         let readers = 2 + (next(&mut rng) % 3) as usize;
         std::thread::scope(|s| {

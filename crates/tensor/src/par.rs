@@ -44,12 +44,16 @@ const MAX_THREADS: usize = 256;
 /// execution (the default). Raising the count never re-spawns existing
 /// workers; lowering it simply leaves the surplus workers parked.
 pub fn set_threads(n: usize) {
-    THREADS.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+    // Release/Acquire pairing with `threads()`: a kernel call that
+    // observes the new count must also observe everything the caller
+    // wrote before reconfiguring (e.g. a test arranging buffers before
+    // raising the count on a pool another thread dispatches to).
+    THREADS.store(n.clamp(1, MAX_THREADS), Ordering::Release);
 }
 
 /// Current worker-thread setting.
 pub fn threads() -> usize {
-    THREADS.load(Ordering::Relaxed)
+    THREADS.load(Ordering::Acquire)
 }
 
 /// Convenience: set threads to the machine's available parallelism.
@@ -163,7 +167,10 @@ impl Job {
             // `total`, so the job is still published and the submitter is
             // still blocking with the closure borrowed.
             if catch_unwind(AssertUnwindSafe(|| unsafe { task.call(i) })).is_err() {
-                self.panicked.store(true, Ordering::Relaxed);
+                // Release-pairs with the submitter's Acquire load after
+                // the `finished` handshake, so the panic verdict is
+                // ordered independently of that handshake.
+                self.panicked.store(true, Ordering::Release);
             }
             let done = self.finished.fetch_add(1, Ordering::AcqRel) + 1;
             finished_last = done == self.total;
@@ -316,7 +323,7 @@ fn run_tasks<F: Fn(usize) + Sync>(total: usize, workers: usize, f: &F) {
     // Free the job slot for queued submitters.
     pool.done_cv.notify_all();
 
-    if job.panicked.load(Ordering::Relaxed) {
+    if job.panicked.load(Ordering::Acquire) {
         panic!("cae-tensor pool worker panicked");
     }
 }

@@ -70,6 +70,10 @@ fn detect() -> bool {
 }
 
 fn avx2_detected() -> bool {
+    // Relaxed memoization of an idempotent probe: every thread that
+    // races past the cache computes the same `detect()` answer, and no
+    // other memory is published through `DETECTED` — the worst case is a
+    // redundant CPUID. (Single-fn use; A1 audits cross-fn publishes.)
     match DETECTED.load(Ordering::Relaxed) {
         2 => true,
         1 => false,
@@ -87,12 +91,15 @@ fn avx2_detected() -> bool {
 /// must serialize on their own gate. Forcing scalar on a machine without
 /// AVX2 is a no-op (scalar is already the only path).
 pub fn set_force_scalar(force: bool) {
-    RUNTIME_FORCE_SCALAR.store(force, Ordering::Relaxed);
+    // Release/Acquire pairing with `active()`: a dispatch on another
+    // thread that observes the flag flip must also observe whatever the
+    // flipping test arranged before it (reference buffers, thresholds).
+    RUNTIME_FORCE_SCALAR.store(force, Ordering::Release);
 }
 
 /// The instruction set the kernels will use right now.
 pub fn active() -> Isa {
-    if RUNTIME_FORCE_SCALAR.load(Ordering::Relaxed) || env_force_scalar() || !avx2_detected() {
+    if RUNTIME_FORCE_SCALAR.load(Ordering::Acquire) || env_force_scalar() || !avx2_detected() {
         Isa::Scalar
     } else {
         Isa::Avx2Fma
