@@ -69,6 +69,7 @@ use cae_chaos as chaos;
 use cae_chaos::HealthReport;
 use cae_core::{CaeEnsemble, PersistError, RefitOptions};
 use cae_data::{Detector, DriftMonitor, ObservationReservoir, TimeSeries};
+use cae_obs::{Counter, Gauge, Histogram, MetricsRegistry, ObsClock};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -343,6 +344,51 @@ fn write_checkpoint(
     }
 }
 
+/// Telemetry handles of the adaptation tier. Every handle is a no-op
+/// (one relaxed load) against a disabled registry; see
+/// [`AdaptationController::with_observability`].
+#[derive(Clone, Debug)]
+struct AdaptObs {
+    clock: ObsClock,
+    /// Wall-clock duration of one supervised re-fit launch: every
+    /// attempt, reservoir re-scoring and the checkpoint write — recorded
+    /// on the worker thread, never the serving thread.
+    refit_duration_ns: Histogram,
+    /// Current drift statistic in baseline standard deviations:
+    /// `(ewma - baseline_mean) / baseline_std`.
+    drift_z: Gauge,
+    drift_trips: Counter,
+    refits_started: Counter,
+    refits_completed: Counter,
+    refits_failed: Counter,
+    refit_retries: Counter,
+    spawn_failures: Counter,
+    checkpoints_written: Counter,
+    checkpoint_retries: Counter,
+    checkpoint_fallbacks: Counter,
+    backoff_ms: Counter,
+}
+
+impl AdaptObs {
+    fn new(registry: &MetricsRegistry) -> Self {
+        AdaptObs {
+            clock: ObsClock::monotonic(),
+            refit_duration_ns: registry.histogram("adapt_refit_duration_ns"),
+            drift_z: registry.gauge("adapt_drift_z"),
+            drift_trips: registry.counter("adapt_drift_trips_total"),
+            refits_started: registry.counter("adapt_refits_started_total"),
+            refits_completed: registry.counter("adapt_refits_completed_total"),
+            refits_failed: registry.counter("adapt_refits_failed_total"),
+            refit_retries: registry.counter("adapt_refit_retries_total"),
+            spawn_failures: registry.counter("adapt_spawn_failures_total"),
+            checkpoints_written: registry.counter("adapt_checkpoints_written_total"),
+            checkpoint_retries: registry.counter("adapt_checkpoint_retries_total"),
+            checkpoint_fallbacks: registry.counter("adapt_checkpoint_fallbacks_total"),
+            backoff_ms: registry.counter("adapt_backoff_ms_total"),
+        }
+    }
+}
+
 /// Watches a served ensemble's outlier scores for drift and maintains a
 /// warm-start re-fit pipeline: reservoir → drift trip → background
 /// re-fit → atomic checkpoint → published replacement.
@@ -368,6 +414,8 @@ pub struct AdaptationController {
     /// The most recent known-good ensemble: the construction-time live
     /// model until a re-fit publishes, then the latest published one.
     last_good: Arc<CaeEnsemble>,
+    /// Telemetry handles; no-ops unless a registry was attached.
+    obs: AdaptObs,
 }
 
 impl std::fmt::Debug for AdaptationController {
@@ -388,6 +436,19 @@ impl AdaptationController {
     /// in-distribution data (typically the tail of its training series,
     /// or the first scored stretch of healthy streaming).
     pub fn new(live: &Arc<CaeEnsemble>, baseline_scores: &[f32], cfg: AdaptationConfig) -> Self {
+        Self::with_observability(live, baseline_scores, cfg, &MetricsRegistry::disabled())
+    }
+
+    /// [`AdaptationController::new`] with telemetry: drift gauge, re-fit
+    /// duration histogram and retry/fallback counters are published into
+    /// `registry` under `adapt_*` names. Against a disabled registry
+    /// every instrumentation site costs one relaxed load.
+    pub fn with_observability(
+        live: &Arc<CaeEnsemble>,
+        baseline_scores: &[f32],
+        cfg: AdaptationConfig,
+        registry: &MetricsRegistry,
+    ) -> Self {
         assert!(
             live.num_members() > 0,
             "AdaptationController requires a fitted ensemble"
@@ -418,7 +479,32 @@ impl AdaptationController {
             was_drifted: false,
             last_checkpoint_error: None,
             last_good: Arc::clone(live),
+            obs: AdaptObs::new(registry),
         }
+    }
+
+    /// Re-homes this controller's telemetry into `registry`, carrying the
+    /// lifetime [`AdaptationStats`] counters over so the registry mirrors
+    /// [`AdaptationController::stats`] (exact when the registry is
+    /// enabled at attach time).
+    pub fn attach_observability(&mut self, registry: &MetricsRegistry) {
+        self.obs = AdaptObs::new(registry);
+        self.obs.drift_trips.add(self.stats.drift_trips);
+        self.obs.refits_started.add(self.stats.refits_started);
+        self.obs.refits_completed.add(self.stats.refits_completed);
+        self.obs.refits_failed.add(self.stats.refits_failed);
+        self.obs.refit_retries.add(self.stats.refit_retries);
+        self.obs.spawn_failures.add(self.stats.spawn_failures);
+        self.obs
+            .checkpoints_written
+            .add(self.stats.checkpoints_written);
+        self.obs
+            .checkpoint_retries
+            .add(self.stats.checkpoint_retries);
+        self.obs
+            .checkpoint_fallbacks
+            .add(self.stats.checkpoint_fallbacks);
+        self.obs.backoff_ms.add(self.stats.backoff_ms);
     }
 
     /// The drift monitor (band, EWMA, counters).
@@ -488,8 +574,14 @@ impl AdaptationController {
         self.reservoir.push(observation);
         self.observed += 1;
         let drifted = self.monitor.observe(score);
+        let (mean, std) = self.monitor.baseline();
+        if let Some(ewma) = self.monitor.ewma() {
+            let z = if std > 0.0 { (ewma - mean) / std } else { 0.0 };
+            self.obs.drift_z.set(f64::from(z));
+        }
         if drifted && !self.was_drifted {
             self.stats.drift_trips += 1;
+            self.obs.drift_trips.inc();
         }
         self.was_drifted = drifted;
 
@@ -510,16 +602,22 @@ impl AdaptationController {
         // scoring, and a later drifted observation retries the launch.
         if chaos::sites::ADAPT_SPAWN.fire().is_some() {
             self.stats.spawn_failures += 1;
+            self.obs.spawn_failures.inc();
             return false;
         }
         let snapshot = Arc::clone(live);
         let recent = self.reservoir.series();
         let cfg = self.cfg.clone();
+        // Moved clones: the duration is recorded on the worker thread when
+        // the guard drops, covering every retry, the reservoir re-score
+        // and the checkpoint write.
+        let refit_timer = (self.obs.refit_duration_ns.clone(), self.obs.clock.clone());
         let spawned = std::thread::Builder::new()
             // cae-lint: allow(H1) — once per refit launch (rare by the
             // cooldown), amortized against an entire training run.
             .name("cae-adapt-refit".to_string())
             .spawn(move || {
+                let _timer = refit_timer.0.start(&refit_timer.1);
                 // Supervised re-fit: failures and panics are caught and
                 // retried up to the configured budget.
                 let mut refit_retries = 0u64;
@@ -560,11 +658,13 @@ impl AdaptationController {
             Ok(h) => h,
             Err(_) => {
                 self.stats.spawn_failures += 1;
+                self.obs.spawn_failures.inc();
                 return false;
             }
         };
         self.worker = Some(handle);
         self.stats.refits_started += 1;
+        self.obs.refits_started.inc();
         self.last_refit_at = Some(self.observed);
         true
     }
@@ -601,21 +701,27 @@ impl AdaptationController {
             // last-good ensemble, which is still serving.
             Err(_) => {
                 self.stats.refits_failed += 1;
+                self.obs.refits_failed.inc();
                 return None;
             }
         };
         self.stats.refit_retries += report.refit_retries;
         self.stats.checkpoint_retries += report.checkpoint_retries;
         self.stats.backoff_ms += report.backoff_ms;
+        self.obs.refit_retries.add(report.refit_retries);
+        self.obs.checkpoint_retries.add(report.checkpoint_retries);
+        self.obs.backoff_ms.add(report.backoff_ms);
         let (adapted, baseline) = match report.outcome {
             Ok(pair) => pair,
             // Every attempt failed: keep serving the last-good ensemble.
             Err(_) => {
                 self.stats.refits_failed += 1;
+                self.obs.refits_failed.inc();
                 return None;
             }
         };
         self.stats.refits_completed += 1;
+        self.obs.refits_completed.inc();
         // The worker already wrote the checkpoint (off the serving
         // thread); a failed write is recorded — kind, retries, backoff —
         // and the publish proceeds in-memory. A failed disk write must
@@ -623,10 +729,12 @@ impl AdaptationController {
         match report.checkpoint {
             Some(Ok(())) => {
                 self.stats.checkpoints_written += 1;
+                self.obs.checkpoints_written.inc();
                 self.last_checkpoint_error = None;
             }
             Some(Err(failure)) => {
                 self.stats.checkpoint_fallbacks += 1;
+                self.obs.checkpoint_fallbacks.inc();
                 self.last_checkpoint_error = Some(failure);
             }
             None => {}
@@ -645,6 +753,11 @@ impl AdaptationController {
         if finite.is_empty() {
             self.stats.refits_completed -= 1;
             self.stats.refits_failed += 1;
+            self.obs.refits_failed.inc();
+            // Counters are monotonic: the registry cannot take the
+            // completion back, so an abandoned publish shows up as
+            // completed+failed there while `stats` nets it out. The
+            // failed counter is the one alerting keys on.
             return None;
         }
         self.monitor.rebaseline(&finite);
@@ -798,6 +911,86 @@ mod tests {
             tripped |= ctl.observe(fleet.ensemble(), &[0.0], s);
         }
         assert!(!tripped, "re-baselined monitor tripped on healthy scores");
+    }
+
+    /// The `adapt_*` registry counters are an exact mirror of
+    /// [`AdaptationStats`] across a full drift → re-fit → publish cycle,
+    /// and `attach_observability` carries the lifetime counts into a
+    /// fresh registry.
+    #[test]
+    fn registry_counters_mirror_adaptation_stats() {
+        let live = trained_on_regime_a();
+        let healthy =
+            TimeSeries::univariate((0..200).map(|t| drift_wave(t, 0.25, 1.0, 0.0)).collect());
+        let baseline = live.score(&healthy);
+        let registry = MetricsRegistry::new();
+        let mut ctl =
+            AdaptationController::with_observability(&live, &baseline, small_cfg(), &registry);
+
+        let mut stream = cae_core::StreamingDetector::new(&live);
+        let mut started = false;
+        for t in 0..1000 {
+            let obs = [drift_wave(t, 0.29, 1.2, 0.3)];
+            if let Some(score) = stream.push(&obs) {
+                started = ctl.observe(&live, &obs, score);
+                if started {
+                    break;
+                }
+            }
+        }
+        assert!(started, "drift never tripped a re-fit");
+        assert!(ctl.wait().is_some(), "clean re-fit publishes");
+
+        let mirror = |registry: &MetricsRegistry, stats: &AdaptationStats| {
+            let snapshot = registry.snapshot();
+            let counter = |name: &str| {
+                snapshot
+                    .counters
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map_or_else(|| panic!("counter {name} not registered"), |&(_, v)| v)
+            };
+            assert_eq!(counter("adapt_drift_trips_total"), stats.drift_trips);
+            assert_eq!(counter("adapt_refits_started_total"), stats.refits_started);
+            assert_eq!(
+                counter("adapt_refits_completed_total"),
+                stats.refits_completed
+            );
+            assert_eq!(counter("adapt_refits_failed_total"), stats.refits_failed);
+            assert_eq!(counter("adapt_refit_retries_total"), stats.refit_retries);
+            assert_eq!(counter("adapt_spawn_failures_total"), stats.spawn_failures);
+            assert_eq!(
+                counter("adapt_checkpoints_written_total"),
+                stats.checkpoints_written
+            );
+            assert_eq!(
+                counter("adapt_checkpoint_retries_total"),
+                stats.checkpoint_retries
+            );
+            assert_eq!(
+                counter("adapt_checkpoint_fallbacks_total"),
+                stats.checkpoint_fallbacks
+            );
+            assert_eq!(counter("adapt_backoff_ms_total"), stats.backoff_ms);
+        };
+        let stats = ctl.stats();
+        assert_eq!(stats.refits_started, 1);
+        assert_eq!(stats.refits_completed, 1);
+        mirror(&registry, stats);
+
+        // The duration histogram saw exactly the one supervised launch.
+        let snapshot = registry.snapshot();
+        let (_, refit_hist) = snapshot
+            .histograms
+            .iter()
+            .find(|(n, _)| *n == "adapt_refit_duration_ns")
+            .expect("duration histogram registered");
+        assert_eq!(refit_hist.count, 1);
+
+        // Re-homing into a fresh registry carries the lifetime counts.
+        let fresh = MetricsRegistry::new();
+        ctl.attach_observability(&fresh);
+        mirror(&fresh, ctl.stats());
     }
 
     #[test]

@@ -248,6 +248,7 @@ impl AdaptationController {
             was_drifted: state.was_drifted,
             last_checkpoint_error: None,
             last_good: Arc::clone(live),
+            obs: crate::AdaptObs::new(&cae_obs::MetricsRegistry::disabled()),
         })
     }
 }

@@ -23,9 +23,23 @@ use crate::parser::{FnItem, IoOp};
 /// * `par.rs / next`: the work-stealing cursor; it only partitions
 ///   indices between workers, every slot is written before the
 ///   `finished` AcqRel handshake that publishes the results.
+/// * `registry.rs / cell`: the metric cells behind `Counter::add` and
+///   `Gauge::set` — monotone counts and last-write-wins gauge bits.
+///   Readers (`value`, `snapshot`) tolerate any interleaving; nothing
+///   else is published through them.
+/// * `registry.rs / sum`, `registry.rs / max`: the histogram running sum
+///   and watermark; same monotone-statistic contract, read only by
+///   snapshots.
+/// * `trace.rs / seq`: the trace ring's global order ticket; it only
+///   allocates sequence numbers, and each slot's contents are published
+///   separately via a Release store of the slot's own `seq1` cell.
 const A1_PURE_COUNTERS: &[(&str, &str)] = &[
     ("crates/tensor/src/par.rs", "spawned"),
     ("crates/tensor/src/par.rs", "next"),
+    ("crates/obs/src/registry.rs", "cell"),
+    ("crates/obs/src/registry.rs", "sum"),
+    ("crates/obs/src/registry.rs", "max"),
+    ("crates/obs/src/trace.rs", "seq"),
 ];
 
 /// Entry points whose transitive callees form the scoring hot path:
@@ -243,9 +257,12 @@ fn rule_f1_durability_ordering(
 /// (training epochs, dataset generators, error constructors) share the
 /// reachable set under this graph's over-approximation, so the alloc
 /// facet does not extend to them. Wall-clock reads are findings across
-/// the whole hot scope (serve/adapt/core/data), additionally seeded from
-/// the adaptation observe/poll path ([`H1_CLOCK_ENTRIES`]) — determinism
-/// breaks no matter which layer reads the clock.
+/// the whole hot scope (serve/adapt/core/data/obs), additionally seeded
+/// from the adaptation observe/poll path ([`H1_CLOCK_ENTRIES`]) —
+/// determinism breaks no matter which layer reads the clock. One
+/// exception: the `ObsClock` seam ([`super::H1_SANCTIONED_CLOCK`]) is
+/// the sanctioned wall-clock location latency timers go through; its
+/// `Instant` usage is deliberate and mockable, so it alone is skipped.
 fn rule_h1_hot_path_hygiene(
     files: &[FileAnalysis],
     graph: &SymbolGraph,
@@ -286,6 +303,14 @@ fn rule_h1_hot_path_hygiene(
                     ),
                 });
             }
+        }
+        if f.scope_path == super::H1_SANCTIONED_CLOCK {
+            // The ObsClock seam is the one sanctioned Instant location:
+            // hot paths reach it through `Histogram::start`/`now_ns`,
+            // and the convention is that *only* this file may hold the
+            // raw clock — a raw `Instant::now()` anywhere else in the
+            // hot scope still fires below.
+            continue;
         }
         if scoring[id] || clock_extra[id] {
             for w in &item.sites.wall_clock {

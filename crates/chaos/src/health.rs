@@ -106,6 +106,31 @@ mod tests {
         assert!(!healthy_fleet.degraded());
     }
 
+    /// A fleet that served cleanly but had to publish in-memory-only
+    /// (every checkpoint write attempt failed) *is* degraded: durability
+    /// was lost even though serving never faltered. Pinned so
+    /// `checkpoint_fallbacks` can never silently drop out of the
+    /// `degraded()` sum.
+    #[test]
+    fn checkpoint_fallback_alone_marks_degradation() {
+        let report = HealthReport {
+            streams_healthy: 8,
+            checkpoint_fallbacks: 1,
+            ..HealthReport::default()
+        };
+        assert!(report.degraded());
+        // `recoveries` and `backoff_ms` stay excluded: a completed
+        // recovery is health restored, and backoff only accompanies
+        // retries that are already counted.
+        let recovered = HealthReport {
+            streams_healthy: 8,
+            recoveries: 2,
+            backoff_ms: 40,
+            ..HealthReport::default()
+        };
+        assert!(!recovered.degraded());
+    }
+
     #[test]
     fn merge_adds_fieldwise() {
         let serve = HealthReport {

@@ -59,6 +59,7 @@
 //! the same deterministic [`cae_chaos::Schedule`]s as every other site.
 
 use cae_chaos as chaos;
+use cae_obs::{Counter, Histogram, MetricsRegistry, ObsClock};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Seek, SeekFrom, Write};
@@ -516,6 +517,46 @@ fn scan_segment(bytes: &[u8], expect_index: u64) -> Result<SegmentScan, JournalE
     }
 }
 
+/// Telemetry handles of the durability tier; no-ops (one relaxed load
+/// per site) until [`ObservationJournal::attach_observability`] re-homes
+/// them into a live registry.
+#[derive(Clone, Debug)]
+struct JournalObs {
+    clock: ObsClock,
+    append_latency_ns: Histogram,
+    fsync_latency_ns: Histogram,
+    rotation_latency_ns: Histogram,
+    appends: Counter,
+    append_failures: Counter,
+    fsyncs: Counter,
+    fsync_failures: Counter,
+    rotations: Counter,
+    torn_tail_recoveries: Counter,
+    torn_tail_bytes: Counter,
+}
+
+impl JournalObs {
+    fn new(registry: &MetricsRegistry) -> Self {
+        JournalObs {
+            clock: ObsClock::monotonic(),
+            append_latency_ns: registry.histogram("journal_append_latency_ns"),
+            fsync_latency_ns: registry.histogram("journal_fsync_latency_ns"),
+            rotation_latency_ns: registry.histogram("journal_rotation_latency_ns"),
+            appends: registry.counter("journal_appends_total"),
+            append_failures: registry.counter("journal_append_failures_total"),
+            fsyncs: registry.counter("journal_fsyncs_total"),
+            fsync_failures: registry.counter("journal_fsync_failures_total"),
+            rotations: registry.counter("journal_rotations_total"),
+            torn_tail_recoveries: registry.counter("journal_torn_tail_recoveries_total"),
+            torn_tail_bytes: registry.counter("journal_torn_tail_bytes_total"),
+        }
+    }
+
+    fn disabled() -> Self {
+        Self::new(&MetricsRegistry::disabled())
+    }
+}
+
 /// The append side of the write-ahead journal. See the module docs for
 /// the format and crash discipline.
 #[derive(Debug)]
@@ -536,6 +577,8 @@ pub struct ObservationJournal {
     /// appends are refused until a re-open truncates back to a frame
     /// boundary.
     poisoned: bool,
+    /// Telemetry handles; no-ops unless a registry was attached.
+    obs: JournalObs,
 }
 
 impl ObservationJournal {
@@ -583,6 +626,7 @@ impl ObservationJournal {
                 appends_since_sync: 0,
                 truncated_bytes: 0,
                 poisoned: false,
+                obs: JournalObs::disabled(),
             });
         };
         let first = indices[0];
@@ -623,6 +667,7 @@ impl ObservationJournal {
                 appends_since_sync: 0,
                 truncated_bytes: bytes.len() as u64,
                 poisoned: false,
+                obs: JournalObs::disabled(),
             });
         }
         if bytes.len() < HEADER_LEN as usize {
@@ -639,6 +684,7 @@ impl ObservationJournal {
                 appends_since_sync: 0,
                 truncated_bytes: bytes.len() as u64,
                 poisoned: false,
+                obs: JournalObs::disabled(),
             });
         }
         let scan = scan_segment(&bytes, last)?;
@@ -659,6 +705,7 @@ impl ObservationJournal {
             appends_since_sync: 0,
             truncated_bytes: truncated,
             poisoned: false,
+            obs: JournalObs::disabled(),
         })
     }
 
@@ -707,6 +754,20 @@ impl ObservationJournal {
         self.truncated_bytes
     }
 
+    /// Publishes this journal's telemetry into `registry` under
+    /// `journal_*` names: append/fsync/rotation latency histograms plus
+    /// outcome counters. The torn-tail recovery this journal performed at
+    /// open (if any) is counted retroactively, so a registry attached
+    /// right after [`ObservationJournal::open`] sees the full crash
+    /// history. Without an attach every site costs one relaxed load.
+    pub fn attach_observability(&mut self, registry: &MetricsRegistry) {
+        self.obs = JournalObs::new(registry);
+        if self.truncated_bytes > 0 {
+            self.obs.torn_tail_recoveries.inc();
+            self.obs.torn_tail_bytes.add(self.truncated_bytes);
+        }
+    }
+
     /// Appends one record, rotating segments as the size policy demands,
     /// and returns the position the record landed at.
     ///
@@ -718,7 +779,9 @@ impl ObservationJournal {
     /// because appending after an unknown partial write would corrupt the
     /// log mid-sequence.
     pub fn append(&mut self, record: &JournalRecord) -> Result<JournalPosition, JournalError> {
+        let _timer = self.obs.append_latency_ns.start(&self.obs.clock);
         if self.poisoned {
+            self.obs.append_failures.inc();
             return Err(JournalError::Io(io::Error::other(
                 "journal poisoned by an earlier failed append; re-open to recover",
             )));
@@ -733,12 +796,14 @@ impl ObservationJournal {
                 let torn = (k as usize).min(frame.len());
                 let _ = self.file.write_all(&frame[..torn]);
             }
+            self.obs.append_failures.inc();
             return Err(injected_io("journal.append", "frame append"));
         }
         let at = self.position();
         if let Err(e) = self.file.write_all(&frame) {
             // An unknown number of bytes may have landed.
             self.poisoned = true;
+            self.obs.append_failures.inc();
             return Err(JournalError::Io(e));
         }
         self.offset += frame.len() as u64;
@@ -746,28 +811,34 @@ impl ObservationJournal {
         if self.cfg.fsync_every > 0 && self.appends_since_sync >= self.cfg.fsync_every {
             self.sync()?;
         }
+        self.obs.appends.inc();
         Ok(at)
     }
 
     /// Forces the active segment to disk (the durability barrier the
     /// fsync cadence applies periodically).
     pub fn sync(&mut self) -> Result<(), JournalError> {
+        let _timer = self.obs.fsync_latency_ns.start(&self.obs.clock);
         if chaos::sites::JOURNAL_FSYNC.fire().is_some() {
+            self.obs.fsync_failures.inc();
             return Err(injected_io("journal.fsync", "segment sync"));
         }
         self.file.sync_data()?;
         self.appends_since_sync = 0;
+        self.obs.fsyncs.inc();
         Ok(())
     }
 
     /// Seals the active segment (final sync) and starts the next one.
     fn rotate(&mut self) -> Result<(), JournalError> {
+        let _timer = self.obs.rotation_latency_ns.start(&self.obs.clock);
         self.sync()?;
         let next = self.segment + 1;
         let (file, offset) = Self::create_segment(&self.dir, next)?;
         self.file = file;
         self.segment = next;
         self.offset = offset;
+        self.obs.rotations.inc();
         Ok(())
     }
 

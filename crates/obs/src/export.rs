@@ -1,0 +1,192 @@
+//! Deterministic exporters over a [`MetricsSnapshot`]: a stable-sorted
+//! JSON document and a Prometheus text exposition.
+//!
+//! Determinism contract (pinned by golden tests): metrics appear in
+//! ascending name order (the registry snapshots out of `BTreeMap`s),
+//! histogram buckets in ascending bound order, integers in decimal,
+//! floats through Rust's shortest-roundtrip `Display`, and non-finite
+//! gauge values as `null` / `NaN` per format. Same snapshot, same
+//! bytes.
+
+use crate::registry::{HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write;
+
+/// Escapes `s` as JSON string contents (quotes, backslash, control
+/// characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Distinguish floats from ints in the output (`1` → `1.0`) so
+        // the document parses back to the same types.
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{v:.1}")
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_histogram(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h
+        .buckets
+        .iter()
+        .map(|&(upper, n)| format!("[{upper}, {n}]"))
+        .collect();
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+        h.count,
+        h.sum,
+        h.max,
+        h.p50,
+        h.p95,
+        h.p99,
+        buckets.join(", ")
+    )
+}
+
+impl MetricsSnapshot {
+    /// The stable JSON document: three name-sorted sections.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {v}", json_escape(name));
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n  \"gauges\": {"
+        } else {
+            "\n  },\n  \"gauges\": {"
+        });
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {}", json_escape(name), json_f64(*v));
+        }
+        out.push_str(if self.gauges.is_empty() {
+            "},\n  \"histograms\": {"
+        } else {
+            "\n  },\n  \"histograms\": {"
+        });
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{}\": {}",
+                json_escape(name),
+                json_histogram(h)
+            );
+        }
+        out.push_str(if self.histograms.is_empty() {
+            "}\n}\n"
+        } else {
+            "\n  }\n}\n"
+        });
+        out
+    }
+
+    /// The Prometheus text exposition (version 0.0.4): counters as
+    /// `counter`, gauges as `gauge`, histograms as cumulative
+    /// `_bucket{le=…}` series plus `_sum` and `_count`, with a final
+    /// `le="+Inf"` bucket.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            if v.is_finite() {
+                let _ = writeln!(out, "{name} {v}");
+            } else {
+                let _ = writeln!(out, "{name} NaN");
+            }
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for &(upper, n) in &h.buckets {
+                cum += n;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{upper}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn json_escaping_covers_quotes_and_controls() {
+        assert_eq!(json_escape("plain_name"), "plain_name");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\there");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_floats_round_trip_distinctly() {
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(-2.5), "-2.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn empty_snapshot_exports_are_stable() {
+        let reg = MetricsRegistry::new();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.to_json(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n"
+        );
+        assert_eq!(snap.to_prometheus(), "");
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_with_inf_terminal() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_ns");
+        for v in [1u64, 2, 3, 900] {
+            h.record(v);
+        }
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE lat_ns histogram"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"3\"} 3\n"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"1023\"} 4\n"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 4\n"), "{text}");
+        assert!(text.contains("lat_ns_sum 906\n"), "{text}");
+        assert!(text.contains("lat_ns_count 4\n"), "{text}");
+    }
+}

@@ -1,0 +1,324 @@
+//! A fixed-size ring of span events with per-thread write cursors.
+//!
+//! Each participating thread opens its own [`TraceLane`] and appends
+//! enter/exit events to it without any cross-thread contention: the
+//! only shared write is one Relaxed `fetch_add` on the global sequence
+//! counter that orders events across lanes. [`TraceRing::dump`] merges
+//! every lane into one deterministic, sequence-ordered event list.
+//!
+//! Events are two words. Word 0 is `seq + 1` (0 marks an empty slot)
+//! and is stored with Release *after* word 1, so a dumper that observes
+//! a sequence number also observes the payload it orders.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Interned span name: index into the ring's name table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(u16);
+
+/// Enter/exit marker on one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    Enter,
+    Exit,
+}
+
+/// One decoded event from [`TraceRing::dump`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global order: lower happened first.
+    pub seq: u64,
+    /// Index of the lane (thread) that wrote the event.
+    pub lane: usize,
+    pub name: &'static str,
+    pub kind: TraceKind,
+    pub payload: u32,
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// `seq + 1`, 0 while empty. Release-stored after `packed`.
+    seq1: AtomicU64,
+    /// `[span:u16][kind:u8][zero:u8][payload:u32]`.
+    packed: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Lane {
+    slots: Box<[Slot]>,
+    /// Monotone write position; only the owning thread advances it.
+    cursor: AtomicU64,
+}
+
+#[derive(Debug)]
+struct RingShared {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    capacity: usize,
+    lanes: Mutex<Vec<Arc<Lane>>>,
+    names: Mutex<Vec<&'static str>>,
+}
+
+fn cold<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The ring handle. Cloning is cheap; clones share lanes and names.
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    shared: Arc<RingShared>,
+}
+
+impl TraceRing {
+    /// A ring whose lanes each hold `capacity_per_lane` most-recent
+    /// events (rounded up to a power of two, minimum 8). Starts
+    /// enabled.
+    pub fn new(capacity_per_lane: usize) -> TraceRing {
+        TraceRing {
+            shared: Arc::new(RingShared {
+                enabled: AtomicBool::new(true),
+                seq: AtomicU64::new(0),
+                capacity: capacity_per_lane.max(8).next_power_of_two(),
+                lanes: Mutex::new(Vec::new()),
+                names: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.shared.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn enable(&self) {
+        self.shared.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stops recording; lanes keep what they hold for a later dump.
+    pub fn disable(&self) {
+        self.shared.enabled.store(false, Ordering::Release);
+    }
+
+    /// Interns `name` and returns its id. Idempotent per name; at most
+    /// `u16::MAX` distinct names per ring.
+    pub fn span(&self, name: &'static str) -> SpanId {
+        let mut names = cold(&self.shared.names);
+        if let Some(at) = names.iter().position(|&n| n == name) {
+            return SpanId(at as u16);
+        }
+        assert!(names.len() < u16::MAX as usize, "span name table full");
+        names.push(name);
+        SpanId((names.len() - 1) as u16)
+    }
+
+    /// Opens a new write lane. Each thread that records events should
+    /// hold its own lane; sharing one across threads loses events (but
+    /// never corrupts the ring).
+    pub fn lane(&self) -> TraceLane {
+        let lane = Arc::new(Lane {
+            slots: (0..self.shared.capacity)
+                .map(|_| Slot {
+                    seq1: AtomicU64::new(0),
+                    packed: AtomicU64::new(0),
+                })
+                .collect(),
+            cursor: AtomicU64::new(0),
+        });
+        cold(&self.shared.lanes).push(lane.clone());
+        TraceLane {
+            shared: self.shared.clone(),
+            lane,
+        }
+    }
+
+    /// Merges every lane into one sequence-ordered dump. Deterministic
+    /// for a quiesced ring: same recorded events, same output.
+    pub fn dump(&self) -> Vec<TraceEvent> {
+        let names = cold(&self.shared.names).clone();
+        let lanes = cold(&self.shared.lanes).clone();
+        let mut out = Vec::new();
+        for (lane_idx, lane) in lanes.iter().enumerate() {
+            for slot in lane.slots.iter() {
+                let seq1 = slot.seq1.load(Ordering::Acquire);
+                if seq1 == 0 {
+                    continue;
+                }
+                let packed = slot.packed.load(Ordering::Relaxed);
+                let span = (packed >> 48) as usize;
+                let kind = if (packed >> 40) as u8 & 1 == 1 {
+                    TraceKind::Exit
+                } else {
+                    TraceKind::Enter
+                };
+                out.push(TraceEvent {
+                    seq: seq1 - 1,
+                    lane: lane_idx,
+                    name: names.get(span).copied().unwrap_or("<unknown>"),
+                    kind,
+                    payload: packed as u32,
+                });
+            }
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Empties every lane and restarts the sequence numbering.
+    pub fn clear(&self) {
+        for lane in cold(&self.shared.lanes).iter() {
+            for slot in lane.slots.iter() {
+                slot.seq1.store(0, Ordering::Release);
+                slot.packed.store(0, Ordering::Release);
+            }
+            lane.cursor.store(0, Ordering::Release);
+        }
+        self.shared.seq.store(0, Ordering::Release);
+    }
+}
+
+/// One thread's write handle into the ring.
+#[derive(Debug)]
+pub struct TraceLane {
+    shared: Arc<RingShared>,
+    lane: Arc<Lane>,
+}
+
+impl TraceLane {
+    /// Records a span entry. Disabled cost: one Relaxed load.
+    #[inline]
+    pub fn enter(&self, span: SpanId, payload: u32) {
+        self.record(span, 0, payload);
+    }
+
+    /// Records a span exit. Disabled cost: one Relaxed load.
+    #[inline]
+    pub fn exit(&self, span: SpanId, payload: u32) {
+        self.record(span, 1, payload);
+    }
+
+    #[inline]
+    fn record(&self, span: SpanId, kind: u8, payload: u32) {
+        if !self.shared.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        // Relaxed is enough for the order ticket itself: the slot's
+        // Release store below publishes it together with the payload.
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+        let at = self.lane.cursor.load(Ordering::Relaxed);
+        let slot = &self.lane.slots[(at as usize) & (self.lane.slots.len() - 1)];
+        let packed = ((span.0 as u64) << 48) | ((kind as u64) << 40) | (payload as u64);
+        slot.packed.store(packed, Ordering::Release);
+        slot.seq1.store(seq + 1, Ordering::Release);
+        self.lane.cursor.store(at + 1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_dump_in_sequence_order_across_lanes() {
+        let ring = TraceRing::new(16);
+        let tick = ring.span("tick");
+        let push = ring.span("push");
+        assert_eq!(ring.span("tick"), tick, "interning is idempotent");
+
+        let a = ring.lane();
+        let b = ring.lane();
+        a.enter(tick, 10);
+        b.enter(push, 20);
+        b.exit(push, 21);
+        a.exit(tick, 11);
+
+        let dump = ring.dump();
+        assert_eq!(dump.len(), 4);
+        let got: Vec<(&str, TraceKind, u32, usize)> = dump
+            .iter()
+            .map(|e| (e.name, e.kind, e.payload, e.lane))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("tick", TraceKind::Enter, 10, 0),
+                ("push", TraceKind::Enter, 20, 1),
+                ("push", TraceKind::Exit, 21, 1),
+                ("tick", TraceKind::Exit, 11, 0),
+            ]
+        );
+        assert_eq!(
+            dump.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn ring_wraps_keeping_the_most_recent_events() {
+        let ring = TraceRing::new(8);
+        let s = ring.span("s");
+        let lane = ring.lane();
+        for i in 0..20u32 {
+            lane.enter(s, i);
+        }
+        let dump = ring.dump();
+        assert_eq!(dump.len(), 8, "lane capacity bounds the dump");
+        assert_eq!(
+            dump.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            (12..20).collect::<Vec<_>>(),
+            "oldest events are overwritten first"
+        );
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing_and_clear_resets() {
+        let ring = TraceRing::new(8);
+        let s = ring.span("s");
+        let lane = ring.lane();
+        ring.disable();
+        lane.enter(s, 1);
+        assert!(ring.dump().is_empty());
+        ring.enable();
+        lane.enter(s, 2);
+        assert_eq!(ring.dump().len(), 1);
+        ring.clear();
+        assert!(ring.dump().is_empty());
+        lane.enter(s, 3);
+        assert_eq!(ring.dump()[0].seq, 0, "sequence restarts after clear");
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_their_own_events() {
+        let ring = TraceRing::new(64);
+        let s = ring.span("work");
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                let lane = ring.lane();
+                std::thread::spawn(move || {
+                    for i in 0..32u32 {
+                        lane.enter(s, k * 100 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        let dump = ring.dump();
+        assert_eq!(dump.len(), 4 * 32);
+        let mut seqs: Vec<u64> = dump.iter().map(|e| e.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 4 * 32, "sequence numbers are unique");
+        for lane_idx in 0..4 {
+            let payloads: Vec<u32> = dump
+                .iter()
+                .filter(|e| e.lane == lane_idx)
+                .map(|e| e.payload)
+                .collect();
+            assert_eq!(payloads.len(), 32);
+            assert!(
+                payloads.windows(2).all(|w| w[0] < w[1]),
+                "per-lane order preserved"
+            );
+        }
+    }
+}

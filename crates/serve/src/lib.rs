@@ -53,6 +53,7 @@ use cae_autograd::Tape;
 use cae_chaos as chaos;
 use cae_chaos::HealthReport;
 use cae_core::CaeEnsemble;
+use cae_obs::{Counter, Gauge, Histogram, MetricsRegistry, ObsClock};
 use cae_tensor::{scratch, Tensor};
 use std::sync::Arc;
 
@@ -316,6 +317,52 @@ fn quarantine(s: &mut StreamSlot) {
     s.reset();
 }
 
+/// Retained telemetry handles for one fleet (see the README's metric
+/// catalog). Every site costs one Relaxed load while the registry is
+/// disabled, so the default-disabled fleet pays no measurable tax.
+#[derive(Debug)]
+struct ServeObs {
+    clock: ObsClock,
+    push_latency_ns: Histogram,
+    tick_latency_ns: Histogram,
+    batch_occupancy: Histogram,
+    quarantine_events: Counter,
+    recoveries: Counter,
+    faulty_observations: Counter,
+    shed_windows: Counter,
+    suppressed_scores: Counter,
+    ensemble_swaps: Counter,
+    buffered_windows: Gauge,
+    streams_live: Gauge,
+    streams_healthy: Gauge,
+    streams_suspect: Gauge,
+    streams_quarantined: Gauge,
+    streams_recovering: Gauge,
+}
+
+impl ServeObs {
+    fn new(registry: &MetricsRegistry) -> ServeObs {
+        ServeObs {
+            clock: ObsClock::monotonic(),
+            push_latency_ns: registry.histogram("serve_push_latency_ns"),
+            tick_latency_ns: registry.histogram("serve_tick_latency_ns"),
+            batch_occupancy: registry.histogram("serve_batch_occupancy"),
+            quarantine_events: registry.counter("serve_quarantine_events_total"),
+            recoveries: registry.counter("serve_recoveries_total"),
+            faulty_observations: registry.counter("serve_faulty_observations_total"),
+            shed_windows: registry.counter("serve_shed_windows_total"),
+            suppressed_scores: registry.counter("serve_suppressed_scores_total"),
+            ensemble_swaps: registry.counter("serve_ensemble_swaps_total"),
+            buffered_windows: registry.gauge("serve_buffered_windows"),
+            streams_live: registry.gauge("serve_streams_live"),
+            streams_healthy: registry.gauge("serve_streams_healthy"),
+            streams_suspect: registry.gauge("serve_streams_suspect"),
+            streams_quarantined: registry.gauge("serve_streams_quarantined"),
+            streams_recovering: registry.gauge("serve_streams_recovering"),
+        }
+    }
+}
+
 /// Scores many concurrent observation streams against one **fitted**
 /// (typically [loaded](CaeEnsemble::load)) ensemble.
 ///
@@ -368,6 +415,7 @@ pub struct FleetDetector {
     faulty_observations: u64,
     shed_windows: u64,
     suppressed_scores: u64,
+    obs: ServeObs,
 }
 
 impl std::fmt::Debug for FleetDetector {
@@ -398,6 +446,21 @@ impl FleetDetector {
     /// A fleet scorer with explicit health-machine thresholds (see
     /// [`FleetDetector::new`] for the ensemble contract).
     pub fn with_health(ensemble: impl Into<Arc<CaeEnsemble>>, health: HealthConfig) -> Self {
+        // Telemetry defaults to a disabled registry: one Relaxed load
+        // per instrumented site until `with_observability` /
+        // `attach_observability` opts in.
+        Self::with_observability(ensemble, health, &MetricsRegistry::disabled())
+    }
+
+    /// A fleet scorer publishing runtime telemetry into `registry` (see
+    /// the README's "Observability" section for the `serve_*` catalog).
+    /// Handles are registered eagerly; whether they record follows the
+    /// registry's enable state.
+    pub fn with_observability(
+        ensemble: impl Into<Arc<CaeEnsemble>>,
+        health: HealthConfig,
+        registry: &MetricsRegistry,
+    ) -> Self {
         let ensemble = ensemble.into();
         assert!(
             ensemble.num_members() > 0,
@@ -436,7 +499,21 @@ impl FleetDetector {
             faulty_observations: 0,
             shed_windows: 0,
             suppressed_scores: 0,
+            obs: ServeObs::new(registry),
         }
+    }
+
+    /// Re-homes this fleet's telemetry into `registry`, carrying the
+    /// lifetime fault counters over so the registry mirrors
+    /// [`FleetDetector::health_report`] from the attach point onward.
+    pub fn attach_observability(&mut self, registry: &MetricsRegistry) {
+        self.obs = ServeObs::new(registry);
+        self.obs.quarantine_events.add(self.quarantine_events);
+        self.obs.recoveries.add(self.recoveries);
+        self.obs.faulty_observations.add(self.faulty_observations);
+        self.obs.shed_windows.add(self.shed_windows);
+        self.obs.suppressed_scores.add(self.suppressed_scores);
+        self.obs.ensemble_swaps.add(self.model_generation);
     }
 
     /// The ensemble currently serving this fleet.
@@ -506,6 +583,7 @@ impl FleetDetector {
         );
         self.retired = Some(std::mem::replace(&mut self.ensemble, next));
         self.model_generation += 1;
+        self.obs.ensemble_swaps.inc();
         self.model_generation
     }
 
@@ -601,6 +679,7 @@ impl FleetDetector {
     /// the stream's [`StreamHealth`] machine instead of entering the
     /// ring — the scoring path only ever sees finite, live data.
     pub fn push(&mut self, id: StreamId, observation: &[f32]) -> Result<PushOutcome, PushError> {
+        let _timer = self.obs.push_latency_ns.start(&self.obs.clock);
         let dim = self.dim;
         let window = self.window;
         let cfg = self.health_cfg;
@@ -612,8 +691,10 @@ impl FleetDetector {
         }
         if observation.len() != dim {
             self.faulty_observations += 1;
+            self.obs.faulty_observations.inc();
             if escalate_fault(s, &cfg) {
                 self.quarantine_events += 1;
+                self.obs.quarantine_events.inc();
             }
             return Err(PushError::DimMismatch {
                 got: observation.len(),
@@ -635,8 +716,10 @@ impl FleetDetector {
         let non_finite = observation.iter().any(|v| !v.is_finite());
         if non_finite || s.flat_run >= cfg.flatline_after {
             self.faulty_observations += 1;
+            self.obs.faulty_observations.inc();
             if escalate_fault(s, &cfg) {
                 self.quarantine_events += 1;
+                self.obs.quarantine_events.inc();
             }
             return Ok(PushOutcome::Discarded);
         }
@@ -662,6 +745,7 @@ impl FleetDetector {
         if s.state == StreamHealth::Recovering && s.filled == window {
             s.state = StreamHealth::Healthy;
             self.recoveries += 1;
+            self.obs.recoveries.inc();
         }
         Ok(PushOutcome::Stored)
     }
@@ -684,6 +768,7 @@ impl FleetDetector {
     /// scores are suppressed — never emitted — and charged to the
     /// producing stream as a fault.
     pub fn tick(&mut self, out: &mut Vec<(StreamId, f32)>) {
+        let _timer = self.obs.tick_latency_ns.start(&self.obs.clock);
         out.clear();
         let (window, dim) = (self.window, self.dim);
         let cfg = self.health_cfg;
@@ -701,15 +786,21 @@ impl FleetDetector {
         } else {
             0
         };
+        let mut buffered = 0usize;
         for off in 0..n {
             let i = (start + off) % n;
             let s = &self.slots[i];
+            if s.active {
+                buffered += s.filled;
+            }
             if s.active && s.fresh && s.filled == window {
                 ready.push(i);
             }
         }
+        self.obs.buffered_windows.set(buffered as f64);
         if ready.len() > budget {
             self.shed_windows += (ready.len() - budget) as u64;
+            self.obs.shed_windows.add((ready.len() - budget) as u64);
             // Unscored streams keep `fresh`; resume the scan at the first
             // one so repeated overload rotates fairly.
             self.scan_from = ready[budget];
@@ -718,6 +809,7 @@ impl FleetDetector {
 
         let mut scores = std::mem::take(&mut self.scores);
         for chunk in ready.chunks(FLEET_BATCH) {
+            self.obs.batch_occupancy.record(chunk.len() as u64);
             let mut data = scratch::take(chunk.len() * window * dim);
             for &i in chunk {
                 // Unroll the ring in time order: the oldest observation
@@ -750,8 +842,10 @@ impl FleetDetector {
                     // The window was finite but the model overflowed on
                     // it: suppress the score and charge the stream.
                     self.suppressed_scores += 1;
+                    self.obs.suppressed_scores.inc();
                     if escalate_fault(s, &cfg) {
                         self.quarantine_events += 1;
+                        self.obs.quarantine_events.inc();
                     }
                 }
             }
@@ -804,6 +898,19 @@ impl FleetDetector {
                 StreamHealth::Recovering => report.streams_recovering += 1,
             }
         }
+        let live = report.streams_healthy
+            + report.streams_suspect
+            + report.streams_quarantined
+            + report.streams_recovering;
+        self.obs.streams_live.set(live as f64);
+        self.obs.streams_healthy.set(report.streams_healthy as f64);
+        self.obs.streams_suspect.set(report.streams_suspect as f64);
+        self.obs
+            .streams_quarantined
+            .set(report.streams_quarantined as f64);
+        self.obs
+            .streams_recovering
+            .set(report.streams_recovering as f64);
         report
     }
 

@@ -613,6 +613,7 @@ impl FleetDetector {
             faulty_observations: snapshot.faulty_observations,
             shed_windows: snapshot.shed_windows,
             suppressed_scores: snapshot.suppressed_scores,
+            obs: crate::ServeObs::new(&cae_obs::MetricsRegistry::disabled()),
         })
     }
 

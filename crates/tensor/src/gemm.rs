@@ -62,10 +62,13 @@ const KC: usize = 512;
 const MIN_MADDS: usize = 1 << 10;
 
 /// True when callers should route a contraction of `madds` multiply-adds
-/// through this module.
+/// through this module. This is the dispatch decision the kernel-tier
+/// telemetry counts (`crate::obs`).
 #[inline]
 pub(crate) fn enabled(madds: usize) -> bool {
-    simd::avx2_active() && madds >= MIN_MADDS
+    let packed = simd::avx2_active() && madds >= MIN_MADDS;
+    crate::obs::gemm_dispatch(packed);
+    packed
 }
 
 // ---------------------------------------------------------------------

@@ -65,6 +65,7 @@ mod conv;
 mod gemm;
 mod init;
 mod matmul;
+pub mod obs;
 pub mod par;
 mod reduce;
 pub mod scratch;

@@ -1,0 +1,107 @@
+//! Kernel-tier telemetry: dispatch-arm counters and the pool queue
+//! depth, exported as `static` cells so the hot kernels stay free of any
+//! registry indirection.
+//!
+//! `cae-tensor` sits below `cae-obs`'s typical handle pattern: kernels
+//! are called orders of magnitude more often than serving-tier methods,
+//! and threading a registry handle through every matmul would grow every
+//! call signature. Instead the cells live here as `static`s behind one
+//! tier [`ENABLED`] flag (same one-relaxed-load discipline as a disabled
+//! registry), and [`install`] links them into a [`MetricsRegistry`] —
+//! which then reads them at snapshot time and drives [`ENABLED`] through
+//! its own enable/disable transitions.
+
+use cae_obs::MetricsRegistry;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Tier flag: recording happens only while set. [`install`] ties it to
+/// the registry's enabled state; it stays `false` (all sites one relaxed
+/// load) until then.
+pub static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Contractions routed to the packed AVX2 GEMM.
+pub static GEMM_PACKED_DISPATCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Contractions kept on the portable scalar kernels (SIMD inactive or
+/// below the madd threshold). Only the x86_64 dispatch point counts;
+/// other architectures have a single arm and record nothing.
+pub static GEMM_SCALAR_DISPATCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Tasks of the most recently submitted pool job (last-write-wins;
+/// returns to 0 when the job drains).
+pub static POOL_QUEUE_DEPTH: AtomicU64 = AtomicU64::new(0);
+
+/// Counts one routing decision of the GEMM dispatch point.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub(crate) fn gemm_dispatch(packed: bool) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    if packed {
+        GEMM_PACKED_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        GEMM_SCALAR_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Publishes the pool's outstanding-task count.
+#[inline]
+pub(crate) fn set_pool_queue_depth(tasks: usize) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    POOL_QUEUE_DEPTH.store(tasks as u64, Ordering::Relaxed);
+}
+
+/// Exports the kernel-tier cells into `registry` under `tensor_*` names
+/// and ties [`ENABLED`] to the registry's enable/disable transitions.
+pub fn install(registry: &MetricsRegistry) {
+    registry.link_counter(
+        "tensor_gemm_packed_dispatches_total",
+        &GEMM_PACKED_DISPATCHES,
+    );
+    registry.link_counter(
+        "tensor_gemm_scalar_dispatches_total",
+        &GEMM_SCALAR_DISPATCHES,
+    );
+    registry.link_gauge("tensor_pool_queue_depth", &POOL_QUEUE_DEPTH);
+    registry.link_flag(&ENABLED);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_links_cells_and_flag() {
+        let registry = MetricsRegistry::new();
+        install(&registry);
+        assert!(ENABLED.load(Ordering::Acquire), "flag follows install");
+
+        set_pool_queue_depth(5);
+        let snapshot = registry.snapshot();
+        let depth = snapshot
+            .gauges
+            .iter()
+            .find(|(name, _)| *name == "tensor_pool_queue_depth")
+            .expect("linked gauge exported");
+        assert_eq!(depth.1, 5.0);
+        assert!(snapshot
+            .counters
+            .iter()
+            .any(|(name, _)| *name == "tensor_gemm_packed_dispatches_total"));
+
+        registry.disable();
+        assert!(!ENABLED.load(Ordering::Acquire), "flag follows disable");
+        set_pool_queue_depth(9);
+        assert_eq!(
+            POOL_QUEUE_DEPTH.load(Ordering::Relaxed),
+            5,
+            "disabled tier records nothing"
+        );
+        // Leave the tier armed again for other tests in this process.
+        registry.enable();
+        set_pool_queue_depth(0);
+    }
+}

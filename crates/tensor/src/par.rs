@@ -287,6 +287,7 @@ fn run_tasks<F: Fn(usize) + Sync>(total: usize, workers: usize, f: &F) {
 
     let pool = pool();
     ensure_workers(pool, workers - 1);
+    crate::obs::set_pool_queue_depth(total);
     let job = Arc::new(Job {
         task: TaskPtr::erase(f),
         total,
@@ -322,6 +323,7 @@ fn run_tasks<F: Fn(usize) + Sync>(total: usize, workers: usize, f: &F) {
     }
     // Free the job slot for queued submitters.
     pool.done_cv.notify_all();
+    crate::obs::set_pool_queue_depth(0);
 
     if job.panicked.load(Ordering::Acquire) {
         panic!("cae-tensor pool worker panicked");

@@ -17,6 +17,9 @@
 //! * [`baselines`] — the eleven comparison methods of the evaluation;
 //! * [`data`] — time series containers, pre-processing, synthetic datasets;
 //! * [`metrics`] — PR/ROC AUC and F1 evaluation suites;
+//! * [`obs`] — runtime telemetry: the lock-free metrics registry,
+//!   latency histograms, span-trace ring and exporters every serving
+//!   tier publishes into;
 //! * [`nn`] / [`autograd`] / [`tensor`] — the neural substrate.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the
@@ -30,6 +33,7 @@ pub use cae_core as core;
 pub use cae_data as data;
 pub use cae_metrics as metrics;
 pub use cae_nn as nn;
+pub use cae_obs as obs;
 pub use cae_serve as serve;
 pub use cae_tensor as tensor;
 
@@ -45,6 +49,7 @@ pub mod prelude {
         TimeSeries,
     };
     pub use cae_metrics::EvalReport;
+    pub use cae_obs::{MetricsRegistry, ObsClock, TraceRing};
     pub use cae_serve::{
         FleetDetector, HealthConfig, PushError, PushOutcome, StreamHealth, StreamId,
     };
@@ -60,8 +65,9 @@ mod tests {
         use crate::prelude::{
             AdaptationConfig, AdaptationController, CaeConfig, CaeEnsemble, CheckpointFailure,
             Dataset, DatasetKind, Detector, DriftMonitor, EnsembleConfig, EvalReport,
-            FleetDetector, HealthConfig, HealthReport, ObservationReservoir, PushError,
-            PushOutcome, RefitOptions, Scale, Scaler, StreamHealth, StreamingDetector, TimeSeries,
+            FleetDetector, HealthConfig, HealthReport, MetricsRegistry, ObsClock,
+            ObservationReservoir, PushError, PushOutcome, RefitOptions, Scale, Scaler,
+            StreamHealth, StreamingDetector, TimeSeries, TraceRing,
         };
 
         let series = TimeSeries::univariate((0..64).map(|t| (t as f32 * 0.3).sin()).collect());
@@ -123,6 +129,18 @@ mod tests {
         assert!(adapt.poll().is_none());
         report.merge(&adapt.health_report());
         let _: Option<&CheckpointFailure> = adapt.last_checkpoint_error();
+
+        let registry = MetricsRegistry::new();
+        registry.counter("prelude_checks_total").inc();
+        let _clock = ObsClock::monotonic();
+        let ring = TraceRing::new(8);
+        let lane = ring.lane();
+        lane.enter(ring.span("prelude"), 0);
+        assert_eq!(ring.dump().len(), 1);
+        assert!(registry
+            .snapshot()
+            .to_json()
+            .contains("prelude_checks_total"));
     }
 
     #[test]
@@ -134,6 +152,7 @@ mod tests {
         let _ = crate::data::num_windows(16, 8);
         let _ = crate::baselines::MovingAverage::with_defaults();
         let _ = crate::core::ReconstructionTarget::Raw;
+        let _ = crate::obs::MetricsRegistry::disabled();
         let _ = crate::serve::FLEET_BATCH;
         let _ = crate::adapt::AdaptationStats::default();
         let _ = crate::chaos::SplitMix64::new(7);

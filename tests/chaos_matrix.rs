@@ -184,6 +184,82 @@ fn input_fault_matrix_400_scenarios_never_panic_and_reconverge_bit_exactly() {
     assert_eq!(scenarios, 400);
 }
 
+/// Telemetry parity under fire: with a metrics registry attached, a
+/// seeded NaN storm must leave the registry, the health report, and the
+/// injector-side ground truth agreeing on every fault count — the
+/// counters are an exact mirror of what was injected, not a sample.
+#[test]
+fn nan_storm_registry_counters_match_injected_fault_counts() {
+    use cae_ensemble_repro::obs::MetricsRegistry;
+
+    let ens = fitted(61);
+    let registry = MetricsRegistry::new();
+    let health = HealthConfig::default().flatline_after(6);
+    let mut fleet = FleetDetector::with_observability(ens.clone(), health, &registry);
+    let ids: Vec<StreamId> = (0..STREAMS).map(|_| fleet.add_stream()).collect();
+
+    let w = ens.model_config().window;
+    let window = FaultWindow::new(InputFault::NanStorm, w + 4, w + 16);
+    let mut injectors: Vec<StreamFaultInjector> = (0..STREAMS)
+        .map(|k| StreamFaultInjector::new(window, 0xC0FFEE ^ (k as u64).wrapping_mul(7919)))
+        .collect();
+
+    // Ground truth: every delivered row carrying a non-finite value is
+    // exactly one faulty observation.
+    let mut injected = 0u64;
+    let mut out = Vec::new();
+    for t in 0..w + 40 {
+        for k in 0..STREAMS {
+            let obs = [clean(t, k)];
+            match injectors[k].next(t, &obs) {
+                Delivery::Deliver(row) => {
+                    injected += u64::from(row.iter().any(|v| !v.is_finite()));
+                    fleet.push(ids[k], &row).expect("NaN rows are absorbed");
+                }
+                Delivery::DeliverTwice(row) => {
+                    injected += 2 * u64::from(row.iter().any(|v| !v.is_finite()));
+                    fleet.push(ids[k], &row).expect("duplicate delivery");
+                    fleet.push(ids[k], &row).expect("duplicate delivery");
+                }
+                Delivery::Dropped => {}
+            }
+        }
+        fleet.tick(&mut out);
+    }
+    assert!(injected > 0, "the storm must actually inject NaNs");
+
+    let report = fleet.health_report();
+    assert_eq!(
+        report.faulty_observations, injected,
+        "health report disagrees with the injected fault count"
+    );
+
+    let snapshot = registry.snapshot();
+    let counter = |name: &str| {
+        snapshot
+            .counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or_else(|| panic!("counter {name} not registered"), |&(_, v)| v)
+    };
+    assert_eq!(counter("serve_faulty_observations_total"), injected);
+    assert_eq!(
+        counter("serve_quarantine_events_total"),
+        report.quarantine_events
+    );
+    assert_eq!(counter("serve_recoveries_total"), report.recoveries);
+    assert_eq!(counter("serve_shed_windows_total"), report.shed_windows);
+    assert_eq!(
+        counter("serve_suppressed_scores_total"),
+        report.suppressed_scores
+    );
+    // A 12-tick four-stream storm must have tripped quarantines and,
+    // with 30+ clean ticks after it, recovered every stream.
+    assert!(report.quarantine_events > 0, "storm never quarantined");
+    assert_eq!(report.streams_healthy, STREAMS as u64);
+    assert!(report.recoveries > 0, "streams never recovered");
+}
+
 #[test]
 fn persistence_fault_matrix_survives_every_schedule() {
     let _guard = chaos::exclusive();

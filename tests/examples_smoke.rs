@@ -10,10 +10,11 @@
 use cae_ensemble_repro::prelude::*;
 
 /// The examples CI builds; `quickstart` is additionally run end-to-end.
-const EXAMPLES: [&str; 9] = [
+const EXAMPLES: [&str; 10] = [
     "fault_tolerant_fleet",
     "fleet_serving",
     "hyperparameter_tuning",
+    "observability",
     "online_adaptation",
     "quickstart",
     "restart_recovery",
@@ -408,6 +409,83 @@ fn restart_recovery_pipeline_reconverges_bit_exactly() {
     assert_eq!(fleet.snapshot().encode(), ref_fleet.snapshot().encode());
     assert_eq!(ctl.export_state(), ref_ctl.export_state());
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn observability_pipeline_mirrors_fault_counts_and_exports() {
+    // Miniature of examples/observability.rs: an instrumented fleet
+    // survives a NaN burst; the registry counters mirror the health
+    // report and the injected ground truth exactly, the span-trace ring
+    // orders its tick events, and both exporters carry the catalog.
+    let wave = |t: usize| (t as f32 * 0.23).sin();
+    let train = TimeSeries::univariate((0..260).map(wave).collect());
+    let mut detector = CaeEnsemble::new(
+        CaeConfig::new(1).embed_dim(4).window(8).layers(1),
+        EnsembleConfig::new()
+            .num_models(2)
+            .epochs_per_model(1)
+            .batch_size(16)
+            .train_stride(2)
+            .seed(19),
+    );
+    detector.fit(&train);
+
+    let registry = MetricsRegistry::new();
+    let mut fleet = FleetDetector::with_observability(detector, HealthConfig::default(), &registry);
+    let id = fleet.add_stream();
+
+    let ring = TraceRing::new(16);
+    let span = ring.span("tick");
+    let lane = ring.lane();
+
+    let mut out = Vec::new();
+    let mut injected = 0u64;
+    for t in 0..40 {
+        let burst = (14..18).contains(&t);
+        injected += u64::from(burst);
+        let obs = if burst { [f32::NAN] } else { [wave(t)] };
+        lane.enter(span, t as u32);
+        fleet.push(id, &obs).expect("NaN rows are absorbed");
+        fleet.tick(&mut out);
+        lane.exit(span, t as u32);
+    }
+
+    let report = fleet.health_report();
+    assert_eq!(report.faulty_observations, injected);
+    let snapshot = registry.snapshot();
+    let counter = |name: &str| {
+        snapshot
+            .counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+            .expect("counter registered")
+    };
+    assert_eq!(counter("serve_faulty_observations_total"), injected);
+    assert_eq!(
+        counter("serve_quarantine_events_total"),
+        report.quarantine_events
+    );
+    assert_eq!(counter("serve_recoveries_total"), report.recoveries);
+
+    // Both exporters carry the catalog, and the trace ring kept its
+    // per-tick enter/exit pairs in global sequence order.
+    let json = snapshot.to_json();
+    let prom = snapshot.to_prometheus();
+    for name in [
+        "serve_faulty_observations_total",
+        "serve_push_latency_ns",
+        "serve_tick_latency_ns",
+    ] {
+        assert!(json.contains(name), "{name} missing from JSON export");
+        assert!(prom.contains(name), "{name} missing from Prometheus export");
+    }
+    let dump = ring.dump();
+    assert!(!dump.is_empty());
+    assert!(
+        dump.windows(2).all(|w| w[0].seq < w[1].seq),
+        "trace dump must be sequence-ordered"
+    );
 }
 
 #[test]
